@@ -1,0 +1,237 @@
+//! Section 8's load-alteration audit as an API.
+//!
+//! "There are basically three ways to raise the load: lowering the
+//! inter-arrival time, raising the runtimes, and raising the degree of
+//! parallelism. The most common technique is to expand or condense the
+//! distribution of one of these three fields by a constant factor. ...
+//! None of the three simplistic ways to alter the load satisfy these
+//! conditions — they all contradict it."
+//!
+//! [`alter_load`] applies one of the three techniques; [`audit`] applies
+//! all of them and reports which published correlations each one violates.
+
+use wl_swf::{Job, Workload, WorkloadStats};
+
+/// One of the three common load-raising techniques.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoadAlteration {
+    /// Multiply every inter-arrival gap by `1/factor` (condense arrivals).
+    CondenseArrivals,
+    /// Multiply every runtime by `factor`.
+    StretchRuntimes,
+    /// Multiply every job's processors by `factor` (capped at the machine).
+    RaiseParallelism,
+}
+
+impl LoadAlteration {
+    /// All three techniques.
+    pub const ALL: [LoadAlteration; 3] = [
+        LoadAlteration::CondenseArrivals,
+        LoadAlteration::StretchRuntimes,
+        LoadAlteration::RaiseParallelism,
+    ];
+
+    /// Human-readable label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            LoadAlteration::CondenseArrivals => "condense inter-arrivals",
+            LoadAlteration::StretchRuntimes => "stretch runtimes",
+            LoadAlteration::RaiseParallelism => "raise parallelism",
+        }
+    }
+}
+
+/// Apply a load alteration with the given factor (> 1 raises load).
+///
+/// # Panics
+/// Panics for a non-positive factor.
+pub fn alter_load(w: &Workload, technique: LoadAlteration, factor: f64) -> Workload {
+    assert!(factor > 0.0, "factor must be positive, got {factor}");
+    let jobs: Vec<Job> = match technique {
+        LoadAlteration::CondenseArrivals => {
+            let mut t = 0.0;
+            let mut prev = w.jobs().first().map(|j| j.submit_time).unwrap_or(0.0);
+            w.jobs()
+                .iter()
+                .map(|j| {
+                    let gap = j.submit_time - prev;
+                    prev = j.submit_time;
+                    t += gap / factor;
+                    let mut j = j.clone();
+                    j.submit_time = t;
+                    j
+                })
+                .collect()
+        }
+        LoadAlteration::StretchRuntimes => w
+            .jobs()
+            .iter()
+            .map(|j| {
+                let mut j = j.clone();
+                if j.run_time >= 0.0 {
+                    j.run_time *= factor;
+                }
+                if j.avg_cpu_time >= 0.0 {
+                    j.avg_cpu_time *= factor;
+                }
+                j
+            })
+            .collect(),
+        LoadAlteration::RaiseParallelism => w
+            .jobs()
+            .iter()
+            .map(|j| {
+                let mut j = j.clone();
+                if j.used_procs > 0 {
+                    j.used_procs = ((j.used_procs as f64 * factor).round() as i64)
+                        .clamp(1, w.machine.processors as i64);
+                }
+                j
+            })
+            .collect(),
+    };
+    Workload::new(
+        format!("{}+{}", w.name, technique.label()),
+        w.machine,
+        jobs,
+    )
+}
+
+/// One row of the audit: the technique, the load it achieved, and the side
+/// effects on the medians the paper says should (or should not) move.
+#[derive(Debug, Clone)]
+pub struct LoadAuditRow {
+    pub technique: LoadAlteration,
+    /// Runtime load after the alteration.
+    pub load: Option<f64>,
+    /// Ratio of altered to baseline medians: (inter-arrival, runtime,
+    /// parallelism).
+    pub median_ratios: (f64, f64, f64),
+    /// Which of the paper's expectations the technique violates: a
+    /// genuinely heavier workload has a *higher* inter-arrival median,
+    /// *similar* runtimes, and only *somewhat* more parallelism.
+    pub violations: Vec<&'static str>,
+}
+
+/// Audit all three techniques at the given factor against a baseline.
+pub fn audit(baseline: &Workload, factor: f64) -> Vec<LoadAuditRow> {
+    let base = WorkloadStats::compute(baseline);
+    let ratio = |a: Option<f64>, b: Option<f64>| match (a, b) {
+        (Some(x), Some(y)) if y != 0.0 => x / y,
+        _ => f64::NAN,
+    };
+    LoadAlteration::ALL
+        .iter()
+        .map(|&technique| {
+            let altered = WorkloadStats::compute(&alter_load(baseline, technique, factor));
+            let r_ia = ratio(altered.interarrival_median, base.interarrival_median);
+            let r_rt = ratio(altered.runtime_median, base.runtime_median);
+            let r_par = ratio(altered.procs_median, base.procs_median);
+            let mut violations = Vec::new();
+            // Paper: load up => inter-arrival median up. Condensing pushes
+            // it *down*.
+            if r_ia < 0.95 {
+                violations.push("inter-arrival median decreased (should increase with load)");
+            }
+            // Paper: runtimes uncorrelated with load => should stay put.
+            if !(0.8..=1.2).contains(&r_rt) {
+                violations.push("runtime median moved (uncorrelated with load in the data)");
+            }
+            // Paper: parallelism only partially correlated => a full
+            // doubling overshoots.
+            if r_par > 1.6 {
+                violations.push("parallelism median scaled fully (only partially correlated)");
+            }
+            LoadAuditRow {
+                technique,
+                load: altered.runtime_load,
+                median_ratios: (r_ia, r_rt, r_par),
+                violations,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wl_models::{Lublin, WorkloadModel};
+    use wl_stats::rng::seeded_rng;
+
+    fn base() -> Workload {
+        Lublin::default().generate(8000, &mut seeded_rng(17))
+    }
+
+    #[test]
+    fn condensing_halves_interarrivals_only() {
+        let w = base();
+        let altered = alter_load(&w, LoadAlteration::CondenseArrivals, 2.0);
+        let s0 = WorkloadStats::compute(&w);
+        let s1 = WorkloadStats::compute(&altered);
+        let r = s1.interarrival_median.unwrap() / s0.interarrival_median.unwrap();
+        assert!((r - 0.5).abs() < 0.02, "ratio {r}");
+        assert_eq!(s0.runtime_median, s1.runtime_median);
+        assert_eq!(s0.procs_median, s1.procs_median);
+        // Load roughly doubles.
+        let lr = s1.runtime_load.unwrap() / s0.runtime_load.unwrap();
+        assert!((1.7..2.3).contains(&lr), "load ratio {lr}");
+    }
+
+    #[test]
+    fn stretching_doubles_runtime_median_and_interval_together() {
+        let w = base();
+        let altered = alter_load(&w, LoadAlteration::StretchRuntimes, 2.0);
+        let s0 = WorkloadStats::compute(&w);
+        let s1 = WorkloadStats::compute(&altered);
+        assert!(
+            (s1.runtime_median.unwrap() / s0.runtime_median.unwrap() - 2.0).abs() < 0.01
+        );
+        assert!(
+            (s1.runtime_interval.unwrap() / s0.runtime_interval.unwrap() - 2.0).abs() < 0.05
+        );
+    }
+
+    #[test]
+    fn parallelism_capped_at_machine() {
+        let w = base();
+        let altered = alter_load(&w, LoadAlteration::RaiseParallelism, 1000.0);
+        for j in altered.jobs() {
+            assert!(j.used_procs as u64 <= w.machine.processors);
+        }
+    }
+
+    #[test]
+    fn audit_finds_violations_in_every_technique() {
+        // The paper's section 8 conclusion: every simplistic technique
+        // contradicts the observed correlations.
+        let rows = audit(&base(), 2.0);
+        assert_eq!(rows.len(), 3);
+        for row in &rows {
+            assert!(
+                !row.violations.is_empty(),
+                "{:?} has no violations",
+                row.technique
+            );
+        }
+    }
+
+    #[test]
+    fn factor_one_is_identity() {
+        let w = base();
+        for technique in LoadAlteration::ALL {
+            let altered = alter_load(&w, technique, 1.0);
+            let s0 = WorkloadStats::compute(&w);
+            let s1 = WorkloadStats::compute(&altered);
+            assert_eq!(s0.runtime_median, s1.runtime_median);
+            assert_eq!(s0.procs_median, s1.procs_median);
+            let r = s1.interarrival_median.unwrap() / s0.interarrival_median.unwrap();
+            assert!((r - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "factor must be positive")]
+    fn zero_factor_panics() {
+        alter_load(&base(), LoadAlteration::StretchRuntimes, 0.0);
+    }
+}

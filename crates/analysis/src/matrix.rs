@@ -1,0 +1,72 @@
+//! Assemble Co-plot data matrices from workloads.
+
+use coplot::DataMatrix;
+use wl_swf::{Variable, Workload, WorkloadStats};
+
+/// Build an observations-by-variables matrix from workloads and Table 1
+/// variable codes ("Rm", "Pi", ...), applying the paper's load-imputation
+/// rule. Unknown statistics become missing cells.
+///
+/// # Panics
+/// Panics on an unknown variable code.
+pub fn workload_matrix(workloads: &[Workload], codes: &[&str]) -> DataMatrix {
+    let stats: Vec<WorkloadStats> = workloads
+        .iter()
+        .map(|w| WorkloadStats::compute(w).with_load_imputation())
+        .collect();
+    stats_matrix(&stats, codes)
+}
+
+/// Build a matrix from precomputed statistics.
+///
+/// # Panics
+/// Panics on an unknown variable code.
+pub fn stats_matrix(stats: &[WorkloadStats], codes: &[&str]) -> DataMatrix {
+    let vars: Vec<Variable> = codes
+        .iter()
+        .map(|c| {
+            Variable::from_code(c).unwrap_or_else(|| panic!("unknown variable code {c:?}"))
+        })
+        .collect();
+    let rows: Vec<Vec<Option<f64>>> = stats
+        .iter()
+        .map(|s| vars.iter().map(|&v| s.get(v)).collect())
+        .collect();
+    let row_refs: Vec<&[Option<f64>]> = rows.iter().map(|r| r.as_slice()).collect();
+    DataMatrix::from_optional_rows(
+        stats.iter().map(|s| s.name.clone()).collect(),
+        codes.iter().map(|c| c.to_string()).collect(),
+        &row_refs,
+    )
+}
+
+/// The eight job-stream variables shared by logs and pure models (the
+/// Figure 4 set).
+pub const JOB_STREAM_VARIABLES: [&str; 8] = ["Rm", "Ri", "Nm", "Ni", "Cm", "Ci", "Im", "Ii"];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wl_logsynth::machines::MachineId;
+
+    #[test]
+    fn matrix_from_workloads() {
+        let ws = [
+            MachineId::Ctc.generate(500, 1),
+            MachineId::Nasa.generate(500, 1),
+            MachineId::Kth.generate(500, 1),
+        ];
+        let m = workload_matrix(&ws, &["Rm", "Pm", "Im"]);
+        assert_eq!(m.n_observations(), 3);
+        assert_eq!(m.n_variables(), 3);
+        assert_eq!(m.observations()[0], "CTC");
+        assert!(m.get(0, 0).unwrap() > m.get(1, 0).unwrap(), "CTC Rm > NASA Rm");
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown variable code")]
+    fn unknown_code_panics() {
+        let ws = [MachineId::Ctc.generate(100, 1)];
+        workload_matrix(&ws, &["nope"]);
+    }
+}

@@ -1,0 +1,184 @@
+//! Section 8's representative-variable search.
+//!
+//! "We should take one representative from each variables cluster, such
+//! that the representatives conserve the previously known map, and that
+//! their correlation is highest." The paper did this by hand (finding
+//! {allocation flexibility, parallelism median, inter-arrival median} with
+//! theta = 0.02 and mean correlation 0.94); this module automates it:
+//! exhaustively score every variable subset of the requested size and
+//! return the one with the best fit, optionally requiring the subset's map
+//! to agree with the full map (Procrustes residual).
+
+use coplot::{Coplot, CoplotError};
+use wl_linalg::procrustes_align;
+
+/// One scored subset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubsetSearchResult {
+    /// The chosen variable names.
+    pub variables: Vec<String>,
+    /// Coefficient of alienation of the subset's map.
+    pub alienation: f64,
+    /// Mean arrow correlation of the subset's map.
+    pub mean_correlation: f64,
+    /// Procrustes RMSD between the subset's map and the full-variable map
+    /// (both unit-RMS-radius, so ~0.5 is "similar shape", 1+ is unrelated).
+    pub map_conservation_rmsd: f64,
+}
+
+/// Exhaustively search all variable subsets of size `k`, scoring by mean
+/// arrow correlation among subsets whose alienation stays under
+/// `max_alienation`. Subsets whose per-variable arrows cannot be fitted are
+/// skipped. Returns subsets ranked best-first (up to `top`).
+///
+/// Complexity: `C(p, k)` Co-plot runs — fine for the paper's p <= 18 and
+/// k <= 4; guard rails reject larger searches.
+///
+/// # Panics
+/// Panics when `k` is 2 > p, or the search space exceeds 20,000 subsets.
+pub fn best_variable_subset(
+    data: &coplot::DataMatrix,
+    k: usize,
+    max_alienation: f64,
+    top: usize,
+    seed: u64,
+) -> Result<Vec<SubsetSearchResult>, CoplotError> {
+    let p = data.n_variables();
+    assert!(k >= 2 && k <= p, "subset size {k} out of 2..={p}");
+    let n_subsets = binomial(p, k);
+    assert!(
+        n_subsets <= 20_000,
+        "search space too large: C({p},{k}) = {n_subsets}"
+    );
+
+    // Reference map from all variables.
+    let full = Coplot::new().seed(seed).analyze(data)?;
+
+    let mut results: Vec<SubsetSearchResult> = Vec::new();
+    let mut indices: Vec<usize> = (0..k).collect();
+    loop {
+        let sub = data.select_variables(&indices);
+        if let Ok(r) = Coplot::new().seed(seed).analyze(&sub) {
+            if r.alienation <= max_alienation {
+                let fit = procrustes_align(&full.coords, &r.coords);
+                results.push(SubsetSearchResult {
+                    variables: sub.variables().to_vec(),
+                    alienation: r.alienation,
+                    mean_correlation: r.mean_arrow_correlation(),
+                    map_conservation_rmsd: fit.rmsd,
+                });
+            }
+        }
+        if !next_combination(&mut indices, p) {
+            break;
+        }
+    }
+
+    // Rank: conserve the map first (low RMSD), then high correlation.
+    results.sort_by(|a, b| {
+        (a.map_conservation_rmsd - b.mean_correlation)
+            .partial_cmp(&(b.map_conservation_rmsd - b.mean_correlation))
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    results.sort_by(|a, b| {
+        let score_a = a.map_conservation_rmsd - 0.5 * a.mean_correlation;
+        let score_b = b.map_conservation_rmsd - 0.5 * b.mean_correlation;
+        score_a.partial_cmp(&score_b).unwrap_or(std::cmp::Ordering::Equal)
+    });
+    results.truncate(top);
+    Ok(results)
+}
+
+/// Advance `indices` to the next k-combination of `0..p` (lexicographic).
+/// Returns false when exhausted.
+fn next_combination(indices: &mut [usize], p: usize) -> bool {
+    let k = indices.len();
+    let mut i = k;
+    while i > 0 {
+        i -= 1;
+        if indices[i] < p - (k - i) {
+            indices[i] += 1;
+            for j in (i + 1)..k {
+                indices[j] = indices[j - 1] + 1;
+            }
+            return true;
+        }
+    }
+    false
+}
+
+fn binomial(n: usize, k: usize) -> usize {
+    let k = k.min(n - k);
+    let mut num: usize = 1;
+    for i in 0..k {
+        num = num * (n - i) / (i + 1);
+    }
+    num
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coplot::DataMatrix;
+
+    /// Data where variables 0/1 and 2/3 are redundant pairs: any subset
+    /// with one representative from each pair conserves the map.
+    fn redundant_data() -> DataMatrix {
+        let rows: Vec<Vec<f64>> = (0..8)
+            .map(|i| {
+                let a = (i as f64 * 0.9).sin() * 10.0;
+                let b = (i as f64 * 0.37 + 1.0).cos() * 10.0;
+                vec![a, a * 2.0 + 0.1, b, b * 3.0 - 0.2]
+            })
+            .collect();
+        let row_refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        DataMatrix::from_rows(
+            (0..8).map(|i| format!("o{i}")).collect(),
+            vec!["a1".into(), "a2".into(), "b1".into(), "b2".into()],
+            &row_refs,
+        )
+    }
+
+    #[test]
+    fn finds_one_representative_per_cluster() {
+        let results = best_variable_subset(&redundant_data(), 2, 0.3, 3, 5).unwrap();
+        assert!(!results.is_empty());
+        let best = &results[0];
+        // The best 2-subset must span both redundant pairs.
+        let has_a = best.variables.iter().any(|v| v.starts_with('a'));
+        let has_b = best.variables.iter().any(|v| v.starts_with('b'));
+        assert!(has_a && has_b, "best subset: {:?}", best.variables);
+        assert!(best.map_conservation_rmsd < 0.5, "rmsd {}", best.map_conservation_rmsd);
+    }
+
+    #[test]
+    fn combination_enumeration_is_complete() {
+        let mut indices = vec![0usize, 1];
+        let mut seen = vec![indices.clone()];
+        while next_combination(&mut indices, 4) {
+            seen.push(indices.clone());
+        }
+        assert_eq!(seen.len(), 6); // C(4,2)
+        assert_eq!(seen[5], vec![2, 3]);
+    }
+
+    #[test]
+    fn binomial_values() {
+        assert_eq!(binomial(4, 2), 6);
+        assert_eq!(binomial(9, 3), 84);
+        assert_eq!(binomial(18, 3), 816);
+    }
+
+    #[test]
+    fn threshold_filters_bad_subsets() {
+        // An impossible alienation bound returns nothing.
+        let results = best_variable_subset(&redundant_data(), 2, -1.0, 3, 5).unwrap();
+        assert!(results.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of 2..=")]
+    fn subset_size_validated() {
+        let _ = best_variable_subset(&redundant_data(), 1, 0.2, 1, 5);
+    }
+}

@@ -1,0 +1,73 @@
+//! Benchmarks of the wl-analysis workflows: homogeneity testing, model
+//! matching, the subset search, and parametric-model generation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use wl_analysis::homogeneity::{test_homogeneity, HomogeneityConfig};
+use wl_analysis::{best_variable_subset, match_models, ParametricModel};
+use wl_bench::synthetic_matrix;
+use wl_logsynth::machines::production_workloads;
+use wl_logsynth::periods::lanl_over_time;
+use wl_models::all_models;
+use wl_stats::rng::seeded_rng;
+use wl_swf::workload::AllocationFlexibility;
+
+fn bench_homogeneity(c: &mut Criterion) {
+    let log = lanl_over_time(5, 1024);
+    let refs = production_workloads(5, 1024);
+    c.bench_function("homogeneity_test", |b| {
+        b.iter(|| {
+            test_homogeneity(
+                black_box(&log),
+                &refs,
+                &["Rm", "Ri", "Nm", "Ni", "Cm", "Ci", "Im"],
+                &HomogeneityConfig::default(),
+            )
+            .unwrap()
+        })
+    });
+}
+
+fn bench_model_matching(c: &mut Criterion) {
+    let logs = production_workloads(6, 1024);
+    let mut rng = seeded_rng(6);
+    let models: Vec<_> = all_models()
+        .iter()
+        .map(|m| m.generate(1024, &mut rng))
+        .collect();
+    c.bench_function("model_matching", |b| {
+        b.iter(|| match_models(black_box(&logs), &models, 0.25, 6).unwrap())
+    });
+}
+
+fn bench_subset_search(c: &mut Criterion) {
+    // C(8,3) = 56 Co-plot runs per iteration.
+    let data = synthetic_matrix(10, 8);
+    c.bench_function("subset_search_c8_3", |b| {
+        b.iter(|| best_variable_subset(black_box(&data), 3, 0.5, 5, 7).unwrap())
+    });
+}
+
+fn bench_parametric_generation(c: &mut Criterion) {
+    let model = ParametricModel::new(AllocationFlexibility::Limited, 8.0, 120.0, 256);
+    c.bench_function("parametric_model_4096_jobs", |b| {
+        let mut rng = seeded_rng(8);
+        b.iter(|| model.generate(black_box(4096), &mut rng))
+    });
+}
+
+/// Short measurement windows (see the sibling benches).
+fn short() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_millis(800))
+}
+
+criterion_group! {
+    name = benches;
+    config = short();
+    targets = bench_homogeneity, bench_model_matching, bench_subset_search, bench_parametric_generation
+}
+criterion_main!(benches);

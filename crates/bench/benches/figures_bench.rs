@@ -1,0 +1,175 @@
+//! End-to-end per-figure pipeline benchmarks: one benchmark per table or
+//! figure of the paper, from synthesized logs to the final map/estimates.
+//! (`cargo run -p wl-repro --bin <figN>` prints the corresponding results;
+//! these measure how long each regeneration takes.)
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use coplot::Coplot;
+use wl_bench::workload_matrix;
+use wl_logsynth::machines::production_workloads;
+use wl_logsynth::periods::{lanl_periods, sdsc_periods};
+use wl_models::all_models;
+use wl_selfsim::HurstEstimator;
+use wl_stats::rng::seeded_rng;
+use wl_swf::{JobSeries, Workload, WorkloadStats};
+
+const N: usize = 2048; // jobs per log inside the benches
+
+fn suite() -> Vec<Workload> {
+    production_workloads(1999, N)
+}
+
+fn with_models(mut ws: Vec<Workload>) -> Vec<Workload> {
+    let mut rng = seeded_rng(55);
+    for model in all_models() {
+        ws.push(model.generate(N, &mut rng));
+    }
+    ws
+}
+
+fn bench_table1(c: &mut Criterion) {
+    let ws = suite();
+    c.bench_function("table1_all_columns", |b| {
+        b.iter(|| {
+            black_box(&ws)
+                .iter()
+                .map(WorkloadStats::compute)
+                .collect::<Vec<_>>()
+        })
+    });
+}
+
+fn bench_table2(c: &mut Criterion) {
+    let mut ws = lanl_periods(1999, N / 2);
+    ws.extend(sdsc_periods(1999, N / 2));
+    c.bench_function("table2_periods_stats", |b| {
+        b.iter(|| {
+            black_box(&ws)
+                .iter()
+                .map(WorkloadStats::compute)
+                .collect::<Vec<_>>()
+        })
+    });
+}
+
+fn bench_table3(c: &mut Criterion) {
+    // Three representative workloads (full Table 3 takes 15; the per-row
+    // cost is what matters).
+    let ws: Vec<Workload> = with_models(suite()).into_iter().take(3).collect();
+    c.bench_function("table3_hurst_matrix", |b| {
+        b.iter(|| {
+            let mut out = Vec::new();
+            for w in black_box(&ws) {
+                for series in JobSeries::ALL {
+                    let xs = series.extract(w);
+                    for est in HurstEstimator::ALL {
+                        out.push(est.estimate(&xs));
+                    }
+                }
+            }
+            out
+        })
+    });
+}
+
+fn bench_fig1(c: &mut Criterion) {
+    let ws = suite();
+    let data = workload_matrix(&ws, &["RL", "Rm", "Ri", "Nm", "Ni", "Cm", "Ci", "Im", "Ii"]);
+    c.bench_function("fig1_coplot", |b| {
+        b.iter(|| Coplot::new().seed(1).analyze(black_box(&data)).unwrap())
+    });
+}
+
+fn bench_fig2(c: &mut Criterion) {
+    let ws: Vec<Workload> = suite()
+        .into_iter()
+        .filter(|w| w.name != "LANLb" && w.name != "SDSCb")
+        .collect();
+    let data = workload_matrix(&ws, &["RL", "Rm", "Ri", "Pm", "Pi", "Cm", "Ci", "Im", "Ii"]);
+    c.bench_function("fig2_coplot", |b| {
+        b.iter(|| Coplot::new().seed(1).analyze(black_box(&data)).unwrap())
+    });
+}
+
+fn bench_fig3(c: &mut Criterion) {
+    let mut ws = suite();
+    ws.extend(lanl_periods(1999, N / 2));
+    ws.extend(sdsc_periods(1999, N / 2));
+    let data = workload_matrix(&ws, &["Rm", "Ri", "Nm", "Ni", "Cm", "Ci", "Im"]);
+    c.bench_function("fig3_coplot_18obs", |b| {
+        b.iter(|| Coplot::new().seed(1).analyze(black_box(&data)).unwrap())
+    });
+}
+
+fn bench_fig4(c: &mut Criterion) {
+    let ws = with_models(suite());
+    let data = workload_matrix(&ws, &["Rm", "Ri", "Nm", "Ni", "Cm", "Ci", "Im", "Ii"]);
+    c.bench_function("fig4_coplot_15obs", |b| {
+        b.iter(|| Coplot::new().seed(1).analyze(black_box(&data)).unwrap())
+    });
+}
+
+fn bench_fig5(c: &mut Criterion) {
+    // Figure 5's Co-plot runs on the Hurst matrix; precompute it once (the
+    // estimation cost is measured by bench_table3).
+    let ws = with_models(suite());
+    let rows: Vec<Vec<Option<f64>>> = ws
+        .iter()
+        .map(|w| {
+            let mut row = Vec::new();
+            for series in JobSeries::ALL {
+                let xs = series.extract(w);
+                for est in HurstEstimator::ALL {
+                    row.push(est.estimate(&xs));
+                }
+            }
+            row
+        })
+        .collect();
+    let row_refs: Vec<&[Option<f64>]> = rows.iter().map(|r| r.as_slice()).collect();
+    let data = coplot::DataMatrix::from_optional_rows(
+        ws.iter().map(|w| w.name.clone()).collect(),
+        (0..12).map(|i| format!("h{i}")).collect(),
+        &row_refs,
+    );
+    c.bench_function("fig5_coplot_hurst", |b| {
+        b.iter(|| Coplot::new().seed(1).analyze(black_box(&data)).unwrap())
+    });
+}
+
+fn bench_section8(c: &mut Criterion) {
+    let ws = suite();
+    let data = workload_matrix(&ws, &["AL", "Pm", "Im"]);
+    c.bench_function("section8_coplot_3vars", |b| {
+        b.iter(|| Coplot::new().seed(1).analyze(black_box(&data)).unwrap())
+    });
+}
+
+
+/// Short measurement windows: this suite has many benchmarks and several
+/// with second-scale iterations; Criterion's defaults would take hours.
+fn short() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_millis(800))
+}
+
+criterion_group! {
+    name = benches;
+    config = short();
+    targets =
+    bench_table1,
+    bench_table2,
+    bench_table3,
+    bench_fig1,
+    bench_fig2,
+    bench_fig3,
+    bench_fig4,
+    bench_fig5,
+    bench_section8
+
+}
+criterion_main!(benches);

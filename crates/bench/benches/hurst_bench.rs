@@ -1,0 +1,97 @@
+//! Benchmarks of the three Hurst estimators and the two fGn generators
+//! (Davies-Harte O(n log n) vs Hosking O(n^2) ablation).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use wl_selfsim::{FgnDaviesHarte, FgnHosking, HurstEstimator};
+use wl_stats::rng::seeded_rng;
+
+fn series(n: usize) -> Vec<f64> {
+    FgnDaviesHarte::new(0.75, n)
+        .unwrap()
+        .generate(&mut seeded_rng(42))
+}
+
+fn bench_estimators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hurst_estimators");
+    for n in [4096usize, 16384] {
+        let x = series(n);
+        for est in HurstEstimator::ALL {
+            group.bench_with_input(
+                BenchmarkId::new(est.label().replace('/', "_"), n),
+                &x,
+                |b, x| b.iter(|| est.estimate(black_box(x)).unwrap()),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_fgn_generators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fgn_generation");
+    for n in [1024usize, 4096] {
+        let dh = FgnDaviesHarte::new(0.8, n).unwrap();
+        group.bench_with_input(BenchmarkId::new("davies_harte", n), &dh, |b, dh| {
+            let mut rng = seeded_rng(7);
+            b.iter(|| dh.generate(black_box(&mut rng)))
+        });
+        let hos = FgnHosking::new(0.8);
+        group.bench_with_input(BenchmarkId::new("hosking", n), &n, |b, &n| {
+            let mut rng = seeded_rng(7);
+            b.iter(|| hos.generate(black_box(&mut rng), n))
+        });
+    }
+    group.finish();
+}
+
+fn bench_fft(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fft");
+    // Power-of-two (radix-2 path) vs prime (Bluestein path).
+    for n in [4096usize, 4099] {
+        let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.01).sin()).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &x, |b, x| {
+            b.iter(|| wl_selfsim::fft::rfft(black_box(x)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_table3_row(c: &mut Criterion) {
+    // One Table 3 row: all three estimators on all four series of one log.
+    let w = wl_logsynth::machines::MachineId::Ctc.generate(8192, 5);
+    c.bench_function("table3_one_workload", |b| {
+        b.iter(|| {
+            let mut out = Vec::new();
+            for series in wl_swf::JobSeries::ALL {
+                let xs = series.extract(black_box(&w));
+                for est in HurstEstimator::ALL {
+                    out.push(est.estimate(&xs));
+                }
+            }
+            out
+        })
+    });
+}
+
+
+/// Short measurement windows: this suite has many benchmarks and several
+/// with second-scale iterations; Criterion's defaults would take hours.
+fn short() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_millis(800))
+}
+
+criterion_group! {
+    name = benches;
+    config = short();
+    targets =
+    bench_estimators,
+    bench_fgn_generators,
+    bench_fft,
+    bench_table3_row
+
+}
+criterion_main!(benches);

@@ -1,0 +1,92 @@
+//! Benchmarks of workload generation, SWF round trips, and the
+//! derived-statistics engine behind Tables 1 and 2.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use wl_logsynth::machines::MachineId;
+use wl_models::all_models;
+use wl_stats::rng::seeded_rng;
+use wl_swf::WorkloadStats;
+
+fn bench_model_generation(c: &mut Criterion) {
+    let n = 4096usize;
+    let mut group = c.benchmark_group("model_generation");
+    group.throughput(Throughput::Elements(n as u64));
+    for model in all_models() {
+        group.bench_function(model.name().replace([' ', '\''], "_"), |b| {
+            let mut rng = seeded_rng(1);
+            b.iter(|| model.generate(black_box(n), &mut rng))
+        });
+    }
+    group.finish();
+}
+
+fn bench_log_synthesis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("log_synthesis");
+    for n in [2048usize, 8192] {
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("CTC", n), &n, |b, &n| {
+            b.iter(|| MachineId::Ctc.generate(black_box(n), 9))
+        });
+        // LANL is the expensive one: two merged fGn-driven streams.
+        group.bench_with_input(BenchmarkId::new("LANL_merged", n), &n, |b, &n| {
+            b.iter(|| MachineId::Lanl.generate(black_box(n), 9))
+        });
+    }
+    group.finish();
+}
+
+fn bench_swf_round_trip(c: &mut Criterion) {
+    let w = MachineId::Kth.generate(4096, 3);
+    let text = wl_swf::write_swf(&w);
+    let mut group = c.benchmark_group("swf");
+    group.throughput(Throughput::Elements(w.len() as u64));
+    group.bench_function("write", |b| b.iter(|| wl_swf::write_swf(black_box(&w))));
+    group.bench_function("parse", |b| {
+        b.iter(|| wl_swf::parse_swf(black_box(&text)).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_workload_stats(c: &mut Criterion) {
+    // The Table 1 statistics engine (all 18 characteristics).
+    let w = MachineId::Sdsc.generate(8192, 4);
+    let mut group = c.benchmark_group("workload_stats");
+    group.throughput(Throughput::Elements(w.len() as u64));
+    group.bench_function("table1_column", |b| {
+        b.iter(|| WorkloadStats::compute(black_box(&w)))
+    });
+    group.finish();
+}
+
+fn bench_period_split(c: &mut Criterion) {
+    // The Table 2 machinery: split a two-year log into four periods.
+    let w = wl_logsynth::periods::lanl_over_time(5, 2048);
+    c.bench_function("split_periods_4", |b| {
+        b.iter(|| black_box(&w).split_periods(4, "L"))
+    });
+}
+
+
+/// Short measurement windows: this suite has many benchmarks and several
+/// with second-scale iterations; Criterion's defaults would take hours.
+fn short() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_millis(800))
+}
+
+criterion_group! {
+    name = benches;
+    config = short();
+    targets =
+    bench_model_generation,
+    bench_log_synthesis,
+    bench_swf_round_trip,
+    bench_workload_stats,
+    bench_period_split
+
+}
+criterion_main!(benches);

@@ -1,0 +1,363 @@
+//! The `wl` subcommand implementations.
+
+use std::path::Path;
+
+use coplot::Coplot;
+use wl_analysis::homogeneity::{test_homogeneity, HomogeneityConfig, HomogeneityVerdict};
+use wl_analysis::workload_matrix;
+use wl_logsynth::machines::MachineId;
+use wl_models::{
+    Downey, Feitelson96, Feitelson97, Jann, Lublin, SelfSimilarModel, WorkloadModel,
+};
+use wl_selfsim::HurstEstimator;
+use wl_stats::rng::seeded_rng;
+use wl_swf::workload::{AllocationFlexibility, MachineInfo, SchedulerFlexibility};
+use wl_swf::{parse_swf, write_swf, JobSeries, Variable, Workload, WorkloadStats};
+
+/// Default machine when an SWF file carries no metadata header.
+fn default_machine() -> MachineInfo {
+    MachineInfo::new(
+        128,
+        SchedulerFlexibility::Backfilling,
+        AllocationFlexibility::Unlimited,
+    )
+}
+
+/// Parsed CLI arguments: positional values plus `(name, value)` flags.
+type ParsedArgs = (Vec<String>, Vec<(String, String)>);
+
+/// Split positional arguments from `--flag value` options.
+fn split_args(args: &[String]) -> Result<ParsedArgs, String> {
+    let mut positional = Vec::new();
+    let mut flags = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        if let Some(name) = args[i].strip_prefix("--") {
+            let value = args
+                .get(i + 1)
+                .ok_or_else(|| format!("flag --{name} needs a value"))?;
+            flags.push((name.to_string(), value.clone()));
+            i += 2;
+        } else {
+            positional.push(args[i].clone());
+            i += 1;
+        }
+    }
+    Ok((positional, flags))
+}
+
+fn flag<'a>(flags: &'a [(String, String)], name: &str) -> Option<&'a str> {
+    flags
+        .iter()
+        .find(|(n, _)| n == name)
+        .map(|(_, v)| v.as_str())
+}
+
+fn load_workload(path: &str) -> Result<Workload, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let doc = parse_swf(&text).map_err(|e| format!("{path}: {e}"))?;
+    let name = Path::new(path)
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| path.to_string());
+    Ok(doc.into_workload(name, default_machine()))
+}
+
+fn load_all(paths: &[String]) -> Result<Vec<Workload>, String> {
+    if paths.is_empty() {
+        return Err("no input files given".into());
+    }
+    paths.iter().map(|p| load_workload(p)).collect()
+}
+
+/// `wl stats` — Table-1 characteristics per file.
+pub fn stats(args: &[String]) -> Result<(), String> {
+    let (paths, _) = split_args(args)?;
+    let workloads = load_all(&paths)?;
+    print!("{:<20}", "variable");
+    for w in &workloads {
+        print!("{:>14}", truncate(&w.name, 13));
+    }
+    println!();
+    let all: Vec<WorkloadStats> = workloads.iter().map(WorkloadStats::compute).collect();
+    for var in Variable::ALL {
+        print!("{:<20}", format!("{} ({})", var.code(), var.name()));
+        for s in &all {
+            match s.get(var) {
+                Some(v) => print!("{:>14}", format_value(v)),
+                None => print!("{:>14}", "N/A"),
+            }
+        }
+        println!();
+    }
+    println!();
+    for (w, s) in workloads.iter().zip(&all) {
+        let _ = s;
+        println!(
+            "{}: {} jobs over {:.1} days",
+            w.name,
+            w.len(),
+            w.duration() / 86_400.0
+        );
+    }
+    Ok(())
+}
+
+/// `wl coplot` — map several workloads together.
+pub fn coplot(args: &[String]) -> Result<(), String> {
+    let (paths, flags) = split_args(args)?;
+    let workloads = load_all(&paths)?;
+    if workloads.len() < 3 {
+        return Err("co-plot needs at least 3 workloads".into());
+    }
+    let vars_raw = flag(&flags, "vars").unwrap_or("Rm,Ri,Pm,Pi,Cm,Ci,Im,Ii");
+    let codes: Vec<&str> = vars_raw.split(',').map(|s| s.trim()).collect();
+    for c in &codes {
+        if Variable::from_code(c).is_none() {
+            return Err(format!("unknown variable code {c:?}"));
+        }
+    }
+    let seed: u64 = flag(&flags, "seed")
+        .map(|v| v.parse().map_err(|_| "--seed needs an integer"))
+        .transpose()?
+        .unwrap_or(1999);
+
+    let data = workload_matrix(&workloads, &codes);
+    let result = if let Some(min_corr) = flag(&flags, "min-corr") {
+        let threshold: f64 = min_corr
+            .parse()
+            .map_err(|_| "--min-corr needs a number".to_string())?;
+        let (r, removed) = Coplot::new()
+            .seed(seed)
+            .analyze_with_elimination(&data, threshold)
+            .map_err(|e| e.to_string())?;
+        if !removed.is_empty() {
+            println!("removed low-correlation variables: {removed:?}");
+        }
+        r
+    } else {
+        Coplot::new()
+            .seed(seed)
+            .analyze(&data)
+            .map_err(|e| e.to_string())?
+    };
+
+    println!("{}", coplot::render::render_text(&result, 72, 28));
+    if let Some(svg_path) = flag(&flags, "svg") {
+        std::fs::write(svg_path, coplot::render::render_svg(&result, "wl coplot"))
+            .map_err(|e| format!("cannot write {svg_path}: {e}"))?;
+        println!("SVG written to {svg_path}");
+    }
+    Ok(())
+}
+
+/// `wl hurst` — self-similarity estimates per file.
+pub fn hurst(args: &[String]) -> Result<(), String> {
+    let (paths, _) = split_args(args)?;
+    let workloads = load_all(&paths)?;
+    print!("{:<20}", "workload");
+    for series in JobSeries::ALL {
+        for est in HurstEstimator::ALL {
+            print!("{:>9}", format!("{}{}", est.label(), series.code()));
+        }
+    }
+    println!();
+    for w in &workloads {
+        print!("{:<20}", truncate(&w.name, 19));
+        for series in JobSeries::ALL {
+            let xs = series.extract(w);
+            for est in HurstEstimator::ALL {
+                match est.estimate(&xs) {
+                    Some(h) => print!("{h:>9.2}"),
+                    None => print!("{:>9}", "-"),
+                }
+            }
+        }
+        println!();
+    }
+    println!();
+    println!("H = 0.5: no long-range dependence; H -> 1: strongly self-similar.");
+    Ok(())
+}
+
+/// `wl homogeneity` — section 6's over-time stability test.
+pub fn homogeneity(args: &[String]) -> Result<(), String> {
+    let (paths, flags) = split_args(args)?;
+    if paths.len() != 1 {
+        return Err("homogeneity takes exactly one file".into());
+    }
+    let log = load_workload(&paths[0])?;
+    let periods: usize = flag(&flags, "periods")
+        .map(|v| v.parse().map_err(|_| "--periods needs an integer"))
+        .transpose()?
+        .unwrap_or(4);
+    let seed: u64 = flag(&flags, "seed")
+        .map(|v| v.parse().map_err(|_| "--seed needs an integer"))
+        .transpose()?
+        .unwrap_or(1999);
+
+    let config = HomogeneityConfig {
+        periods,
+        seed,
+        ..Default::default()
+    };
+    let codes = ["Rm", "Ri", "Pm", "Pi", "Cm", "Ci", "Im"];
+    let report =
+        test_homogeneity(&log, &[], &codes, &config).map_err(|e| e.to_string())?;
+    println!(
+        "log {}: {} jobs in {} periods",
+        log.name,
+        log.len(),
+        periods
+    );
+    for p in &report.periods {
+        println!(
+            "  {:<4} distance from full log {:.3}{}",
+            p.name,
+            p.distance_from_full,
+            if p.outlier { "  << unusual interval" } else { "" }
+        );
+    }
+    println!("threshold: {:.3}", report.threshold);
+    match report.verdict {
+        HomogeneityVerdict::Homogeneous => {
+            println!("verdict: homogeneous — past periods predict future ones here")
+        }
+        HomogeneityVerdict::Heterogeneous => println!(
+            "verdict: HETEROGENEOUS — the log contains unusual intervals; \
+             using it whole as a model would mislead"
+        ),
+    }
+    Ok(())
+}
+
+/// `wl generate` — synthesize a workload.
+pub fn generate(args: &[String]) -> Result<(), String> {
+    let (positional, flags) = split_args(args)?;
+    let Some(model_name) = positional.first() else {
+        return Err("generate needs a model name".into());
+    };
+    let jobs: usize = flag(&flags, "jobs")
+        .map(|v| v.parse().map_err(|_| "--jobs needs an integer"))
+        .transpose()?
+        .unwrap_or(10_000);
+    let seed: u64 = flag(&flags, "seed")
+        .map(|v| v.parse().map_err(|_| "--seed needs an integer"))
+        .transpose()?
+        .unwrap_or(42);
+
+    let mut rng = seeded_rng(seed);
+    let workload = match model_name.to_ascii_lowercase().as_str() {
+        "feitelson96" => Feitelson96::default().generate(jobs, &mut rng),
+        "feitelson97" => Feitelson97::default().generate(jobs, &mut rng),
+        "downey" => Downey::default().generate(jobs, &mut rng),
+        "jann" => Jann::default().generate(jobs, &mut rng),
+        "lublin" => Lublin::default().generate(jobs, &mut rng),
+        "selfsimilar" => SelfSimilarModel::default().generate(jobs, &mut rng),
+        "ctc" => MachineId::Ctc.generate(jobs, seed),
+        "kth" => MachineId::Kth.generate(jobs, seed),
+        "lanl" => MachineId::Lanl.generate(jobs, seed),
+        "llnl" => MachineId::Llnl.generate(jobs, seed),
+        "nasa" => MachineId::Nasa.generate(jobs, seed),
+        "sdsc" => MachineId::Sdsc.generate(jobs, seed),
+        other => return Err(format!("unknown model {other:?}")),
+    };
+
+    let text = write_swf(&workload);
+    match flag(&flags, "out") {
+        Some(path) => {
+            std::fs::write(path, text).map_err(|e| format!("cannot write {path}: {e}"))?;
+            eprintln!("{} jobs written to {path}", workload.len());
+        }
+        None => print!("{text}"),
+    }
+    Ok(())
+}
+
+fn truncate(s: &str, n: usize) -> String {
+    if s.len() <= n {
+        s.to_string()
+    } else {
+        format!("{}…", &s[..n.saturating_sub(1)])
+    }
+}
+
+fn format_value(v: f64) -> String {
+    if v == 0.0 {
+        "0".into()
+    } else if v.abs() >= 10_000.0 {
+        format!("{v:.0}")
+    } else if v.abs() >= 10.0 {
+        format!("{v:.1}")
+    } else if v.abs() >= 0.01 {
+        format!("{v:.3}")
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_args_separates_flags() {
+        let args: Vec<String> = ["a.swf", "--seed", "7", "b.swf", "--svg", "x.svg"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let (pos, flags) = split_args(&args).unwrap();
+        assert_eq!(pos, vec!["a.swf", "b.swf"]);
+        assert_eq!(flag(&flags, "seed"), Some("7"));
+        assert_eq!(flag(&flags, "svg"), Some("x.svg"));
+        assert_eq!(flag(&flags, "missing"), None);
+    }
+
+    #[test]
+    fn split_args_rejects_dangling_flag() {
+        let args: Vec<String> = ["--seed"].iter().map(|s| s.to_string()).collect();
+        assert!(split_args(&args).is_err());
+    }
+
+    #[test]
+    fn generate_and_reload_round_trip() {
+        let dir = std::env::temp_dir().join("wl_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("lublin.swf");
+        let args: Vec<String> = [
+            "lublin",
+            "--jobs",
+            "200",
+            "--seed",
+            "3",
+            "--out",
+            path.to_str().unwrap(),
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        generate(&args).unwrap();
+        let w = load_workload(path.to_str().unwrap()).unwrap();
+        assert_eq!(w.len(), 200);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn stats_errors_without_files() {
+        assert!(stats(&[]).is_err());
+    }
+
+    #[test]
+    fn unknown_model_rejected() {
+        let args: Vec<String> = ["nope".to_string()].to_vec();
+        assert!(generate(&args).is_err());
+    }
+
+    #[test]
+    fn value_formatting() {
+        assert_eq!(format_value(0.0), "0");
+        assert_eq!(format_value(0.0086), "0.0086");
+        assert_eq!(format_value(960.0), "960.0");
+        assert_eq!(format_value(57216.0), "57216");
+    }
+}

@@ -1,0 +1,67 @@
+//! `wl` — the workload analysis command-line tool.
+//!
+//! The paper closes by offering "the Co-Plot program and workload analysis
+//! program" to interested researchers; this binary is that tool for this
+//! workspace. It reads standard-workload-format files and runs the full
+//! analysis toolkit over them.
+//!
+//! ```text
+//! wl stats <file.swf>...                      Table-1 characteristics
+//! wl coplot <file.swf>... [--vars A,B,..]     Co-plot map across files
+//!           [--svg out.svg] [--seed N]
+//! wl hurst <file.swf>...                      Hurst estimates (3 estimators
+//!                                             x 4 series) per file
+//! wl homogeneity <file.swf> [--periods N]     section-6 stability test
+//! wl generate <model> [--jobs N] [--seed N]   synthesize a workload to
+//!           [--out file.swf]                  stdout or a file
+//! ```
+//!
+//! Models for `generate`: `feitelson96`, `feitelson97`, `downey`, `jann`,
+//! `lublin`, `selfsimilar`, and the six production stand-ins (`ctc`, `kth`,
+//! `lanl`, `llnl`, `nasa`, `sdsc`).
+
+use std::process::ExitCode;
+
+mod commands;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = args.split_first() else {
+        eprintln!("{}", usage());
+        return ExitCode::FAILURE;
+    };
+    let result = match command.as_str() {
+        "stats" => commands::stats(rest),
+        "coplot" => commands::coplot(rest),
+        "hurst" => commands::hurst(rest),
+        "homogeneity" => commands::homogeneity(rest),
+        "generate" => commands::generate(rest),
+        "help" | "--help" | "-h" => {
+            println!("{}", usage());
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}\n{}", usage())),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("wl: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage() -> &'static str {
+    "wl — parallel workload analysis (Co-plot / IPPS'99 toolkit)
+
+USAGE:
+  wl stats <file.swf>...
+  wl coplot <file.swf>... [--vars Rm,Ri,Pm,Pi,Im,Ii] [--svg out.svg] [--seed N] [--min-corr X]
+  wl hurst <file.swf>...
+  wl homogeneity <file.swf> [--periods N] [--seed N]
+  wl generate <model> [--jobs N] [--seed N] [--out file.swf]
+
+MODELS for generate:
+  feitelson96 feitelson97 downey jann lublin selfsimilar
+  ctc kth lanl llnl nasa sdsc   (production-log stand-ins)"
+}

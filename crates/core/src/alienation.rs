@@ -1,0 +1,128 @@
+//! Guttman's coefficient of alienation (Eqs. 3-4 of the paper).
+//!
+//! The MDS stage demands that map distances preserve the *order* of the
+//! dissimilarities: `S_ik < S_lm` iff `d_ik < d_lm`. Guttman's statistics
+//! quantify how well a configuration achieves this. Over all pairs of pairs:
+//!
+//! ```text
+//! mu = sum (S_ik - S_lm)(d_ik - d_lm)  /  sum |S_ik - S_lm| |d_ik - d_lm|
+//! theta = sqrt(1 - mu^2)
+//! ```
+//!
+//! `mu = 1` (theta = 0) means perfect weak monotonicity; the paper treats
+//! `theta < 0.15` as a good fit. Both statistics are computed exactly: with
+//! `P = n(n-1)/2` pairs the double sum has `P^2` terms, trivially cheap for
+//! the paper's `n <= 20`.
+
+/// The mu statistic of Eq. 3 for matched slices of dissimilarities `s` and
+/// map distances `d` (same pair order). Returns 1.0 for degenerate inputs
+/// (fewer than two pairs or all-equal values), matching the convention that
+/// nothing contradicts monotonicity there.
+///
+/// # Panics
+/// Panics on a length mismatch.
+pub fn mu_statistic(s: &[f64], d: &[f64]) -> f64 {
+    assert_eq!(s.len(), d.len(), "pair count mismatch");
+    let p = s.len();
+    if p < 2 {
+        return 1.0;
+    }
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for a in 0..p {
+        for b in (a + 1)..p {
+            let ds = s[a] - s[b];
+            let dd = d[a] - d[b];
+            num += ds * dd;
+            den += ds.abs() * dd.abs();
+        }
+    }
+    if den == 0.0 {
+        1.0
+    } else {
+        num / den
+    }
+}
+
+/// The coefficient of alienation `theta = sqrt(1 - mu^2)` of Eq. 4.
+///
+/// # Panics
+/// Panics on a length mismatch.
+pub fn coefficient_of_alienation(s: &[f64], d: &[f64]) -> f64 {
+    let mu = mu_statistic(s, d).clamp(-1.0, 1.0);
+    (1.0 - mu * mu).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_monotone_gives_zero_theta() {
+        let s = [1.0, 2.0, 3.0, 4.0];
+        let d = [10.0, 20.0, 30.0, 40.0];
+        assert!((mu_statistic(&s, &d) - 1.0).abs() < 1e-12);
+        assert!(coefficient_of_alienation(&s, &d) < 1e-7);
+    }
+
+    #[test]
+    fn monotone_nonlinear_still_perfect() {
+        // Weak monotonicity only needs order agreement, not linearity.
+        let s = [1.0, 2.0, 3.0, 4.0];
+        let d = [1.0, 8.0, 27.0, 64.0];
+        assert!((mu_statistic(&s, &d) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reversed_order_gives_minus_one() {
+        let s = [1.0, 2.0, 3.0];
+        let d = [3.0, 2.0, 1.0];
+        assert!((mu_statistic(&s, &d) + 1.0).abs() < 1e-12);
+        // theta = sqrt(1-1) = 0 for perfectly reversed too (|mu| = 1),
+        // which is why MDS maximizes mu, not theta alone.
+        assert!(coefficient_of_alienation(&s, &d) < 1e-7);
+    }
+
+    #[test]
+    fn one_inversion_penalized() {
+        let s = [1.0, 2.0, 3.0, 4.0];
+        let d = [10.0, 30.0, 20.0, 40.0]; // one swap
+        let mu = mu_statistic(&s, &d);
+        assert!(mu < 1.0 && mu > 0.0);
+        let theta = coefficient_of_alienation(&s, &d);
+        assert!(theta > 0.0 && theta < 1.0);
+    }
+
+    #[test]
+    fn ties_do_not_contradict() {
+        // Equal dissimilarities mapped to different distances contribute
+        // zero to both sums (weak monotonicity).
+        let s = [1.0, 1.0, 2.0];
+        let d = [5.0, 9.0, 12.0];
+        assert!((mu_statistic(&s, &d) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(mu_statistic(&[], &[]), 1.0);
+        assert_eq!(mu_statistic(&[1.0], &[2.0]), 1.0);
+        assert_eq!(mu_statistic(&[1.0, 1.0], &[2.0, 2.0]), 1.0);
+    }
+
+    #[test]
+    fn random_orders_give_middling_theta() {
+        // A scrambled assignment should score clearly worse than monotone.
+        let s: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let d: Vec<f64> = (0..20).map(|i| ((i * 7) % 20) as f64).collect();
+        let theta = coefficient_of_alienation(&s, &d);
+        assert!(theta > 0.5, "theta = {theta}");
+    }
+
+    #[test]
+    fn theta_bounded() {
+        let s = [1.0, 5.0, 2.0, 8.0, 3.0];
+        let d = [2.0, 1.0, 9.0, 4.0, 4.5];
+        let theta = coefficient_of_alienation(&s, &d);
+        assert!((0.0..=1.0).contains(&theta));
+    }
+}

@@ -1,0 +1,225 @@
+//! Stage 2: dissimilarities between observation rows.
+//!
+//! The paper uses the city-block (L1) distance between z-score rows
+//! (Eq. 2). Euclidean and general Minkowski metrics are provided for the
+//! ablation benches; the MDS stage is metric-agnostic because it only uses
+//! the *order* of the dissimilarities.
+
+use crate::data::NormalizedMatrix;
+use wl_linalg::vecops;
+
+/// Distance metric between normalized observation rows.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum Metric {
+    /// Sum of absolute coordinate differences (the paper's choice).
+    #[default]
+    CityBlock,
+    /// Euclidean (L2) distance.
+    Euclidean,
+    /// Minkowski distance of the given order (>= 1).
+    Minkowski(f64),
+}
+
+impl Metric {
+    /// Distance between two rows under this metric.
+    pub fn distance(&self, a: &[f64], b: &[f64]) -> f64 {
+        match self {
+            Metric::CityBlock => vecops::cityblock_distance(a, b),
+            Metric::Euclidean => vecops::euclidean_distance(a, b),
+            Metric::Minkowski(p) => vecops::minkowski_distance(a, b, *p),
+        }
+    }
+}
+
+/// Symmetric `n x n` dissimilarity matrix with zero diagonal.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DissimilarityMatrix {
+    n: usize,
+    /// Upper triangle, row-major: entry for (i, k) with i < k at
+    /// `index(i, k)`.
+    upper: Vec<f64>,
+}
+
+impl DissimilarityMatrix {
+    /// Compute all pairwise dissimilarities of a normalized matrix.
+    pub fn compute(z: &NormalizedMatrix, metric: Metric) -> DissimilarityMatrix {
+        let n = z.n_observations();
+        let mut upper = Vec::with_capacity(n * (n - 1) / 2);
+        for i in 0..n {
+            for k in (i + 1)..n {
+                upper.push(metric.distance(z.row(i), z.row(k)));
+            }
+        }
+        DissimilarityMatrix { n, upper }
+    }
+
+    /// Build directly from a full symmetric matrix (used by tests and by
+    /// analyses that bring their own dissimilarities).
+    ///
+    /// # Panics
+    /// Panics if the matrix is ragged, asymmetric, or has a nonzero
+    /// diagonal.
+    pub fn from_full(matrix: &[Vec<f64>]) -> DissimilarityMatrix {
+        let n = matrix.len();
+        let mut upper = Vec::with_capacity(n * (n - 1) / 2);
+        for (i, row) in matrix.iter().enumerate() {
+            assert_eq!(row.len(), n, "row {i} has wrong length");
+            assert!(row[i].abs() < 1e-12, "diagonal must be zero");
+            for (k, &value) in row.iter().enumerate().skip(i + 1) {
+                assert!(
+                    (value - matrix[k][i]).abs() < 1e-9,
+                    "matrix must be symmetric"
+                );
+                upper.push(value);
+            }
+        }
+        DissimilarityMatrix { n, upper }
+    }
+
+    /// Number of observations.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of distinct pairs `n (n-1) / 2`.
+    pub fn n_pairs(&self) -> usize {
+        self.upper.len()
+    }
+
+    /// Dissimilarity between observations `i` and `k` (0 when `i == k`).
+    pub fn get(&self, i: usize, k: usize) -> f64 {
+        assert!(i < self.n && k < self.n, "index out of range");
+        if i == k {
+            return 0.0;
+        }
+        let (lo, hi) = if i < k { (i, k) } else { (k, i) };
+        self.upper[Self::index(self.n, lo, hi)]
+    }
+
+    /// The flattened upper triangle in (0,1), (0,2), ..., (n-2, n-1) order.
+    pub fn pairs(&self) -> &[f64] {
+        &self.upper
+    }
+
+    /// Flat index of pair `(i, k)` with `i < k`.
+    fn index(n: usize, i: usize, k: usize) -> usize {
+        debug_assert!(i < k);
+        // Pairs before row i: i rows of lengths (n-1), (n-2), ...
+        i * n - i * (i + 1) / 2 + (k - i - 1)
+    }
+
+    /// Iterator of `((i, k), dissimilarity)` over the upper triangle.
+    pub fn iter_pairs(&self) -> impl Iterator<Item = ((usize, usize), f64)> + '_ {
+        let n = self.n;
+        (0..n)
+            .flat_map(move |i| ((i + 1)..n).map(move |k| (i, k)))
+            .zip(self.upper.iter().copied())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::{DataMatrix, Imputation};
+
+    fn normalized_identity_like() -> NormalizedMatrix {
+        // Three well-separated observations in 2 variables.
+        DataMatrix::from_rows(
+            vec!["a".into(), "b".into(), "c".into()],
+            vec!["x".into(), "y".into()],
+            &[&[0.0, 0.0], &[1.0, 0.0], &[0.0, 2.0]],
+        )
+        .normalize(Imputation::Forbid)
+        .unwrap()
+    }
+
+    #[test]
+    fn cityblock_matches_hand_computation() {
+        let z = normalized_identity_like();
+        let d = DissimilarityMatrix::compute(&z, Metric::CityBlock);
+        // Direct recomputation.
+        for i in 0..3 {
+            for k in 0..3 {
+                let expect: f64 = z
+                    .row(i)
+                    .iter()
+                    .zip(z.row(k))
+                    .map(|(a, b)| (a - b).abs())
+                    .sum();
+                assert!((d.get(i, k) - expect).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn symmetric_zero_diagonal() {
+        let z = normalized_identity_like();
+        let d = DissimilarityMatrix::compute(&z, Metric::Euclidean);
+        for i in 0..3 {
+            assert_eq!(d.get(i, i), 0.0);
+            for k in 0..3 {
+                assert_eq!(d.get(i, k), d.get(k, i));
+            }
+        }
+    }
+
+    #[test]
+    fn pair_count_and_indexing() {
+        let z = DataMatrix::from_rows(
+            (0..5).map(|i| format!("o{i}")).collect(),
+            vec!["v".into()],
+            &[&[1.0], &[2.0], &[3.0], &[4.0], &[5.0]],
+        )
+        .normalize(Imputation::Forbid)
+        .unwrap();
+        let d = DissimilarityMatrix::compute(&z, Metric::CityBlock);
+        assert_eq!(d.n_pairs(), 10);
+        // iter_pairs covers each unordered pair once, in order.
+        let pairs: Vec<(usize, usize)> = d.iter_pairs().map(|(ik, _)| ik).collect();
+        assert_eq!(pairs[0], (0, 1));
+        assert_eq!(pairs[9], (3, 4));
+        assert_eq!(pairs.len(), 10);
+        // get() agrees with iteration order values.
+        for ((i, k), v) in d.iter_pairs() {
+            assert_eq!(d.get(i, k), v);
+        }
+    }
+
+    #[test]
+    fn metric_choices_differ() {
+        let z = normalized_identity_like();
+        let l1 = DissimilarityMatrix::compute(&z, Metric::CityBlock);
+        let l2 = DissimilarityMatrix::compute(&z, Metric::Euclidean);
+        let l3 = DissimilarityMatrix::compute(&z, Metric::Minkowski(3.0));
+        // L1 >= L2 >= L3 pointwise.
+        for ((i, k), v1) in l1.iter_pairs() {
+            let v2 = l2.get(i, k);
+            let v3 = l3.get(i, k);
+            assert!(v1 >= v2 - 1e-12);
+            assert!(v2 >= v3 - 1e-12);
+        }
+    }
+
+    #[test]
+    fn from_full_round_trip() {
+        let m = vec![
+            vec![0.0, 1.0, 2.0],
+            vec![1.0, 0.0, 3.0],
+            vec![2.0, 3.0, 0.0],
+        ];
+        let d = DissimilarityMatrix::from_full(&m);
+        assert_eq!(d.get(0, 1), 1.0);
+        assert_eq!(d.get(2, 0), 2.0);
+        assert_eq!(d.get(1, 2), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "symmetric")]
+    fn asymmetric_rejected() {
+        let m = vec![
+            vec![0.0, 1.0],
+            vec![2.0, 0.0],
+        ];
+        DissimilarityMatrix::from_full(&m);
+    }
+}

@@ -1,0 +1,485 @@
+//! Stage 3: nonmetric multidimensional scaling.
+//!
+//! The paper uses Guttman's Smallest Space Analysis (SSA) in two dimensions.
+//! The modern formulation implemented here produces the same kind of
+//! solution — a configuration whose inter-point distances preserve the
+//! *order* of the input dissimilarities, scored by Guttman's coefficient of
+//! alienation — in any embedding dimension (`MdsConfig::dims`, default 2;
+//! the Co-plot pipeline always uses 2 because the arrows live in a plane).
+//!
+//! The optimizer combines three standard ingredients:
+//!
+//! * **Classical (Torgerson) scaling** of the squared dissimilarities as the
+//!   initial configuration — double-center, eigendecompose, take the top
+//!   eigenpairs;
+//! * **Monotone regression** (Kruskal's primary approach to ties) of the
+//!   current map distances against the dissimilarity order, producing
+//!   *disparities* — the best order-preserving targets for the distances;
+//! * **Majorization** (the Guttman transform / SMACOF update) to move the
+//!   configuration toward the disparities, which monotonically decreases
+//!   raw stress.
+//!
+//! Several random restarts guard against local minima; the returned solution
+//! is the one with the smallest coefficient of alienation. Output
+//! configurations are centered on the origin with unit RMS radius (MDS
+//! solutions are only defined up to similarity transforms anyway).
+
+use crate::alienation::coefficient_of_alienation;
+use crate::dissimilarity::DissimilarityMatrix;
+use wl_linalg::{double_center, jacobi_eigen, Matrix};
+use wl_stats::isotonic::isotonic_regression;
+use wl_stats::rng::seeded_rng;
+use rand::Rng;
+
+/// Tuning knobs for the MDS optimizer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MdsConfig {
+    /// Majorization iterations per start.
+    pub max_iterations: usize,
+    /// Stop when the relative stress improvement falls below this.
+    pub tolerance: f64,
+    /// Random restarts in addition to the classical-scaling start.
+    pub restarts: usize,
+    /// RNG seed for the restarts.
+    pub seed: u64,
+    /// Embedding dimension (the paper uses 2; higher dimensions resolve
+    /// structure two cannot hold — see its section 9 remark that "two
+    /// dimensions are just not enough" for too many weakly related
+    /// variables).
+    pub dims: usize,
+}
+
+impl Default for MdsConfig {
+    fn default() -> Self {
+        MdsConfig {
+            max_iterations: 300,
+            tolerance: 1e-9,
+            restarts: 8,
+            seed: 0x5EED,
+            dims: 2,
+        }
+    }
+}
+
+/// A converged configuration.
+#[derive(Debug, Clone)]
+pub struct MdsSolution {
+    /// `n x dims` coordinates, centered with unit RMS radius.
+    pub coords: Matrix,
+    /// Guttman's coefficient of alienation against the input
+    /// dissimilarities (lower is better; < 0.15 is "good").
+    pub alienation: f64,
+    /// Kruskal stress-1 at convergence (diagnostic only).
+    pub stress: f64,
+    /// Total majorization iterations spent across all starts.
+    pub iterations: usize,
+}
+
+/// Run nonmetric MDS on a dissimilarity matrix.
+///
+/// # Panics
+/// Panics for fewer than 3 observations.
+pub fn nonmetric_mds(diss: &DissimilarityMatrix, config: &MdsConfig) -> MdsSolution {
+    let n = diss.n();
+    assert!(n >= 3, "MDS needs at least 3 observations, got {n}");
+    let dims = config.dims;
+    assert!((1..n).contains(&dims), "dims {dims} out of 1..{n}");
+    let deltas = diss.pairs().to_vec();
+
+    // Pair index table: pair p connects observations pair_idx[p] = (i, k).
+    let pair_idx: Vec<(usize, usize)> = (0..n)
+        .flat_map(|i| ((i + 1)..n).map(move |k| (i, k)))
+        .collect();
+
+    let mut rng = seeded_rng(config.seed);
+    let mut best: Option<MdsSolution> = None;
+    let mut total_iters = 0;
+
+    for start in 0..=config.restarts {
+        let mut coords = if start == 0 {
+            classical_init(diss, dims)
+        } else {
+            let mut m = Matrix::zeros(n, dims);
+            for i in 0..n {
+                for c in 0..dims {
+                    m[(i, c)] = rng.gen_range(-1.0..1.0);
+                }
+            }
+            m
+        };
+
+        let (stress, iters) = refine(&mut coords, &deltas, &pair_idx, n, config);
+        total_iters += iters;
+
+        let dists = pair_distances(&coords, &pair_idx);
+        // A collapsed configuration (all points coincident) has all-equal
+        // distances, which scores a vacuous theta of zero; never prefer it
+        // over a spread-out solution.
+        let spread = dists.iter().cloned().fold(0.0, f64::max);
+        let max_delta = deltas.iter().cloned().fold(0.0, f64::max);
+        let collapsed = spread <= 1e-9 && max_delta > 0.0;
+        let theta = coefficient_of_alienation(&deltas, &dists);
+        let candidate = MdsSolution {
+            coords,
+            alienation: if collapsed { f64::INFINITY } else { theta },
+            stress,
+            iterations: 0,
+        };
+        let better = match &best {
+            None => true,
+            Some(b) => candidate.alienation < b.alienation,
+        };
+        if better {
+            best = Some(candidate);
+        }
+    }
+
+    let mut solution = best.expect("at least one start runs");
+    normalize_config(&mut solution.coords);
+    solution.iterations = total_iters;
+    solution
+}
+
+/// Classical (Torgerson) scaling of the dissimilarities into `dims`
+/// dimensions.
+fn classical_init(diss: &DissimilarityMatrix, dims: usize) -> Matrix {
+    let n = diss.n();
+    let mut d2 = Matrix::zeros(n, n);
+    for i in 0..n {
+        for k in 0..n {
+            let d = diss.get(i, k);
+            d2[(i, k)] = d * d;
+        }
+    }
+    let b = double_center(&d2);
+    let eig = jacobi_eigen(&b, 1e-12, 100);
+    let mut coords = Matrix::zeros(n, dims);
+    for j in 0..dims.min(eig.values.len()) {
+        let scale = eig.values[j].max(0.0).sqrt();
+        for i in 0..n {
+            coords[(i, j)] = eig.vectors[(i, j)] * scale;
+        }
+    }
+    coords
+}
+
+/// Alternate monotone regression and Guttman-transform updates until the
+/// stress stops improving. Returns (final stress-1, iterations used).
+fn refine(
+    coords: &mut Matrix,
+    deltas: &[f64],
+    pair_idx: &[(usize, usize)],
+    n: usize,
+    config: &MdsConfig,
+) -> (f64, usize) {
+    let dims = coords.cols();
+    let p = deltas.len();
+    let mut last_stress = f64::INFINITY;
+    let mut iters = 0;
+
+    for it in 0..config.max_iterations {
+        iters = it + 1;
+        let dists = pair_distances(coords, pair_idx);
+
+        // Kruskal's primary approach: order pairs by (delta, distance) so
+        // tied dissimilarities don't constrain each other.
+        let mut order: Vec<usize> = (0..p).collect();
+        order.sort_by(|&a, &b| {
+            deltas[a]
+                .partial_cmp(&deltas[b])
+                .unwrap()
+                .then(dists[a].partial_cmp(&dists[b]).unwrap())
+        });
+        let sorted_d: Vec<f64> = order.iter().map(|&i| dists[i]).collect();
+        let fitted = isotonic_regression(&sorted_d, None);
+        let mut disparities = vec![0.0; p];
+        for (pos, &i) in order.iter().enumerate() {
+            disparities[i] = fitted[pos];
+        }
+
+        // Stress-1 for convergence monitoring.
+        let num: f64 = dists
+            .iter()
+            .zip(&disparities)
+            .map(|(d, dh)| (d - dh) * (d - dh))
+            .sum();
+        let den: f64 = dists.iter().map(|d| d * d).sum();
+        let stress = if den > 0.0 { (num / den).sqrt() } else { 0.0 };
+
+        if last_stress.is_finite() && (last_stress - stress).abs() <= config.tolerance {
+            last_stress = stress;
+            break;
+        }
+        last_stress = stress;
+
+        // Guttman transform: X <- (1/n) B(X) X where B has off-diagonal
+        // entries b_ik = -dhat_ik / d_ik and diagonal b_ii = sum_k dhat/d.
+        // Accumulate sum_k ratio_ik (into `row_ratio_sum`) and
+        // sum_k ratio_ik * x_k (into `cross`), then apply per row.
+        let mut row_ratio_sum = vec![0.0; n];
+        let mut cross = Matrix::zeros(n, dims);
+        for (pidx, &(i, k)) in pair_idx.iter().enumerate() {
+            let d = dists[pidx];
+            let ratio = if d > 1e-12 { disparities[pidx] / d } else { 0.0 };
+            row_ratio_sum[i] += ratio;
+            row_ratio_sum[k] += ratio;
+            for c in 0..dims {
+                cross[(i, c)] += ratio * coords[(k, c)];
+                cross[(k, c)] += ratio * coords[(i, c)];
+            }
+        }
+        let mut updated = Matrix::zeros(n, dims);
+        for i in 0..n {
+            for c in 0..dims {
+                updated[(i, c)] =
+                    (row_ratio_sum[i] * coords[(i, c)] - cross[(i, c)]) / n as f64;
+            }
+        }
+        *coords = updated;
+    }
+    (last_stress, iters)
+}
+
+/// Euclidean distances for every pair in `pair_idx` order.
+fn pair_distances(coords: &Matrix, pair_idx: &[(usize, usize)]) -> Vec<f64> {
+    let dims = coords.cols();
+    pair_idx
+        .iter()
+        .map(|&(i, k)| {
+            let mut s = 0.0;
+            for c in 0..dims {
+                let d = coords[(i, c)] - coords[(k, c)];
+                s += d * d;
+            }
+            s.sqrt()
+        })
+        .collect()
+}
+
+/// Center at the origin and scale to unit RMS radius.
+fn normalize_config(coords: &mut Matrix) {
+    let n = coords.rows();
+    let dims = coords.cols();
+    if n == 0 {
+        return;
+    }
+    for c in 0..dims {
+        let mean: f64 = (0..n).map(|i| coords[(i, c)]).sum::<f64>() / n as f64;
+        for i in 0..n {
+            coords[(i, c)] -= mean;
+        }
+    }
+    let mut r2 = 0.0;
+    for i in 0..n {
+        for c in 0..dims {
+            r2 += coords[(i, c)].powi(2);
+        }
+    }
+    let rms = (r2 / n as f64).sqrt();
+    if rms > 0.0 {
+        for i in 0..n {
+            for c in 0..dims {
+                coords[(i, c)] /= rms;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wl_linalg::procrustes_align;
+
+    /// Dissimilarity matrix of a planted 2-D configuration (Euclidean).
+    fn planted(points: &[(f64, f64)]) -> DissimilarityMatrix {
+        let n = points.len();
+        let mut full = vec![vec![0.0; n]; n];
+        for i in 0..n {
+            for k in 0..n {
+                let dx = points[i].0 - points[k].0;
+                let dy = points[i].1 - points[k].1;
+                full[i][k] = (dx * dx + dy * dy).sqrt();
+            }
+        }
+        DissimilarityMatrix::from_full(&full)
+    }
+
+    #[test]
+    fn recovers_planted_configuration() {
+        let pts = [
+            (0.0, 0.0),
+            (1.0, 0.0),
+            (2.0, 0.3),
+            (0.5, 1.5),
+            (1.7, 1.2),
+            (0.1, 2.4),
+        ];
+        let diss = planted(&pts);
+        let sol = nonmetric_mds(&diss, &MdsConfig::default());
+        assert!(
+            sol.alienation < 0.02,
+            "planted config should embed nearly perfectly, theta = {}",
+            sol.alienation
+        );
+        // Procrustes-align to the truth: residual should be tiny.
+        let truth = Matrix::from_rows(
+            &pts.iter().map(|&(x, y)| vec![x, y]).collect::<Vec<_>>(),
+        );
+        let fit = procrustes_align(&truth, &sol.coords);
+        // Truth coordinates are O(1), so rmsd below 0.15 means shapes match.
+        assert!(fit.rmsd < 0.15, "rmsd = {}", fit.rmsd);
+    }
+
+    #[test]
+    fn output_is_normalized() {
+        let pts = [(0.0, 0.0), (5.0, 0.0), (0.0, 7.0), (4.0, 4.0)];
+        let sol = nonmetric_mds(&planted(&pts), &MdsConfig::default());
+        let n = sol.coords.rows();
+        let (mut cx, mut cy, mut r2) = (0.0, 0.0, 0.0);
+        for i in 0..n {
+            cx += sol.coords[(i, 0)];
+            cy += sol.coords[(i, 1)];
+            r2 += sol.coords[(i, 0)].powi(2) + sol.coords[(i, 1)].powi(2);
+        }
+        assert!(cx.abs() < 1e-9 && cy.abs() < 1e-9, "centered");
+        assert!((r2 / n as f64 - 1.0).abs() < 1e-9, "unit RMS radius");
+    }
+
+    #[test]
+    fn monotone_transform_of_distances_still_perfect() {
+        // Nonmetric MDS should be invariant to monotone distortion of the
+        // dissimilarities.
+        let pts = [(0.0, 0.0), (1.0, 0.0), (0.0, 1.0), (1.2, 1.1), (2.0, 0.5)];
+        let n = pts.len();
+        let base = planted(&pts);
+        let mut warped = vec![vec![0.0; n]; n];
+        for i in 0..n {
+            for k in 0..n {
+                let d = base.get(i, k);
+                warped[i][k] = d * d * d + d; // strictly monotone
+            }
+        }
+        let sol = nonmetric_mds(
+            &DissimilarityMatrix::from_full(&warped),
+            &MdsConfig::default(),
+        );
+        assert!(sol.alienation < 0.05, "theta = {}", sol.alienation);
+    }
+
+    #[test]
+    fn equilateral_triangle() {
+        let full = vec![
+            vec![0.0, 1.0, 1.0],
+            vec![1.0, 0.0, 1.0],
+            vec![1.0, 1.0, 0.0],
+        ];
+        let sol = nonmetric_mds(
+            &DissimilarityMatrix::from_full(&full),
+            &MdsConfig::default(),
+        );
+        // All pairwise map distances equal.
+        let d01 = dist(&sol.coords, 0, 1);
+        let d02 = dist(&sol.coords, 0, 2);
+        let d12 = dist(&sol.coords, 1, 2);
+        assert!((d01 - d02).abs() < 1e-6 && (d02 - d12).abs() < 1e-6);
+        assert!(sol.alienation < 1e-6);
+    }
+
+    #[test]
+    fn four_dim_structure_cannot_fully_embed() {
+        // Simplex of 5 equidistant points needs 4 dimensions; in 2-D some
+        // alienation remains... but weak monotonicity tolerates ties, so
+        // theta stays small. Check it at least runs and stays bounded.
+        let n = 5;
+        let mut full = vec![vec![1.0; n]; n];
+        for (i, row) in full.iter_mut().enumerate() {
+            row[i] = 0.0;
+        }
+        let sol = nonmetric_mds(
+            &DissimilarityMatrix::from_full(&full),
+            &MdsConfig::default(),
+        );
+        assert!((0.0..=1.0).contains(&sol.alienation));
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let pts = [(0.0, 0.0), (1.0, 0.2), (0.3, 1.0), (1.5, 1.5)];
+        let diss = planted(&pts);
+        let a = nonmetric_mds(&diss, &MdsConfig::default());
+        let b = nonmetric_mds(&diss, &MdsConfig::default());
+        assert_eq!(a.coords.as_slice(), b.coords.as_slice());
+        assert_eq!(a.alienation, b.alienation);
+    }
+
+    #[test]
+    fn one_dimensional_embedding_of_a_line() {
+        // Collinear data embeds perfectly in 1-D.
+        let pts = [(0.0, 0.0), (1.0, 0.0), (2.0, 0.0), (3.5, 0.0), (5.0, 0.0)];
+        let diss = planted(&pts);
+        let sol = nonmetric_mds(
+            &diss,
+            &MdsConfig {
+                dims: 1,
+                ..Default::default()
+            },
+        );
+        assert_eq!(sol.coords.cols(), 1);
+        assert!(sol.alienation < 1e-6, "theta = {}", sol.alienation);
+    }
+
+    #[test]
+    fn extra_dimensions_never_hurt() {
+        // A 4-point simplex (all pairwise distances equal) needs 3
+        // dimensions; the 3-D fit must be at least as good as the 2-D one.
+        let n = 4;
+        let mut full = vec![vec![1.0; n]; n];
+        for (i, row) in full.iter_mut().enumerate() {
+            row[i] = 0.0;
+        }
+        // Break the ties slightly so 2-D genuinely struggles.
+        full[0][1] = 1.05;
+        full[1][0] = 1.05;
+        full[2][3] = 0.95;
+        full[3][2] = 0.95;
+        let diss = DissimilarityMatrix::from_full(&full);
+        let d2 = nonmetric_mds(&diss, &MdsConfig { dims: 2, ..Default::default() });
+        let d3 = nonmetric_mds(&diss, &MdsConfig { dims: 3, ..Default::default() });
+        assert_eq!(d3.coords.cols(), 3);
+        assert!(d3.alienation <= d2.alienation + 1e-9);
+        assert!(d3.alienation < 1e-6, "3-D fit should be exact: {}", d3.alienation);
+    }
+
+    #[test]
+    #[should_panic(expected = "dims")]
+    fn dims_must_be_below_n() {
+        let full = vec![
+            vec![0.0, 1.0, 1.0],
+            vec![1.0, 0.0, 1.0],
+            vec![1.0, 1.0, 0.0],
+        ];
+        nonmetric_mds(
+            &DissimilarityMatrix::from_full(&full),
+            &MdsConfig {
+                dims: 3,
+                ..Default::default()
+            },
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3 observations")]
+    fn too_small_panics() {
+        let full = vec![vec![0.0, 1.0], vec![1.0, 0.0]];
+        nonmetric_mds(
+            &DissimilarityMatrix::from_full(&full),
+            &MdsConfig::default(),
+        );
+    }
+
+    fn dist(m: &Matrix, i: usize, k: usize) -> f64 {
+        let dx = m[(i, 0)] - m[(k, 0)];
+        let dy = m[(i, 1)] - m[(k, 1)];
+        (dx * dx + dy * dy).sqrt()
+    }
+}

@@ -1,0 +1,406 @@
+//! The full four-stage Co-plot pipeline behind a builder API.
+
+use crate::arrows::{fit_arrow, Arrow};
+use crate::data::{DataMatrix, Imputation};
+use crate::dissimilarity::{DissimilarityMatrix, Metric};
+use crate::mds::{nonmetric_mds, MdsConfig};
+use wl_linalg::Matrix;
+
+/// Why an analysis could not run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoplotError {
+    /// Stage-1 normalization failed (missing data under `Forbid`, constant
+    /// variable, too few observations...).
+    Normalization(String),
+    /// A variable's arrow could not be fitted.
+    DegenerateVariable(String),
+    /// Variable elimination removed everything below the threshold.
+    NothingLeft,
+}
+
+impl std::fmt::Display for CoplotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CoplotError::Normalization(msg) => write!(f, "normalization failed: {msg}"),
+            CoplotError::DegenerateVariable(name) => {
+                write!(f, "variable {name:?} has a degenerate arrow fit")
+            }
+            CoplotError::NothingLeft => write!(f, "no variables survive the correlation threshold"),
+        }
+    }
+}
+
+impl std::error::Error for CoplotError {}
+
+/// Builder for a Co-plot analysis.
+#[derive(Debug, Clone)]
+pub struct Coplot {
+    metric: Metric,
+    imputation: Imputation,
+    mds: MdsConfig,
+}
+
+impl Default for Coplot {
+    fn default() -> Self {
+        Coplot {
+            metric: Metric::CityBlock,
+            // Table 1 has N/A cells; mapping them to "average" (z = 0) is
+            // the least-commitment default for exploratory runs. Callers
+            // reproducing the paper's exact imputations pre-fill the matrix
+            // and may switch to `Forbid`.
+            imputation: Imputation::ColumnMean,
+            mds: MdsConfig::default(),
+        }
+    }
+}
+
+impl Coplot {
+    /// A pipeline with the paper's defaults: city-block dissimilarity,
+    /// column-mean imputation, classical init + 8 random MDS restarts.
+    pub fn new() -> Self {
+        Coplot::default()
+    }
+
+    /// Choose the stage-2 metric.
+    pub fn metric(mut self, metric: Metric) -> Self {
+        self.metric = metric;
+        self
+    }
+
+    /// Choose the missing-cell policy.
+    pub fn imputation(mut self, imputation: Imputation) -> Self {
+        self.imputation = imputation;
+        self
+    }
+
+    /// Seed the MDS restarts.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.mds.seed = seed;
+        self
+    }
+
+    /// Number of random restarts (beyond the classical-scaling start).
+    pub fn restarts(mut self, restarts: usize) -> Self {
+        self.mds.restarts = restarts;
+        self
+    }
+
+    /// Majorization iteration cap per start.
+    pub fn max_iterations(mut self, iters: usize) -> Self {
+        self.mds.max_iterations = iters;
+        self
+    }
+
+    /// Run all four stages on a data matrix.
+    pub fn analyze(&self, data: &DataMatrix) -> Result<CoplotResult, CoplotError> {
+        let z = data
+            .normalize(self.imputation)
+            .map_err(CoplotError::Normalization)?;
+        let diss = DissimilarityMatrix::compute(&z, self.metric);
+        let sol = nonmetric_mds(&diss, &self.mds);
+
+        let mut arrows = Vec::with_capacity(z.n_variables());
+        for v in 0..z.n_variables() {
+            let col = z.column(v);
+            let arrow = fit_arrow(&z.variables()[v], &sol.coords, &col)
+                .ok_or_else(|| CoplotError::DegenerateVariable(z.variables()[v].clone()))?;
+            arrows.push(arrow);
+        }
+
+        Ok(CoplotResult {
+            observations: z.observations().to_vec(),
+            coords: sol.coords,
+            arrows,
+            alienation: sol.alienation,
+            stress: sol.stress,
+            dissimilarities: diss,
+        })
+    }
+
+    /// The paper's variable-elimination workflow: run the analysis, drop the
+    /// worst variable while any arrow correlation is below
+    /// `min_correlation`, re-run, repeat. Returns the final result plus the
+    /// names of removed variables, in removal order.
+    ///
+    /// At least two variables are always kept; if even those fall below the
+    /// threshold the last result is returned anyway (matching how the paper
+    /// reports maps with a few weaker variables noted).
+    pub fn analyze_with_elimination(
+        &self,
+        data: &DataMatrix,
+        min_correlation: f64,
+    ) -> Result<(CoplotResult, Vec<String>), CoplotError> {
+        let mut current = data.clone();
+        let mut removed = Vec::new();
+        loop {
+            let result = self.analyze(&current)?;
+            if current.n_variables() <= 2 {
+                return Ok((result, removed));
+            }
+            // Find the worst-fitting variable.
+            let worst = result
+                .arrows
+                .iter()
+                .enumerate()
+                .min_by(|(_, a), (_, b)| {
+                    a.correlation
+                        .abs()
+                        .partial_cmp(&b.correlation.abs())
+                        .unwrap()
+                })
+                .map(|(i, a)| (i, a.correlation.abs(), a.name.clone()))
+                .expect("at least one arrow");
+            if worst.1 >= min_correlation {
+                return Ok((result, removed));
+            }
+            let keep: Vec<usize> = (0..current.n_variables()).filter(|&v| v != worst.0).collect();
+            current = current.select_variables(&keep);
+            removed.push(worst.2);
+        }
+    }
+}
+
+/// The output of a Co-plot analysis: the map, the arrows, and the two
+/// goodness-of-fit layers.
+#[derive(Debug, Clone)]
+pub struct CoplotResult {
+    /// Observation names, matching `coords` rows.
+    pub observations: Vec<String>,
+    /// `n x 2` map coordinates (centered, unit RMS radius).
+    pub coords: Matrix,
+    /// One fitted arrow per surviving variable.
+    pub arrows: Vec<Arrow>,
+    /// Stage-3 goodness of fit: Guttman's coefficient of alienation.
+    pub alienation: f64,
+    /// Kruskal stress-1 (diagnostic).
+    pub stress: f64,
+    /// The stage-2 dissimilarities (kept for diagnostics/rendering).
+    pub dissimilarities: DissimilarityMatrix,
+}
+
+impl CoplotResult {
+    /// Position of an observation by name.
+    pub fn position(&self, name: &str) -> Option<(f64, f64)> {
+        let i = self.observations.iter().position(|o| o == name)?;
+        Some((self.coords[(i, 0)], self.coords[(i, 1)]))
+    }
+
+    /// Arrow for a variable by name.
+    pub fn arrow(&self, name: &str) -> Option<&Arrow> {
+        self.arrows.iter().find(|a| a.name == name)
+    }
+
+    /// Mean of the absolute arrow correlations (the paper's stage-4 summary
+    /// statistic: "average of variable correlations").
+    pub fn mean_arrow_correlation(&self) -> f64 {
+        if self.arrows.is_empty() {
+            return f64::NAN;
+        }
+        self.arrows.iter().map(|a| a.correlation.abs()).sum::<f64>() / self.arrows.len() as f64
+    }
+
+    /// Smallest absolute arrow correlation.
+    pub fn min_arrow_correlation(&self) -> f64 {
+        self.arrows
+            .iter()
+            .map(|a| a.correlation.abs())
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Map distance between two observations by name.
+    pub fn map_distance(&self, a: &str, b: &str) -> Option<f64> {
+        let (ax, ay) = self.position(a)?;
+        let (bx, by) = self.position(b)?;
+        Some(((ax - bx).powi(2) + (ay - by).powi(2)).sqrt())
+    }
+
+    /// Projection of an observation onto a variable's arrow — proportional
+    /// to how far above/below average the observation is in that variable
+    /// (positive = in the arrow's direction = above average).
+    pub fn projection(&self, observation: &str, variable: &str) -> Option<f64> {
+        let (x, y) = self.position(observation)?;
+        let a = self.arrow(variable)?;
+        Some(x * a.direction[0] + y * a.direction[1])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A small synthetic data set with clear structure: two clusters of
+    /// observations and three variable groups (x-like, y-like, anti-x).
+    fn structured_data() -> DataMatrix {
+        DataMatrix::from_rows(
+            vec![
+                "lo1".into(),
+                "lo2".into(),
+                "lo3".into(),
+                "hi1".into(),
+                "hi2".into(),
+                "hi3".into(),
+            ],
+            vec!["a".into(), "a2".into(), "anti".into(), "b".into()],
+            &[
+                &[1.0, 1.1, 9.0, 5.0],
+                &[1.2, 1.0, 8.8, 3.0],
+                &[0.9, 1.2, 9.1, 4.0],
+                &[5.0, 5.2, 1.0, 4.2],
+                &[5.3, 4.9, 1.2, 2.8],
+                &[4.8, 5.1, 0.8, 5.1],
+            ],
+        )
+    }
+
+    #[test]
+    fn analyze_produces_good_fit_on_structured_data() {
+        let r = Coplot::new().seed(1).analyze(&structured_data()).unwrap();
+        assert!(r.alienation < 0.15, "theta = {}", r.alienation);
+        assert_eq!(r.observations.len(), 6);
+        assert_eq!(r.arrows.len(), 4);
+    }
+
+    #[test]
+    fn correlated_variables_get_parallel_arrows() {
+        let r = Coplot::new().seed(2).analyze(&structured_data()).unwrap();
+        let a = r.arrow("a").unwrap();
+        let a2 = r.arrow("a2").unwrap();
+        let anti = r.arrow("anti").unwrap();
+        assert!(a.cos_angle_with(a2) > 0.95, "cos = {}", a.cos_angle_with(a2));
+        assert!(
+            a.cos_angle_with(anti) < -0.95,
+            "cos = {}",
+            a.cos_angle_with(anti)
+        );
+    }
+
+    #[test]
+    fn clusters_are_separated_in_the_map() {
+        let r = Coplot::new().seed(3).analyze(&structured_data()).unwrap();
+        // Every within-cluster distance is smaller than every
+        // between-cluster distance.
+        let lo = ["lo1", "lo2", "lo3"];
+        let hi = ["hi1", "hi2", "hi3"];
+        let mut max_within: f64 = 0.0;
+        for g in [&lo, &hi] {
+            for i in 0..3 {
+                for k in (i + 1)..3 {
+                    max_within = max_within.max(r.map_distance(g[i], g[k]).unwrap());
+                }
+            }
+        }
+        let mut min_between = f64::INFINITY;
+        for a in &lo {
+            for b in &hi {
+                min_between = min_between.min(r.map_distance(a, b).unwrap());
+            }
+        }
+        assert!(
+            max_within < min_between,
+            "within {max_within} vs between {min_between}"
+        );
+    }
+
+    #[test]
+    fn projections_recover_above_below_average() {
+        let r = Coplot::new().seed(4).analyze(&structured_data()).unwrap();
+        // hi* observations are above average in variable "a": positive
+        // projections; lo* below: negative.
+        for o in ["hi1", "hi2", "hi3"] {
+            assert!(r.projection(o, "a").unwrap() > 0.0, "{o}");
+        }
+        for o in ["lo1", "lo2", "lo3"] {
+            assert!(r.projection(o, "a").unwrap() < 0.0, "{o}");
+        }
+    }
+
+    #[test]
+    fn elimination_drops_noise_variable() {
+        // Four variables define a strong two-dimensional structure (two
+        // correlated pairs); a fifth independent variable has nowhere to go
+        // in the plane and must be eliminated.
+        let d = DataMatrix::from_rows(
+            (1..=8).map(|i| format!("o{i}")).collect(),
+            vec![
+                "x".into(),
+                "x2".into(),
+                "y".into(),
+                "y2".into(),
+                "noise".into(),
+            ],
+            &[
+                &[1.0, 1.1, 8.0, 7.9, 3.0],
+                &[2.0, 2.2, 1.0, 1.2, -1.0],
+                &[3.0, 2.9, 6.0, 6.1, 4.0],
+                &[4.0, 4.1, 2.0, 2.1, -3.0],
+                &[5.0, 4.8, 7.0, 7.2, 3.5],
+                &[6.0, 6.2, 3.0, 2.8, -2.0],
+                &[7.0, 7.1, 5.0, 5.2, 2.0],
+                &[8.0, 7.9, 4.0, 4.1, -4.0],
+            ],
+        );
+        // With seed 5 the four structure variables fit with r >= 0.985
+        // while the extra variable only reaches ~0.91: a threshold between
+        // the two eliminates exactly it.
+        let (r, removed) = Coplot::new()
+            .seed(5)
+            .analyze_with_elimination(&d, 0.95)
+            .unwrap();
+        assert!(
+            removed.contains(&"noise".to_string()),
+            "removed = {removed:?}"
+        );
+        assert!(r.arrow("x").is_some() && r.arrow("y").is_some());
+        assert!(r.min_arrow_correlation() >= 0.95 || r.arrows.len() == 2);
+    }
+
+    #[test]
+    fn elimination_keeps_at_least_two_variables() {
+        let d = DataMatrix::from_rows(
+            vec!["a".into(), "b".into(), "c".into(), "d".into()],
+            vec!["u".into(), "v".into()],
+            &[&[1.0, 3.0], &[2.0, 1.0], &[3.0, 4.0], &[4.0, 2.0]],
+        );
+        // Absurd threshold: still returns a 2-variable result.
+        let (r, removed) = Coplot::new()
+            .seed(6)
+            .analyze_with_elimination(&d, 0.9999)
+            .unwrap();
+        assert!(r.arrows.len() >= 2);
+        assert!(removed.is_empty());
+    }
+
+    #[test]
+    fn summary_statistics() {
+        let r = Coplot::new().seed(7).analyze(&structured_data()).unwrap();
+        let mean = r.mean_arrow_correlation();
+        let min = r.min_arrow_correlation();
+        assert!(min <= mean && mean <= 1.0 && min >= 0.0);
+    }
+
+    #[test]
+    fn unknown_names_return_none() {
+        let r = Coplot::new().analyze(&structured_data()).unwrap();
+        assert!(r.position("nope").is_none());
+        assert!(r.arrow("nope").is_none());
+        assert!(r.map_distance("lo1", "nope").is_none());
+    }
+
+    #[test]
+    fn forbid_imputation_propagates_error() {
+        let d = DataMatrix::from_optional_rows(
+            vec!["a".into(), "b".into(), "c".into()],
+            vec!["v".into(), "w".into()],
+            &[
+                &[Some(1.0), Some(2.0)],
+                &[None, Some(3.0)],
+                &[Some(2.0), Some(4.0)],
+            ],
+        );
+        let err = Coplot::new()
+            .imputation(Imputation::Forbid)
+            .analyze(&d)
+            .unwrap_err();
+        assert!(matches!(err, CoplotError::Normalization(_)));
+    }
+}

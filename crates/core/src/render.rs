@@ -1,0 +1,256 @@
+//! Rendering Co-plot results as text maps and standalone SVG.
+//!
+//! The paper presents its results as figures: observation points labeled by
+//! workload name, with variable arrows radiating from the centroid. The SVG
+//! renderer reproduces that presentation; the text renderer gives a quick
+//! terminal view plus the full numeric table (coordinates, arrow angles,
+//! correlations, and the stage-3/stage-4 goodness-of-fit summary).
+
+use crate::pipeline::CoplotResult;
+
+/// Render an ASCII map (grid `width x height` characters) plus a numeric
+/// legend. Observations are marked by index, arrows by lowercase letters at
+/// their unit-circle tip.
+pub fn render_text(result: &CoplotResult, width: usize, height: usize) -> String {
+    let width = width.max(20);
+    let height = height.max(10);
+    let n = result.observations.len();
+
+    // Bounds covering points and unit arrow tips, with margin.
+    let mut min_x: f64 = -1.2;
+    let mut max_x: f64 = 1.2;
+    let mut min_y: f64 = -1.2;
+    let mut max_y: f64 = 1.2;
+    for i in 0..n {
+        min_x = min_x.min(result.coords[(i, 0)] - 0.2);
+        max_x = max_x.max(result.coords[(i, 0)] + 0.2);
+        min_y = min_y.min(result.coords[(i, 1)] - 0.2);
+        max_y = max_y.max(result.coords[(i, 1)] + 0.2);
+    }
+
+    let mut grid = vec![vec![' '; width]; height];
+    let place = |grid: &mut Vec<Vec<char>>, x: f64, y: f64, ch: char| {
+        let gx = ((x - min_x) / (max_x - min_x) * (width - 1) as f64).round() as usize;
+        // Screen y is flipped.
+        let gy = ((max_y - y) / (max_y - min_y) * (height - 1) as f64).round() as usize;
+        let gx = gx.min(width - 1);
+        let gy = gy.min(height - 1);
+        grid[gy][gx] = ch;
+    };
+
+    // Centroid marker.
+    place(&mut grid, 0.0, 0.0, '+');
+    // Arrows at their unit tips: a, b, c, ...
+    for (i, arrow) in result.arrows.iter().enumerate() {
+        let ch = (b'a' + (i % 26) as u8) as char;
+        place(&mut grid, arrow.direction[0], arrow.direction[1], ch);
+    }
+    // Observations: digits then uppercase letters.
+    for i in 0..n {
+        let ch = if i < 10 {
+            (b'0' + i as u8) as char
+        } else {
+            (b'A' + ((i - 10) % 26) as u8) as char
+        };
+        place(&mut grid, result.coords[(i, 0)], result.coords[(i, 1)], ch);
+    }
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Co-plot map (theta = {:.3}, mean arrow corr = {:.3})\n",
+        result.alienation,
+        result.mean_arrow_correlation()
+    ));
+    out.push('┌');
+    out.push_str(&"─".repeat(width));
+    out.push_str("┐\n");
+    for row in &grid {
+        out.push('│');
+        out.extend(row.iter());
+        out.push_str("│\n");
+    }
+    out.push('└');
+    out.push_str(&"─".repeat(width));
+    out.push_str("┘\n");
+
+    out.push_str("observations:\n");
+    for (i, name) in result.observations.iter().enumerate() {
+        let ch = if i < 10 {
+            (b'0' + i as u8) as char
+        } else {
+            (b'A' + ((i - 10) % 26) as u8) as char
+        };
+        out.push_str(&format!(
+            "  {ch} {name:<10} ({:+.3}, {:+.3})\n",
+            result.coords[(i, 0)],
+            result.coords[(i, 1)]
+        ));
+    }
+    out.push_str("variables (arrow direction, max correlation):\n");
+    for (i, a) in result.arrows.iter().enumerate() {
+        let ch = (b'a' + (i % 26) as u8) as char;
+        out.push_str(&format!(
+            "  {ch} {:<10} angle {:+7.1}° r = {:.3}\n",
+            a.name,
+            a.angle().to_degrees(),
+            a.correlation
+        ));
+    }
+    out
+}
+
+/// Render a standalone SVG figure in the paper's style: labeled observation
+/// points, variable arrows from the centroid, and a caption with the
+/// goodness-of-fit statistics.
+pub fn render_svg(result: &CoplotResult, title: &str) -> String {
+    const SIZE: f64 = 640.0;
+    const MARGIN: f64 = 60.0;
+    let n = result.observations.len();
+
+    // World bounds: points plus unit arrows.
+    let mut bound: f64 = 1.3;
+    for i in 0..n {
+        bound = bound
+            .max(result.coords[(i, 0)].abs() + 0.3)
+            .max(result.coords[(i, 1)].abs() + 0.3);
+    }
+    let scale = (SIZE - 2.0 * MARGIN) / (2.0 * bound);
+    let to_px = |x: f64, y: f64| -> (f64, f64) {
+        (SIZE / 2.0 + x * scale, SIZE / 2.0 - y * scale)
+    };
+
+    let mut svg = String::new();
+    svg.push_str(&format!(
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{SIZE}\" height=\"{}\" \
+         viewBox=\"0 0 {SIZE} {}\">\n",
+        SIZE + 40.0,
+        SIZE + 40.0
+    ));
+    svg.push_str("<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n");
+    svg.push_str(&format!(
+        "<text x=\"{}\" y=\"28\" text-anchor=\"middle\" font-family=\"sans-serif\" \
+         font-size=\"18\">{}</text>\n",
+        SIZE / 2.0,
+        xml_escape(title)
+    ));
+
+    // Arrows from the centroid (length 1 in world units).
+    let (cx, cy) = to_px(0.0, 0.0);
+    for a in &result.arrows {
+        let (tx, ty) = to_px(a.direction[0], a.direction[1]);
+        svg.push_str(&format!(
+            "<line x1=\"{cx:.1}\" y1=\"{cy:.1}\" x2=\"{tx:.1}\" y2=\"{ty:.1}\" \
+             stroke=\"#c33\" stroke-width=\"1.5\"/>\n"
+        ));
+        // Arrowhead: two short lines.
+        let angle = (ty - cy).atan2(tx - cx);
+        for da in [-0.45f64, 0.45] {
+            let hx = tx - 10.0 * (angle + da).cos();
+            let hy = ty - 10.0 * (angle + da).sin();
+            svg.push_str(&format!(
+                "<line x1=\"{tx:.1}\" y1=\"{ty:.1}\" x2=\"{hx:.1}\" y2=\"{hy:.1}\" \
+                 stroke=\"#c33\" stroke-width=\"1.5\"/>\n"
+            ));
+        }
+        // Label slightly beyond the tip.
+        let (lx, ly) = to_px(a.direction[0] * 1.12, a.direction[1] * 1.12);
+        svg.push_str(&format!(
+            "<text x=\"{lx:.1}\" y=\"{ly:.1}\" text-anchor=\"middle\" \
+             font-family=\"sans-serif\" font-size=\"12\" fill=\"#c33\">{}</text>\n",
+            xml_escape(&a.name)
+        ));
+    }
+
+    // Observation points with labels.
+    for i in 0..n {
+        let (px, py) = to_px(result.coords[(i, 0)], result.coords[(i, 1)]);
+        svg.push_str(&format!(
+            "<circle cx=\"{px:.1}\" cy=\"{py:.1}\" r=\"4\" fill=\"#235\"/>\n"
+        ));
+        svg.push_str(&format!(
+            "<text x=\"{:.1}\" y=\"{:.1}\" font-family=\"sans-serif\" font-size=\"12\" \
+             fill=\"#235\">{}</text>\n",
+            px + 6.0,
+            py - 6.0,
+            xml_escape(&result.observations[i])
+        ));
+    }
+
+    // Caption with the goodness-of-fit statistics.
+    svg.push_str(&format!(
+        "<text x=\"{}\" y=\"{}\" text-anchor=\"middle\" font-family=\"sans-serif\" \
+         font-size=\"14\">coefficient of alienation = {:.3}; \
+         mean arrow correlation = {:.3}</text>\n",
+        SIZE / 2.0,
+        SIZE + 24.0,
+        result.alienation,
+        result.mean_arrow_correlation()
+    ));
+    svg.push_str("</svg>\n");
+    svg
+}
+
+fn xml_escape(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+        .replace('"', "&quot;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::DataMatrix;
+    use crate::pipeline::Coplot;
+
+    fn result() -> CoplotResult {
+        let d = DataMatrix::from_rows(
+            vec!["one".into(), "two".into(), "three".into(), "four".into()],
+            vec!["u".into(), "v".into()],
+            &[&[1.0, 4.0], &[2.0, 3.0], &[3.0, 2.0], &[4.0, 1.0]],
+        );
+        Coplot::new().seed(11).analyze(&d).unwrap()
+    }
+
+    #[test]
+    fn text_render_contains_everything() {
+        let txt = render_text(&result(), 60, 24);
+        assert!(txt.contains("theta ="));
+        for name in ["one", "two", "three", "four", "u", "v"] {
+            assert!(txt.contains(name), "missing {name}:\n{txt}");
+        }
+        assert!(txt.contains('°'));
+    }
+
+    #[test]
+    fn text_render_clamps_tiny_sizes() {
+        // Degenerate sizes are clamped, not panicking.
+        let txt = render_text(&result(), 1, 1);
+        assert!(txt.contains("observations"));
+    }
+
+    #[test]
+    fn svg_is_well_formed_enough() {
+        let svg = render_svg(&result(), "Test & Figure <1>");
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        // Escaping applied to the title.
+        assert!(svg.contains("Test &amp; Figure &lt;1&gt;"));
+        // One circle per observation, one line set per arrow.
+        assert_eq!(svg.matches("<circle").count(), 4);
+        assert!(svg.matches("<line").count() >= 2 * 3); // 2 arrows x 3 lines
+        // Balanced tags for the elements we emit.
+        assert_eq!(
+            svg.matches("<text").count(),
+            svg.matches("</text>").count()
+        );
+    }
+
+    #[test]
+    fn svg_caption_reports_fit() {
+        let r = result();
+        let svg = render_svg(&r, "t");
+        assert!(svg.contains("coefficient of alienation"));
+        assert!(svg.contains(&format!("{:.3}", r.alienation)));
+    }
+}

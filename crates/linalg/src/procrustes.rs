@@ -1,0 +1,180 @@
+//! Orthogonal Procrustes alignment of 2-D configurations.
+//!
+//! MDS solutions are only defined up to translation, uniform scaling,
+//! rotation, and reflection. To compare two configurations (e.g. in tests, or
+//! when overlaying repeated Co-plot runs), we align one onto the other with
+//! the similarity transform minimizing the summed squared distances.
+
+use crate::matrix::Matrix;
+
+/// Result of aligning configuration `b` onto configuration `a`.
+#[derive(Debug, Clone)]
+pub struct ProcrustesFit {
+    /// The transformed copy of `b`, in `a`'s frame.
+    pub aligned: Matrix,
+    /// Root-mean-square distance between `a` and the aligned `b`.
+    pub rmsd: f64,
+    /// Whether a reflection was part of the optimal transform.
+    pub reflected: bool,
+}
+
+/// Align `b` onto `a` with translation + uniform scale + rotation/reflection.
+///
+/// Both matrices must be `n x 2` with the same `n >= 1`. Uses the closed-form
+/// 2-D solution: the optimal rotation comes from the cross-covariance of the
+/// centered configurations, with reflection allowed when it lowers the error.
+///
+/// # Panics
+/// Panics on shape mismatch or non-2-D input.
+pub fn procrustes_align(a: &Matrix, b: &Matrix) -> ProcrustesFit {
+    assert_eq!(a.cols(), 2, "procrustes_align expects n x 2 input");
+    assert_eq!(b.cols(), 2, "procrustes_align expects n x 2 input");
+    assert_eq!(a.rows(), b.rows(), "configurations must match in size");
+    let n = a.rows();
+    assert!(n >= 1, "cannot align empty configurations");
+    let nf = n as f64;
+
+    // Centroids.
+    let (mut ax, mut ay, mut bx, mut by) = (0.0, 0.0, 0.0, 0.0);
+    for i in 0..n {
+        ax += a[(i, 0)];
+        ay += a[(i, 1)];
+        bx += b[(i, 0)];
+        by += b[(i, 1)];
+    }
+    ax /= nf;
+    ay /= nf;
+    bx /= nf;
+    by /= nf;
+
+    // Cross-covariance terms of centered configs and b's total variance.
+    let (mut sxx, mut sxy, mut syx, mut syy, mut bvar, mut avar) =
+        (0.0, 0.0, 0.0, 0.0, 0.0, 0.0);
+    for i in 0..n {
+        let (pax, pay) = (a[(i, 0)] - ax, a[(i, 1)] - ay);
+        let (pbx, pby) = (b[(i, 0)] - bx, b[(i, 1)] - by);
+        sxx += pbx * pax;
+        sxy += pbx * pay;
+        syx += pby * pax;
+        syy += pby * pay;
+        bvar += pbx * pbx + pby * pby;
+        avar += pax * pax + pay * pay;
+    }
+
+    // Optimal rotation angle without reflection: maximize
+    //   sum a_i . (R b_i) = (sxx+syy) cos t + (sxy-syx) sin t.
+    let gain_rot = ((sxx + syy).powi(2) + (sxy - syx).powi(2)).sqrt();
+    // With reflection (flip b's y first): terms become (sxx-syy), (sxy+syx).
+    let gain_ref = ((sxx - syy).powi(2) + (sxy + syx).powi(2)).sqrt();
+    let reflected = gain_ref > gain_rot;
+    let (c, s, gain) = if reflected {
+        let g = gain_ref.max(1e-300);
+        ((sxx - syy) / g, (sxy + syx) / g, gain_ref)
+    } else {
+        let g = gain_rot.max(1e-300);
+        ((sxx + syy) / g, (sxy - syx) / g, gain_rot)
+    };
+
+    // Optimal uniform scale.
+    let scale = if bvar > 0.0 { gain / bvar } else { 0.0 };
+
+    // Apply: center b, (reflect), rotate, scale, translate to a's centroid.
+    let mut aligned = Matrix::zeros(n, 2);
+    let mut ss = 0.0;
+    for i in 0..n {
+        let px = b[(i, 0)] - bx;
+        let mut py = b[(i, 1)] - by;
+        if reflected {
+            py = -py;
+        }
+        let rx = scale * (c * px - s * py) + ax;
+        let ry = scale * (s * px + c * py) + ay;
+        aligned[(i, 0)] = rx;
+        aligned[(i, 1)] = ry;
+        let (dx, dy) = (rx - a[(i, 0)], ry - a[(i, 1)]);
+        ss += dx * dx + dy * dy;
+    }
+    let _ = avar; // kept for symmetry; useful when normalizing rmsd externally
+    ProcrustesFit {
+        aligned,
+        rmsd: (ss / nf).sqrt(),
+        reflected,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn square() -> Matrix {
+        Matrix::from_rows(&[
+            vec![0.0, 0.0],
+            vec![1.0, 0.0],
+            vec![1.0, 1.0],
+            vec![0.0, 1.0],
+        ])
+    }
+
+    /// Rotate+scale+translate a configuration.
+    fn transform(m: &Matrix, angle: f64, scale: f64, tx: f64, ty: f64, reflect: bool) -> Matrix {
+        let (c, s) = (angle.cos(), angle.sin());
+        let mut out = Matrix::zeros(m.rows(), 2);
+        for i in 0..m.rows() {
+            let x = m[(i, 0)];
+            let y = if reflect { -m[(i, 1)] } else { m[(i, 1)] };
+            out[(i, 0)] = scale * (c * x - s * y) + tx;
+            out[(i, 1)] = scale * (s * x + c * y) + ty;
+        }
+        out
+    }
+
+    #[test]
+    fn identical_configs_align_exactly() {
+        let a = square();
+        let fit = procrustes_align(&a, &a);
+        assert!(fit.rmsd < 1e-12);
+        assert!(!fit.reflected);
+    }
+
+    #[test]
+    fn recovers_rotation_scale_translation() {
+        let a = square();
+        let b = transform(&a, 0.7, 2.5, 10.0, -3.0, false);
+        let fit = procrustes_align(&a, &b);
+        assert!(fit.rmsd < 1e-10, "rmsd = {}", fit.rmsd);
+        assert!(!fit.reflected);
+    }
+
+    #[test]
+    fn recovers_reflection() {
+        let a = Matrix::from_rows(&[
+            vec![0.0, 0.0],
+            vec![2.0, 0.0],
+            vec![0.0, 1.0],
+            vec![3.0, 4.0],
+        ]);
+        let b = transform(&a, 1.2, 0.5, -4.0, 2.0, true);
+        let fit = procrustes_align(&a, &b);
+        assert!(fit.rmsd < 1e-10, "rmsd = {}", fit.rmsd);
+        assert!(fit.reflected);
+    }
+
+    #[test]
+    fn noisy_alignment_has_small_but_nonzero_rmsd() {
+        let a = square();
+        let mut b = transform(&a, 0.3, 1.0, 0.0, 0.0, false);
+        b[(0, 0)] += 0.05; // perturb one point
+        let fit = procrustes_align(&a, &b);
+        assert!(fit.rmsd > 0.0);
+        assert!(fit.rmsd < 0.1);
+    }
+
+    #[test]
+    fn degenerate_single_point() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0]]);
+        let b = Matrix::from_rows(&[vec![-5.0, 7.0]]);
+        let fit = procrustes_align(&a, &b);
+        // A single point can always be translated exactly.
+        assert!(fit.rmsd < 1e-12);
+    }
+}

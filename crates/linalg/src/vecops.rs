@@ -1,0 +1,131 @@
+//! Free-function helpers on `&[f64]` slices.
+//!
+//! These cover the handful of vector operations the MDS and arrow-fitting
+//! code needs without dragging in a full vector type.
+
+/// Dot product of two equal-length slices.
+///
+/// # Panics
+/// Panics if lengths differ.
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot length mismatch");
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Euclidean norm.
+pub fn norm(a: &[f64]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+/// Euclidean distance between two points.
+///
+/// # Panics
+/// Panics if lengths differ.
+pub fn euclidean_distance(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "distance length mismatch");
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f64>()
+        .sqrt()
+}
+
+/// City-block (L1 / Manhattan) distance between two points.
+///
+/// # Panics
+/// Panics if lengths differ.
+pub fn cityblock_distance(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "distance length mismatch");
+    a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum()
+}
+
+/// Minkowski distance of order `p` (p >= 1).
+///
+/// # Panics
+/// Panics if lengths differ or `p < 1.0`.
+pub fn minkowski_distance(a: &[f64], b: &[f64], p: f64) -> f64 {
+    assert_eq!(a.len(), b.len(), "distance length mismatch");
+    assert!(p >= 1.0, "minkowski order must be >= 1, got {p}");
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs().powf(p))
+        .sum::<f64>()
+        .powf(1.0 / p)
+}
+
+/// `y += alpha * x`, element-wise.
+///
+/// # Panics
+/// Panics if lengths differ.
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpy length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// Arithmetic mean; 0.0 for an empty slice.
+pub fn mean(a: &[f64]) -> f64 {
+    if a.is_empty() {
+        0.0
+    } else {
+        a.iter().sum::<f64>() / a.len() as f64
+    }
+}
+
+/// Subtract the mean from every element, returning the centered copy.
+pub fn centered(a: &[f64]) -> Vec<f64> {
+    let m = mean(a);
+    a.iter().map(|v| v - m).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_and_norm() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+        assert!((norm(&[3.0, 4.0]) - 5.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn distances_match_hand_values() {
+        let a = [0.0, 0.0];
+        let b = [3.0, 4.0];
+        assert!((euclidean_distance(&a, &b) - 5.0).abs() < 1e-15);
+        assert!((cityblock_distance(&a, &b) - 7.0).abs() < 1e-15);
+        // Minkowski p=1 is city-block, p=2 is Euclidean.
+        assert!((minkowski_distance(&a, &b, 1.0) - 7.0).abs() < 1e-12);
+        assert!((minkowski_distance(&a, &b, 2.0) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn minkowski_monotone_in_p() {
+        // For fixed points, Lp norm is non-increasing in p.
+        let a = [0.0, 0.0, 0.0];
+        let b = [1.0, 2.0, 3.0];
+        let d1 = minkowski_distance(&a, &b, 1.0);
+        let d2 = minkowski_distance(&a, &b, 2.0);
+        let d3 = minkowski_distance(&a, &b, 3.0);
+        assert!(d1 >= d2 && d2 >= d3);
+    }
+
+    #[test]
+    fn axpy_updates_in_place() {
+        let mut y = vec![1.0, 1.0];
+        axpy(2.0, &[10.0, 20.0], &mut y);
+        assert_eq!(y, vec![21.0, 41.0]);
+    }
+
+    #[test]
+    fn centered_has_zero_mean() {
+        let c = centered(&[1.0, 2.0, 3.0, 10.0]);
+        assert!(mean(&c).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_of_empty_is_zero() {
+        assert_eq!(mean(&[]), 0.0);
+    }
+}

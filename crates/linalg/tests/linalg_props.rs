@@ -1,0 +1,127 @@
+//! Property-based tests of the linear-algebra kernels under random inputs.
+
+use proptest::prelude::*;
+use rand::Rng;
+use wl_linalg::{double_center, jacobi_eigen, procrustes_align, solve_gauss, Matrix};
+
+/// Random symmetric matrices with bounded entries.
+fn arb_symmetric(n: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(-10.0f64..10.0, n * (n + 1) / 2).prop_map(move |tri| {
+        let mut m = Matrix::zeros(n, n);
+        let mut it = tri.into_iter();
+        for i in 0..n {
+            for j in i..n {
+                let v = it.next().unwrap();
+                m[(i, j)] = v;
+                m[(j, i)] = v;
+            }
+        }
+        m
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn jacobi_reconstructs_random_symmetric(m in arb_symmetric(5)) {
+        let e = jacobi_eigen(&m, 1e-14, 100);
+        let r = e.reconstruct();
+        prop_assert!(m.max_abs_diff(&r) < 1e-7, "diff {}", m.max_abs_diff(&r));
+        // Eigenvalues sorted descending.
+        for w in e.values.windows(2) {
+            prop_assert!(w[0] >= w[1] - 1e-12);
+        }
+        // Eigenvectors orthonormal.
+        let g = e.vectors.transpose().matmul(&e.vectors);
+        prop_assert!(g.max_abs_diff(&Matrix::identity(5)) < 1e-7);
+    }
+
+    #[test]
+    fn double_center_rows_sum_to_zero(m in arb_symmetric(6)) {
+        // Use |m| as a fake squared-distance matrix with zero diagonal.
+        let n = 6;
+        let mut d2 = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    d2[(i, j)] = m[(i, j)].abs();
+                }
+            }
+        }
+        let b = double_center(&d2);
+        for i in 0..n {
+            let rs: f64 = (0..n).map(|j| b[(i, j)]).sum();
+            prop_assert!(rs.abs() < 1e-8, "row {i} sums to {rs}");
+        }
+        prop_assert!(b.is_symmetric(1e-9));
+    }
+
+    #[test]
+    fn gauss_solves_random_well_conditioned(
+        seed in 0u64..10_000,
+        rhs in proptest::collection::vec(-10.0f64..10.0, 4),
+    ) {
+        // Diagonally dominant => nonsingular and well conditioned.
+        let mut rng = seeded::rng(seed);
+        let n = 4;
+        let mut a = Matrix::zeros(n, n);
+        for i in 0..n {
+            let mut row_sum = 0.0;
+            for j in 0..n {
+                if i != j {
+                    let v: f64 = rng.gen_range(-1.0..1.0);
+                    a[(i, j)] = v;
+                    row_sum += v.abs();
+                }
+            }
+            a[(i, i)] = row_sum + 1.0;
+        }
+        let x = solve_gauss(&a, &rhs).expect("diagonally dominant is solvable");
+        let back = a.matvec(&x);
+        for (bi, ri) in back.iter().zip(&rhs) {
+            prop_assert!((bi - ri).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn procrustes_recovers_any_similarity_transform(
+        angle in 0.0f64..6.28,
+        scale in 0.1f64..10.0,
+        tx in -100.0f64..100.0,
+        ty in -100.0f64..100.0,
+        reflect in proptest::bool::ANY,
+        pts in proptest::collection::vec((-10.0f64..10.0, -10.0f64..10.0), 3..12),
+    ) {
+        let a = Matrix::from_rows(
+            &pts.iter().map(|&(x, y)| vec![x, y]).collect::<Vec<_>>(),
+        );
+        let (c, s) = (angle.cos(), angle.sin());
+        let mut b = Matrix::zeros(a.rows(), 2);
+        for i in 0..a.rows() {
+            let x = a[(i, 0)];
+            let y = if reflect { -a[(i, 1)] } else { a[(i, 1)] };
+            b[(i, 0)] = scale * (c * x - s * y) + tx;
+            b[(i, 1)] = scale * (s * x + c * y) + ty;
+        }
+        let fit = procrustes_align(&a, &b);
+        // Exact similarity transforms must align to numerical zero
+        // (relative to the configuration's scale).
+        let spread: f64 = pts
+            .iter()
+            .map(|&(x, y)| (x * x + y * y).sqrt())
+            .fold(0.0, f64::max)
+            .max(1.0);
+        prop_assert!(fit.rmsd < 1e-6 * spread * scale.max(1.0), "rmsd {}", fit.rmsd);
+    }
+}
+
+/// Local RNG helper so this test only depends on `rand`.
+mod seeded {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    pub fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+}

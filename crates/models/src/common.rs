@@ -1,0 +1,111 @@
+//! Shared machinery for the synthetic models.
+
+use wl_swf::job::{Job, JobStatus, QUEUE_BATCH};
+use wl_swf::workload::{AllocationFlexibility, MachineInfo, SchedulerFlexibility, Workload};
+
+/// The machine the pure models nominally generate for: the paper's
+/// normalized 128-node machine. Scheduler/allocation ranks are irrelevant
+/// for the model comparison (Figure 4 uses only the eight job-stream
+/// variables) but must be populated; backfilling/unlimited is the neutral
+/// choice.
+pub fn model_machine() -> MachineInfo {
+    MachineInfo::new(
+        128,
+        SchedulerFlexibility::Backfilling,
+        AllocationFlexibility::Unlimited,
+    )
+}
+
+/// One generated job before assembly: arrival offset from the previous
+/// job's arrival, runtime, processors, and an executable identity (for
+/// models with repeated executions).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RawJob {
+    pub interarrival: f64,
+    pub runtime: f64,
+    pub procs: u64,
+    pub executable: u64,
+    pub user: u64,
+}
+
+/// Assemble raw jobs into a [`Workload`], accumulating arrival times. Every
+/// job is marked completed (pure models have no failures) and batch-queued.
+pub fn assemble(name: &'static str, raw: &[RawJob]) -> Workload {
+    let mut jobs = Vec::with_capacity(raw.len());
+    let mut t = 0.0;
+    for (i, r) in raw.iter().enumerate() {
+        t += r.interarrival;
+        let mut j = Job::new(i as u64 + 1, t);
+        j.wait_time = 0.0;
+        j.run_time = r.runtime.max(1.0);
+        j.used_procs = r.procs.max(1) as i64;
+        j.requested_procs = j.used_procs;
+        j.status = JobStatus::Completed;
+        j.executable_id = r.executable as i64;
+        j.user_id = r.user as i64;
+        j.queue = QUEUE_BATCH;
+        jobs.push(j);
+    }
+    Workload::new(name, model_machine(), jobs)
+}
+
+/// Round up to the nearest power of two, capped at `max`.
+pub fn round_to_power_of_two(v: f64, max: u64) -> u64 {
+    let v = v.max(1.0).min(max as f64);
+    let p = (v.log2().round() as u32).min(63);
+    (1u64 << p).min(max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assemble_accumulates_arrivals() {
+        let raw = vec![
+            RawJob {
+                interarrival: 10.0,
+                runtime: 5.0,
+                procs: 2,
+                executable: 1,
+                user: 1,
+            },
+            RawJob {
+                interarrival: 20.0,
+                runtime: 7.0,
+                procs: 4,
+                executable: 1,
+                user: 1,
+            },
+        ];
+        let w = assemble("T", &raw);
+        assert_eq!(w.jobs()[0].submit_time, 10.0);
+        assert_eq!(w.jobs()[1].submit_time, 30.0);
+        assert_eq!(w.jobs()[1].used_procs, 4);
+        assert_eq!(w.jobs()[0].status, JobStatus::Completed);
+    }
+
+    #[test]
+    fn assemble_floors_degenerate_values() {
+        let raw = vec![RawJob {
+            interarrival: 0.0,
+            runtime: 0.0,
+            procs: 0,
+            executable: 0,
+            user: 0,
+        }];
+        let w = assemble("T", &raw);
+        assert_eq!(w.jobs()[0].run_time, 1.0);
+        assert_eq!(w.jobs()[0].used_procs, 1);
+    }
+
+    #[test]
+    fn power_of_two_rounding() {
+        assert_eq!(round_to_power_of_two(1.0, 128), 1);
+        assert_eq!(round_to_power_of_two(3.0, 128), 4); // log2(3) = 1.58 -> 2
+        assert_eq!(round_to_power_of_two(2.9, 128), 4);
+        assert_eq!(round_to_power_of_two(2.7, 128), 2); // log2(2.7) = 1.43 -> 1
+        assert_eq!(round_to_power_of_two(100.0, 128), 128);
+        assert_eq!(round_to_power_of_two(5000.0, 128), 128);
+    }
+}

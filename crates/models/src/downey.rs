@@ -1,0 +1,163 @@
+//! Downey's model (HPDC '97), based on the SDSC log.
+//!
+//! Downey models each job by two log-uniform quantities: the **total
+//! service time** (computation across all nodes) and the **average
+//! parallelism**. In its intended use a scheduler picks an allocation and
+//! the model derives the runtime; the paper instead treats it as a pure
+//! model — "we use the average parallelism as the number of processors, and
+//! divide the service time by this number to derive the running time" —
+//! and so do we.
+
+use crate::common::{assemble, RawJob};
+use crate::WorkloadModel;
+use rand::RngCore;
+use wl_stats::dist::{Distribution, Exponential, LogUniform};
+use wl_swf::Workload;
+
+/// Downey's log-uniform workload model.
+#[derive(Debug, Clone)]
+pub struct Downey {
+    /// Total service time across all nodes, seconds.
+    service_time: LogUniform,
+    /// Average parallelism (continuous; rounded to a processor count).
+    parallelism: LogUniform,
+    /// Job arrivals (the original model leaves arrivals open; a Poisson
+    /// stream is the conventional completion).
+    arrivals: Exponential,
+}
+
+impl Default for Downey {
+    fn default() -> Self {
+        Downey {
+            // Medians: sqrt(5 * 6000) ~ 173 node-seconds of service and
+            // parallelism ~ 4 -> runtime median around 45 s, matching the
+            // interactive/NASA corner where Figure 4 places the model.
+            service_time: LogUniform::new(5.0, 6_000.0),
+            parallelism: LogUniform::new(1.0, 16.0),
+            arrivals: Exponential::from_mean(45.0),
+        }
+    }
+}
+
+impl Downey {
+    /// Custom parameter ranges (service-time span, parallelism span, mean
+    /// inter-arrival).
+    pub fn new(
+        service_lo: f64,
+        service_hi: f64,
+        par_lo: f64,
+        par_hi: f64,
+        mean_interarrival: f64,
+    ) -> Self {
+        Downey {
+            service_time: LogUniform::new(service_lo, service_hi),
+            parallelism: LogUniform::new(par_lo, par_hi),
+            arrivals: Exponential::from_mean(mean_interarrival),
+        }
+    }
+}
+
+impl WorkloadModel for Downey {
+    fn name(&self) -> &'static str {
+        "Downey"
+    }
+
+    fn generate(&self, n_jobs: usize, rng: &mut dyn RngCore) -> Workload {
+        let mut raw = Vec::with_capacity(n_jobs);
+        for i in 0..n_jobs {
+            let service = self.service_time.sample(rng);
+            let par = self.parallelism.sample(rng).round().max(1.0);
+            raw.push(RawJob {
+                interarrival: self.arrivals.sample(rng),
+                runtime: (service / par).max(1.0),
+                procs: par as u64,
+                executable: i as u64 + 1, // no repetition in this model
+                user: (i % 47) as u64,
+            });
+        }
+        assemble("Downey", &raw)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wl_stats::rng::seeded_rng;
+    use wl_swf::WorkloadStats;
+
+    #[test]
+    fn parallelism_spans_log_uniformly() {
+        let m = Downey::default();
+        let mut rng = seeded_rng(71);
+        let w = m.generate(30_000, &mut rng);
+        // Counts per octave of (rounded) parallelism should match the
+        // log-uniform mass of the continuous pre-image: integer octave
+        // [2^o, 2^(o+1)) collects continuous values in
+        // [2^o - 0.5, 2^(o+1) - 0.5), clipped to [1, 16].
+        let mut octaves = [0usize; 4]; // [1,2) [2,4) [4,8) [8,16]
+        for j in w.jobs() {
+            let o = (j.used_procs as f64).log2().floor().min(3.0) as usize;
+            octaves[o] += 1;
+        }
+        let total: usize = octaves.iter().sum();
+        let ln_span = 16.0f64.ln();
+        for (o, &c) in octaves.iter().enumerate() {
+            let lo = (2.0f64.powi(o as i32) - 0.5).max(1.0);
+            let hi = (2.0f64.powi(o as i32 + 1) - 0.5).min(16.0);
+            let expect = (hi / lo).ln() / ln_span;
+            let f = c as f64 / total as f64;
+            assert!(
+                (f - expect).abs() < 0.02,
+                "octave {o} fraction {f} vs expected {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn runtime_is_service_over_parallelism() {
+        // Total CPU work = runtime * procs should be log-uniform-ish within
+        // the configured service range (up to rounding of parallelism).
+        let m = Downey::default();
+        let mut rng = seeded_rng(72);
+        let w = m.generate(10_000, &mut rng);
+        for j in w.jobs().iter().take(1000) {
+            let work = j.run_time * j.used_procs as f64;
+            assert!(
+                (2.0..15_000.0).contains(&work),
+                "work {work} outside plausible service range"
+            );
+        }
+    }
+
+    #[test]
+    fn no_repeated_executables() {
+        let m = Downey::default();
+        let mut rng = seeded_rng(73);
+        let w = m.generate(1000, &mut rng);
+        let mut ids: Vec<i64> = w.jobs().iter().map(|j| j.executable_id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), w.len());
+    }
+
+    #[test]
+    fn interactive_scale_medians() {
+        let m = Downey::default();
+        let mut rng = seeded_rng(74);
+        let s = WorkloadStats::compute(&m.generate(8000, &mut rng));
+        assert!(s.runtime_median.unwrap() < 200.0);
+        assert!((20.0..80.0).contains(&s.interarrival_median.unwrap()));
+    }
+
+    #[test]
+    fn custom_parameters_respected() {
+        let m = Downey::new(100.0, 200.0, 2.0, 4.0, 10.0);
+        let mut rng = seeded_rng(75);
+        let w = m.generate(2000, &mut rng);
+        for j in w.jobs() {
+            assert!((2..=4).contains(&(j.used_procs as u64)));
+        }
+        let s = WorkloadStats::compute(&w);
+        assert!((5.0..20.0).contains(&s.interarrival_median.unwrap()));
+    }
+}

@@ -1,0 +1,268 @@
+//! The Feitelson '96 and '97 models.
+//!
+//! Both models share three signature features the paper highlights:
+//!
+//! 1. a **hand-tailored discrete size distribution** that emphasizes small
+//!    jobs and powers of two;
+//! 2. **runtimes correlated with size** (drawn from a hyper-exponential
+//!    whose scale grows with the job's parallelism);
+//! 3. **repeated executions**: each logical job is run a Zipf-distributed
+//!    number of times, and — following the paper's "pure model" treatment —
+//!    each repetition is resubmitted exactly when the previous run
+//!    finishes, so the inter-arrival process inherits runtime bursts.
+//!
+//! The '97 revision shortens runtimes and deepens the repetition tail,
+//! which is why the paper finds it the most self-similar of the models.
+
+use crate::common::{assemble, RawJob};
+use crate::WorkloadModel;
+use rand::RngCore;
+use wl_stats::dist::{DiscreteWeighted, Distribution, Exponential, HyperExponential, Zipf};
+use wl_swf::Workload;
+
+/// Shared generator core for both Feitelson variants.
+#[derive(Debug, Clone)]
+struct FeitelsonCore {
+    name: &'static str,
+    sizes: DiscreteWeighted,
+    /// Base runtime distribution; the sampled value is scaled by the
+    /// size-correlation factor.
+    runtime: HyperExponential,
+    /// Strength of the runtime-size correlation:
+    /// `scale = 1 + corr * log2(size)`.
+    size_corr: f64,
+    /// Repetition-count distribution.
+    repeats: Zipf,
+    /// Inter-arrival between *new* logical jobs.
+    arrivals: Exponential,
+    /// Multiplicative jitter band for repeated runtimes.
+    repeat_jitter: f64,
+}
+
+impl FeitelsonCore {
+    fn generate(&self, n_jobs: usize, rng: &mut dyn RngCore) -> Workload {
+        let mut raw = Vec::with_capacity(n_jobs);
+        let mut executable: u64 = 0;
+        while raw.len() < n_jobs {
+            executable += 1;
+            let size = self.sizes.sample(rng) as u64;
+            let scale = 1.0 + self.size_corr * (size as f64).log2();
+            let base_runtime = self.runtime.sample(rng) * scale;
+            let reps = self.repeats.sample_rank(rng);
+            let first_gap = self.arrivals.sample(rng);
+
+            let mut prev_runtime = 0.0;
+            for rep in 0..reps {
+                if raw.len() >= n_jobs {
+                    break;
+                }
+                // Repetitions rerun the same executable with jittered
+                // runtime; each is resubmitted when the previous finishes.
+                let jitter =
+                    1.0 + self.repeat_jitter * (wl_stats::dist::Uniform::new(-1.0, 1.0).sample(rng));
+                let runtime = (base_runtime * jitter).max(1.0);
+                let interarrival = if rep == 0 { first_gap } else { prev_runtime };
+                raw.push(RawJob {
+                    interarrival,
+                    runtime,
+                    procs: size,
+                    executable,
+                    // A small user population: executables hash to users.
+                    user: executable % 23,
+                });
+                prev_runtime = runtime;
+            }
+        }
+        assemble(self.name, &raw)
+    }
+}
+
+/// Size weights: `1/s`, tripled at powers of two — small jobs dominate and
+/// powers of two spike, as the model prescribes.
+fn tailored_sizes(max: u64) -> DiscreteWeighted {
+    let pairs: Vec<(f64, f64)> = (1..=max)
+        .map(|s| {
+            let mut w = 1.0 / s as f64;
+            if s.is_power_of_two() {
+                w *= 3.0;
+            }
+            (s as f64, w)
+        })
+        .collect();
+    DiscreteWeighted::new(&pairs)
+}
+
+/// The Feitelson 1996 gang-scheduling workload model.
+#[derive(Debug, Clone)]
+pub struct Feitelson96 {
+    core: FeitelsonCore,
+}
+
+impl Default for Feitelson96 {
+    fn default() -> Self {
+        Feitelson96 {
+            core: FeitelsonCore {
+                name: "Feitelson '96",
+                sizes: tailored_sizes(64),
+                // Two-stage hyper-exponential: most runs short, a long tail.
+                runtime: HyperExponential::two_stage(0.75, 1.0 / 20.0, 1.0 / 400.0),
+                size_corr: 0.35,
+                repeats: Zipf::new(64, 2.5),
+                arrivals: Exponential::from_mean(40.0),
+                repeat_jitter: 0.1,
+            },
+        }
+    }
+}
+
+impl WorkloadModel for Feitelson96 {
+    fn name(&self) -> &'static str {
+        self.core.name
+    }
+
+    fn generate(&self, n_jobs: usize, rng: &mut dyn RngCore) -> Workload {
+        self.core.generate(n_jobs, rng)
+    }
+}
+
+/// The Feitelson 1997 revision: shorter runtimes, heavier repetition.
+#[derive(Debug, Clone)]
+pub struct Feitelson97 {
+    core: FeitelsonCore,
+}
+
+impl Default for Feitelson97 {
+    fn default() -> Self {
+        Feitelson97 {
+            core: FeitelsonCore {
+                name: "Feitelson '97",
+                sizes: tailored_sizes(64),
+                runtime: HyperExponential::two_stage(0.8, 1.0 / 12.0, 1.0 / 250.0),
+                size_corr: 0.3,
+                // Heavier repetition tail: longer runs of identical jobs.
+                repeats: Zipf::new(128, 1.8),
+                arrivals: Exponential::from_mean(35.0),
+                repeat_jitter: 0.05,
+            },
+        }
+    }
+}
+
+impl WorkloadModel for Feitelson97 {
+    fn name(&self) -> &'static str {
+        self.core.name
+    }
+
+    fn generate(&self, n_jobs: usize, rng: &mut dyn RngCore) -> Workload {
+        self.core.generate(n_jobs, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wl_stats::rng::seeded_rng;
+    use wl_swf::WorkloadStats;
+
+    #[test]
+    fn sizes_emphasize_small_and_powers_of_two() {
+        let m = Feitelson96::default();
+        let mut rng = seeded_rng(61);
+        let w = m.generate(20_000, &mut rng);
+        let mut counts = std::collections::HashMap::new();
+        for j in w.jobs() {
+            *counts.entry(j.used_procs as u64).or_insert(0usize) += 1;
+        }
+        // Size 1 is the most common single size.
+        let max_size = counts.iter().max_by_key(|(_, &c)| c).map(|(&s, _)| s);
+        assert_eq!(max_size, Some(1));
+        // Powers of two outnumber their odd neighbors.
+        for pow in [4u64, 8, 16, 32] {
+            let at = counts.get(&pow).copied().unwrap_or(0);
+            let next = counts.get(&(pow + 1)).copied().unwrap_or(0);
+            assert!(at > next, "size {pow}: {at} vs {}", next);
+        }
+    }
+
+    #[test]
+    fn runtime_correlates_with_size() {
+        let m = Feitelson96::default();
+        let mut rng = seeded_rng(62);
+        let w = m.generate(20_000, &mut rng);
+        let small: Vec<f64> = w
+            .jobs()
+            .iter()
+            .filter(|j| j.used_procs <= 2)
+            .map(|j| j.run_time)
+            .collect();
+        let large: Vec<f64> = w
+            .jobs()
+            .iter()
+            .filter(|j| j.used_procs >= 32)
+            .map(|j| j.run_time)
+            .collect();
+        assert!(!small.is_empty() && !large.is_empty());
+        assert!(
+            wl_stats::mean(&large) > 1.5 * wl_stats::mean(&small),
+            "large {} vs small {}",
+            wl_stats::mean(&large),
+            wl_stats::mean(&small)
+        );
+    }
+
+    #[test]
+    fn repeats_share_executable_and_similar_runtime() {
+        let m = Feitelson97::default();
+        let mut rng = seeded_rng(63);
+        let w = m.generate(5000, &mut rng);
+        // Group jobs by executable; repeated groups must have low runtime
+        // spread.
+        let mut groups: std::collections::HashMap<i64, Vec<f64>> = Default::default();
+        for j in w.jobs() {
+            groups.entry(j.executable_id).or_default().push(j.run_time);
+        }
+        let repeated: Vec<&Vec<f64>> = groups.values().filter(|v| v.len() >= 3).collect();
+        assert!(!repeated.is_empty(), "no repeated executions found");
+        for g in repeated.iter().take(20) {
+            let m = wl_stats::mean(g);
+            let sd = wl_stats::std_dev(g);
+            assert!(sd / m < 0.15, "repeat jitter too wide: cv = {}", sd / m);
+        }
+    }
+
+    #[test]
+    fn ninety_seven_repeats_more_than_ninety_six() {
+        let mut rng = seeded_rng(64);
+        let count_repeats = |w: &wl_swf::Workload| {
+            let mut groups: std::collections::HashMap<i64, usize> = Default::default();
+            for j in w.jobs() {
+                *groups.entry(j.executable_id).or_default() += 1;
+            }
+            let total: usize = groups.values().sum();
+            total as f64 / groups.len() as f64 // mean repetitions
+        };
+        let r96 = count_repeats(&Feitelson96::default().generate(10_000, &mut rng));
+        let r97 = count_repeats(&Feitelson97::default().generate(10_000, &mut rng));
+        assert!(r97 > r96, "'97 repeats {r97} vs '96 {r96}");
+    }
+
+    #[test]
+    fn interactive_scale_statistics() {
+        // Both models should produce NASA/interactive-scale medians: small
+        // runtimes and parallelism (this anchors their Figure 4 position).
+        let mut rng = seeded_rng(65);
+        for m in [
+            &Feitelson96::default() as &dyn WorkloadModel,
+            &Feitelson97::default(),
+        ] {
+            let s = WorkloadStats::compute(&m.generate(8000, &mut rng));
+            assert!(
+                s.runtime_median.unwrap() < 150.0,
+                "{}: Rm = {:?}",
+                m.name(),
+                s.runtime_median
+            );
+            assert!(s.procs_median.unwrap() <= 8.0, "{}", m.name());
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! The five synthetic workload models the paper evaluates (section 7).
+//!
+//! Each model generates a stream of rigid jobs — inter-arrival time, run
+//! time, and degree of parallelism — which is exactly the attribute set the
+//! paper says "the synthetic models usually only offer". All five implement
+//! the [`WorkloadModel`] trait and emit a [`wl_swf::Workload`]:
+//!
+//! * [`Feitelson96`] — hand-tailored size distribution emphasizing small
+//!   jobs and powers of two, runtimes correlated with size, and repeated
+//!   job executions (resubmitted after the previous run completes).
+//! * [`Feitelson97`] — the 1997 modification: same structure, shorter
+//!   runtimes, heavier repetition (the paper observes it has the highest
+//!   self-similarity of the models, "possibly due to the inclusion of
+//!   repeated job executions").
+//! * [`Downey`] — log-uniform total service time and log-uniform average
+//!   parallelism; used as a pure model: processors = average parallelism,
+//!   runtime = service time / processors.
+//! * [`Jann`] — hyper-Erlang distributions of common order for runtime and
+//!   inter-arrival, per power-of-two size range, with parameters obtained by
+//!   matching the first three moments of CTC-like targets (the actual
+//!   moment-matching machinery lives in `wl_stats::dist::HyperErlang`).
+//! * [`Lublin`] — power-of-two-biased size distribution with a serial-job
+//!   atom, size-correlated hyper-gamma runtimes, and gamma inter-arrivals
+//!   modulated by a two-peak daily cycle.
+//!
+//! The original implementations are not redistributable here; these
+//! re-implementations follow the published descriptions, with parameters
+//! calibrated so each model's Table-1-style statistics land where the
+//! paper's Figure 4 places it (Lublin central; Downey and both Feitelson
+//! models near the interactive/NASA corner; Jann near CTC/KTH). See
+//! DESIGN.md for the substitution note.
+
+pub mod common;
+pub mod downey;
+pub mod feitelson;
+pub mod fractal;
+pub mod jann;
+pub mod lublin;
+
+pub use downey::Downey;
+pub use feitelson::{Feitelson96, Feitelson97};
+pub use fractal::SelfSimilarModel;
+pub use jann::Jann;
+pub use lublin::Lublin;
+
+use rand::RngCore;
+use wl_swf::Workload;
+
+/// A synthetic workload generator.
+pub trait WorkloadModel {
+    /// Display name as used in the paper's figures.
+    fn name(&self) -> &'static str;
+
+    /// Generate a workload of (approximately) `n_jobs` jobs.
+    fn generate(&self, n_jobs: usize, rng: &mut dyn RngCore) -> Workload;
+}
+
+/// All five models with their default (paper-matching) parameters.
+pub fn all_models() -> Vec<Box<dyn WorkloadModel>> {
+    vec![
+        Box::new(Feitelson96::default()),
+        Box::new(Feitelson97::default()),
+        Box::new(Downey::default()),
+        Box::new(Jann::default()),
+        Box::new(Lublin::default()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wl_stats::rng::seeded_rng;
+    use wl_swf::WorkloadStats;
+
+    #[test]
+    fn all_models_generate_valid_workloads() {
+        let mut rng = seeded_rng(7);
+        for model in all_models() {
+            let w = model.generate(2000, &mut rng);
+            assert!(
+                w.len() >= 1800,
+                "{} produced only {} jobs",
+                model.name(),
+                w.len()
+            );
+            for j in w.jobs() {
+                assert!(j.run_time_opt().unwrap() > 0.0, "{}", model.name());
+                assert!(j.used_procs_opt().unwrap() >= 1, "{}", model.name());
+                assert!(j.submit_time >= 0.0);
+            }
+            // Submit times ascending (Workload guarantees sorting, but the
+            // generators should produce them in order anyway).
+            let stats = WorkloadStats::compute(&w);
+            assert!(stats.runtime_median.unwrap() > 0.0);
+            assert!(stats.interarrival_median.unwrap() > 0.0);
+        }
+    }
+
+    #[test]
+    fn model_names_match_paper() {
+        let names: Vec<&str> = all_models().iter().map(|m| m.name()).collect();
+        assert_eq!(
+            names,
+            vec!["Feitelson '96", "Feitelson '97", "Downey", "Jann", "Lublin"]
+        );
+    }
+
+    /// The Figure 4 geometry depends on where each model sits relative to
+    /// the others in runtime and inter-arrival medians: Jann (CTC-like)
+    /// must have much longer runtimes than Downey/Feitelson
+    /// (interactive/NASA-like), with Lublin in between.
+    #[test]
+    fn relative_positioning_matches_figure_4() {
+        let mut rng = seeded_rng(42);
+        let stats: Vec<(String, WorkloadStats)> = all_models()
+            .iter()
+            .map(|m| {
+                let w = m.generate(4000, &mut rng);
+                (m.name().to_string(), WorkloadStats::compute(&w))
+            })
+            .collect();
+        let rm = |name: &str| {
+            stats
+                .iter()
+                .find(|(n, _)| n == name)
+                .unwrap()
+                .1
+                .runtime_median
+                .unwrap()
+        };
+        assert!(rm("Jann") > 4.0 * rm("Downey"), "Jann {} vs Downey {}", rm("Jann"), rm("Downey"));
+        assert!(rm("Jann") > 4.0 * rm("Feitelson '97"));
+        assert!(rm("Lublin") > rm("Feitelson '97"));
+        assert!(rm("Jann") > rm("Lublin"));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        for model in all_models() {
+            let a = model.generate(500, &mut seeded_rng(5));
+            let b = model.generate(500, &mut seeded_rng(5));
+            assert_eq!(a.jobs().len(), b.jobs().len());
+            assert_eq!(a.jobs()[17], b.jobs()[17], "{}", model.name());
+        }
+    }
+}

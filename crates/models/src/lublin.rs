@@ -1,0 +1,193 @@
+//! The Lublin model ('99 thesis; the statistical refinement of the
+//! Feitelson family).
+//!
+//! Three components, per the published description:
+//!
+//! * **Size**: a serial-job atom plus a log-uniform-ish parallel part with
+//!   a strong bias toward powers of two;
+//! * **Runtime**: a two-branch hyper-gamma whose branch probability depends
+//!   linearly on the (log) size, creating the documented positive
+//!   runtime-size correlation;
+//! * **Inter-arrival**: gamma-distributed gaps modulated by a two-peak
+//!   daily cycle.
+//!
+//! The paper's Figure 4 finds this model "the ultimate average" of the
+//! production workloads; the default parameters here are calibrated to hold
+//! that central position among this workspace's model family.
+
+use crate::common::{assemble, round_to_power_of_two, RawJob};
+use crate::WorkloadModel;
+use rand::RngCore;
+use wl_stats::dist::{Distribution, Gamma, HyperGamma, Uniform};
+use wl_swf::Workload;
+
+/// The Lublin workload model.
+#[derive(Debug, Clone)]
+pub struct Lublin {
+    /// Probability of a serial (1-processor) job.
+    serial_prob: f64,
+    /// Probability that a parallel size snaps to a power of two.
+    pow2_prob: f64,
+    /// log2 size range for parallel jobs.
+    log2_size: Uniform,
+    /// Runtime hyper-gamma (branch probability is size-adjusted per job).
+    runtime: HyperGamma,
+    /// Base inter-arrival gamma.
+    interarrival: Gamma,
+    /// Amplitude of the daily arrival-rate cycle in [0, 1).
+    daily_amplitude: f64,
+}
+
+impl Default for Lublin {
+    fn default() -> Self {
+        Lublin {
+            serial_prob: 0.24,
+            pow2_prob: 0.75,
+            log2_size: Uniform::new(1.0, 5.5), // parallel sizes up to ~45
+            // Short branch: mean ~360 s. Long branch: mean ~3250 s, heavy.
+            runtime: HyperGamma::from_params(3.0, 120.0, 1.3, 2500.0, 0.65),
+            interarrival: Gamma::from_mean_cv(320.0, 1.8),
+            daily_amplitude: 0.5,
+        }
+    }
+}
+
+impl Lublin {
+    /// Branch probability for the short-runtime gamma as a function of job
+    /// size: larger jobs are more likely to take the long branch
+    /// (positive runtime-size correlation).
+    fn short_branch_prob(&self, size: u64) -> f64 {
+        let log_size = (size as f64).log2();
+        (self.runtime.p() - 0.06 * log_size).clamp(0.05, 0.95)
+    }
+
+    /// Arrival-rate multiplier at time-of-day `t` seconds: a two-peak
+    /// (late-morning and evening) cycle. Gaps are divided by this rate.
+    fn daily_rate(&self, t: f64) -> f64 {
+        const DAY: f64 = 86_400.0;
+        let phase = (t % DAY) / DAY * std::f64::consts::TAU;
+        // Main peak near 11:00 (phase 2.88, so shift by 2.88 - pi/2 = 1.31)
+        // plus a weaker second harmonic peaking near 20:00; trough overnight.
+        let cycle = 0.8 * (phase - 1.31).sin() + 0.2 * (2.0 * phase - 2.62).sin();
+        1.0 + self.daily_amplitude * cycle.clamp(-1.0, 1.0)
+    }
+}
+
+impl WorkloadModel for Lublin {
+    fn name(&self) -> &'static str {
+        "Lublin"
+    }
+
+    fn generate(&self, n_jobs: usize, rng: &mut dyn RngCore) -> Workload {
+        let mut raw = Vec::with_capacity(n_jobs);
+        let mut clock = 0.0;
+        let coin = Uniform::new(0.0, 1.0);
+        for i in 0..n_jobs {
+            // Size.
+            let size = if coin.sample(rng) < self.serial_prob {
+                1
+            } else {
+                let raw_size = self.log2_size.sample(rng).exp2();
+                if coin.sample(rng) < self.pow2_prob {
+                    round_to_power_of_two(raw_size, 64)
+                } else {
+                    (raw_size.round() as u64).clamp(2, 64)
+                }
+            };
+            // Runtime from the size-adjusted hyper-gamma.
+            let runtime = self
+                .runtime
+                .with_p(self.short_branch_prob(size))
+                .sample(rng)
+                .max(1.0);
+            // Inter-arrival with the daily cycle applied at the current
+            // simulated clock.
+            let gap = self.interarrival.sample(rng) / self.daily_rate(clock);
+            clock += gap;
+            raw.push(RawJob {
+                interarrival: gap,
+                runtime,
+                procs: size,
+                executable: i as u64 + 1,
+                user: (i % 101) as u64,
+            });
+        }
+        assemble("Lublin", &raw)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wl_stats::rng::seeded_rng;
+    use wl_swf::WorkloadStats;
+
+    #[test]
+    fn serial_fraction_matches_parameter() {
+        let m = Lublin::default();
+        let mut rng = seeded_rng(91);
+        let w = m.generate(30_000, &mut rng);
+        let serial = w.jobs().iter().filter(|j| j.used_procs == 1).count();
+        let frac = serial as f64 / w.len() as f64;
+        assert!((frac - 0.24).abs() < 0.02, "serial fraction {frac}");
+    }
+
+    #[test]
+    fn powers_of_two_dominate_parallel_sizes() {
+        let m = Lublin::default();
+        let mut rng = seeded_rng(92);
+        let w = m.generate(30_000, &mut rng);
+        let parallel: Vec<u64> = w
+            .jobs()
+            .iter()
+            .filter(|j| j.used_procs > 1)
+            .map(|j| j.used_procs as u64)
+            .collect();
+        let pow2 = parallel.iter().filter(|s| s.is_power_of_two()).count();
+        let frac = pow2 as f64 / parallel.len() as f64;
+        assert!(frac > 0.70, "power-of-two fraction {frac}");
+    }
+
+    #[test]
+    fn runtime_size_correlation_positive() {
+        let m = Lublin::default();
+        let mut rng = seeded_rng(93);
+        let w = m.generate(30_000, &mut rng);
+        let sizes: Vec<f64> = w.jobs().iter().map(|j| (j.used_procs as f64).log2()).collect();
+        let runtimes: Vec<f64> = w.jobs().iter().map(|j| j.run_time.ln()).collect();
+        let r = wl_stats::pearson(&sizes, &runtimes);
+        assert!(r > 0.05, "log-log correlation {r}");
+    }
+
+    #[test]
+    fn daily_cycle_modulates_arrivals() {
+        let m = Lublin::default();
+        // Rate at the late-morning peak exceeds the overnight trough.
+        let peak = m.daily_rate(11.0 * 3600.0);
+        let trough = m.daily_rate(4.0 * 3600.0);
+        assert!(peak > trough, "peak {peak} vs trough {trough}");
+    }
+
+    #[test]
+    fn central_statistics() {
+        // Lublin must sit between the interactive-like models and Jann:
+        // runtime median in the hundreds of seconds.
+        let m = Lublin::default();
+        let mut rng = seeded_rng(94);
+        let s = WorkloadStats::compute(&m.generate(10_000, &mut rng));
+        let rm = s.runtime_median.unwrap();
+        assert!((80.0..900.0).contains(&rm), "Rm = {rm}");
+        let pm = s.procs_median.unwrap();
+        assert!((2.0..=32.0).contains(&pm), "Pm = {pm}");
+    }
+
+    #[test]
+    fn sizes_within_machine() {
+        let m = Lublin::default();
+        let mut rng = seeded_rng(95);
+        let w = m.generate(5000, &mut rng);
+        for j in w.jobs() {
+            assert!((1..=64).contains(&(j.used_procs as u64)));
+        }
+    }
+}

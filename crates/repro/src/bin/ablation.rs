@@ -1,0 +1,75 @@
+//! Quality ablations for the design choices DESIGN.md calls out: how do the
+//! dissimilarity metric, the MDS restart budget, and the missing-value
+//! policy affect the goodness of fit on the paper's own Figure 1 matrix?
+
+use coplot::{Coplot, Imputation, Metric};
+use wl_repro::paper::FIG1_VARIABLES;
+use wl_repro::{paper_table1_matrix, Options};
+
+fn main() {
+    let opts = Options::from_args();
+    let data = paper_table1_matrix(&FIG1_VARIABLES);
+
+    println!("== ablation: dissimilarity metric (Figure 1 matrix) ==");
+    for (name, metric) in [
+        ("city-block (paper)", Metric::CityBlock),
+        ("euclidean", Metric::Euclidean),
+        ("minkowski p=3", Metric::Minkowski(3.0)),
+    ] {
+        let r = Coplot::new()
+            .seed(opts.seed)
+            .metric(metric)
+            .analyze(&data)
+            .expect("coplot");
+        println!(
+            "  {name:<20} theta = {:.3}  mean corr = {:.3}  min corr = {:.3}",
+            r.alienation,
+            r.mean_arrow_correlation(),
+            r.min_arrow_correlation()
+        );
+    }
+
+    println!();
+    println!("== ablation: MDS restarts (classical init always included) ==");
+    for restarts in [0usize, 1, 2, 4, 8, 16] {
+        let r = Coplot::new()
+            .seed(opts.seed)
+            .restarts(restarts)
+            .analyze(&data)
+            .expect("coplot");
+        println!("  restarts = {restarts:<3} theta = {:.4}", r.alienation);
+    }
+
+    println!();
+    println!("== ablation: missing-value policy ==");
+    for (name, imp) in [
+        ("column-mean imputation", Imputation::ColumnMean),
+        ("drop incomplete variables", Imputation::DropVariables),
+    ] {
+        let r = Coplot::new()
+            .seed(opts.seed)
+            .imputation(imp)
+            .analyze(&data)
+            .expect("coplot");
+        println!(
+            "  {name:<28} theta = {:.3}  variables kept = {}",
+            r.alienation,
+            r.arrows.len()
+        );
+    }
+
+    println!();
+    println!("== ablation: variable elimination threshold ==");
+    for threshold in [0.0, 0.7, 0.8, 0.85, 0.9] {
+        let (r, removed) = Coplot::new()
+            .seed(opts.seed)
+            .analyze_with_elimination(&data, threshold)
+            .expect("coplot");
+        println!(
+            "  min corr >= {threshold:<5} keeps {} variables (removed {:?}), theta = {:.3}",
+            r.arrows.len(),
+            removed,
+            r.alienation
+        );
+    }
+}

@@ -1,0 +1,41 @@
+//! Regenerate Figure 2: the batch outliers (LANLb, SDSCb) removed,
+//! un-normalized parallelism. Paper: theta = 0.01, mean correlation 0.88,
+//! and the interactive workloads plus NASA form the only natural cluster.
+
+use coplot::Coplot;
+use wl_repro::paper::{fit_claims, FIG2_DROPPED, FIG2_VARIABLES};
+use wl_repro::{paper_table1_matrix, production_suite, report_figure, stats_matrix, suite_stats, Options};
+
+fn main() {
+    let opts = Options::from_args();
+    let full = if opts.paper_data {
+        paper_table1_matrix(&FIG2_VARIABLES)
+    } else {
+        stats_matrix(&suite_stats(&production_suite(&opts)), &FIG2_VARIABLES)
+    };
+    let data = full
+        .drop_observations_by_name(&FIG2_DROPPED)
+        .expect("drop batch outliers");
+    let result = Coplot::new().seed(opts.seed).analyze(&data).expect("coplot");
+    report_figure(
+        if opts.paper_data {
+            "Figure 2 (paper's Table 1 matrix)"
+        } else {
+            "Figure 2 (synthesized logs)"
+        },
+        &result,
+        fit_claims::FIG2_THETA,
+        fit_claims::FIG2_MEAN_CORR,
+    );
+
+    // Interactive cluster check: LANLi, SDSCi and NASA sit together, away
+    // from CTC.
+    let d = |a: &str, b: &str| result.map_distance(a, b).unwrap();
+    println!("interactive-cluster distances:");
+    println!("  LANLi-SDSCi = {:.3}", d("LANLi", "SDSCi"));
+    println!("  LANLi-NASA  = {:.3}", d("LANLi", "NASA"));
+    println!("  SDSCi-NASA  = {:.3}", d("SDSCi", "NASA"));
+    println!("  LANLi-CTC   = {:.3} (should dwarf the above)", d("LANLi", "CTC"));
+    let cluster_max = d("LANLi", "SDSCi").max(d("LANLi", "NASA")).max(d("SDSCi", "NASA"));
+    println!("cluster reproduced: {}", cluster_max < d("LANLi", "CTC"));
+}

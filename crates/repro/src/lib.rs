@@ -1,0 +1,357 @@
+//! Shared machinery for the reproduction binaries (one per table/figure).
+//!
+//! Each binary in `src/bin/` regenerates one table or figure of the paper:
+//!
+//! | binary     | reproduces |
+//! |------------|------------|
+//! | `table1`   | Table 1 — production workload characteristics |
+//! | `table2`   | Table 2 — LANL/SDSC six-month splits |
+//! | `table3`   | Table 3 — Hurst estimates, 3 estimators x 4 series x 15 workloads |
+//! | `fig1`     | Figure 1 — Co-plot of the production workloads |
+//! | `fig2`     | Figure 2 — without the batch outliers |
+//! | `fig3`     | Figure 3 — workloads over time |
+//! | `fig4`     | Figure 4 — production + synthetic models |
+//! | `fig5`     | Figure 5 — Co-plot of the Hurst estimates |
+//! | `section8` | the three-parameter map of section 8 |
+//!
+//! Every binary accepts `--paper` to run the Co-plot pipeline on the
+//! paper's published matrix (validating the method implementation in
+//! isolation) instead of on the synthesized logs (validating the full
+//! end-to-end reproduction), plus `--seed N` and `--jobs N`.
+
+pub mod paper;
+
+use coplot::render::render_svg;
+use coplot::{CoplotResult, DataMatrix};
+use wl_logsynth::{machines, periods};
+use wl_models::all_models;
+use wl_selfsim::HurstEstimator;
+use wl_swf::{JobSeries, Workload, WorkloadStats};
+
+/// Common CLI knobs for every repro binary.
+#[derive(Debug, Clone, Copy)]
+pub struct Options {
+    /// Use the paper's published matrix instead of synthesized logs.
+    pub paper_data: bool,
+    /// Base seed for the synthesized data.
+    pub seed: u64,
+    /// Jobs per full synthesized log.
+    pub jobs: usize,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            paper_data: false,
+            seed: 1999, // the year of the paper
+            jobs: 8192,
+        }
+    }
+}
+
+impl Options {
+    /// Parse the common flags from `std::env::args`.
+    pub fn from_args() -> Options {
+        let mut opts = Options::default();
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let mut i = 0;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--paper" => opts.paper_data = true,
+                "--seed" => {
+                    i += 1;
+                    opts.seed = args
+                        .get(i)
+                        .and_then(|v| v.parse().ok())
+                        .expect("--seed needs an integer");
+                }
+                "--jobs" => {
+                    i += 1;
+                    opts.jobs = args
+                        .get(i)
+                        .and_then(|v| v.parse().ok())
+                        .expect("--jobs needs an integer");
+                }
+                other => panic!("unknown flag {other:?} (use --paper, --seed N, --jobs N)"),
+            }
+            i += 1;
+        }
+        opts
+    }
+}
+
+/// The ten production observations, synthesized (Table 1 column order).
+pub fn production_suite(opts: &Options) -> Vec<Workload> {
+    machines::production_workloads(opts.seed, opts.jobs)
+}
+
+/// The eight Table 2 period observations: L1..L4 then S1..S4.
+pub fn period_suite(opts: &Options) -> Vec<Workload> {
+    let mut out = periods::lanl_periods(opts.seed, opts.jobs / 2);
+    out.extend(periods::sdsc_periods(opts.seed, opts.jobs / 2));
+    out
+}
+
+/// The five model workloads, reordered to Table 3's listing (Lublin,
+/// Feitelson '97, Feitelson '96, Downey, Jann).
+///
+/// Jann's model is re-fitted to the synthesized CTC log, exactly as the
+/// original was fitted to the real CTC trace; the other four use their
+/// published-default parameters.
+pub fn model_suite(opts: &Options) -> Vec<Workload> {
+    use wl_models::{Jann, WorkloadModel};
+    use wl_stats::rng::{derive_seed, seeded_rng};
+    let mut out = Vec::new();
+    for (k, model) in all_models().iter().enumerate() {
+        let mut rng = seeded_rng(derive_seed(opts.seed, 1000 + k as u64));
+        if model.name() == "Jann" {
+            let ctc = machines::MachineId::Ctc.generate(opts.jobs, opts.seed);
+            let fitted = Jann::fit_from_workload(&ctc).expect("CTC fit");
+            out.push(fitted.generate(opts.jobs, &mut rng));
+        } else {
+            out.push(model.generate(opts.jobs, &mut rng));
+        }
+    }
+    let order = ["Lublin", "Feitelson '97", "Feitelson '96", "Downey", "Jann"];
+    out.sort_by_key(|w| order.iter().position(|&n| n == w.name).unwrap_or(usize::MAX));
+    out
+}
+
+/// Compute each workload's stats with the paper's load-imputation rule.
+pub fn suite_stats(workloads: &[Workload]) -> Vec<WorkloadStats> {
+    workloads
+        .iter()
+        .map(|w| WorkloadStats::compute(w).with_load_imputation())
+        .collect()
+}
+
+/// Build a Co-plot data matrix from measured stats for the given variable
+/// codes (missing stats become missing cells). Thin re-export of the
+/// wl-analysis builder.
+pub fn stats_matrix(stats: &[WorkloadStats], codes: &[&str]) -> DataMatrix {
+    wl_analysis::matrix::stats_matrix(stats, codes)
+}
+
+/// Build the Table 1 matrix straight from the paper's published numbers.
+pub fn paper_table1_matrix(codes: &[&str]) -> DataMatrix {
+    let var_idx: Vec<usize> = codes
+        .iter()
+        .map(|c| {
+            paper::TABLE1_VARIABLES
+                .iter()
+                .position(|v| v == c)
+                .unwrap_or_else(|| panic!("unknown Table 1 code {c:?}"))
+        })
+        .collect();
+    let rows: Vec<Vec<Option<f64>>> = (0..10)
+        .map(|obs| var_idx.iter().map(|&v| paper::TABLE1[v][obs]).collect())
+        .collect();
+    let row_refs: Vec<&[Option<f64>]> = rows.iter().map(|r| r.as_slice()).collect();
+    DataMatrix::from_optional_rows(
+        paper::TABLE1_OBSERVATIONS.iter().map(|s| s.to_string()).collect(),
+        codes.iter().map(|c| c.to_string()).collect(),
+        &row_refs,
+    )
+}
+
+/// Measured Hurst estimates for one workload: 12 columns in Table 3 order
+/// (rp vp pp rr vr pr rc vc pc ri vi pi), `None` where an estimator could
+/// not run.
+pub fn hurst_row(w: &Workload) -> Vec<Option<f64>> {
+    let mut out = Vec::with_capacity(12);
+    for series in JobSeries::ALL {
+        let xs = series.extract(w);
+        for est in HurstEstimator::ALL {
+            out.push(est.estimate(&xs));
+        }
+    }
+    out
+}
+
+/// Build the Figure 5 data matrix (measured Hurst estimates, selected
+/// columns) for the given workloads.
+pub fn hurst_matrix(workloads: &[Workload], codes: &[&str]) -> DataMatrix {
+    let col_idx: Vec<usize> = codes
+        .iter()
+        .map(|c| {
+            paper::TABLE3_COLUMNS
+                .iter()
+                .position(|v| v == c)
+                .unwrap_or_else(|| panic!("unknown Table 3 code {c:?}"))
+        })
+        .collect();
+    let rows: Vec<Vec<Option<f64>>> = workloads
+        .iter()
+        .map(|w| {
+            let full = hurst_row(w);
+            col_idx.iter().map(|&i| full[i]).collect()
+        })
+        .collect();
+    let row_refs: Vec<&[Option<f64>]> = rows.iter().map(|r| r.as_slice()).collect();
+    DataMatrix::from_optional_rows(
+        workloads.iter().map(|w| w.name.clone()).collect(),
+        codes.iter().map(|c| c.to_string()).collect(),
+        &row_refs,
+    )
+}
+
+/// Build the Figure 5 matrix from the paper's Table 3 numbers.
+pub fn paper_table3_matrix(codes: &[&str]) -> DataMatrix {
+    let col_idx: Vec<usize> = codes
+        .iter()
+        .map(|c| paper::TABLE3_COLUMNS.iter().position(|v| v == c).unwrap())
+        .collect();
+    let rows: Vec<Vec<Option<f64>>> = paper::TABLE3
+        .iter()
+        .map(|row| col_idx.iter().map(|&i| Some(row[i])).collect())
+        .collect();
+    let row_refs: Vec<&[Option<f64>]> = rows.iter().map(|r| r.as_slice()).collect();
+    DataMatrix::from_optional_rows(
+        paper::TABLE3_OBSERVATIONS.iter().map(|s| s.to_string()).collect(),
+        codes.iter().map(|c| c.to_string()).collect(),
+        &row_refs,
+    )
+}
+
+/// Format an optional value for table cells.
+pub fn cell(v: Option<f64>) -> String {
+    match v {
+        None => "N/A".to_string(),
+        Some(0.0) => "0".to_string(),
+        Some(x) if x.abs() >= 10_000.0 => format!("{x:.0}"),
+        Some(x) if x.abs() >= 10.0 => format!("{x:.1}"),
+        Some(x) if x.abs() >= 0.01 => format!("{x:.3}"),
+        Some(x) => format!("{x:.4}"),
+    }
+}
+
+/// A table cell accessor: `(variable index, observation index) -> value`.
+pub type CellFn<'a> = &'a dyn Fn(usize, usize) -> Option<f64>;
+
+/// Print a paper-vs-measured table: one row pair per variable, one column
+/// per observation.
+pub fn print_comparison(
+    title: &str,
+    observations: &[String],
+    variables: &[&str],
+    paper_cells: CellFn<'_>,
+    measured_cells: CellFn<'_>,
+) {
+    println!("== {title} ==");
+    print!("{:<22}", "variable");
+    for o in observations {
+        print!("{o:>12}");
+    }
+    println!();
+    for (vi, v) in variables.iter().enumerate() {
+        print!("{:<22}", format!("{v} paper"));
+        for oi in 0..observations.len() {
+            print!("{:>12}", cell(paper_cells(vi, oi)));
+        }
+        println!();
+        print!("{:<22}", format!("{v} measured"));
+        for oi in 0..observations.len() {
+            print!("{:>12}", cell(measured_cells(vi, oi)));
+        }
+        println!();
+    }
+}
+
+/// Report a Co-plot run's fit against the paper's quoted statistics and
+/// dump both a text map and an SVG.
+pub fn report_figure(figure: &str, result: &CoplotResult, paper_theta: f64, paper_mean_corr: f64) {
+    println!("== {figure} ==");
+    println!(
+        "coefficient of alienation: measured {:.3} (paper {:.2}); good-fit threshold {}",
+        result.alienation,
+        paper_theta,
+        paper::fit_claims::GOOD_THETA
+    );
+    println!(
+        "mean arrow correlation:    measured {:.3} (paper {:.2}); minimum {:.3}",
+        result.mean_arrow_correlation(),
+        paper_mean_corr,
+        result.min_arrow_correlation()
+    );
+    println!();
+    println!("{}", coplot::render::render_text(result, 72, 30));
+    let path = write_svg(figure, result);
+    println!("SVG written to {path}");
+}
+
+/// Write a figure's SVG under `repro-out/`, returning the path.
+pub fn write_svg(figure: &str, result: &CoplotResult) -> String {
+    let dir = std::path::Path::new("repro-out");
+    std::fs::create_dir_all(dir).expect("create repro-out/");
+    let slug: String = figure
+        .chars()
+        .map(|c| if c.is_alphanumeric() { c.to_ascii_lowercase() } else { '_' })
+        .collect();
+    let path = dir.join(format!("{slug}.svg"));
+    std::fs::write(&path, render_svg(result, figure)).expect("write SVG");
+    path.display().to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_matrix_builds_for_all_figures() {
+        for codes in [
+            &paper::FIG1_VARIABLES[..],
+            &paper::FIG2_VARIABLES[..],
+            &paper::FIG3_VARIABLES[..],
+            &paper::FIG4_VARIABLES[..],
+            &paper::SEC8_VARIABLES[..],
+        ] {
+            let m = paper_table1_matrix(codes);
+            assert_eq!(m.n_observations(), 10);
+            assert_eq!(m.n_variables(), codes.len());
+        }
+        let m3 = paper_table3_matrix(&paper::FIG5_VARIABLES);
+        assert_eq!(m3.n_observations(), 15);
+        assert_eq!(m3.n_variables(), 9);
+    }
+
+    #[test]
+    fn stats_matrix_round_trips_names() {
+        let opts = Options {
+            jobs: 400,
+            ..Options::default()
+        };
+        let ws = production_suite(&opts);
+        let stats = suite_stats(&ws);
+        let m = stats_matrix(&stats, &["Rm", "Pm", "Im"]);
+        assert_eq!(m.n_observations(), 10);
+        assert_eq!(
+            m.variables(),
+            &["Rm".to_string(), "Pm".to_string(), "Im".to_string()]
+        );
+        assert_eq!(m.observations()[0], "CTC");
+    }
+
+    #[test]
+    fn model_suite_in_table3_order() {
+        let opts = Options {
+            jobs: 300,
+            ..Options::default()
+        };
+        let ms = model_suite(&opts);
+        let names: Vec<&str> = ms.iter().map(|w| w.name.as_str()).collect();
+        assert_eq!(
+            names,
+            vec!["Lublin", "Feitelson '97", "Feitelson '96", "Downey", "Jann"]
+        );
+    }
+
+    #[test]
+    fn cell_formatting() {
+        assert_eq!(cell(None), "N/A");
+        assert_eq!(cell(Some(0.0)), "0");
+        assert_eq!(cell(Some(0.0086)), "0.0086");
+        assert_eq!(cell(Some(0.79)), "0.790");
+        assert_eq!(cell(Some(960.0)), "960.0");
+        assert_eq!(cell(Some(57216.0)), "57216");
+    }
+}

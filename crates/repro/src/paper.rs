@@ -1,0 +1,343 @@
+//! The paper's published numbers, transcribed for side-by-side comparison.
+//!
+//! Everything here is copied from the paper's tables: Table 1 (production
+//! workload characteristics), Table 2 (six-month splits of LANL and SDSC),
+//! Table 3 (Hurst estimates), and the per-figure goodness-of-fit statistics
+//! quoted in the text.
+
+/// Observation names in Table 1 column order.
+pub const TABLE1_OBSERVATIONS: [&str; 10] = [
+    "CTC", "KTH", "LANL", "LANLi", "LANLb", "LLNL", "NASA", "SDSC", "SDSCi", "SDSCb",
+];
+
+/// Variable codes in Table 1 row order.
+pub const TABLE1_VARIABLES: [&str; 18] = [
+    "MP", "SF", "AL", "RL", "CL", "E", "U", "C", "Rm", "Ri", "Pm", "Pi", "Nm", "Ni", "Cm",
+    "Ci", "Im", "Ii",
+];
+
+/// Table 1 cells, `[variable][observation]`, `None` = "N/A".
+pub const TABLE1: [[Option<f64>; 10]; 18] = [
+    // MP
+    [
+        Some(512.0), Some(100.0), Some(1024.0), Some(1024.0), Some(1024.0),
+        Some(256.0), Some(128.0), Some(416.0), Some(416.0), Some(416.0),
+    ],
+    // SF
+    [
+        Some(2.0), Some(2.0), Some(3.0), Some(3.0), Some(3.0),
+        Some(3.0), Some(1.0), Some(1.0), Some(1.0), Some(1.0),
+    ],
+    // AL
+    [
+        Some(3.0), Some(3.0), Some(1.0), Some(1.0), Some(1.0),
+        Some(2.0), Some(1.0), Some(2.0), Some(2.0), Some(2.0),
+    ],
+    // RL
+    [
+        Some(0.56), Some(0.69), Some(0.66), Some(0.02), Some(0.65),
+        Some(0.62), None, Some(0.7), Some(0.01), Some(0.69),
+    ],
+    // CL
+    [
+        Some(0.47), Some(0.69), Some(0.42), Some(0.0), Some(0.42),
+        None, Some(0.47), Some(0.68), Some(0.01), Some(0.67),
+    ],
+    // E
+    [
+        None, None, Some(0.0008), Some(0.0019), Some(0.0012),
+        Some(0.0329), Some(0.0352), None, None, None,
+    ],
+    // U
+    [
+        Some(0.0086), Some(0.0075), Some(0.0019), Some(0.0049), Some(0.0032),
+        Some(0.0072), Some(0.0016), Some(0.0012), Some(0.0021), Some(0.0029),
+    ],
+    // C
+    [
+        Some(0.79), Some(0.72), Some(0.91), Some(0.99), Some(0.85),
+        None, None, Some(0.99), Some(1.0), Some(0.97),
+    ],
+    // Rm
+    [
+        Some(960.0), Some(848.0), Some(68.0), Some(57.0), Some(376.0),
+        Some(36.0), Some(19.0), Some(45.0), Some(12.0), Some(1812.0),
+    ],
+    // Ri
+    [
+        Some(57216.0), Some(47875.0), Some(9064.0), Some(267.0), Some(11136.0),
+        Some(9143.0), Some(1168.0), Some(28498.0), Some(484.0), Some(39290.0),
+    ],
+    // Pm
+    [
+        Some(2.0), Some(3.0), Some(64.0), Some(32.0), Some(64.0),
+        Some(8.0), Some(1.0), Some(5.0), Some(4.0), Some(8.0),
+    ],
+    // Pi
+    [
+        Some(37.0), Some(31.0), Some(224.0), Some(96.0), Some(480.0),
+        Some(62.0), Some(31.0), Some(63.0), Some(31.0), Some(63.0),
+    ],
+    // Nm
+    [
+        Some(0.76), Some(3.84), Some(8.0), Some(4.0), Some(8.0),
+        Some(4.0), Some(1.0), Some(1.54), Some(1.23), Some(2.46),
+    ],
+    // Ni
+    [
+        Some(14.10), Some(39.68), Some(28.0), Some(12.0), Some(60.0),
+        Some(31.0), Some(31.0), Some(19.38), Some(9.54), Some(19.38),
+    ],
+    // Cm
+    [
+        Some(2181.0), Some(2880.0), Some(256.0), Some(128.0), Some(2944.0),
+        Some(384.0), Some(19.0), Some(209.0), Some(86.0), Some(9472.0),
+    ],
+    // Ci
+    [
+        Some(326057.0), Some(355140.0), Some(559104.0), Some(2560.0), Some(1582080.0),
+        Some(455582.0), Some(19774.0), Some(918544.0), Some(3960.0), Some(1754212.0),
+    ],
+    // Im
+    [
+        Some(64.0), Some(192.0), Some(162.0), Some(16.0), Some(169.0),
+        Some(119.0), Some(56.0), Some(170.0), Some(68.0), Some(208.0),
+    ],
+    // Ii
+    [
+        Some(1472.0), Some(3806.0), Some(1968.0), Some(276.0), Some(2064.0),
+        Some(1660.0), Some(443.0), Some(4265.0), Some(2076.0), Some(5884.0),
+    ],
+];
+
+/// Table 2 observation names: L1..L4, S1..S4.
+pub const TABLE2_OBSERVATIONS: [&str; 8] = ["L1", "L2", "L3", "L4", "S1", "S2", "S3", "S4"];
+
+/// Table 2 variable names (row order).
+pub const TABLE2_VARIABLES: [&str; 15] = [
+    "RL", "CL", "E", "U", "C", "Rm", "Ri", "Pm", "Pi", "Nm", "Ni", "Cm", "Ci", "Im", "Ii",
+];
+
+/// Table 2 cells, `[variable][observation]` with observations L1..L4 then
+/// S1..S4; `None` = "N/A".
+pub const TABLE2: [[Option<f64>; 8]; 15] = [
+    // RL
+    [
+        Some(0.76), Some(0.83), Some(0.24), Some(0.73),
+        Some(0.66), Some(0.67), Some(0.76), Some(0.65),
+    ],
+    // CL
+    [
+        Some(0.43), Some(0.52), Some(0.16), Some(0.48),
+        Some(0.65), Some(0.66), Some(0.72), Some(0.63),
+    ],
+    // E (executables per job)
+    [
+        Some(0.0016), Some(0.0014), Some(0.0034), Some(0.0016),
+        None, None, None, None,
+    ],
+    // U (users per job)
+    [
+        Some(0.0038), Some(0.0038), Some(0.0076), Some(0.0042),
+        Some(0.0021), Some(0.0019), Some(0.0023), Some(0.0023),
+    ],
+    // C
+    [
+        Some(0.93), Some(0.93), Some(0.82), Some(0.90),
+        Some(0.99), Some(0.99), Some(0.98), Some(0.97),
+    ],
+    // Rm
+    [
+        Some(62.0), Some(65.0), Some(643.0), Some(79.0),
+        Some(31.0), Some(21.0), Some(73.0), Some(527.0),
+    ],
+    // Ri
+    [
+        Some(7003.0), Some(7383.0), Some(11039.0), Some(11085.0),
+        Some(29067.0), Some(20270.0), Some(30955.0), Some(25656.0),
+    ],
+    // Pm
+    [
+        Some(64.0), Some(32.0), Some(64.0), Some(128.0),
+        Some(4.0), Some(4.0), Some(4.0), Some(8.0),
+    ],
+    // Pi
+    [
+        Some(224.0), Some(224.0), Some(480.0), Some(480.0),
+        Some(63.0), Some(63.0), Some(63.0), Some(63.0),
+    ],
+    // Nm
+    [
+        Some(8.0), Some(4.0), Some(8.0), Some(16.0),
+        Some(1.23), Some(1.23), Some(1.23), Some(2.46),
+    ],
+    // Ni
+    [
+        Some(28.0), Some(28.0), Some(60.0), Some(60.0),
+        Some(19.38), Some(19.38), Some(19.38), Some(19.38),
+    ],
+    // Cm
+    [
+        Some(128.0), Some(256.0), Some(7648.0), Some(384.0),
+        Some(169.0), Some(119.0), Some(295.0), Some(1645.0),
+    ],
+    // Ci
+    [
+        Some(300320.0), Some(394112.0), Some(1976832.0), Some(1417216.0),
+        Some(504254.0), Some(612183.0), Some(1235174.0), Some(1141531.0),
+    ],
+    // Im
+    [
+        Some(159.0), Some(167.0), Some(239.0), Some(89.0),
+        Some(180.0), Some(39.0), Some(92.0), Some(206.0),
+    ],
+    // Ii
+    [
+        Some(1948.0), Some(1765.0), Some(2448.0), Some(1834.0),
+        Some(2422.0), Some(5836.0), Some(4516.0), Some(5040.0),
+    ],
+];
+
+/// Table 3 observation names (10 logs + 5 models).
+pub const TABLE3_OBSERVATIONS: [&str; 15] = [
+    "CTC", "KTH", "LANL", "LANLi", "LANLb", "LLNL", "NASA", "SDSC", "SDSCi", "SDSCb",
+    "Lublin", "Feitelson '97", "Feitelson '96", "Downey", "Jann",
+];
+
+/// Table 3 estimator codes: series (p/r/c/i) x estimator (r/v/p), column
+/// order `rp vp pp rr vr pr rc vc pc ri vi pi`.
+pub const TABLE3_COLUMNS: [&str; 12] = [
+    "rp", "vp", "pp", "rr", "vr", "pr", "rc", "vc", "pc", "ri", "vi", "pi",
+];
+
+/// Table 3 cells, `[observation][column]`.
+pub const TABLE3: [[f64; 12]; 15] = [
+    // CTC
+    [0.71, 0.71, 0.68, 0.55, 0.75, 0.76, 0.29, 0.65, 0.56, 0.42, 0.63, 0.68],
+    // KTH
+    [0.74, 0.87, 0.67, 0.68, 0.58, 0.79, 0.61, 0.67, 0.56, 0.48, 0.69, 0.71],
+    // LANL
+    [0.60, 0.90, 0.82, 0.74, 0.90, 0.77, 0.65, 0.88, 0.76, 0.67, 0.91, 0.68],
+    // LANLi
+    [0.96, 0.81, 0.91, 0.80, 0.80, 0.84, 0.71, 0.79, 0.70, 0.86, 0.59, 0.84],
+    // LANLb
+    [0.52, 0.78, 0.78, 0.66, 0.81, 0.71, 0.68, 0.80, 0.71, 0.71, 0.79, 0.66],
+    // LLNL
+    [0.84, 0.74, 0.84, 0.88, 0.74, 0.69, 0.77, 0.69, 0.72, 0.56, 0.43, 0.71],
+    // NASA
+    [0.61, 0.68, 0.84, 0.53, 0.66, 0.56, 0.43, 0.60, 0.55, 0.60, 0.35, 0.51],
+    // SDSC
+    [0.50, 0.77, 0.68, 0.54, 0.85, 0.70, 0.53, 0.83, 0.60, 0.66, 0.96, 0.67],
+    // SDSCi
+    [0.61, 0.59, 0.94, 0.83, 0.61, 0.58, 0.62, 0.59, 0.56, 0.80, 0.74, 0.64],
+    // SDSCb
+    [0.68, 0.83, 0.72, 0.84, 0.76, 0.68, 0.83, 0.79, 0.58, 0.82, 0.84, 0.56],
+    // Lublin
+    [0.47, 0.47, 0.48, 0.55, 0.80, 0.67, 0.55, 0.80, 0.67, 0.45, 0.49, 0.47],
+    // Feitelson '97
+    [0.64, 0.62, 0.80, 0.72, 0.62, 0.72, 0.67, 0.58, 0.70, 0.49, 0.49, 0.54],
+    // Feitelson '96
+    [0.72, 0.57, 0.65, 0.26, 0.61, 0.69, 0.26, 0.60, 0.68, 0.55, 0.48, 0.50],
+    // Downey
+    [0.46, 0.49, 0.50, 0.54, 0.48, 0.49, 0.60, 0.47, 0.49, 0.55, 0.46, 0.49],
+    // Jann
+    [0.69, 0.57, 0.59, 0.49, 0.49, 0.49, 0.64, 0.51, 0.51, 0.61, 0.50, 0.54],
+];
+
+/// Figure-level goodness-of-fit claims quoted in the text.
+pub mod fit_claims {
+    /// Figure 1: coefficient of alienation.
+    pub const FIG1_THETA: f64 = 0.07;
+    /// Figure 1: average variable correlation (minimum 0.83).
+    pub const FIG1_MEAN_CORR: f64 = 0.88;
+    /// Figure 2: coefficient of alienation.
+    pub const FIG2_THETA: f64 = 0.01;
+    /// Figure 2: average variable correlation.
+    pub const FIG2_MEAN_CORR: f64 = 0.88;
+    /// Figure 4: coefficient of alienation.
+    pub const FIG4_THETA: f64 = 0.06;
+    /// Figure 4: average variable correlation.
+    pub const FIG4_MEAN_CORR: f64 = 0.89;
+    /// Section 8 three-parameter map: coefficient of alienation.
+    pub const SEC8_THETA: f64 = 0.02;
+    /// Section 8 three-parameter map: average variable correlation.
+    pub const SEC8_MEAN_CORR: f64 = 0.94;
+    /// The paper's "good fit" threshold for theta.
+    pub const GOOD_THETA: f64 = 0.15;
+}
+
+/// Variables retained in Figure 1 (codes): the nine that survive
+/// elimination. RL stays; CL and AL are noted as near-cluster members but
+/// removed from the final map.
+pub const FIG1_VARIABLES: [&str; 9] = ["RL", "Rm", "Ri", "Nm", "Ni", "Cm", "Ci", "Im", "Ii"];
+
+/// Variables used in Figure 2 (un-normalized parallelism replaces Nm/Ni;
+/// batch outliers dropped).
+pub const FIG2_VARIABLES: [&str; 9] = ["RL", "Rm", "Ri", "Pm", "Pi", "Cm", "Ci", "Im", "Ii"];
+
+/// Figure 2 drops the two batch outliers.
+pub const FIG2_DROPPED: [&str; 2] = ["LANLb", "SDSCb"];
+
+/// Variables used in Figure 3 (RL and Ii removed for low correlation).
+pub const FIG3_VARIABLES: [&str; 7] = ["Rm", "Ri", "Nm", "Ni", "Cm", "Ci", "Im"];
+
+/// The eight job-stream variables shared with the models (Figure 4).
+pub const FIG4_VARIABLES: [&str; 8] = ["Rm", "Ri", "Nm", "Ni", "Cm", "Ci", "Im", "Ii"];
+
+/// The section-8 three-parameter subset.
+pub const SEC8_VARIABLES: [&str; 3] = ["AL", "Pm", "Im"];
+
+/// Figure 5 keeps nine of the twelve Hurst estimators (rp, rc, pc removed
+/// for low correlation).
+pub const FIG5_VARIABLES: [&str; 9] = ["vp", "pp", "rr", "vr", "pr", "vc", "ri", "vi", "pi"];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_shapes() {
+        assert_eq!(TABLE1.len(), TABLE1_VARIABLES.len());
+        assert_eq!(TABLE2.len(), TABLE2_VARIABLES.len());
+        assert_eq!(TABLE3.len(), TABLE3_OBSERVATIONS.len());
+    }
+
+    #[test]
+    fn normalized_parallelism_consistent_with_raw() {
+        // Nm = Pm / MP * 128 for every observation (sanity of
+        // transcription). The CTC column is exempt: the paper's own Table 1
+        // prints Nm = 0.76 where Pm/MP*128 = 0.5 — an internal
+        // inconsistency of the published table (every other column checks
+        // out), which we transcribe as printed.
+        let mp = &TABLE1[0];
+        let pm = &TABLE1[10];
+        let nm = &TABLE1[12];
+        for i in 1..10 {
+            let expect = pm[i].unwrap() / mp[i].unwrap() * 128.0;
+            let got = nm[i].unwrap();
+            assert!(
+                (got - expect).abs() / expect < 0.02,
+                "obs {i}: Nm {got} vs derived {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn figure_variable_sets_are_subsets_of_tables() {
+        for v in FIG1_VARIABLES.iter().chain(&FIG2_VARIABLES).chain(&FIG3_VARIABLES) {
+            assert!(TABLE1_VARIABLES.contains(v), "{v} not in Table 1");
+        }
+        for v in &FIG5_VARIABLES {
+            assert!(TABLE3_COLUMNS.contains(v), "{v} not in Table 3");
+        }
+    }
+
+    #[test]
+    fn hurst_values_in_unit_interval() {
+        for row in &TABLE3 {
+            for &h in row {
+                assert!((0.0..=1.0).contains(&h));
+            }
+        }
+    }
+}

@@ -1,0 +1,290 @@
+//! Fast Fourier transform: iterative radix-2 plus Bluestein's algorithm for
+//! arbitrary lengths.
+//!
+//! The periodogram estimator needs the DFT of job series whose lengths are
+//! whatever the log happened to contain, so a power-of-two-only FFT is not
+//! enough; Bluestein's chirp-z trick reduces any length to a power-of-two
+//! convolution. The Davies-Harte fGn generator also runs on these kernels.
+
+use std::f64::consts::PI;
+
+/// In-place radix-2 FFT over split real/imaginary arrays.
+///
+/// `inverse` applies the conjugate transform *without* the 1/n scaling
+/// (callers scale when they need a round trip).
+///
+/// # Panics
+/// Panics unless the length is a power of two (and equal for both arrays).
+pub fn fft_pow2(re: &mut [f64], im: &mut [f64], inverse: bool) {
+    let n = re.len();
+    assert_eq!(n, im.len(), "re/im length mismatch");
+    assert!(n.is_power_of_two(), "fft_pow2 requires power-of-two length");
+    if n <= 1 {
+        return;
+    }
+
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = i.reverse_bits() >> (usize::BITS - bits);
+        if j > i {
+            re.swap(i, j);
+            im.swap(i, j);
+        }
+    }
+
+    // Danielson-Lanczos butterflies.
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * PI / len as f64;
+        let (wr, wi) = (ang.cos(), ang.sin());
+        for start in (0..n).step_by(len) {
+            let (mut cr, mut ci) = (1.0, 0.0);
+            for k in 0..len / 2 {
+                let a = start + k;
+                let b = a + len / 2;
+                let tr = re[b] * cr - im[b] * ci;
+                let ti = re[b] * ci + im[b] * cr;
+                re[b] = re[a] - tr;
+                im[b] = im[a] - ti;
+                re[a] += tr;
+                im[a] += ti;
+                let ncr = cr * wr - ci * wi;
+                ci = cr * wi + ci * wr;
+                cr = ncr;
+            }
+        }
+        len <<= 1;
+    }
+}
+
+/// DFT of arbitrary length via Bluestein's algorithm (falls back to the
+/// radix-2 kernel directly for power-of-two lengths).
+///
+/// Returns `(re, im)` of the transform; `inverse` applies the conjugate
+/// transform without scaling.
+pub fn fft_any(re_in: &[f64], im_in: &[f64], inverse: bool) -> (Vec<f64>, Vec<f64>) {
+    let n = re_in.len();
+    assert_eq!(n, im_in.len(), "re/im length mismatch");
+    if n == 0 {
+        return (Vec::new(), Vec::new());
+    }
+    if n.is_power_of_two() {
+        let mut re = re_in.to_vec();
+        let mut im = im_in.to_vec();
+        fft_pow2(&mut re, &mut im, inverse);
+        return (re, im);
+    }
+
+    // Bluestein: x_k * chirp_k convolved with conjugate chirp.
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let m = (2 * n - 1).next_power_of_two();
+
+    // chirp_k = exp(sign * i * pi * k^2 / n)
+    let chirp: Vec<(f64, f64)> = (0..n)
+        .map(|k| {
+            // k^2 mod 2n avoids precision loss for large k.
+            let k2 = ((k as u128 * k as u128) % (2 * n as u128)) as f64;
+            let ang = sign * PI * k2 / n as f64;
+            (ang.cos(), ang.sin())
+        })
+        .collect();
+
+    let mut are = vec![0.0; m];
+    let mut aim = vec![0.0; m];
+    for k in 0..n {
+        let (cr, ci) = chirp[k];
+        are[k] = re_in[k] * cr - im_in[k] * ci;
+        aim[k] = re_in[k] * ci + im_in[k] * cr;
+    }
+
+    let mut bre = vec![0.0; m];
+    let mut bim = vec![0.0; m];
+    // b_k = conj(chirp_k), wrapped for negative indices.
+    bre[0] = chirp[0].0;
+    bim[0] = -chirp[0].1;
+    for k in 1..n {
+        let (cr, ci) = chirp[k];
+        bre[k] = cr;
+        bim[k] = -ci;
+        bre[m - k] = cr;
+        bim[m - k] = -ci;
+    }
+
+    fft_pow2(&mut are, &mut aim, false);
+    fft_pow2(&mut bre, &mut bim, false);
+    // Pointwise product.
+    for i in 0..m {
+        let r = are[i] * bre[i] - aim[i] * bim[i];
+        let im_ = are[i] * bim[i] + aim[i] * bre[i];
+        are[i] = r;
+        aim[i] = im_;
+    }
+    fft_pow2(&mut are, &mut aim, true);
+    // Unscaled inverse: divide by m, then multiply by chirp again.
+    let scale = 1.0 / m as f64;
+    let mut out_re = Vec::with_capacity(n);
+    let mut out_im = Vec::with_capacity(n);
+    for k in 0..n {
+        let (cr, ci) = chirp[k];
+        let r = are[k] * scale;
+        let i = aim[k] * scale;
+        out_re.push(r * cr - i * ci);
+        out_im.push(r * ci + i * cr);
+    }
+    (out_re, out_im)
+}
+
+/// DFT of a real series: returns `(re, im)` of all `n` bins.
+pub fn rfft(x: &[f64]) -> (Vec<f64>, Vec<f64>) {
+    let zeros = vec![0.0; x.len()];
+    fft_any(x, &zeros, false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Naive O(n^2) DFT for cross-checking.
+    fn dft_naive(re: &[f64], im: &[f64]) -> (Vec<f64>, Vec<f64>) {
+        let n = re.len();
+        let mut out_re = vec![0.0; n];
+        let mut out_im = vec![0.0; n];
+        for k in 0..n {
+            for t in 0..n {
+                let ang = -2.0 * PI * (k * t) as f64 / n as f64;
+                let (c, s) = (ang.cos(), ang.sin());
+                out_re[k] += re[t] * c - im[t] * s;
+                out_im[k] += re[t] * s + im[t] * c;
+            }
+        }
+        (out_re, out_im)
+    }
+
+    fn assert_close_vec(a: &[f64], b: &[f64], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert!((x - y).abs() < tol, "{x} != {y}");
+        }
+    }
+
+    #[test]
+    fn pow2_matches_naive() {
+        let re = [1.0, 2.0, -0.5, 3.0, 0.25, -1.0, 2.5, 0.0];
+        let im = [0.5, -1.0, 0.0, 2.0, -0.25, 1.0, 0.0, -2.0];
+        let (nre, nim) = dft_naive(&re, &im);
+        let mut fre = re.to_vec();
+        let mut fim = im.to_vec();
+        fft_pow2(&mut fre, &mut fim, false);
+        assert_close_vec(&fre, &nre, 1e-9);
+        assert_close_vec(&fim, &nim, 1e-9);
+    }
+
+    #[test]
+    fn bluestein_matches_naive_odd_lengths() {
+        for n in [3usize, 5, 7, 12, 13, 100] {
+            let re: Vec<f64> = (0..n).map(|i| (i as f64 * 0.7).sin()).collect();
+            let im: Vec<f64> = (0..n).map(|i| (i as f64 * 1.3).cos() * 0.5).collect();
+            let (nre, nim) = dft_naive(&re, &im);
+            let (fre, fim) = fft_any(&re, &im, false);
+            assert_close_vec(&fre, &nre, 1e-7);
+            assert_close_vec(&fim, &nim, 1e-7);
+        }
+    }
+
+    #[test]
+    fn round_trip_identity() {
+        for n in [8usize, 15, 33] {
+            let re: Vec<f64> = (0..n).map(|i| i as f64 * 0.3 - 1.0).collect();
+            let im: Vec<f64> = (0..n).map(|i| (i as f64).sqrt()).collect();
+            let (fre, fim) = fft_any(&re, &im, false);
+            let (mut bre, mut bim) = fft_any(&fre, &fim, true);
+            for v in &mut bre {
+                *v /= n as f64;
+            }
+            for v in &mut bim {
+                *v /= n as f64;
+            }
+            assert_close_vec(&bre, &re, 1e-8);
+            assert_close_vec(&bim, &im, 1e-8);
+        }
+    }
+
+    #[test]
+    fn parseval_theorem() {
+        let n = 64;
+        let x: Vec<f64> = (0..n).map(|i| ((i * i) as f64 * 0.01).sin()).collect();
+        let (fre, fim) = rfft(&x);
+        let time_energy: f64 = x.iter().map(|v| v * v).sum();
+        let freq_energy: f64 = fre
+            .iter()
+            .zip(&fim)
+            .map(|(r, i)| r * r + i * i)
+            .sum::<f64>()
+            / n as f64;
+        assert!((time_energy - freq_energy).abs() < 1e-8);
+    }
+
+    #[test]
+    fn impulse_has_flat_spectrum() {
+        let mut x = vec![0.0; 16];
+        x[0] = 1.0;
+        let (re, im) = rfft(&x);
+        for k in 0..16 {
+            assert!((re[k] - 1.0).abs() < 1e-12);
+            assert!(im[k].abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn pure_tone_concentrates_in_one_bin() {
+        let n = 32;
+        let freq = 5;
+        let x: Vec<f64> = (0..n)
+            .map(|t| (2.0 * PI * freq as f64 * t as f64 / n as f64).cos())
+            .collect();
+        let (re, im) = rfft(&x);
+        let mags: Vec<f64> = re
+            .iter()
+            .zip(&im)
+            .map(|(r, i)| (r * r + i * i).sqrt())
+            .collect();
+        // Energy in bins `freq` and `n - freq` only.
+        for (k, m) in mags.iter().enumerate() {
+            if k == freq || k == n - freq {
+                assert!((m - n as f64 / 2.0).abs() < 1e-9, "bin {k}: {m}");
+            } else {
+                assert!(*m < 1e-9, "bin {k}: {m}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let (re, im) = fft_any(&[], &[], false);
+        assert!(re.is_empty() && im.is_empty());
+        let (re, im) = fft_any(&[3.5], &[0.0], false);
+        assert_eq!(re, vec![3.5]);
+        assert_eq!(im, vec![0.0]);
+    }
+
+    #[test]
+    fn large_bluestein_precision() {
+        // Prime length exercises the full chirp path.
+        let n = 1009;
+        let x: Vec<f64> = (0..n).map(|i| ((i as f64) * 0.01).sin()).collect();
+        let (fre, fim) = rfft(&x);
+        // Spot-check one bin against the naive sum.
+        let k = 17;
+        let mut sr = 0.0;
+        let mut si = 0.0;
+        for (t, &v) in x.iter().enumerate() {
+            let ang = -2.0 * PI * (k * t % n) as f64 / n as f64;
+            sr += v * ang.cos();
+            si += v * ang.sin();
+        }
+        assert!((fre[k] - sr).abs() < 1e-6, "{} vs {}", fre[k], sr);
+        assert!((fim[k] - si).abs() < 1e-6);
+    }
+}

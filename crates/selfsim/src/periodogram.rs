@@ -1,0 +1,143 @@
+//! Periodogram Hurst estimator — appendix Eqs. 18-19.
+//!
+//! The periodogram of a long-range dependent series diverges like
+//! `|omega|^(1-2H)` near the origin, so the slope of the log-log
+//! periodogram over the lowest frequencies estimates `1 - 2H`.
+
+use crate::fft::rfft;
+use wl_stats::linear_fit;
+
+/// The periodogram `Per(omega_i) = |X(omega_i)|^2 * 2/N` at the Fourier
+/// frequencies `omega_i = 2 pi i / N` for `i = 1 .. N/2` (the zero
+/// frequency is excluded: the series is centered first, making it zero).
+pub fn periodogram(x: &[f64]) -> Vec<(f64, f64)> {
+    let n = x.len();
+    if n < 4 {
+        return Vec::new();
+    }
+    let mean = x.iter().sum::<f64>() / n as f64;
+    let centered: Vec<f64> = x.iter().map(|v| v - mean).collect();
+    let (re, im) = rfft(&centered);
+    (1..=n / 2)
+        .map(|i| {
+            let omega = 2.0 * std::f64::consts::PI * i as f64 / n as f64;
+            let power = (re[i] * re[i] + im[i] * im[i]) * 2.0 / n as f64;
+            (omega, power)
+        })
+        .collect()
+}
+
+/// Estimate the Hurst parameter from the low-frequency periodogram slope:
+/// fit `log Per(omega)` against `log omega` over the lowest `fraction` of
+/// frequencies (the paper and the literature use ~10%), then
+/// `H = (1 - slope) / 2`, clamped to `[0, 1]`.
+///
+/// Returns `None` for series too short to yield 3 usable frequencies.
+pub fn periodogram_hurst_with_fraction(x: &[f64], fraction: f64) -> Option<f64> {
+    assert!(fraction > 0.0 && fraction <= 1.0, "bad fraction {fraction}");
+    let per = periodogram(x);
+    let keep = ((per.len() as f64 * fraction).ceil() as usize).min(per.len());
+    if keep < 3 {
+        return None;
+    }
+    let mut logs_w = Vec::with_capacity(keep);
+    let mut logs_p = Vec::with_capacity(keep);
+    for &(w, p) in per.iter().take(keep) {
+        if p > 0.0 {
+            logs_w.push(w.ln());
+            logs_p.push(p.ln());
+        }
+    }
+    if logs_w.len() < 3 {
+        return None;
+    }
+    let fit = linear_fit(&logs_w, &logs_p)?;
+    Some(((1.0 - fit.slope) / 2.0).clamp(0.0, 1.0))
+}
+
+/// [`periodogram_hurst_with_fraction`] at the conventional 10%.
+pub fn periodogram_hurst(x: &[f64]) -> Option<f64> {
+    periodogram_hurst_with_fraction(x, 0.10)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+    use wl_stats::rng::seeded_rng;
+
+    fn white_noise(n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = seeded_rng(seed);
+        (0..n)
+            .map(|_| (0..12).map(|_| rng.gen::<f64>()).sum::<f64>() - 6.0)
+            .collect()
+    }
+
+    #[test]
+    fn periodogram_total_power_matches_energy() {
+        // Parseval: sum_k |X_k|^2 = N * energy of the centered series. With
+        // X_0 = 0 and conjugate-symmetric halves, summing i = 1..N/2 with
+        // the 2/N periodogram factor recovers the full centered energy.
+        let x = white_noise(1024, 21);
+        let per = periodogram(&x);
+        let total: f64 = per.iter().map(|&(_, p)| p).sum();
+        let mean = x.iter().sum::<f64>() / x.len() as f64;
+        let energy: f64 = x.iter().map(|v| (v - mean) * (v - mean)).sum();
+        assert!((total / energy - 1.0).abs() < 0.01, "total {total} vs energy {energy}");
+    }
+
+    #[test]
+    fn white_noise_scores_near_half() {
+        let x = white_noise(8192, 22);
+        let h = periodogram_hurst(&x).unwrap();
+        assert!((0.35..0.65).contains(&h), "H = {h}");
+    }
+
+    #[test]
+    fn random_walk_scores_high() {
+        let noise = white_noise(8192, 23);
+        let mut acc = 0.0;
+        let walk: Vec<f64> = noise
+            .iter()
+            .map(|v| {
+                acc += v;
+                acc
+            })
+            .collect();
+        let h = periodogram_hurst(&walk).unwrap();
+        assert!(h > 0.85, "H = {h}");
+    }
+
+    #[test]
+    fn frequencies_are_increasing_positive() {
+        let x = white_noise(512, 24);
+        let per = periodogram(&x);
+        assert_eq!(per.len(), 256);
+        for w in per.windows(2) {
+            assert!(w[0].0 < w[1].0);
+        }
+        assert!(per[0].0 > 0.0);
+        assert!(per.last().unwrap().0 <= std::f64::consts::PI + 1e-12);
+    }
+
+    #[test]
+    fn non_power_of_two_lengths_work() {
+        let x = white_noise(1000, 25);
+        let h = periodogram_hurst(&x);
+        assert!(h.is_some());
+        let x = white_noise(777, 26);
+        assert!(periodogram_hurst(&x).is_some());
+    }
+
+    #[test]
+    fn short_series_none() {
+        assert!(periodogram_hurst(&[1.0, 2.0, 3.0]).is_none());
+        assert!(periodogram_hurst(&white_noise(16, 27)).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "bad fraction")]
+    fn zero_fraction_panics() {
+        periodogram_hurst_with_fraction(&[1.0; 100], 0.0);
+    }
+}

@@ -1,0 +1,182 @@
+//! R/S (rescaled adjusted range) analysis — appendix Eqs. 12-15.
+//!
+//! For a block of `n` observations with mean `A(n)` and standard deviation
+//! `S(n)`, the adjusted range is `R(n) = max_k W_k - min_k W_k` where
+//! `W_k = (X_1 + ... + X_k) - k A(n)` (with `W_0 = 0`). Long-range dependent
+//! series follow `E[R/S] ~ c n^H`, so plotting `log(R/S)` against `log n`
+//! over many block sizes (a *pox plot*) and fitting a line estimates `H`.
+
+use wl_stats::linear_fit;
+
+/// One point of the pox plot: block size and the mean R/S over all
+/// non-overlapping blocks of that size.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PoxPoint {
+    pub block_size: usize,
+    pub mean_rs: f64,
+    /// How many blocks contributed.
+    pub blocks: usize,
+}
+
+/// The rescaled adjusted range R/S of one block. Returns `None` for blocks
+/// shorter than 2 or with zero variance.
+pub fn rescaled_range(block: &[f64]) -> Option<f64> {
+    let n = block.len();
+    if n < 2 {
+        return None;
+    }
+    let mean = block.iter().sum::<f64>() / n as f64;
+    // Sample standard deviation (divide by n, as in the original R/S
+    // statistic definition).
+    let var = block.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n as f64;
+    if var <= 0.0 {
+        return None;
+    }
+    let s = var.sqrt();
+
+    let mut w = 0.0;
+    let mut max_w: f64 = 0.0; // W_0 = 0 participates in both extrema
+    let mut min_w: f64 = 0.0;
+    for &x in block {
+        w += x - mean;
+        max_w = max_w.max(w);
+        min_w = min_w.min(w);
+    }
+    Some((max_w - min_w) / s)
+}
+
+/// Compute the pox plot: logarithmically spaced block sizes from
+/// `min_block` up to `len / min_blocks_per_size`, mean R/S per size.
+pub fn pox_plot(x: &[f64], min_block: usize, points: usize) -> Vec<PoxPoint> {
+    let n = x.len();
+    let min_block = min_block.max(4);
+    // Need at least 2 blocks at the largest size for a meaningful average;
+    // allow 1 at the very top since R/S analysis traditionally includes it.
+    let max_block = n / 2;
+    if max_block < min_block || points == 0 {
+        return Vec::new();
+    }
+    let ratio = (max_block as f64 / min_block as f64).powf(1.0 / (points.max(2) - 1) as f64);
+
+    let mut out: Vec<PoxPoint> = Vec::new();
+    let mut size_f = min_block as f64;
+    for _ in 0..points {
+        let size = (size_f.round() as usize).clamp(min_block, max_block);
+        if out.last().map(|p| p.block_size) != Some(size) {
+            let mut sum = 0.0;
+            let mut count = 0;
+            for block in x.chunks_exact(size) {
+                if let Some(rs) = rescaled_range(block) {
+                    sum += rs;
+                    count += 1;
+                }
+            }
+            if count > 0 {
+                out.push(PoxPoint {
+                    block_size: size,
+                    mean_rs: sum / count as f64,
+                    blocks: count,
+                });
+            }
+        }
+        size_f *= ratio;
+    }
+    out
+}
+
+/// Estimate the Hurst parameter by R/S analysis: slope of the pox plot in
+/// log-log coordinates. Returns `None` when fewer than 3 pox points are
+/// available (series too short or degenerate).
+pub fn rs_hurst(x: &[f64]) -> Option<f64> {
+    let points = pox_plot(x, 8, 20);
+    if points.len() < 3 {
+        return None;
+    }
+    let logs_n: Vec<f64> = points.iter().map(|p| (p.block_size as f64).ln()).collect();
+    let logs_rs: Vec<f64> = points.iter().map(|p| p.mean_rs.ln()).collect();
+    linear_fit(&logs_n, &logs_rs).map(|f| f.slope)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wl_stats::rng::seeded_rng;
+    use rand::Rng;
+
+    fn white_noise(n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = seeded_rng(seed);
+        (0..n)
+            .map(|_| {
+                // Sum of 12 uniforms minus 6: approximately standard normal.
+                (0..12).map(|_| rng.gen::<f64>()).sum::<f64>() - 6.0
+            })
+            .collect()
+    }
+
+    #[test]
+    fn rescaled_range_hand_example() {
+        // Block [1, 2, 3]: mean 2, deviations cumulate to -1, -1, 0.
+        // R = 0 - (-1) = 1. S = sqrt(2/3).
+        let rs = rescaled_range(&[1.0, 2.0, 3.0]).unwrap();
+        let expect = 1.0 / (2.0f64 / 3.0).sqrt();
+        assert!((rs - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_blocks_rejected() {
+        assert!(rescaled_range(&[1.0]).is_none());
+        assert!(rescaled_range(&[2.0, 2.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn white_noise_scores_near_half() {
+        let x = white_noise(8192, 1);
+        let h = rs_hurst(&x).unwrap();
+        // R/S has a known small-sample positive bias; accept a band.
+        assert!((0.4..0.68).contains(&h), "H = {h}");
+    }
+
+    #[test]
+    fn random_walk_increments_vs_levels() {
+        // The *levels* of a random walk are strongly persistent: H near 1.
+        let noise = white_noise(8192, 2);
+        let mut walk = Vec::with_capacity(noise.len());
+        let mut acc = 0.0;
+        for v in &noise {
+            acc += v;
+            walk.push(acc);
+        }
+        let h_walk = rs_hurst(&walk).unwrap();
+        let h_noise = rs_hurst(&noise).unwrap();
+        assert!(h_walk > 0.8, "walk H = {h_walk}");
+        assert!(h_walk > h_noise + 0.2);
+    }
+
+    #[test]
+    fn pox_plot_block_sizes_increase() {
+        let x = white_noise(2048, 3);
+        let points = pox_plot(&x, 8, 15);
+        assert!(points.len() >= 5);
+        for w in points.windows(2) {
+            assert!(w[0].block_size < w[1].block_size);
+        }
+        // Largest size uses at least 2 blocks.
+        assert!(points.last().unwrap().blocks >= 2);
+    }
+
+    #[test]
+    fn too_short_series_is_none() {
+        assert!(rs_hurst(&[1.0, 2.0, 3.0]).is_none());
+        assert!(rs_hurst(&[]).is_none());
+    }
+
+    #[test]
+    fn anti_persistent_alternation_scores_low() {
+        let x: Vec<f64> = (0..4096)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
+        // Purely alternating series: R/S grows very slowly.
+        let h = rs_hurst(&x).unwrap();
+        assert!(h < 0.3, "H = {h}");
+    }
+}

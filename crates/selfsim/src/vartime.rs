@@ -1,0 +1,154 @@
+//! Variance-time plot estimator — appendix Eqs. 16-17.
+//!
+//! Self-similar processes satisfy `Var(X^(m)) ∝ m^(-beta)`: aggregating a
+//! short-range-dependent series over blocks of `m` shrinks the variance like
+//! `1/m` (beta = 1), while long-range dependence slows the decay
+//! (0 < beta < 1). Plotting `log Var(X^(m))` against `log m` and fitting a
+//! line gives `-beta` as the slope and `H = 1 - beta/2`.
+
+use crate::aggregate::aggregate_series;
+use wl_stats::linear_fit;
+
+/// One point of the variance-time plot.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VtPoint {
+    pub m: usize,
+    pub variance: f64,
+    /// Number of aggregated blocks behind the variance estimate.
+    pub blocks: usize,
+}
+
+/// Compute the variance-time plot over logarithmically spaced aggregation
+/// levels, keeping only levels with at least `min_blocks` blocks.
+pub fn variance_time_plot(x: &[f64], points: usize, min_blocks: usize) -> Vec<VtPoint> {
+    let n = x.len();
+    let min_blocks = min_blocks.max(2);
+    if n < 2 * min_blocks || points == 0 {
+        return Vec::new();
+    }
+    let max_m = n / min_blocks;
+    let ratio = (max_m as f64).powf(1.0 / (points.max(2) - 1) as f64);
+
+    let mut out: Vec<VtPoint> = Vec::new();
+    let mut m_f: f64 = 1.0;
+    for _ in 0..points {
+        let m = (m_f.round() as usize).clamp(1, max_m);
+        if out.last().map(|p| p.m) != Some(m) {
+            let agg = aggregate_series(x, m);
+            if agg.len() >= min_blocks {
+                let var = wl_stats::variance(&agg);
+                if var.is_finite() && var > 0.0 {
+                    out.push(VtPoint {
+                        m,
+                        variance: var,
+                        blocks: agg.len(),
+                    });
+                }
+            }
+        }
+        m_f *= ratio;
+    }
+    out
+}
+
+/// Estimate the Hurst parameter from the variance-time plot slope:
+/// `H = 1 - beta/2` where the fitted slope is `-beta`. Returns `None` when
+/// fewer than 3 usable aggregation levels exist.
+///
+/// The estimate is clamped to `[0, 1]` (slopes outside `[-2, 0]` are
+/// outside the self-similar regime but arise on short noisy series).
+pub fn variance_time_hurst(x: &[f64]) -> Option<f64> {
+    let points = variance_time_plot(x, 20, 5);
+    if points.len() < 3 {
+        return None;
+    }
+    let logs_m: Vec<f64> = points.iter().map(|p| (p.m as f64).ln()).collect();
+    let logs_v: Vec<f64> = points.iter().map(|p| p.variance.ln()).collect();
+    let fit = linear_fit(&logs_m, &logs_v)?;
+    let beta = -fit.slope;
+    Some((1.0 - beta / 2.0).clamp(0.0, 1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+    use wl_stats::rng::seeded_rng;
+
+    fn white_noise(n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = seeded_rng(seed);
+        (0..n)
+            .map(|_| (0..12).map(|_| rng.gen::<f64>()).sum::<f64>() - 6.0)
+            .collect()
+    }
+
+    #[test]
+    fn white_noise_beta_one() {
+        // Var(X^(m)) = sigma^2 / m exactly in expectation: slope -1, H 0.5.
+        let x = white_noise(16384, 11);
+        let h = variance_time_hurst(&x).unwrap();
+        assert!((h - 0.5).abs() < 0.08, "H = {h}");
+    }
+
+    #[test]
+    fn variance_halves_when_aggregating_iid_pairs() {
+        let x = white_noise(65536, 12);
+        let plot = variance_time_plot(&x, 20, 5);
+        let v1 = plot.iter().find(|p| p.m == 1).unwrap().variance;
+        let v2 = plot
+            .iter()
+            .find(|p| p.m >= 2 && p.m <= 3)
+            .unwrap();
+        let expect = v1 / v2.m as f64;
+        assert!(
+            (v2.variance - expect).abs() / expect < 0.15,
+            "Var(X^({})) = {} vs {}",
+            v2.m,
+            v2.variance,
+            expect
+        );
+    }
+
+    #[test]
+    fn persistent_series_scores_high() {
+        // Long blocks of constant sign decay in variance much slower than
+        // 1/m.
+        let mut rng = seeded_rng(13);
+        let mut x = Vec::with_capacity(16384);
+        while x.len() < 16384 {
+            let level: f64 = if rng.gen::<bool>() { 1.0 } else { -1.0 };
+            // Pareto-ish heavy block length.
+            let len = (4.0 / rng.gen::<f64>().powf(0.8)) as usize;
+            for _ in 0..len.min(16384 - x.len()) {
+                x.push(level + 0.1 * (rng.gen::<f64>() - 0.5));
+            }
+        }
+        let h = variance_time_hurst(&x).unwrap();
+        assert!(h > 0.6, "H = {h}");
+    }
+
+    #[test]
+    fn plot_is_monotone_in_m() {
+        let x = white_noise(8192, 14);
+        let plot = variance_time_plot(&x, 15, 5);
+        for w in plot.windows(2) {
+            assert!(w[0].m < w[1].m);
+            assert!(w[1].blocks >= 5);
+        }
+    }
+
+    #[test]
+    fn short_series_is_none() {
+        assert!(variance_time_hurst(&[1.0, 2.0, 3.0]).is_none());
+    }
+
+    #[test]
+    fn estimate_clamped_to_unit_interval() {
+        // A strongly trending series pushes beta towards 0 (H -> 1), the
+        // clamp must keep it in range.
+        let x: Vec<f64> = (0..4096).map(|i| i as f64).collect();
+        let h = variance_time_hurst(&x).unwrap();
+        assert!((0.0..=1.0).contains(&h));
+        assert!(h > 0.9);
+    }
+}

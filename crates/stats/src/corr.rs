@@ -1,0 +1,140 @@
+//! Covariance and correlation (Pearson, Spearman).
+
+use crate::rank::ranks;
+
+/// Sample covariance (denominator `n - 1`). `NaN` below two points.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn covariance(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "covariance length mismatch");
+    let n = x.len();
+    if n < 2 {
+        return f64::NAN;
+    }
+    let mx = x.iter().sum::<f64>() / n as f64;
+    let my = y.iter().sum::<f64>() / n as f64;
+    x.iter()
+        .zip(y)
+        .map(|(a, b)| (a - mx) * (b - my))
+        .sum::<f64>()
+        / (n - 1) as f64
+}
+
+/// Pearson product-moment correlation. `NaN` when either side has zero
+/// variance or fewer than two points.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn pearson(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "pearson length mismatch");
+    let n = x.len();
+    if n < 2 {
+        return f64::NAN;
+    }
+    let mx = x.iter().sum::<f64>() / n as f64;
+    let my = y.iter().sum::<f64>() / n as f64;
+    let (mut sxy, mut sxx, mut syy) = (0.0, 0.0, 0.0);
+    for (a, b) in x.iter().zip(y) {
+        let dx = a - mx;
+        let dy = b - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if sxx == 0.0 || syy == 0.0 {
+        return f64::NAN;
+    }
+    sxy / (sxx * syy).sqrt()
+}
+
+/// Spearman rank correlation (Pearson on midranks, so ties are handled
+/// exactly).
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn spearman(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "spearman length mismatch");
+    pearson(&ranks(x), &ranks(y))
+}
+
+/// Pairwise Pearson correlation matrix of the given columns.
+/// Entry `[i][j]` is `pearson(cols[i], cols[j])`; the diagonal is 1.
+pub fn correlation_matrix(cols: &[Vec<f64>]) -> Vec<Vec<f64>> {
+    let p = cols.len();
+    let mut m = vec![vec![1.0; p]; p];
+    for i in 0..p {
+        for j in (i + 1)..p {
+            let r = pearson(&cols[i], &cols[j]);
+            m[i][j] = r;
+            m[j][i] = r;
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_linear_correlation() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson(&x, &y) - 1.0).abs() < 1e-12);
+        let yneg = [8.0, 6.0, 4.0, 2.0];
+        assert!((pearson(&x, &yneg) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn covariance_known_value() {
+        let x = [1.0, 2.0, 3.0];
+        let y = [4.0, 6.0, 8.0];
+        assert!((covariance(&x, &y) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uncorrelated_orthogonal_pattern() {
+        let x = [1.0, -1.0, 1.0, -1.0];
+        let y = [1.0, 1.0, -1.0, -1.0];
+        assert!(pearson(&x, &y).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_series_is_nan() {
+        assert!(pearson(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]).is_nan());
+    }
+
+    #[test]
+    fn spearman_monotone_nonlinear_is_one() {
+        let x = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let y: Vec<f64> = x.iter().map(|v: &f64| v.exp()).collect();
+        assert!((spearman(&x, &y) - 1.0).abs() < 1e-12);
+        // Pearson on the same data is below 1 (nonlinear).
+        assert!(pearson(&x, &y) < 1.0);
+    }
+
+    #[test]
+    fn spearman_with_ties() {
+        let x = [1.0, 2.0, 2.0, 3.0];
+        let y = [10.0, 20.0, 20.0, 30.0];
+        assert!((spearman(&x, &y) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn correlation_matrix_symmetric_unit_diagonal() {
+        let cols = vec![
+            vec![1.0, 2.0, 3.0, 4.0],
+            vec![2.0, 1.0, 4.0, 3.0],
+            vec![4.0, 3.0, 2.0, 1.0],
+        ];
+        let m = correlation_matrix(&cols);
+        for i in 0..3 {
+            assert_eq!(m[i][i], 1.0);
+            for j in 0..3 {
+                assert!((m[i][j] - m[j][i]).abs() < 1e-15);
+                assert!(m[i][j] >= -1.0 - 1e-12 && m[i][j] <= 1.0 + 1e-12);
+            }
+        }
+    }
+}

@@ -1,0 +1,131 @@
+//! The exponential distribution.
+
+use super::{open01, Distribution};
+use rand::RngCore;
+
+/// Exponential distribution with rate `lambda` (mean `1/lambda`).
+///
+/// The paper notes (section 8) that the exponential's hallmark — mean equal
+/// to standard deviation, hence fully correlated location and spread — is
+/// exactly the property observed for runtimes and parallelism across
+/// production workloads, which is why hyper-exponential variants appear in
+/// several of the models.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exponential {
+    rate: f64,
+}
+
+impl Exponential {
+    /// Create with rate `lambda > 0`.
+    ///
+    /// # Panics
+    /// Panics for non-positive or non-finite rates.
+    pub fn new(rate: f64) -> Self {
+        assert!(rate > 0.0 && rate.is_finite(), "rate must be positive, got {rate}");
+        Exponential { rate }
+    }
+
+    /// Create from the mean (`1/rate`).
+    ///
+    /// # Panics
+    /// Panics for a non-positive mean.
+    pub fn from_mean(mean: f64) -> Self {
+        assert!(mean > 0.0, "mean must be positive, got {mean}");
+        Exponential::new(1.0 / mean)
+    }
+
+    /// The rate parameter.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// Inverse CDF: `quantile(p) = -ln(1-p)/rate`.
+    ///
+    /// # Panics
+    /// Panics unless `p` is in `[0, 1)`.
+    pub fn quantile(&self, p: f64) -> f64 {
+        assert!((0.0..1.0).contains(&p), "p must be in [0,1), got {p}");
+        -(-p).ln_1p() / self.rate
+    }
+
+    /// The median, `ln(2)/rate`.
+    pub fn median(&self) -> f64 {
+        std::f64::consts::LN_2 / self.rate
+    }
+}
+
+impl Distribution for Exponential {
+    fn sample(&self, rng: &mut dyn RngCore) -> f64 {
+        -open01(rng).ln() / self.rate
+    }
+
+    fn mean(&self) -> f64 {
+        1.0 / self.rate
+    }
+
+    fn variance(&self) -> f64 {
+        1.0 / (self.rate * self.rate)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::testutil::check_moments;
+    use crate::rng::seeded_rng;
+
+    #[test]
+    fn moments_match() {
+        check_moments(&Exponential::new(0.5), 200_000, 11, 4.0);
+        check_moments(&Exponential::new(3.0), 200_000, 12, 4.0);
+    }
+
+    #[test]
+    fn from_mean_round_trip() {
+        let d = Exponential::from_mean(7.0);
+        assert!((d.mean() - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_inverts_cdf() {
+        let d = Exponential::new(2.0);
+        // CDF(q(p)) = p for a few probes.
+        for p in [0.1, 0.5, 0.9, 0.99] {
+            let x = d.quantile(p);
+            let cdf = 1.0 - (-2.0 * x).exp();
+            assert!((cdf - p).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn median_is_half_quantile() {
+        let d = Exponential::new(1.3);
+        assert!((d.median() - d.quantile(0.5)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn samples_positive() {
+        let d = Exponential::new(1.0);
+        let mut rng = seeded_rng(3);
+        for _ in 0..10_000 {
+            assert!(d.sample(&mut rng) > 0.0);
+        }
+    }
+
+    #[test]
+    fn memoryless_tail_fraction() {
+        // P(X > mean) = 1/e.
+        let d = Exponential::new(1.0);
+        let mut rng = seeded_rng(4);
+        let n = 100_000;
+        let over = (0..n).filter(|_| d.sample(&mut rng) > 1.0).count();
+        let frac = over as f64 / n as f64;
+        assert!((frac - (-1.0f64).exp()).abs() < 0.01, "frac {frac}");
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be positive")]
+    fn zero_rate_panics() {
+        Exponential::new(0.0);
+    }
+}

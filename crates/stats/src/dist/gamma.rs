@@ -1,0 +1,234 @@
+//! Gamma and Erlang distributions.
+
+use super::normal::Normal;
+use super::{open01, Distribution};
+use rand::RngCore;
+
+/// Gamma distribution with shape `k` and scale `theta`
+/// (mean `k*theta`, variance `k*theta^2`).
+///
+/// Sampling uses Marsaglia & Tsang's squeeze method for `k >= 1` and the
+/// standard boost `U^(1/k)` trick for `k < 1`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Gamma {
+    shape: f64,
+    scale: f64,
+}
+
+impl Gamma {
+    /// Create with shape `k > 0` and scale `theta > 0`.
+    ///
+    /// # Panics
+    /// Panics for non-positive parameters.
+    pub fn new(shape: f64, scale: f64) -> Self {
+        assert!(shape > 0.0 && shape.is_finite(), "bad shape {shape}");
+        assert!(scale > 0.0 && scale.is_finite(), "bad scale {scale}");
+        Gamma { shape, scale }
+    }
+
+    /// Create from a target mean and coefficient of variation:
+    /// `k = 1/cv^2`, `theta = mean * cv^2`.
+    ///
+    /// # Panics
+    /// Panics for non-positive mean or cv.
+    pub fn from_mean_cv(mean: f64, cv: f64) -> Self {
+        assert!(mean > 0.0 && cv > 0.0, "bad mean {mean} / cv {cv}");
+        let shape = 1.0 / (cv * cv);
+        Gamma::new(shape, mean / shape)
+    }
+
+    /// Shape parameter `k`.
+    pub fn shape(&self) -> f64 {
+        self.shape
+    }
+
+    /// Scale parameter `theta`.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// Sample with unit scale (internal kernel).
+    fn sample_unit(shape: f64, rng: &mut dyn RngCore) -> f64 {
+        if shape < 1.0 {
+            // Boost: Gamma(k) = Gamma(k+1) * U^(1/k).
+            let u = open01(rng);
+            return Gamma::sample_unit(shape + 1.0, rng) * u.powf(1.0 / shape);
+        }
+        // Marsaglia-Tsang.
+        let d = shape - 1.0 / 3.0;
+        let c = 1.0 / (9.0 * d).sqrt();
+        loop {
+            let x = Normal::sample_standard(rng);
+            let v = 1.0 + c * x;
+            if v <= 0.0 {
+                continue;
+            }
+            let v3 = v * v * v;
+            let u = open01(rng);
+            if u < 1.0 - 0.0331 * x.powi(4) {
+                return d * v3;
+            }
+            if u.ln() < 0.5 * x * x + d * (1.0 - v3 + v3.ln()) {
+                return d * v3;
+            }
+        }
+    }
+}
+
+impl Distribution for Gamma {
+    fn sample(&self, rng: &mut dyn RngCore) -> f64 {
+        Gamma::sample_unit(self.shape, rng) * self.scale
+    }
+
+    fn mean(&self) -> f64 {
+        self.shape * self.scale
+    }
+
+    fn variance(&self) -> f64 {
+        self.shape * self.scale * self.scale
+    }
+}
+
+/// Erlang distribution: a gamma with integer shape `n` and rate `lambda`,
+/// i.e. the sum of `n` independent exponentials. Its first three raw moments
+/// have the closed forms used by the hyper-Erlang moment matcher.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Erlang {
+    order: u32,
+    rate: f64,
+}
+
+impl Erlang {
+    /// Create with integer order `n >= 1` and rate `lambda > 0`.
+    ///
+    /// # Panics
+    /// Panics for order 0 or non-positive rate.
+    pub fn new(order: u32, rate: f64) -> Self {
+        assert!(order >= 1, "order must be >= 1");
+        assert!(rate > 0.0 && rate.is_finite(), "bad rate {rate}");
+        Erlang { order, rate }
+    }
+
+    /// Order `n`.
+    pub fn order(&self) -> u32 {
+        self.order
+    }
+
+    /// Rate `lambda`.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// Raw moment `E[X^k]` for `k` in 1..=3:
+    /// `n(n+1)...(n+k-1) / lambda^k`.
+    pub fn raw_moment(&self, k: u32) -> f64 {
+        assert!((1..=3).contains(&k), "raw_moment supports k in 1..=3");
+        let n = self.order as f64;
+        let mut num = 1.0;
+        for i in 0..k {
+            num *= n + i as f64;
+        }
+        num / self.rate.powi(k as i32)
+    }
+}
+
+impl Distribution for Erlang {
+    fn sample(&self, rng: &mut dyn RngCore) -> f64 {
+        // Sum of exponentials: for small orders, direct summation is both
+        // exact and fast; for large orders fall back to the gamma sampler.
+        if self.order <= 16 {
+            let mut s = 0.0;
+            for _ in 0..self.order {
+                s -= open01(rng).ln();
+            }
+            s / self.rate
+        } else {
+            Gamma::sample_unit(self.order as f64, rng) / self.rate
+        }
+    }
+
+    fn mean(&self) -> f64 {
+        self.order as f64 / self.rate
+    }
+
+    fn variance(&self) -> f64 {
+        self.order as f64 / (self.rate * self.rate)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::testutil::check_moments;
+    use crate::rng::seeded_rng;
+
+    #[test]
+    fn gamma_moments_shape_above_one() {
+        check_moments(&Gamma::new(2.5, 3.0), 200_000, 41, 5.0);
+        check_moments(&Gamma::new(9.0, 0.5), 200_000, 42, 5.0);
+    }
+
+    #[test]
+    fn gamma_moments_shape_below_one() {
+        check_moments(&Gamma::new(0.45, 2.0), 300_000, 43, 5.0);
+    }
+
+    #[test]
+    fn gamma_from_mean_cv() {
+        let d = Gamma::from_mean_cv(10.0, 0.5);
+        assert!((d.mean() - 10.0).abs() < 1e-12);
+        let cv = d.variance().sqrt() / d.mean();
+        assert!((cv - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gamma_shape_one_is_exponential() {
+        // Gamma(1, theta) = Exponential(mean theta).
+        let d = Gamma::new(1.0, 4.0);
+        let mut rng = seeded_rng(44);
+        let xs = d.sample_n(&mut rng, 200_000);
+        let mean = crate::describe::mean(&xs);
+        let var = crate::describe::variance(&xs);
+        assert!((mean - 4.0).abs() < 0.1);
+        assert!((var - 16.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn erlang_moments() {
+        check_moments(&Erlang::new(3, 2.0), 200_000, 45, 5.0);
+        check_moments(&Erlang::new(30, 0.1), 100_000, 46, 5.0);
+    }
+
+    #[test]
+    fn erlang_raw_moments_closed_form() {
+        let e = Erlang::new(2, 0.5);
+        // m1 = 2/0.5 = 4; m2 = 2*3/0.25 = 24; m3 = 2*3*4/0.125 = 192.
+        assert!((e.raw_moment(1) - 4.0).abs() < 1e-12);
+        assert!((e.raw_moment(2) - 24.0).abs() < 1e-12);
+        assert!((e.raw_moment(3) - 192.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn erlang_sample_raw_moments_match() {
+        let e = Erlang::new(4, 1.5);
+        let mut rng = seeded_rng(47);
+        let xs = e.sample_n(&mut rng, 300_000);
+        for k in 1..=3u32 {
+            let emp = crate::describe::raw_moment(&xs, k);
+            let ana = e.raw_moment(k);
+            assert!(
+                (emp - ana).abs() / ana < 0.05,
+                "k={k}: empirical {emp} vs analytic {ana}"
+            );
+        }
+    }
+
+    #[test]
+    fn samples_positive() {
+        let g = Gamma::new(0.3, 1.0);
+        let mut rng = seeded_rng(48);
+        for _ in 0..10_000 {
+            assert!(g.sample(&mut rng) > 0.0);
+        }
+    }
+}

@@ -1,0 +1,269 @@
+//! Hyper-Erlang distributions of common order, with three-moment matching.
+//!
+//! Jann et al. model both runtimes and inter-arrival times as hyper-Erlang
+//! distributions of common order: a probabilistic mixture of Erlang branches
+//! that all share the same integer order `n` but have different rates. The
+//! parameters are chosen so that the distribution's first three raw moments
+//! match the empirical moments of each job class. This module implements both
+//! the distribution and that fitting procedure.
+
+use super::{open01, Distribution, Erlang};
+use rand::RngCore;
+
+/// Hyper-Erlang of common order: with probability `p_i`, draw from
+/// `Erlang(n, lambda_i)` where `n` is shared by all branches.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HyperErlang {
+    order: u32,
+    branches: Vec<(f64, Erlang)>,
+}
+
+impl HyperErlang {
+    /// Create from a common order and `(probability, rate)` pairs.
+    /// Probabilities must be positive; they are normalized to sum to one.
+    ///
+    /// # Panics
+    /// Panics for order 0, an empty branch list, or non-positive
+    /// probabilities/rates.
+    pub fn new(order: u32, branches: &[(f64, f64)]) -> Self {
+        assert!(order >= 1, "order must be >= 1");
+        assert!(!branches.is_empty(), "need at least one branch");
+        let psum: f64 = branches.iter().map(|(p, _)| p).sum();
+        assert!(
+            branches.iter().all(|&(p, _)| p > 0.0) && psum > 0.0,
+            "branch probabilities must be positive"
+        );
+        HyperErlang {
+            order,
+            branches: branches
+                .iter()
+                .map(|&(p, rate)| (p / psum, Erlang::new(order, rate)))
+                .collect(),
+        }
+    }
+
+    /// The common order `n`.
+    pub fn order(&self) -> u32 {
+        self.order
+    }
+
+    /// `(probability, rate)` pairs, normalized.
+    pub fn branches(&self) -> Vec<(f64, f64)> {
+        self.branches.iter().map(|(p, e)| (*p, e.rate())).collect()
+    }
+
+    /// Raw moment `E[X^k]` for `k` in 1..=3 (mixture of Erlang moments).
+    pub fn raw_moment(&self, k: u32) -> f64 {
+        self.branches
+            .iter()
+            .map(|(p, e)| p * e.raw_moment(k))
+            .sum()
+    }
+
+    /// Fit a two-branch hyper-Erlang of common order to the first three raw
+    /// moments `(m1, m2, m3)`, searching common orders `1..=max_order` and
+    /// returning the first (lowest-order) exact match.
+    ///
+    /// For a fixed order `n`, writing `x_i = 1/lambda_i` reduces the three
+    /// constraints to a classic two-point moment problem in `(p, x1, x2)`:
+    ///
+    /// ```text
+    /// p x1^k + (1-p) x2^k = u_k,   u_k = m_k / (n (n+1) ... (n+k-1))
+    /// ```
+    ///
+    /// whose solution comes from the roots of a quadratic. Orders where the
+    /// roots are complex, non-positive, or give `p` outside `(0,1)` are
+    /// infeasible; as `n` grows the Erlang branches become more deterministic
+    /// so only sufficiently variable targets (CV constraints) are matchable.
+    ///
+    /// Returns `None` when no order in range can match the moments.
+    pub fn fit_three_moments(m1: f64, m2: f64, m3: f64, max_order: u32) -> Option<HyperErlang> {
+        if !(m1 > 0.0 && m2 > 0.0 && m3 > 0.0) {
+            return None;
+        }
+        for n in 1..=max_order {
+            if let Some(he) = Self::fit_with_order(m1, m2, m3, n) {
+                return Some(he);
+            }
+        }
+        None
+    }
+
+    /// Fit with a fixed common order (see [`HyperErlang::fit_three_moments`]).
+    pub fn fit_with_order(m1: f64, m2: f64, m3: f64, n: u32) -> Option<HyperErlang> {
+        let nf = n as f64;
+        let u1 = m1 / nf;
+        let u2 = m2 / (nf * (nf + 1.0));
+        let u3 = m3 / (nf * (nf + 1.0) * (nf + 2.0));
+
+        let d = u2 - u1 * u1;
+        const EPS: f64 = 1e-12;
+        if d.abs() <= EPS * u2.abs() {
+            // Zero dispersion in the reduced problem: single Erlang branch.
+            if u1 <= 0.0 {
+                return None;
+            }
+            let he = HyperErlang::new(n, &[(1.0, 1.0 / u1)]);
+            return if he.matches(m1, m2, m3, 1e-6) {
+                Some(he)
+            } else {
+                None
+            };
+        }
+        if d < 0.0 {
+            // Target is less variable than an order-n Erlang can express.
+            return None;
+        }
+        // x1, x2 are roots of x^2 - b x + c with:
+        let b = (u3 - u1 * u2) / d;
+        let c = (u1 * u3 - u2 * u2) / d;
+        let disc = b * b - 4.0 * c;
+        if disc < 0.0 {
+            return None;
+        }
+        let s = disc.sqrt();
+        let x1 = (b + s) / 2.0;
+        let x2 = (b - s) / 2.0;
+        if x1 <= 0.0 || x2 <= 0.0 || (x1 - x2).abs() < EPS {
+            return None;
+        }
+        let p = (u1 - x2) / (x1 - x2);
+        if !(0.0..=1.0).contains(&p) {
+            return None;
+        }
+        // Degenerate weights collapse to one branch.
+        let he = if p < EPS {
+            HyperErlang::new(n, &[(1.0, 1.0 / x2)])
+        } else if p > 1.0 - EPS {
+            HyperErlang::new(n, &[(1.0, 1.0 / x1)])
+        } else {
+            HyperErlang::new(n, &[(p, 1.0 / x1), (1.0 - p, 1.0 / x2)])
+        };
+        if he.matches(m1, m2, m3, 1e-6) {
+            Some(he)
+        } else {
+            None
+        }
+    }
+
+    /// Check the fitted moments against targets to a relative tolerance.
+    fn matches(&self, m1: f64, m2: f64, m3: f64, rel_tol: f64) -> bool {
+        let ok = |got: f64, want: f64| (got - want).abs() <= rel_tol * want.abs().max(1e-300);
+        ok(self.raw_moment(1), m1) && ok(self.raw_moment(2), m2) && ok(self.raw_moment(3), m3)
+    }
+}
+
+impl Distribution for HyperErlang {
+    fn sample(&self, rng: &mut dyn RngCore) -> f64 {
+        let mut u = open01(rng);
+        for (p, e) in &self.branches {
+            if u < *p {
+                return e.sample(rng);
+            }
+            u -= p;
+        }
+        self.branches.last().unwrap().1.sample(rng)
+    }
+
+    fn mean(&self) -> f64 {
+        self.raw_moment(1)
+    }
+
+    fn variance(&self) -> f64 {
+        let m = self.raw_moment(1);
+        self.raw_moment(2) - m * m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::testutil::check_moments;
+
+    #[test]
+    fn sampling_moments_match() {
+        let d = HyperErlang::new(2, &[(0.6, 0.5), (0.4, 3.0)]);
+        check_moments(&d, 300_000, 61, 5.0);
+    }
+
+    #[test]
+    fn mixture_moments_formula() {
+        let d = HyperErlang::new(2, &[(0.5, 1.0), (0.5, 2.0)]);
+        // m1 = 0.5 * 2/1 + 0.5 * 2/2 = 1.5
+        assert!((d.raw_moment(1) - 1.5).abs() < 1e-12);
+        // m2 = 0.5 * 6/1 + 0.5 * 6/4 = 3.75
+        assert!((d.raw_moment(2) - 3.75).abs() < 1e-12);
+        // m3 = 0.5 * 24 + 0.5 * 24/8 = 13.5
+        assert!((d.raw_moment(3) - 13.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fit_recovers_known_distribution() {
+        let truth = HyperErlang::new(3, &[(0.3, 0.2), (0.7, 1.1)]);
+        let (m1, m2, m3) = (
+            truth.raw_moment(1),
+            truth.raw_moment(2),
+            truth.raw_moment(3),
+        );
+        let fitted = HyperErlang::fit_with_order(m1, m2, m3, 3).expect("fit failed");
+        assert!((fitted.raw_moment(1) - m1).abs() / m1 < 1e-9);
+        assert!((fitted.raw_moment(2) - m2).abs() / m2 < 1e-9);
+        assert!((fitted.raw_moment(3) - m3).abs() / m3 < 1e-9);
+    }
+
+    #[test]
+    fn fit_search_finds_lowest_feasible_order() {
+        // A high-CV target is matchable at order 1 (hyper-exponential case).
+        let truth = HyperErlang::new(1, &[(0.2, 0.05), (0.8, 2.0)]);
+        let fitted = HyperErlang::fit_three_moments(
+            truth.raw_moment(1),
+            truth.raw_moment(2),
+            truth.raw_moment(3),
+            10,
+        )
+        .expect("fit failed");
+        assert_eq!(fitted.order(), 1);
+    }
+
+    #[test]
+    fn fit_matches_empirical_moments_of_sample() {
+        // Fit to the sample moments of a lognormal-ish heavy sample, then
+        // verify the fitted distribution reproduces those moments exactly.
+        let data: Vec<f64> = (1..=2000).map(|i| (i as f64 * 0.01).exp()).collect();
+        let m1 = crate::describe::raw_moment(&data, 1);
+        let m2 = crate::describe::raw_moment(&data, 2);
+        let m3 = crate::describe::raw_moment(&data, 3);
+        let fitted = HyperErlang::fit_three_moments(m1, m2, m3, 20).expect("fit failed");
+        assert!((fitted.raw_moment(1) - m1).abs() / m1 < 1e-8);
+        assert!((fitted.raw_moment(2) - m2).abs() / m2 < 1e-8);
+        assert!((fitted.raw_moment(3) - m3).abs() / m3 < 1e-8);
+    }
+
+    #[test]
+    fn infeasible_low_variability_rejected_at_order_one() {
+        // CV < 1 cannot be expressed by a mixture of exponentials (order 1),
+        // but becomes feasible at higher orders.
+        let truth = Erlang::new(4, 1.0); // CV = 0.5
+        let m1 = truth.raw_moment(1);
+        let m2 = truth.raw_moment(2);
+        let m3 = truth.raw_moment(3);
+        assert!(HyperErlang::fit_with_order(m1, m2, m3, 1).is_none());
+        let fitted = HyperErlang::fit_three_moments(m1, m2, m3, 10).expect("fit failed");
+        assert!(fitted.order() > 1);
+        assert!((fitted.raw_moment(1) - m1).abs() / m1 < 1e-9);
+    }
+
+    #[test]
+    fn fit_rejects_garbage() {
+        assert!(HyperErlang::fit_three_moments(-1.0, 1.0, 1.0, 5).is_none());
+        assert!(HyperErlang::fit_three_moments(0.0, 0.0, 0.0, 5).is_none());
+    }
+
+    #[test]
+    fn single_branch_is_erlang() {
+        let he = HyperErlang::new(4, &[(1.0, 2.0)]);
+        let e = Erlang::new(4, 2.0);
+        assert!((he.mean() - e.mean()).abs() < 1e-12);
+        assert!((he.variance() - e.variance()).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,162 @@
+//! Hyper-exponential distributions (probabilistic mixtures of exponentials).
+
+use super::{open01, Distribution, Exponential};
+use rand::RngCore;
+
+/// A k-stage hyper-exponential: with probability `p_i`, draw from an
+/// exponential with rate `lambda_i`.
+///
+/// Two- and three-stage hyper-exponentials are the workhorses of the
+/// Feitelson models' runtimes: they keep the exponential's correlated
+/// location/spread (which the paper's Figure 1 supports) while adding the
+/// long tail a single exponential lacks.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HyperExponential {
+    branches: Vec<(f64, Exponential)>,
+}
+
+impl HyperExponential {
+    /// Create from `(probability, rate)` pairs. Probabilities must be
+    /// positive and are normalized to sum to one.
+    ///
+    /// # Panics
+    /// Panics for an empty branch list, non-positive probabilities, or
+    /// non-positive rates.
+    pub fn new(branches: &[(f64, f64)]) -> Self {
+        assert!(!branches.is_empty(), "need at least one branch");
+        let psum: f64 = branches.iter().map(|(p, _)| p).sum();
+        assert!(
+            branches.iter().all(|&(p, _)| p > 0.0) && psum > 0.0,
+            "branch probabilities must be positive"
+        );
+        HyperExponential {
+            branches: branches
+                .iter()
+                .map(|&(p, rate)| (p / psum, Exponential::new(rate)))
+                .collect(),
+        }
+    }
+
+    /// Two-stage convenience constructor.
+    pub fn two_stage(p: f64, rate1: f64, rate2: f64) -> Self {
+        assert!((0.0..1.0).contains(&p) && p > 0.0 || (0.0..=1.0).contains(&p),
+            "p must be in (0,1)");
+        assert!(p > 0.0 && p < 1.0, "p must be strictly inside (0,1)");
+        HyperExponential::new(&[(p, rate1), (1.0 - p, rate2)])
+    }
+
+    /// Branch count.
+    pub fn stages(&self) -> usize {
+        self.branches.len()
+    }
+
+    /// Branch probabilities and rates, normalized.
+    pub fn branches(&self) -> Vec<(f64, f64)> {
+        self.branches.iter().map(|(p, e)| (*p, e.rate())).collect()
+    }
+
+    /// Raw moment `E[X^k]` for `k` in 1..=3: `sum p_i * k! / lambda_i^k`.
+    pub fn raw_moment(&self, k: u32) -> f64 {
+        assert!((1..=3).contains(&k), "raw_moment supports k in 1..=3");
+        let fact = [1.0, 1.0, 2.0, 6.0][k as usize];
+        self.branches
+            .iter()
+            .map(|(p, e)| p * fact / e.rate().powi(k as i32))
+            .sum()
+    }
+}
+
+impl Distribution for HyperExponential {
+    fn sample(&self, rng: &mut dyn RngCore) -> f64 {
+        let mut u = open01(rng);
+        for (p, e) in &self.branches {
+            if u < *p {
+                return e.sample(rng);
+            }
+            u -= p;
+        }
+        // Floating-point slack: fall through to the last branch.
+        self.branches.last().unwrap().1.sample(rng)
+    }
+
+    fn mean(&self) -> f64 {
+        self.raw_moment(1)
+    }
+
+    fn variance(&self) -> f64 {
+        let m = self.raw_moment(1);
+        self.raw_moment(2) - m * m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::testutil::check_moments;
+    use crate::rng::seeded_rng;
+
+    #[test]
+    fn moments_two_stage() {
+        check_moments(&HyperExponential::two_stage(0.7, 2.0, 0.1), 300_000, 51, 5.0);
+    }
+
+    #[test]
+    fn moments_three_stage() {
+        let d = HyperExponential::new(&[(0.5, 1.0), (0.3, 0.2), (0.2, 5.0)]);
+        check_moments(&d, 300_000, 52, 5.0);
+    }
+
+    #[test]
+    fn degenerates_to_exponential() {
+        let h = HyperExponential::new(&[(1.0, 3.0)]);
+        let e = Exponential::new(3.0);
+        assert!((h.mean() - e.mean()).abs() < 1e-12);
+        assert!((h.variance() - e.variance()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn probabilities_normalized() {
+        let h = HyperExponential::new(&[(2.0, 1.0), (6.0, 2.0)]);
+        let b = h.branches();
+        assert!((b[0].0 - 0.25).abs() < 1e-12);
+        assert!((b[1].0 - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cv_exceeds_one() {
+        // A hyper-exponential always has CV >= 1, strictly > 1 when rates
+        // differ.
+        let h = HyperExponential::two_stage(0.5, 10.0, 0.1);
+        let cv = h.variance().sqrt() / h.mean();
+        assert!(cv > 1.0, "cv = {cv}");
+    }
+
+    #[test]
+    fn branch_selection_frequencies() {
+        // Fast branch (rate 1000) vs slow branch (rate ~0): samples under
+        // 0.05 are almost surely from the fast branch.
+        let h = HyperExponential::two_stage(0.3, 1000.0, 0.001);
+        let mut rng = seeded_rng(53);
+        let n = 100_000;
+        let fast = (0..n).filter(|_| h.sample(&mut rng) < 0.05).count();
+        let frac = fast as f64 / n as f64;
+        assert!((frac - 0.3).abs() < 0.01, "frac {frac}");
+    }
+
+    #[test]
+    fn raw_moment_formula() {
+        let h = HyperExponential::two_stage(0.5, 1.0, 2.0);
+        // m1 = 0.5*1 + 0.5*0.5 = 0.75
+        assert!((h.raw_moment(1) - 0.75).abs() < 1e-12);
+        // m2 = 0.5*2 + 0.5*2/4 = 1.25
+        assert!((h.raw_moment(2) - 1.25).abs() < 1e-12);
+        // m3 = 0.5*6 + 0.5*6/8 = 3.375
+        assert!((h.raw_moment(3) - 3.375).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least one branch")]
+    fn empty_branches_panic() {
+        HyperExponential::new(&[]);
+    }
+}

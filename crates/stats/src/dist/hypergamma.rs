@@ -1,0 +1,142 @@
+//! Hyper-gamma distribution (two-branch gamma mixture).
+//!
+//! Lublin's workload model represents runtimes and inter-arrival times as
+//! "hyper-gamma" distributions: with probability `p`, draw from
+//! `Gamma(a1, b1)`, else from `Gamma(a2, b2)`. In the runtime model `p`
+//! additionally depends linearly on the job size, creating the
+//! runtime-parallelism correlation the paper discusses.
+
+use super::{open01, Distribution, Gamma};
+use rand::RngCore;
+
+/// Two-branch gamma mixture.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HyperGamma {
+    p: f64,
+    g1: Gamma,
+    g2: Gamma,
+}
+
+impl HyperGamma {
+    /// Create with branch probability `p` for `g1` (else `g2`).
+    ///
+    /// # Panics
+    /// Panics unless `p` is in `[0, 1]`.
+    pub fn new(p: f64, g1: Gamma, g2: Gamma) -> Self {
+        assert!((0.0..=1.0).contains(&p), "p out of [0,1]: {p}");
+        HyperGamma { p, g1, g2 }
+    }
+
+    /// Create from raw parameters `(a1, b1, a2, b2, p)` as published in
+    /// model parameter tables (shape/scale pairs).
+    pub fn from_params(a1: f64, b1: f64, a2: f64, b2: f64, p: f64) -> Self {
+        HyperGamma::new(p, Gamma::new(a1, b1), Gamma::new(a2, b2))
+    }
+
+    /// Branch probability for the first gamma.
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// First branch.
+    pub fn first(&self) -> &Gamma {
+        &self.g1
+    }
+
+    /// Second branch.
+    pub fn second(&self) -> &Gamma {
+        &self.g2
+    }
+
+    /// A copy with a different branch probability (Lublin's size-dependent
+    /// `p` uses this per sample).
+    ///
+    /// # Panics
+    /// Panics unless `p` is in `[0, 1]`.
+    pub fn with_p(&self, p: f64) -> Self {
+        HyperGamma::new(p, self.g1, self.g2)
+    }
+}
+
+impl Distribution for HyperGamma {
+    fn sample(&self, rng: &mut dyn RngCore) -> f64 {
+        if open01(rng) < self.p {
+            self.g1.sample(rng)
+        } else {
+            self.g2.sample(rng)
+        }
+    }
+
+    fn mean(&self) -> f64 {
+        self.p * self.g1.mean() + (1.0 - self.p) * self.g2.mean()
+    }
+
+    fn variance(&self) -> f64 {
+        // E[X^2] of the mixture minus mean^2.
+        let e2 = |g: &Gamma| g.variance() + g.mean() * g.mean();
+        let m = self.mean();
+        self.p * e2(&self.g1) + (1.0 - self.p) * e2(&self.g2) - m * m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::testutil::check_moments;
+
+    #[test]
+    fn moments_match_sampling() {
+        let d = HyperGamma::from_params(2.0, 1.0, 5.0, 3.0, 0.3);
+        check_moments(&d, 300_000, 71, 5.0);
+    }
+
+    #[test]
+    fn degenerate_p_one_is_first_branch() {
+        let g1 = Gamma::new(2.0, 1.5);
+        let g2 = Gamma::new(9.0, 9.0);
+        let d = HyperGamma::new(1.0, g1, g2);
+        assert!((d.mean() - g1.mean()).abs() < 1e-12);
+        assert!((d.variance() - g1.variance()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_p_zero_is_second_branch() {
+        let g1 = Gamma::new(2.0, 1.5);
+        let g2 = Gamma::new(9.0, 9.0);
+        let d = HyperGamma::new(0.0, g1, g2);
+        assert!((d.mean() - g2.mean()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mixture_mean_is_convex_combination() {
+        let g1 = Gamma::new(1.0, 1.0); // mean 1
+        let g2 = Gamma::new(1.0, 10.0); // mean 10
+        let d = HyperGamma::new(0.25, g1, g2);
+        assert!((d.mean() - (0.25 + 7.5)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn with_p_changes_only_probability() {
+        let d = HyperGamma::from_params(2.0, 1.0, 3.0, 2.0, 0.5);
+        let d2 = d.with_p(0.9);
+        assert_eq!(d2.p(), 0.9);
+        assert_eq!(d2.first(), d.first());
+        assert_eq!(d2.second(), d.second());
+    }
+
+    #[test]
+    fn mixture_variance_exceeds_mixed_variances_when_means_differ() {
+        // Between-branch spread adds variance.
+        let g1 = Gamma::new(4.0, 0.25); // mean 1, var 0.25
+        let g2 = Gamma::new(4.0, 25.0); // mean 100, var 2500
+        let d = HyperGamma::new(0.5, g1, g2);
+        let pooled = 0.5 * g1.variance() + 0.5 * g2.variance();
+        assert!(d.variance() > pooled);
+    }
+
+    #[test]
+    #[should_panic(expected = "p out of [0,1]")]
+    fn invalid_p_panics() {
+        HyperGamma::from_params(1.0, 1.0, 1.0, 1.0, 1.5);
+    }
+}

@@ -1,0 +1,299 @@
+//! Normal and lognormal distributions.
+
+use super::{open01, Distribution};
+use rand::RngCore;
+
+/// Normal (Gaussian) distribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl Normal {
+    /// Create with mean `mu` and standard deviation `sigma > 0`.
+    ///
+    /// # Panics
+    /// Panics unless `sigma > 0` and both parameters are finite.
+    pub fn new(mu: f64, sigma: f64) -> Self {
+        assert!(
+            mu.is_finite() && sigma.is_finite() && sigma > 0.0,
+            "bad normal parameters mu={mu} sigma={sigma}"
+        );
+        Normal { mu, sigma }
+    }
+
+    /// The standard normal N(0, 1).
+    pub fn standard() -> Self {
+        Normal { mu: 0.0, sigma: 1.0 }
+    }
+
+    /// Location parameter.
+    pub fn mu(&self) -> f64 {
+        self.mu
+    }
+
+    /// Scale parameter.
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+
+    /// One standard-normal variate via Box-Muller.
+    pub fn sample_standard(rng: &mut dyn RngCore) -> f64 {
+        let u1 = open01(rng);
+        let u2 = open01(rng);
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+}
+
+impl Distribution for Normal {
+    fn sample(&self, rng: &mut dyn RngCore) -> f64 {
+        self.mu + self.sigma * Normal::sample_standard(rng)
+    }
+
+    fn mean(&self) -> f64 {
+        self.mu
+    }
+
+    fn variance(&self) -> f64 {
+        self.sigma * self.sigma
+    }
+}
+
+/// Lognormal distribution: `ln X ~ N(mu, sigma^2)`.
+///
+/// Used by the log-synthesis substrate to hit a target median and 90%
+/// interval exactly: the median is `exp(mu)` and the interval is a monotone
+/// function of `sigma`, so both calibrate independently.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl LogNormal {
+    /// Create with log-scale location `mu` and shape `sigma > 0`.
+    ///
+    /// # Panics
+    /// Panics unless `sigma > 0` and both parameters are finite.
+    pub fn new(mu: f64, sigma: f64) -> Self {
+        assert!(
+            mu.is_finite() && sigma.is_finite() && sigma > 0.0,
+            "bad lognormal parameters mu={mu} sigma={sigma}"
+        );
+        LogNormal { mu, sigma }
+    }
+
+    /// Create from the target median (`exp(mu)`) and shape `sigma`.
+    ///
+    /// # Panics
+    /// Panics for a non-positive median or shape.
+    pub fn from_median_sigma(median: f64, sigma: f64) -> Self {
+        assert!(median > 0.0, "median must be positive, got {median}");
+        LogNormal::new(median.ln(), sigma)
+    }
+
+    /// Create from a target median and central 90% interval (the 95th
+    /// minus the 5th percentile): `sigma = asinh(I / 2M) / z95`. These are
+    /// the two order statistics parallel-workload studies publish, so this
+    /// constructor calibrates a marginal to a published table row exactly.
+    ///
+    /// # Panics
+    /// Panics for non-positive median or interval.
+    pub fn from_median_interval(median: f64, interval: f64) -> Self {
+        assert!(median > 0.0, "median must be positive, got {median}");
+        assert!(interval > 0.0, "interval must be positive, got {interval}");
+        const Z95: f64 = 1.644_853_626_951_472_7;
+        let sigma = (interval / (2.0 * median)).asinh() / Z95;
+        LogNormal::from_median_sigma(median, sigma.max(1e-6))
+    }
+
+    /// The median, `exp(mu)`.
+    pub fn median(&self) -> f64 {
+        self.mu.exp()
+    }
+
+    /// Inverse CDF via the normal quantile.
+    ///
+    /// # Panics
+    /// Panics unless `p` is in `(0, 1)`.
+    pub fn quantile(&self, p: f64) -> f64 {
+        (self.mu + self.sigma * normal_quantile(p)).exp()
+    }
+}
+
+impl Distribution for LogNormal {
+    fn sample(&self, rng: &mut dyn RngCore) -> f64 {
+        (self.mu + self.sigma * Normal::sample_standard(rng)).exp()
+    }
+
+    fn mean(&self) -> f64 {
+        (self.mu + self.sigma * self.sigma / 2.0).exp()
+    }
+
+    fn variance(&self) -> f64 {
+        let s2 = self.sigma * self.sigma;
+        (s2.exp() - 1.0) * (2.0 * self.mu + s2).exp()
+    }
+}
+
+/// Standard normal CDF via the Abramowitz-Stegun error-function
+/// approximation (absolute error < 7.5e-8).
+pub fn normal_cdf(x: f64) -> f64 {
+    // erf via A&S 7.1.26 on |x|/sqrt(2).
+    let z = x / std::f64::consts::SQRT_2;
+    let t = 1.0 / (1.0 + 0.327_591_1 * z.abs());
+    let poly = t
+        * (0.254_829_592
+            + t * (-0.284_496_736
+                + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+    let erf_abs = 1.0 - poly * (-z * z).exp();
+    let erf = if z < 0.0 { -erf_abs } else { erf_abs };
+    0.5 * (1.0 + erf)
+}
+
+/// Standard normal quantile (inverse CDF), Acklam's rational approximation
+/// (absolute error < 1.15e-9 over the open unit interval).
+///
+/// # Panics
+/// Panics unless `p` is strictly inside `(0, 1)`.
+pub fn normal_quantile(p: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "p must be in (0,1), got {p}");
+    // Coefficients for the central and tail rational approximations.
+    const A: [f64; 6] = [
+        -3.969_683_028_665_376e1,
+        2.209_460_984_245_205e2,
+        -2.759_285_104_469_687e2,
+        1.383_577_518_672_69e2,
+        -3.066_479_806_614_716e1,
+        2.506_628_277_459_239,
+    ];
+    const B: [f64; 5] = [
+        -5.447_609_879_822_406e1,
+        1.615_858_368_580_409e2,
+        -1.556_989_798_598_866e2,
+        6.680_131_188_771_972e1,
+        -1.328_068_155_288_572e1,
+    ];
+    const C: [f64; 6] = [
+        -7.784_894_002_430_293e-3,
+        -3.223_964_580_411_365e-1,
+        -2.400_758_277_161_838,
+        -2.549_732_539_343_734,
+        4.374_664_141_464_968,
+        2.938_163_982_698_783,
+    ];
+    const D: [f64; 4] = [
+        7.784_695_709_041_462e-3,
+        3.224_671_290_700_398e-1,
+        2.445_134_137_142_996,
+        3.754_408_661_907_416,
+    ];
+    const P_LOW: f64 = 0.024_25;
+
+    if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        -normal_quantile(1.0 - p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::testutil::check_moments;
+    use crate::rng::seeded_rng;
+
+    #[test]
+    fn normal_moments() {
+        check_moments(&Normal::new(3.0, 2.0), 200_000, 31, 4.0);
+        check_moments(&Normal::standard(), 200_000, 32, 4.0);
+    }
+
+    #[test]
+    fn lognormal_moments() {
+        check_moments(&LogNormal::new(0.0, 0.5), 300_000, 33, 5.0);
+    }
+
+    #[test]
+    fn lognormal_from_median_interval_hits_quantiles() {
+        for &(med, int) in &[(960.0, 57216.0), (19.0, 1168.0), (64.0, 1472.0)] {
+            let d = LogNormal::from_median_interval(med, int);
+            assert!((d.median() - med).abs() / med < 1e-9);
+            let got = d.quantile(0.95) - d.quantile(0.05);
+            assert!((got - int).abs() / int < 0.01, "interval {got} vs {int}");
+        }
+    }
+
+    #[test]
+    fn lognormal_median() {
+        let d = LogNormal::from_median_sigma(42.0, 1.5);
+        assert!((d.median() - 42.0).abs() < 1e-9);
+        // Empirical median check.
+        let mut rng = seeded_rng(34);
+        let mut xs = d.sample_n(&mut rng, 100_001);
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let med = xs[50_000];
+        assert!((med - 42.0).abs() / 42.0 < 0.05, "median {med}");
+    }
+
+    #[test]
+    fn cdf_known_values() {
+        assert!((normal_cdf(0.0) - 0.5).abs() < 1e-7);
+        assert!((normal_cdf(1.96) - 0.975).abs() < 1e-4);
+        assert!((normal_cdf(-1.96) - 0.025).abs() < 1e-4);
+        assert!(normal_cdf(8.0) > 0.999_999);
+        assert!(normal_cdf(-8.0) < 1e-6);
+    }
+
+    #[test]
+    fn cdf_inverts_quantile() {
+        for p in [0.01, 0.1, 0.3, 0.5, 0.7, 0.9, 0.99] {
+            let x = normal_quantile(p);
+            assert!((normal_cdf(x) - p).abs() < 1e-6, "p = {p}");
+        }
+    }
+
+    #[test]
+    fn normal_quantile_round_trip() {
+        // Known values of the standard normal quantile.
+        assert!(normal_quantile(0.5).abs() < 1e-9);
+        assert!((normal_quantile(0.975) - 1.959_963_985).abs() < 1e-6);
+        assert!((normal_quantile(0.025) + 1.959_963_985).abs() < 1e-6);
+        assert!((normal_quantile(0.95) - 1.644_853_627).abs() < 1e-6);
+        // Symmetry.
+        for p in [0.01, 0.1, 0.3] {
+            assert!((normal_quantile(p) + normal_quantile(1.0 - p)).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn lognormal_quantile_matches_samples() {
+        let d = LogNormal::new(1.0, 0.8);
+        let mut rng = seeded_rng(35);
+        let n = 200_000;
+        let q90 = d.quantile(0.9);
+        let below = (0..n).filter(|_| d.sample(&mut rng) < q90).count();
+        let frac = below as f64 / n as f64;
+        assert!((frac - 0.9).abs() < 0.005, "frac {frac}");
+    }
+
+    #[test]
+    fn standard_normal_tail_mass() {
+        let mut rng = seeded_rng(36);
+        let n = 200_000;
+        let over2 = (0..n)
+            .filter(|_| Normal::sample_standard(&mut rng) > 2.0)
+            .count();
+        let frac = over2 as f64 / n as f64;
+        // P(Z > 2) = 0.02275.
+        assert!((frac - 0.02275).abs() < 0.003, "frac {frac}");
+    }
+}

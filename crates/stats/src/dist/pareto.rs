@@ -1,0 +1,119 @@
+//! Pareto distribution (heavy-tailed).
+
+use super::{open01, Distribution};
+use rand::RngCore;
+
+/// Pareto (type I) distribution with scale `xm > 0` and shape `alpha > 0`:
+/// `P(X > x) = (xm/x)^alpha` for `x >= xm`.
+///
+/// Heavy-tailed marginals like this one are a classic generating mechanism
+/// for the self-similarity examined in section 9 of the paper (aggregating
+/// on/off sources with Pareto periods yields long-range dependence).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Pareto {
+    xm: f64,
+    alpha: f64,
+}
+
+impl Pareto {
+    /// Create with scale `xm > 0` and shape `alpha > 0`.
+    ///
+    /// # Panics
+    /// Panics for non-positive parameters.
+    pub fn new(xm: f64, alpha: f64) -> Self {
+        assert!(xm > 0.0 && xm.is_finite(), "bad scale {xm}");
+        assert!(alpha > 0.0 && alpha.is_finite(), "bad shape {alpha}");
+        Pareto { xm, alpha }
+    }
+
+    /// Scale parameter (left edge of support).
+    pub fn xm(&self) -> f64 {
+        self.xm
+    }
+
+    /// Shape parameter.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Inverse CDF.
+    ///
+    /// # Panics
+    /// Panics unless `p` is in `[0, 1)`.
+    pub fn quantile(&self, p: f64) -> f64 {
+        assert!((0.0..1.0).contains(&p), "p out of [0,1): {p}");
+        self.xm / (1.0 - p).powf(1.0 / self.alpha)
+    }
+}
+
+impl Distribution for Pareto {
+    fn sample(&self, rng: &mut dyn RngCore) -> f64 {
+        self.xm / open01(rng).powf(1.0 / self.alpha)
+    }
+
+    fn mean(&self) -> f64 {
+        if self.alpha <= 1.0 {
+            f64::INFINITY
+        } else {
+            self.alpha * self.xm / (self.alpha - 1.0)
+        }
+    }
+
+    fn variance(&self) -> f64 {
+        if self.alpha <= 2.0 {
+            f64::INFINITY
+        } else {
+            let a = self.alpha;
+            self.xm * self.xm * a / ((a - 1.0) * (a - 1.0) * (a - 2.0))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::testutil::check_moments;
+    use crate::rng::seeded_rng;
+
+    #[test]
+    fn light_tail_moments() {
+        check_moments(&Pareto::new(1.0, 5.0), 300_000, 81, 6.0);
+    }
+
+    #[test]
+    fn support_bound() {
+        let d = Pareto::new(3.0, 1.5);
+        let mut rng = seeded_rng(82);
+        for _ in 0..10_000 {
+            assert!(d.sample(&mut rng) >= 3.0);
+        }
+    }
+
+    #[test]
+    fn heavy_tail_reports_infinite_moments() {
+        assert!(Pareto::new(1.0, 0.9).mean().is_infinite());
+        assert!(Pareto::new(1.0, 1.5).variance().is_infinite());
+        assert!(Pareto::new(1.0, 1.5).mean().is_finite());
+    }
+
+    #[test]
+    fn tail_probability_matches() {
+        // P(X > 2 xm) = 2^-alpha.
+        let d = Pareto::new(1.0, 2.0);
+        let mut rng = seeded_rng(83);
+        let n = 200_000;
+        let over = (0..n).filter(|_| d.sample(&mut rng) > 2.0).count();
+        let frac = over as f64 / n as f64;
+        assert!((frac - 0.25).abs() < 0.005, "frac {frac}");
+    }
+
+    #[test]
+    fn quantile_round_trip() {
+        let d = Pareto::new(2.0, 3.0);
+        for p in [0.0, 0.3, 0.9, 0.999] {
+            let x = d.quantile(p);
+            let cdf = 1.0 - (2.0 / x).powf(3.0);
+            assert!((cdf - p).abs() < 1e-10);
+        }
+    }
+}

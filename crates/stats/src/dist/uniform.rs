@@ -1,0 +1,185 @@
+//! Uniform and log-uniform distributions.
+
+use super::{open01, Distribution};
+use rand::RngCore;
+
+/// Continuous uniform distribution on `[lo, hi)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Uniform {
+    lo: f64,
+    hi: f64,
+}
+
+impl Uniform {
+    /// Create a uniform on `[lo, hi)`.
+    ///
+    /// # Panics
+    /// Panics unless `lo < hi` and both are finite.
+    pub fn new(lo: f64, hi: f64) -> Self {
+        assert!(lo.is_finite() && hi.is_finite() && lo < hi, "bad range [{lo}, {hi})");
+        Uniform { lo, hi }
+    }
+
+    /// Lower bound.
+    pub fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    /// Upper bound.
+    pub fn hi(&self) -> f64 {
+        self.hi
+    }
+}
+
+impl Distribution for Uniform {
+    fn sample(&self, rng: &mut dyn RngCore) -> f64 {
+        self.lo + (self.hi - self.lo) * open01(rng)
+    }
+
+    fn mean(&self) -> f64 {
+        (self.lo + self.hi) / 2.0
+    }
+
+    fn variance(&self) -> f64 {
+        let w = self.hi - self.lo;
+        w * w / 12.0
+    }
+}
+
+/// Log-uniform distribution: `ln X` is uniform on `[ln lo, ln hi]`.
+///
+/// This is the distribution Downey's model uses for both total service time
+/// and average parallelism; its density is proportional to `1/x` over the
+/// support, giving equal mass to each factor-of-k band.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogUniform {
+    ln_lo: f64,
+    ln_hi: f64,
+}
+
+impl LogUniform {
+    /// Create a log-uniform on `[lo, hi]` with `0 < lo < hi`.
+    ///
+    /// # Panics
+    /// Panics unless `0 < lo < hi`.
+    pub fn new(lo: f64, hi: f64) -> Self {
+        assert!(lo > 0.0 && hi > lo && hi.is_finite(), "bad range [{lo}, {hi}]");
+        LogUniform {
+            ln_lo: lo.ln(),
+            ln_hi: hi.ln(),
+        }
+    }
+
+    /// Lower bound of the support.
+    pub fn lo(&self) -> f64 {
+        self.ln_lo.exp()
+    }
+
+    /// Upper bound of the support.
+    pub fn hi(&self) -> f64 {
+        self.ln_hi.exp()
+    }
+
+    /// The median, `sqrt(lo * hi)` (geometric midpoint).
+    pub fn median(&self) -> f64 {
+        ((self.ln_lo + self.ln_hi) / 2.0).exp()
+    }
+
+    /// Inverse CDF.
+    ///
+    /// # Panics
+    /// Panics unless `p` is in `[0, 1]`.
+    pub fn quantile(&self, p: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&p), "p out of [0,1]: {p}");
+        (self.ln_lo + p * (self.ln_hi - self.ln_lo)).exp()
+    }
+}
+
+impl Distribution for LogUniform {
+    fn sample(&self, rng: &mut dyn RngCore) -> f64 {
+        (self.ln_lo + (self.ln_hi - self.ln_lo) * open01(rng)).exp()
+    }
+
+    fn mean(&self) -> f64 {
+        // E[X] = (hi - lo) / (ln hi - ln lo).
+        let (lo, hi) = (self.lo(), self.hi());
+        (hi - lo) / (self.ln_hi - self.ln_lo)
+    }
+
+    fn variance(&self) -> f64 {
+        // E[X^2] = (hi^2 - lo^2) / (2 (ln hi - ln lo)).
+        let (lo, hi) = (self.lo(), self.hi());
+        let m = self.mean();
+        (hi * hi - lo * lo) / (2.0 * (self.ln_hi - self.ln_lo)) - m * m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::testutil::check_moments;
+    use crate::rng::seeded_rng;
+
+    #[test]
+    fn uniform_moments() {
+        check_moments(&Uniform::new(-2.0, 6.0), 200_000, 21, 4.0);
+    }
+
+    #[test]
+    fn uniform_support() {
+        let d = Uniform::new(3.0, 4.0);
+        let mut rng = seeded_rng(5);
+        for _ in 0..10_000 {
+            let x = d.sample(&mut rng);
+            assert!((3.0..4.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn loguniform_moments() {
+        check_moments(&LogUniform::new(1.0, 100.0), 400_000, 22, 5.0);
+    }
+
+    #[test]
+    fn loguniform_support_and_median() {
+        let d = LogUniform::new(2.0, 32.0);
+        let mut rng = seeded_rng(6);
+        for _ in 0..10_000 {
+            let x = d.sample(&mut rng);
+            assert!((2.0..=32.0).contains(&x));
+        }
+        assert!((d.median() - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn loguniform_equal_mass_per_octave() {
+        // On [1, 8], each of the 3 octaves should carry 1/3 of the mass.
+        let d = LogUniform::new(1.0, 8.0);
+        let mut rng = seeded_rng(7);
+        let n = 90_000;
+        let mut counts = [0usize; 3];
+        for _ in 0..n {
+            let x = d.sample(&mut rng);
+            let octave = x.log2().floor().min(2.0).max(0.0) as usize;
+            counts[octave] += 1;
+        }
+        for c in counts {
+            let f = c as f64 / n as f64;
+            assert!((f - 1.0 / 3.0).abs() < 0.01, "octave fraction {f}");
+        }
+    }
+
+    #[test]
+    fn loguniform_quantile_monotone() {
+        let d = LogUniform::new(1.0, 1000.0);
+        assert!((d.quantile(0.0) - 1.0).abs() < 1e-9);
+        assert!((d.quantile(1.0) - 1000.0).abs() < 1e-6);
+        assert!(d.quantile(0.3) < d.quantile(0.7));
+    }
+
+    #[test]
+    #[should_panic(expected = "bad range")]
+    fn loguniform_rejects_nonpositive() {
+        LogUniform::new(0.0, 5.0);
+    }
+}

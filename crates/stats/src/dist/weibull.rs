@@ -1,0 +1,101 @@
+//! Weibull distribution.
+
+use super::special::gamma_fn;
+use super::{open01, Distribution};
+use rand::RngCore;
+
+/// Weibull distribution with scale `lambda > 0` and shape `k > 0`:
+/// `P(X > x) = exp(-(x/lambda)^k)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Weibull {
+    scale: f64,
+    shape: f64,
+}
+
+impl Weibull {
+    /// Create with scale `lambda > 0` and shape `k > 0`.
+    ///
+    /// # Panics
+    /// Panics for non-positive parameters.
+    pub fn new(scale: f64, shape: f64) -> Self {
+        assert!(scale > 0.0 && scale.is_finite(), "bad scale {scale}");
+        assert!(shape > 0.0 && shape.is_finite(), "bad shape {shape}");
+        Weibull { scale, shape }
+    }
+
+    /// Scale parameter.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// Shape parameter.
+    pub fn shape(&self) -> f64 {
+        self.shape
+    }
+
+    /// Inverse CDF: `lambda * (-ln(1-p))^(1/k)`.
+    ///
+    /// # Panics
+    /// Panics unless `p` is in `[0, 1)`.
+    pub fn quantile(&self, p: f64) -> f64 {
+        assert!((0.0..1.0).contains(&p), "p out of [0,1): {p}");
+        self.scale * (-(-p).ln_1p()).powf(1.0 / self.shape)
+    }
+}
+
+impl Distribution for Weibull {
+    fn sample(&self, rng: &mut dyn RngCore) -> f64 {
+        self.scale * (-open01(rng).ln()).powf(1.0 / self.shape)
+    }
+
+    fn mean(&self) -> f64 {
+        self.scale * gamma_fn(1.0 + 1.0 / self.shape)
+    }
+
+    fn variance(&self) -> f64 {
+        let g1 = gamma_fn(1.0 + 1.0 / self.shape);
+        let g2 = gamma_fn(1.0 + 2.0 / self.shape);
+        self.scale * self.scale * (g2 - g1 * g1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::testutil::check_moments;
+    use crate::rng::seeded_rng;
+
+    #[test]
+    fn moments_various_shapes() {
+        check_moments(&Weibull::new(2.0, 1.5), 300_000, 91, 5.0);
+        check_moments(&Weibull::new(1.0, 3.0), 300_000, 92, 5.0);
+    }
+
+    #[test]
+    fn shape_one_is_exponential() {
+        let w = Weibull::new(4.0, 1.0);
+        assert!((w.mean() - 4.0).abs() < 1e-10);
+        assert!((w.variance() - 16.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn heavy_shape_below_one_still_sampleable() {
+        let w = Weibull::new(1.0, 0.5);
+        let mut rng = seeded_rng(93);
+        let xs = w.sample_n(&mut rng, 100_000);
+        assert!(xs.iter().all(|&x| x > 0.0));
+        // mean = Γ(3) = 2 for lambda=1, k=0.5.
+        let m = crate::describe::mean(&xs);
+        assert!((m - 2.0).abs() < 0.15, "mean {m}");
+    }
+
+    #[test]
+    fn quantile_round_trip() {
+        let w = Weibull::new(3.0, 2.0);
+        for p in [0.1, 0.5, 0.95] {
+            let x = w.quantile(p);
+            let cdf = 1.0 - (-(x / 3.0).powf(2.0)).exp();
+            assert!((cdf - p).abs() < 1e-10);
+        }
+    }
+}

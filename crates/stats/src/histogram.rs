@@ -1,0 +1,227 @@
+//! Linear and logarithmic histograms.
+//!
+//! Workload attributes span many orders of magnitude (runtimes from seconds
+//! to days), so logarithmic binning is the natural view; linear binning is
+//! provided for bounded attributes like degree of parallelism.
+
+/// A histogram over fixed-width bins on `[lo, hi)`, with explicit underflow
+/// and overflow counters.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+    total: u64,
+}
+
+impl Histogram {
+    /// Create a histogram with `nbins` equal-width bins covering `[lo, hi)`.
+    ///
+    /// # Panics
+    /// Panics when `nbins == 0` or `hi <= lo`.
+    pub fn new(lo: f64, hi: f64, nbins: usize) -> Self {
+        assert!(nbins > 0, "need at least one bin");
+        assert!(hi > lo, "empty range [{lo}, {hi})");
+        Histogram {
+            lo,
+            hi,
+            bins: vec![0; nbins],
+            underflow: 0,
+            overflow: 0,
+            total: 0,
+        }
+    }
+
+    /// Record one observation.
+    pub fn push(&mut self, x: f64) {
+        self.total += 1;
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let frac = (x - self.lo) / (self.hi - self.lo);
+            let idx = ((frac * self.bins.len() as f64) as usize).min(self.bins.len() - 1);
+            self.bins[idx] += 1;
+        }
+    }
+
+    /// Record a whole slice.
+    pub fn extend(&mut self, xs: &[f64]) {
+        for &x in xs {
+            self.push(x);
+        }
+    }
+
+    /// Count in bin `i`.
+    pub fn count(&self, i: usize) -> u64 {
+        self.bins[i]
+    }
+
+    /// Number of bins.
+    pub fn nbins(&self) -> usize {
+        self.bins.len()
+    }
+
+    /// All in-range bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// Observations below `lo`.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Observations at or above `hi`.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// All observations recorded (including under/overflow).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// `[lo, hi)` edges of bin `i`.
+    pub fn bin_edges(&self, i: usize) -> (f64, f64) {
+        let w = (self.hi - self.lo) / self.bins.len() as f64;
+        (self.lo + w * i as f64, self.lo + w * (i + 1) as f64)
+    }
+
+    /// Fraction of in-range mass in bin `i` (0 when nothing is in range).
+    pub fn fraction(&self, i: usize) -> f64 {
+        let in_range = self.total - self.underflow - self.overflow;
+        if in_range == 0 {
+            0.0
+        } else {
+            self.bins[i] as f64 / in_range as f64
+        }
+    }
+}
+
+/// A histogram over logarithmically spaced bins: bin `i` covers
+/// `[lo * ratio^i, lo * ratio^(i+1))`.
+#[derive(Debug, Clone)]
+pub struct LogHistogram {
+    lo: f64,
+    ratio: f64,
+    bins: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+}
+
+impl LogHistogram {
+    /// Create `nbins` bins starting at `lo > 0` with the given `ratio > 1`
+    /// between consecutive edges (ratio 2.0 gives power-of-two bins).
+    ///
+    /// # Panics
+    /// Panics for non-positive `lo`, `ratio <= 1`, or zero bins.
+    pub fn new(lo: f64, ratio: f64, nbins: usize) -> Self {
+        assert!(lo > 0.0, "lo must be positive");
+        assert!(ratio > 1.0, "ratio must exceed 1");
+        assert!(nbins > 0, "need at least one bin");
+        LogHistogram {
+            lo,
+            ratio,
+            bins: vec![0; nbins],
+            underflow: 0,
+            overflow: 0,
+        }
+    }
+
+    /// Record one observation.
+    pub fn push(&mut self, x: f64) {
+        if x < self.lo {
+            self.underflow += 1;
+            return;
+        }
+        let idx = ((x / self.lo).ln() / self.ratio.ln()).floor() as usize;
+        if idx >= self.bins.len() {
+            self.overflow += 1;
+        } else {
+            self.bins[idx] += 1;
+        }
+    }
+
+    /// In-range bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// Observations below `lo`.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Observations beyond the last bin.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// `[lo, hi)` edges of bin `i`.
+    pub fn bin_edges(&self, i: usize) -> (f64, f64) {
+        (
+            self.lo * self.ratio.powi(i as i32),
+            self.lo * self.ratio.powi(i as i32 + 1),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_binning() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        h.extend(&[0.0, 1.9, 2.0, 9.99, -1.0, 10.0, 55.0]);
+        assert_eq!(h.count(0), 2); // 0.0, 1.9
+        assert_eq!(h.count(1), 1); // 2.0
+        assert_eq!(h.count(4), 1); // 9.99
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.total(), 7);
+    }
+
+    #[test]
+    fn edges_partition_range() {
+        let h = Histogram::new(0.0, 10.0, 5);
+        assert_eq!(h.bin_edges(0), (0.0, 2.0));
+        assert_eq!(h.bin_edges(4), (8.0, 10.0));
+    }
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        h.extend(&[0.1, 0.3, 0.6, 0.9]);
+        let sum: f64 = (0..4).map(|i| h.fraction(i)).sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn log_binning_powers_of_two() {
+        let mut h = LogHistogram::new(1.0, 2.0, 4); // [1,2) [2,4) [4,8) [8,16)
+        for x in [1.0, 1.5, 2.0, 3.0, 4.0, 15.9, 16.0, 0.5] {
+            h.push(x);
+        }
+        assert_eq!(h.counts(), &[2, 2, 1, 1]);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.underflow(), 1);
+    }
+
+    #[test]
+    fn log_edges_multiply() {
+        let h = LogHistogram::new(1.0, 10.0, 3);
+        assert_eq!(h.bin_edges(0), (1.0, 10.0));
+        assert_eq!(h.bin_edges(2), (100.0, 1000.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "ratio must exceed 1")]
+    fn bad_log_ratio_panics() {
+        LogHistogram::new(1.0, 1.0, 3);
+    }
+}

@@ -1,0 +1,156 @@
+//! Weighted isotonic regression by pool-adjacent-violators (PAVA).
+//!
+//! Nonmetric MDS replaces raw dissimilarities with *disparities*: the
+//! monotone (order-preserving) transform of the dissimilarities that best
+//! matches the current map distances in the least-squares sense. That
+//! transform is exactly an isotonic regression of the distances against the
+//! dissimilarity order, which PAVA solves optimally in linear time.
+
+/// Weighted isotonic regression: given `y` (and optional non-negative
+/// weights), return the non-decreasing sequence `f` minimizing
+/// `sum w_i (y_i - f_i)^2`.
+///
+/// # Panics
+/// Panics on length mismatch or a negative weight.
+pub fn isotonic_regression(y: &[f64], w: Option<&[f64]>) -> Vec<f64> {
+    if let Some(w) = w {
+        assert_eq!(w.len(), y.len(), "weight length mismatch");
+        assert!(w.iter().all(|&v| v >= 0.0), "negative weight");
+    }
+    let n = y.len();
+    if n == 0 {
+        return Vec::new();
+    }
+
+    // Blocks of pooled values: (weighted mean, total weight, count).
+    let mut means: Vec<f64> = Vec::with_capacity(n);
+    let mut weights: Vec<f64> = Vec::with_capacity(n);
+    let mut counts: Vec<usize> = Vec::with_capacity(n);
+
+    for i in 0..n {
+        let wi = w.map_or(1.0, |w| w[i]);
+        means.push(y[i]);
+        weights.push(wi);
+        counts.push(1);
+        // Merge backwards while the monotonicity constraint is violated.
+        while means.len() >= 2 {
+            let k = means.len();
+            if means[k - 2] <= means[k - 1] {
+                break;
+            }
+            let wsum = weights[k - 2] + weights[k - 1];
+            let merged = if wsum > 0.0 {
+                (means[k - 2] * weights[k - 2] + means[k - 1] * weights[k - 1]) / wsum
+            } else {
+                // All-zero weights: plain average keeps the output finite.
+                (means[k - 2] + means[k - 1]) / 2.0
+            };
+            means[k - 2] = merged;
+            weights[k - 2] = wsum;
+            counts[k - 2] += counts[k - 1];
+            means.pop();
+            weights.pop();
+            counts.pop();
+        }
+    }
+
+    // Expand blocks back to per-element values.
+    let mut out = Vec::with_capacity(n);
+    for (m, c) in means.iter().zip(&counts) {
+        out.extend(std::iter::repeat_n(*m, *c));
+    }
+    out
+}
+
+/// Antitonic (non-increasing) regression, via isotonic on the negated data.
+pub fn antitonic_regression(y: &[f64], w: Option<&[f64]>) -> Vec<f64> {
+    let neg: Vec<f64> = y.iter().map(|v| -v).collect();
+    isotonic_regression(&neg, w).iter().map(|v| -v).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn is_nondecreasing(v: &[f64]) -> bool {
+        v.windows(2).all(|w| w[0] <= w[1] + 1e-12)
+    }
+
+    #[test]
+    fn already_monotone_unchanged() {
+        let y = [1.0, 2.0, 3.0];
+        assert_eq!(isotonic_regression(&y, None), vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn simple_violation_pooled() {
+        // [3, 1] pools to [2, 2].
+        assert_eq!(isotonic_regression(&[3.0, 1.0], None), vec![2.0, 2.0]);
+    }
+
+    #[test]
+    fn textbook_example() {
+        let y = [1.0, 3.0, 2.0, 4.0];
+        let f = isotonic_regression(&y, None);
+        assert_eq!(f, vec![1.0, 2.5, 2.5, 4.0]);
+    }
+
+    #[test]
+    fn output_always_monotone() {
+        let y = [5.0, 4.0, 3.0, 2.0, 1.0, 10.0, 0.0];
+        let f = isotonic_regression(&y, None);
+        assert!(is_nondecreasing(&f), "{f:?}");
+    }
+
+    #[test]
+    fn weighted_pooling() {
+        // Heavy weight on the first point dominates the pooled mean.
+        let y = [4.0, 0.0];
+        let f = isotonic_regression(&y, Some(&[3.0, 1.0]));
+        assert!((f[0] - 3.0).abs() < 1e-12);
+        assert_eq!(f[0], f[1]);
+    }
+
+    #[test]
+    fn preserves_weighted_mean() {
+        // Pooling conserves total weighted mass.
+        let y = [2.0, 9.0, 1.0, 7.0, 3.0];
+        let w = [1.0, 2.0, 1.0, 0.5, 2.0];
+        let f = isotonic_regression(&y, Some(&w));
+        let before: f64 = y.iter().zip(&w).map(|(a, b)| a * b).sum();
+        let after: f64 = f.iter().zip(&w).map(|(a, b)| a * b).sum();
+        assert!((before - after).abs() < 1e-9);
+        assert!(is_nondecreasing(&f));
+    }
+
+    #[test]
+    fn antitonic_is_reversed_isotonic() {
+        let y = [1.0, 5.0, 3.0, 2.0];
+        let f = antitonic_regression(&y, None);
+        assert!(f.windows(2).all(|w| w[0] >= w[1] - 1e-12), "{f:?}");
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(isotonic_regression(&[], None).is_empty());
+    }
+
+    #[test]
+    fn optimality_against_brute_force_small() {
+        // For a 3-element case, compare against a fine grid search over
+        // monotone triples.
+        let y = [2.0, 0.0, 1.0];
+        let f = isotonic_regression(&y, None);
+        let cost =
+            |g: &[f64]| -> f64 { g.iter().zip(&y).map(|(a, b)| (a - b) * (a - b)).sum() };
+        let fcost = cost(&f);
+        let grid: Vec<f64> = (0..=40).map(|i| i as f64 * 0.05).collect();
+        for &a in &grid {
+            for &b in grid.iter().filter(|&&b| b >= a) {
+                for &c in grid.iter().filter(|&&c| c >= b) {
+                    assert!(fcost <= cost(&[a, b, c]) + 1e-9);
+                }
+            }
+        }
+    }
+}

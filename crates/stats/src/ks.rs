@@ -1,0 +1,157 @@
+//! Kolmogorov-Smirnov goodness-of-fit statistics.
+//!
+//! Used to quantify how well a fitted distribution (e.g. a moment-matched
+//! hyper-Erlang) tracks the sample it was fitted to, and to compare two
+//! workloads' marginals directly. The paper compares distributions through
+//! medians and intervals; KS distances give the full-CDF view.
+
+/// One-sample KS statistic: the supremum distance between the sample's
+/// empirical CDF and a reference CDF given as a function.
+///
+/// Returns `None` for an empty sample.
+pub fn ks_statistic(sample: &[f64], cdf: impl Fn(f64) -> f64) -> Option<f64> {
+    if sample.is_empty() {
+        return None;
+    }
+    let mut sorted: Vec<f64> = sample.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let n = sorted.len() as f64;
+    let mut d: f64 = 0.0;
+    for (i, &x) in sorted.iter().enumerate() {
+        let f = cdf(x).clamp(0.0, 1.0);
+        // Compare against the ECDF just below and just above the jump.
+        let lo = i as f64 / n;
+        let hi = (i + 1) as f64 / n;
+        d = d.max((f - lo).abs()).max((hi - f).abs());
+    }
+    Some(d)
+}
+
+/// Two-sample KS statistic: the supremum distance between two empirical
+/// CDFs.
+///
+/// Returns `None` when either sample is empty.
+pub fn ks_two_sample(a: &[f64], b: &[f64]) -> Option<f64> {
+    if a.is_empty() || b.is_empty() {
+        return None;
+    }
+    let mut sa: Vec<f64> = a.to_vec();
+    let mut sb: Vec<f64> = b.to_vec();
+    sa.sort_by(|x, y| x.partial_cmp(y).unwrap());
+    sb.sort_by(|x, y| x.partial_cmp(y).unwrap());
+
+    let (na, nb) = (sa.len() as f64, sb.len() as f64);
+    let (mut i, mut j) = (0usize, 0usize);
+    let mut d: f64 = 0.0;
+    while i < sa.len() && j < sb.len() {
+        let x = sa[i].min(sb[j]);
+        while i < sa.len() && sa[i] <= x {
+            i += 1;
+        }
+        while j < sb.len() && sb[j] <= x {
+            j += 1;
+        }
+        d = d.max((i as f64 / na - j as f64 / nb).abs());
+    }
+    Some(d)
+}
+
+/// Approximate two-sample KS p-value via the asymptotic Kolmogorov
+/// distribution (`Q_KS` series). Small values reject "same distribution".
+///
+/// Returns `None` when either sample is empty.
+pub fn ks_two_sample_pvalue(a: &[f64], b: &[f64]) -> Option<f64> {
+    let d = ks_two_sample(a, b)?;
+    let (na, nb) = (a.len() as f64, b.len() as f64);
+    let ne = na * nb / (na + nb);
+    let lambda = (ne.sqrt() + 0.12 + 0.11 / ne.sqrt()) * d;
+    // Q_KS(lambda) = 2 sum_{k>=1} (-1)^{k-1} exp(-2 k^2 lambda^2).
+    let mut p = 0.0;
+    let mut sign = 1.0;
+    for k in 1..=100 {
+        let term = (-2.0 * (k as f64).powi(2) * lambda * lambda).exp();
+        p += sign * term;
+        sign = -sign;
+        if term < 1e-12 {
+            break;
+        }
+    }
+    Some((2.0 * p).clamp(0.0, 1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::{Distribution, Exponential, LogNormal};
+    use crate::rng::seeded_rng;
+
+    #[test]
+    fn one_sample_exact_fit_is_small() {
+        // Sample from an exponential, test against its own CDF.
+        let d = Exponential::new(2.0);
+        let mut rng = seeded_rng(301);
+        let xs = d.sample_n(&mut rng, 20_000);
+        let ks = ks_statistic(&xs, |x| 1.0 - (-2.0 * x).exp()).unwrap();
+        // Expected ~ 1/sqrt(n) ~ 0.007; allow slack.
+        assert!(ks < 0.02, "ks = {ks}");
+    }
+
+    #[test]
+    fn one_sample_wrong_reference_is_large() {
+        let d = Exponential::new(2.0);
+        let mut rng = seeded_rng(302);
+        let xs = d.sample_n(&mut rng, 5000);
+        // Test against exponential with a different rate.
+        let ks = ks_statistic(&xs, |x| 1.0 - (-0.5 * x).exp()).unwrap();
+        assert!(ks > 0.2, "ks = {ks}");
+    }
+
+    #[test]
+    fn two_sample_same_distribution_small() {
+        let d = LogNormal::new(1.0, 0.8);
+        let mut rng = seeded_rng(303);
+        let a = d.sample_n(&mut rng, 10_000);
+        let b = d.sample_n(&mut rng, 10_000);
+        let ks = ks_two_sample(&a, &b).unwrap();
+        assert!(ks < 0.03, "ks = {ks}");
+        let p = ks_two_sample_pvalue(&a, &b).unwrap();
+        assert!(p > 0.05, "p = {p}");
+    }
+
+    #[test]
+    fn two_sample_different_distributions_large() {
+        let mut rng = seeded_rng(304);
+        let a = Exponential::new(1.0).sample_n(&mut rng, 5000);
+        let b = Exponential::new(3.0).sample_n(&mut rng, 5000);
+        let ks = ks_two_sample(&a, &b).unwrap();
+        assert!(ks > 0.2, "ks = {ks}");
+        let p = ks_two_sample_pvalue(&a, &b).unwrap();
+        assert!(p < 1e-6, "p = {p}");
+    }
+
+    #[test]
+    fn two_sample_identical_vectors_zero() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(ks_two_sample(&a, &a), Some(0.0));
+    }
+
+    #[test]
+    fn hand_computed_two_sample() {
+        // a = {1, 3}, b = {2}: ECDFs differ by 0.5 at x in [1,2) and [2,3).
+        let d = ks_two_sample(&[1.0, 3.0], &[2.0]).unwrap();
+        assert!((d - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_inputs_none() {
+        assert!(ks_statistic(&[], |_| 0.5).is_none());
+        assert!(ks_two_sample(&[], &[1.0]).is_none());
+        assert!(ks_two_sample_pvalue(&[1.0], &[]).is_none());
+    }
+
+    #[test]
+    fn statistic_bounded() {
+        let d = ks_two_sample(&[1.0, 2.0], &[100.0, 200.0]).unwrap();
+        assert!((d - 1.0).abs() < 1e-12, "disjoint supports give D = 1");
+    }
+}

@@ -1,0 +1,45 @@
+//! Statistics substrate for the Co-plot workload suite.
+//!
+//! The paper's analyses lean on a small but specific statistical toolkit that
+//! has no sufficiently complete off-the-shelf Rust equivalent, so this crate
+//! implements it from scratch:
+//!
+//! * **Descriptive statistics** ([`describe`]) — batch and streaming moments.
+//! * **Order statistics** ([`order`]) — medians, percentiles, and the paper's
+//!   "90% interval" (the 95th minus the 5th percentile), which it prefers
+//!   over means/CVs because workload distributions have very long tails.
+//! * **Ranking and correlation** ([`rank`], [`corr`]) — Pearson and Spearman.
+//! * **Regression** ([`regress`]) — least-squares line fits (used by all
+//!   three Hurst estimators' log-log slope fits) and weighted fits.
+//! * **Isotonic regression** ([`isotonic`]) — pool-adjacent-violators, the
+//!   monotone-regression kernel inside nonmetric MDS.
+//! * **Kolmogorov-Smirnov statistics** ([`ks`]) — one- and two-sample
+//!   goodness-of-fit distances for validating fitted marginals.
+//! * **Histograms** ([`histogram`]) — linear and logarithmic binning.
+//! * **Distributions** ([`dist`]) — exponential, uniform, log-uniform,
+//!   normal, lognormal, gamma/Erlang, hyper-exponential, hyper-Erlang of
+//!   common order with three-moment matching (the Jann model's engine),
+//!   hyper-gamma (the Lublin model's engine), Pareto, Weibull, Zipf and
+//!   empirical discrete distributions.
+//! * **Deterministic RNG plumbing** ([`rng`]).
+
+pub mod corr;
+pub mod describe;
+pub mod dist;
+pub mod histogram;
+pub mod isotonic;
+pub mod ks;
+pub mod order;
+pub mod rank;
+pub mod regress;
+pub mod rng;
+
+pub use corr::{covariance, pearson, spearman};
+pub use describe::{mean, std_dev, variance, Describe, Moments};
+pub use dist::Distribution;
+pub use isotonic::isotonic_regression;
+pub use ks::{ks_statistic, ks_two_sample, ks_two_sample_pvalue};
+pub use order::{interval, median, percentile, Percentiles};
+pub use rank::ranks;
+pub use regress::{linear_fit, LinearFit};
+pub use rng::seeded_rng;

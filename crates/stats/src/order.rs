@@ -1,0 +1,207 @@
+//! Order statistics: percentiles, medians, and the paper's "90% interval".
+//!
+//! The paper argues (section 3) that means and coefficients of variation of
+//! workload attributes are unstable because of extremely long tails — removing
+//! the 0.1% most extreme jobs can shift the CV by 40% — and therefore uses
+//! order statistics throughout: medians, and the difference between the 95th
+//! and 5th percentile ("90% interval").
+
+/// Linear-interpolation percentile (the "type 7" estimator used by most
+/// statistics packages). `p` is in `[0, 100]`.
+///
+/// Returns `f64::NAN` for empty input.
+///
+/// # Panics
+/// Panics when `p` is outside `[0, 100]`.
+pub fn percentile(data: &[f64], p: f64) -> f64 {
+    assert!((0.0..=100.0).contains(&p), "percentile {p} out of [0,100]");
+    if data.is_empty() {
+        return f64::NAN;
+    }
+    let mut sorted: Vec<f64> = data.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    percentile_sorted(&sorted, p)
+}
+
+/// Percentile of data already sorted ascending (no copy).
+///
+/// # Panics
+/// Panics when `p` is outside `[0, 100]` (in debug builds also when the data
+/// is not sorted).
+pub fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
+    assert!((0.0..=100.0).contains(&p), "percentile {p} out of [0,100]");
+    debug_assert!(
+        sorted.windows(2).all(|w| w[0] <= w[1]),
+        "input must be sorted"
+    );
+    let n = sorted.len();
+    if n == 0 {
+        return f64::NAN;
+    }
+    if n == 1 {
+        return sorted[0];
+    }
+    let idx = p / 100.0 * (n - 1) as f64;
+    let lo = idx.floor() as usize;
+    let hi = idx.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = idx - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// The median (50th percentile).
+pub fn median(data: &[f64]) -> f64 {
+    percentile(data, 50.0)
+}
+
+/// The paper's central interval: for `width` in `(0, 1]`, the difference
+/// between the `(1+width)/2` and `(1-width)/2` quantiles. `interval(d, 0.90)`
+/// is the 95th minus the 5th percentile.
+///
+/// # Panics
+/// Panics when `width` is outside `(0, 1]`.
+pub fn interval(data: &[f64], width: f64) -> f64 {
+    assert!(width > 0.0 && width <= 1.0, "interval width {width} out of (0,1]");
+    if data.is_empty() {
+        return f64::NAN;
+    }
+    let mut sorted: Vec<f64> = data.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let tail = (1.0 - width) / 2.0 * 100.0;
+    percentile_sorted(&sorted, 100.0 - tail) - percentile_sorted(&sorted, tail)
+}
+
+/// A reusable set of percentiles computed in one sorting pass.
+#[derive(Debug, Clone)]
+pub struct Percentiles {
+    sorted: Vec<f64>,
+}
+
+impl Percentiles {
+    /// Sort once; query many times.
+    pub fn new(data: &[f64]) -> Self {
+        let mut sorted: Vec<f64> = data.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        Percentiles { sorted }
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// True when there is no data.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// Percentile `p` in `[0, 100]`.
+    pub fn at(&self, p: f64) -> f64 {
+        percentile_sorted(&self.sorted, p)
+    }
+
+    /// The median.
+    pub fn median(&self) -> f64 {
+        self.at(50.0)
+    }
+
+    /// Central interval of the given width (see [`interval`]).
+    pub fn interval(&self, width: f64) -> f64 {
+        assert!(width > 0.0 && width <= 1.0);
+        let tail = (1.0 - width) / 2.0 * 100.0;
+        self.at(100.0 - tail) - self.at(tail)
+    }
+
+    /// Minimum (NaN when empty).
+    pub fn min(&self) -> f64 {
+        self.sorted.first().copied().unwrap_or(f64::NAN)
+    }
+
+    /// Maximum (NaN when empty).
+    pub fn max(&self) -> f64 {
+        self.sorted.last().copied().unwrap_or(f64::NAN)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_odd_and_even() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), 2.5);
+    }
+
+    #[test]
+    fn percentile_endpoints() {
+        let d = [10.0, 20.0, 30.0, 40.0];
+        assert_eq!(percentile(&d, 0.0), 10.0);
+        assert_eq!(percentile(&d, 100.0), 40.0);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let d = [0.0, 10.0];
+        assert!((percentile(&d, 25.0) - 2.5).abs() < 1e-12);
+        assert!((percentile(&d, 75.0) - 7.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_element() {
+        assert_eq!(percentile(&[42.0], 17.0), 42.0);
+        assert_eq!(median(&[42.0]), 42.0);
+    }
+
+    #[test]
+    fn empty_is_nan() {
+        assert!(percentile(&[], 50.0).is_nan());
+        assert!(interval(&[], 0.9).is_nan());
+    }
+
+    #[test]
+    fn ninety_percent_interval() {
+        // 0..=100 evenly: p95 - p5 = 95 - 5 = 90.
+        let d: Vec<f64> = (0..=100).map(|v| v as f64).collect();
+        assert!((interval(&d, 0.90) - 90.0).abs() < 1e-9);
+        assert!((interval(&d, 0.50) - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn interval_is_tail_insensitive() {
+        // Blowing up the top value must not change the 90% interval much
+        // for a large sample - this is the paper's motivation for using it.
+        let mut d: Vec<f64> = (0..1000).map(|v| v as f64).collect();
+        let before = interval(&d, 0.90);
+        d[999] = 1e12;
+        let after = interval(&d, 0.90);
+        assert!((before - after).abs() < 2.0);
+    }
+
+    #[test]
+    fn percentiles_struct_matches_free_functions() {
+        let d = [5.0, 1.0, 9.0, 3.0, 7.0];
+        let p = Percentiles::new(&d);
+        assert_eq!(p.len(), 5);
+        assert_eq!(p.median(), median(&d));
+        assert!((p.at(30.0) - percentile(&d, 30.0)).abs() < 1e-12);
+        assert!((p.interval(0.9) - interval(&d, 0.9)).abs() < 1e-12);
+        assert_eq!(p.min(), 1.0);
+        assert_eq!(p.max(), 9.0);
+    }
+
+    #[test]
+    fn unsorted_input_handled() {
+        let d = [9.0, 1.0, 5.0];
+        assert_eq!(median(&d), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of [0,100]")]
+    fn out_of_range_percentile_panics() {
+        percentile(&[1.0], 101.0);
+    }
+}

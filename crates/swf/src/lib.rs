@@ -1,0 +1,31 @@
+//! Standard Workload Format (SWF) substrate.
+//!
+//! The paper's data set is ten production workloads plus five synthetic
+//! model outputs, all converted to the *standard workload format* the
+//! authors established for the Parallel Workloads Archive. This crate is
+//! the archive toolkit the paper presupposes:
+//!
+//! * [`job::Job`] — one record with all SWF fields (times, processors,
+//!   memory, status, user/group/executable identifiers, queue/partition).
+//! * [`workload::Workload`] — a named job collection with machine metadata
+//!   (processor count, scheduler flexibility rank, allocation flexibility
+//!   rank), plus the filters the paper applies: interactive/batch splits
+//!   and fixed-duration period splits (section 6).
+//! * [`parse`] — SWF text reader and writer (header comments included).
+//! * [`metrics`] — the derived-characteristics engine producing every
+//!   Table 1 / Table 2 variable from a raw job stream.
+//! * [`series`] — per-job time series in arrival order (used processors,
+//!   runtime, total CPU time, inter-arrival time), the inputs to the
+//!   self-similarity analysis of section 9.
+
+pub mod job;
+pub mod metrics;
+pub mod parse;
+pub mod series;
+pub mod workload;
+
+pub use job::{Job, JobStatus};
+pub use metrics::{Variable, WorkloadStats};
+pub use parse::{parse_swf, write_swf, ParseError};
+pub use series::{arrival_counts, JobSeries};
+pub use workload::{AllocationFlexibility, MachineInfo, SchedulerFlexibility, Workload};

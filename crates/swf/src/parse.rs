@@ -1,0 +1,316 @@
+//! SWF text format reader and writer.
+//!
+//! An SWF file is line-oriented: header lines start with `;` and carry
+//! `; Key: value` metadata; every other non-empty line is one job with 18
+//! whitespace-separated numeric fields, `-1` marking unknown values.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::job::{Job, JobStatus};
+use crate::workload::{AllocationFlexibility, MachineInfo, SchedulerFlexibility, Workload};
+
+/// Error from parsing an SWF document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SWF parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parsed SWF document: header metadata plus jobs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SwfDocument {
+    /// Header key/value pairs from `; Key: value` comment lines.
+    pub header: BTreeMap<String, String>,
+    /// Jobs in file order.
+    pub jobs: Vec<Job>,
+}
+
+impl SwfDocument {
+    /// Turn the document into a [`Workload`], reading what machine metadata
+    /// it can from the header (`MaxNodes`, plus this workspace's
+    /// `SchedulerRank` / `AllocationRank` extension keys) and falling back
+    /// to the supplied defaults.
+    pub fn into_workload(self, name: impl Into<String>, default: MachineInfo) -> Workload {
+        let procs = self
+            .header
+            .get("MaxNodes")
+            .or_else(|| self.header.get("MaxProcs"))
+            .and_then(|v| v.trim().parse::<u64>().ok())
+            .filter(|&v| v > 0)
+            .unwrap_or(default.processors);
+        let sched = self
+            .header
+            .get("SchedulerRank")
+            .and_then(|v| v.trim().parse::<u8>().ok())
+            .and_then(|r| match r {
+                1 => Some(SchedulerFlexibility::BatchQueue),
+                2 => Some(SchedulerFlexibility::Backfilling),
+                3 => Some(SchedulerFlexibility::Gang),
+                _ => None,
+            })
+            .unwrap_or(default.scheduler);
+        let alloc = self
+            .header
+            .get("AllocationRank")
+            .and_then(|v| v.trim().parse::<u8>().ok())
+            .and_then(|r| match r {
+                1 => Some(AllocationFlexibility::PowerOfTwoPartitions),
+                2 => Some(AllocationFlexibility::Limited),
+                3 => Some(AllocationFlexibility::Unlimited),
+                _ => None,
+            })
+            .unwrap_or(default.allocation);
+        Workload::new(
+            name,
+            MachineInfo::new(procs, sched, alloc),
+            self.jobs,
+        )
+    }
+}
+
+/// Parse SWF text into a document.
+pub fn parse_swf(text: &str) -> Result<SwfDocument, ParseError> {
+    let mut header = BTreeMap::new();
+    let mut jobs = Vec::new();
+
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix(';') {
+            if let Some((key, value)) = comment.split_once(':') {
+                header.insert(key.trim().to_string(), value.trim().to_string());
+            }
+            continue;
+        }
+        jobs.push(parse_job_line(line, lineno + 1)?);
+    }
+    Ok(SwfDocument { header, jobs })
+}
+
+fn parse_job_line(line: &str, lineno: usize) -> Result<Job, ParseError> {
+    let fields: Vec<&str> = line.split_whitespace().collect();
+    if fields.len() != 18 {
+        return Err(ParseError {
+            line: lineno,
+            message: format!("expected 18 fields, found {}", fields.len()),
+        });
+    }
+    let f = |i: usize| -> Result<f64, ParseError> {
+        fields[i].parse::<f64>().map_err(|_| ParseError {
+            line: lineno,
+            message: format!("field {} is not numeric: {:?}", i + 1, fields[i]),
+        })
+    };
+    let int = |i: usize| -> Result<i64, ParseError> {
+        // Accept "4" and "4.0" alike; SWF files in the wild mix both.
+        let v = f(i)?;
+        Ok(v as i64)
+    };
+    let id = int(0)?;
+    if id < 0 {
+        return Err(ParseError {
+            line: lineno,
+            message: format!("job id must be non-negative, found {id}"),
+        });
+    }
+    Ok(Job {
+        id: id as u64,
+        submit_time: f(1)?,
+        wait_time: f(2)?,
+        run_time: f(3)?,
+        used_procs: int(4)?,
+        avg_cpu_time: f(5)?,
+        used_memory: f(6)?,
+        requested_procs: int(7)?,
+        requested_time: f(8)?,
+        requested_memory: f(9)?,
+        status: JobStatus::from_code(int(10)?),
+        user_id: int(11)?,
+        group_id: int(12)?,
+        executable_id: int(13)?,
+        queue: int(14)?,
+        partition: int(15)?,
+        preceding_job: int(16)?,
+        think_time: f(17)?,
+    })
+}
+
+/// Serialize a workload back to SWF text, including a header describing the
+/// machine so a later [`parse_swf`] + [`SwfDocument::into_workload`] round
+/// trip preserves it.
+pub fn write_swf(workload: &Workload) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("; Computer: {}\n", workload.name));
+    out.push_str(&format!("; MaxNodes: {}\n", workload.machine.processors));
+    out.push_str(&format!(
+        "; SchedulerRank: {}\n",
+        workload.machine.scheduler.rank()
+    ));
+    out.push_str(&format!(
+        "; AllocationRank: {}\n",
+        workload.machine.allocation.rank()
+    ));
+    out.push_str(&format!("; MaxJobs: {}\n", workload.len()));
+    for j in workload.jobs() {
+        out.push_str(&format_job_line(j));
+        out.push('\n');
+    }
+    out
+}
+
+fn fmt_f(v: f64) -> String {
+    // Keep integers compact; SWF consumers expect "-1" not "-1.0".
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+fn format_job_line(j: &Job) -> String {
+    [
+        j.id.to_string(),
+        fmt_f(j.submit_time),
+        fmt_f(j.wait_time),
+        fmt_f(j.run_time),
+        j.used_procs.to_string(),
+        fmt_f(j.avg_cpu_time),
+        fmt_f(j.used_memory),
+        j.requested_procs.to_string(),
+        fmt_f(j.requested_time),
+        fmt_f(j.requested_memory),
+        j.status.code().to_string(),
+        j.user_id.to_string(),
+        j.group_id.to_string(),
+        j.executable_id.to_string(),
+        j.queue.to_string(),
+        j.partition.to_string(),
+        j.preceding_job.to_string(),
+        fmt_f(j.think_time),
+    ]
+    .join(" ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn machine() -> MachineInfo {
+        MachineInfo::new(
+            64,
+            SchedulerFlexibility::BatchQueue,
+            AllocationFlexibility::Limited,
+        )
+    }
+
+    #[test]
+    fn parses_minimal_file() {
+        let text = "\
+; Computer: Test
+; MaxNodes: 64
+1 0 5 100 4 90 -1 4 200 -1 1 3 1 7 1 -1 -1 -1
+2 60 -1 50 2 -1 -1 -1 -1 -1 0 4 1 8 2 -1 -1 -1
+";
+        let doc = parse_swf(text).unwrap();
+        assert_eq!(doc.header["Computer"], "Test");
+        assert_eq!(doc.jobs.len(), 2);
+        assert_eq!(doc.jobs[0].id, 1);
+        assert_eq!(doc.jobs[0].run_time, 100.0);
+        assert_eq!(doc.jobs[0].used_procs, 4);
+        assert_eq!(doc.jobs[0].status, JobStatus::Completed);
+        assert_eq!(doc.jobs[1].status, JobStatus::Failed);
+        assert_eq!(doc.jobs[1].run_time_opt(), Some(50.0));
+        assert_eq!(doc.jobs[1].avg_cpu_time_opt(), None);
+    }
+
+    #[test]
+    fn wrong_field_count_is_error() {
+        let err = parse_swf("1 2 3\n").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.message.contains("18 fields"));
+    }
+
+    #[test]
+    fn non_numeric_field_is_error() {
+        let text = "1 0 5 abc 4 90 -1 4 200 -1 1 3 1 7 1 -1 -1 -1\n";
+        let err = parse_swf(text).unwrap_err();
+        assert!(err.message.contains("not numeric"));
+    }
+
+    #[test]
+    fn negative_id_is_error() {
+        let text = "-1 0 5 1 4 90 -1 4 200 -1 1 3 1 7 1 -1 -1 -1\n";
+        assert!(parse_swf(text).is_err());
+    }
+
+    #[test]
+    fn round_trip_preserves_workload() {
+        let mut j1 = Job::new(1, 0.0);
+        j1.run_time = 123.5;
+        j1.used_procs = 8;
+        j1.user_id = 3;
+        j1.status = JobStatus::Completed;
+        let mut j2 = Job::new(2, 17.25);
+        j2.run_time = 4.0;
+        j2.used_procs = 1;
+        j2.queue = 1;
+        let w = Workload::new("RT", machine(), vec![j1, j2]);
+
+        let text = write_swf(&w);
+        let doc = parse_swf(&text).unwrap();
+        let w2 = doc.into_workload("RT", machine());
+        assert_eq!(w, w2);
+    }
+
+    #[test]
+    fn header_machine_metadata_round_trips() {
+        let w = Workload::new(
+            "M",
+            MachineInfo::new(
+                1024,
+                SchedulerFlexibility::Gang,
+                AllocationFlexibility::PowerOfTwoPartitions,
+            ),
+            vec![],
+        );
+        let text = write_swf(&w);
+        let doc = parse_swf(&text).unwrap();
+        // Defaults differ from the header; header must win.
+        let w2 = doc.into_workload("M", machine());
+        assert_eq!(w2.machine.processors, 1024);
+        assert_eq!(w2.machine.scheduler, SchedulerFlexibility::Gang);
+        assert_eq!(
+            w2.machine.allocation,
+            AllocationFlexibility::PowerOfTwoPartitions
+        );
+    }
+
+    #[test]
+    fn blank_lines_and_plain_comments_ignored() {
+        let text = "\n; just a note without colon-value\n\n";
+        let doc = parse_swf(text).unwrap();
+        assert!(doc.jobs.is_empty());
+        assert!(doc.header.is_empty());
+    }
+
+    #[test]
+    fn fractional_and_integer_fields_both_accepted() {
+        let text = "1 0.5 5.0 100.25 4 90 -1 4 200 -1 1 3 1 7 1 -1 -1 -1\n";
+        let doc = parse_swf(text).unwrap();
+        assert_eq!(doc.jobs[0].submit_time, 0.5);
+        assert_eq!(doc.jobs[0].run_time, 100.25);
+    }
+}

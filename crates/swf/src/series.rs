@@ -1,0 +1,188 @@
+//! Per-job time series in arrival order.
+//!
+//! Section 9 of the paper estimates the Hurst parameter of four attributes
+//! of the workload, treating each as a time series indexed by job arrival
+//! order: used processors, run time, total CPU time, and inter-arrival time.
+//! This module extracts those series from a workload.
+
+use crate::workload::Workload;
+
+/// The four series the paper examines for self-similarity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum JobSeries {
+    /// Number of processors used by each job.
+    UsedProcessors,
+    /// Run time of each job.
+    RunTime,
+    /// Total CPU time of each job (CPU per processor times processors, with
+    /// the runtime-times-processors fallback).
+    TotalCpuTime,
+    /// Time between consecutive job submissions.
+    InterArrival,
+}
+
+impl JobSeries {
+    /// All four series, in Table 3 column order.
+    pub const ALL: [JobSeries; 4] = [
+        JobSeries::UsedProcessors,
+        JobSeries::RunTime,
+        JobSeries::TotalCpuTime,
+        JobSeries::InterArrival,
+    ];
+
+    /// Short code used in Table 3 ("p", "r", "c", "i").
+    pub fn code(&self) -> &'static str {
+        match self {
+            JobSeries::UsedProcessors => "p",
+            JobSeries::RunTime => "r",
+            JobSeries::TotalCpuTime => "c",
+            JobSeries::InterArrival => "i",
+        }
+    }
+
+    /// Human-readable name as in Table 3's header.
+    pub fn name(&self) -> &'static str {
+        match self {
+            JobSeries::UsedProcessors => "Used Processors",
+            JobSeries::RunTime => "Run Time",
+            JobSeries::TotalCpuTime => "Total CPU Time",
+            JobSeries::InterArrival => "Inter-Arrival Time",
+        }
+    }
+
+    /// Extract this series from a workload, in arrival order, skipping jobs
+    /// where the attribute is unknown.
+    pub fn extract(&self, w: &Workload) -> Vec<f64> {
+        match self {
+            JobSeries::UsedProcessors => w
+                .jobs()
+                .iter()
+                .filter_map(|j| j.used_procs_opt().map(|p| p as f64))
+                .collect(),
+            JobSeries::RunTime => w.jobs().iter().filter_map(|j| j.run_time_opt()).collect(),
+            JobSeries::TotalCpuTime => {
+                w.jobs().iter().filter_map(|j| j.total_cpu_work()).collect()
+            }
+            JobSeries::InterArrival => w
+                .jobs()
+                .windows(2)
+                .map(|pair| pair[1].submit_time - pair[0].submit_time)
+                .collect(),
+        }
+    }
+}
+
+/// Job arrivals binned into fixed-width time intervals: the count of jobs
+/// submitted in each `bin_seconds`-wide window across the log's span. This
+/// is the classic network-traffic view of self-similarity (counts per
+/// interval rather than per-job attributes), complementing
+/// [`JobSeries::InterArrival`].
+///
+/// Returns an empty vector for logs with fewer than two jobs or a
+/// non-positive bin width.
+pub fn arrival_counts(w: &Workload, bin_seconds: f64) -> Vec<f64> {
+    if w.len() < 2 || bin_seconds <= 0.0 {
+        return Vec::new();
+    }
+    let t0 = w.jobs().first().unwrap().submit_time;
+    let t1 = w.jobs().last().unwrap().submit_time;
+    let nbins = (((t1 - t0) / bin_seconds).floor() as usize + 1).max(1);
+    let mut counts = vec![0.0; nbins];
+    for j in w.jobs() {
+        let k = (((j.submit_time - t0) / bin_seconds) as usize).min(nbins - 1);
+        counts[k] += 1.0;
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::Job;
+    use crate::workload::{
+        AllocationFlexibility, MachineInfo, SchedulerFlexibility, Workload,
+    };
+
+    fn workload() -> Workload {
+        let mk = |id: u64, submit: f64, run: f64, procs: i64| {
+            let mut j = Job::new(id, submit);
+            j.run_time = run;
+            j.used_procs = procs;
+            j
+        };
+        Workload::new(
+            "T",
+            MachineInfo::new(
+                16,
+                SchedulerFlexibility::Gang,
+                AllocationFlexibility::Limited,
+            ),
+            vec![
+                mk(1, 0.0, 10.0, 2),
+                mk(2, 5.0, 20.0, 4),
+                mk(3, 15.0, 30.0, 8),
+            ],
+        )
+    }
+
+    #[test]
+    fn extracts_in_arrival_order() {
+        let w = workload();
+        assert_eq!(JobSeries::UsedProcessors.extract(&w), vec![2.0, 4.0, 8.0]);
+        assert_eq!(JobSeries::RunTime.extract(&w), vec![10.0, 20.0, 30.0]);
+        assert_eq!(
+            JobSeries::TotalCpuTime.extract(&w),
+            vec![20.0, 80.0, 240.0]
+        );
+        assert_eq!(JobSeries::InterArrival.extract(&w), vec![5.0, 10.0]);
+    }
+
+    #[test]
+    fn missing_attributes_skipped() {
+        let mut j1 = Job::new(1, 0.0);
+        j1.run_time = 5.0; // procs unknown
+        let mut j2 = Job::new(2, 1.0);
+        j2.run_time = 7.0;
+        j2.used_procs = 3;
+        let w = Workload::new(
+            "M",
+            MachineInfo::new(
+                4,
+                SchedulerFlexibility::BatchQueue,
+                AllocationFlexibility::PowerOfTwoPartitions,
+            ),
+            vec![j1, j2],
+        );
+        assert_eq!(JobSeries::UsedProcessors.extract(&w), vec![3.0]);
+        assert_eq!(JobSeries::RunTime.extract(&w).len(), 2);
+        assert_eq!(JobSeries::TotalCpuTime.extract(&w), vec![21.0]);
+    }
+
+    #[test]
+    fn arrival_counts_partition_jobs() {
+        let w = workload(); // submits at 0, 5, 15
+        let counts = arrival_counts(&w, 10.0);
+        assert_eq!(counts, vec![2.0, 1.0]);
+        let total: f64 = counts.iter().sum();
+        assert_eq!(total, w.len() as f64);
+    }
+
+    #[test]
+    fn arrival_counts_degenerate_inputs() {
+        let w = workload();
+        assert!(arrival_counts(&w, 0.0).is_empty());
+        let single = Workload::new(
+            "s",
+            w.machine,
+            vec![Job::new(1, 0.0)],
+        );
+        assert!(arrival_counts(&single, 10.0).is_empty());
+    }
+
+    #[test]
+    fn codes_and_names_distinct() {
+        let codes: std::collections::HashSet<&str> =
+            JobSeries::ALL.iter().map(|s| s.code()).collect();
+        assert_eq!(codes.len(), 4);
+    }
+}

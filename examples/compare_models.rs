@@ -1,0 +1,58 @@
+//! Compare the five synthetic workload models against production-log
+//! stand-ins, as in the paper's Figure 4.
+//!
+//! ```sh
+//! cargo run --release --example compare_models
+//! ```
+
+use coplot::Coplot;
+use wl_analysis::workload_matrix as build_matrix;
+use wl_logsynth::machines::production_workloads;
+use wl_models::{all_models, Jann, WorkloadModel};
+use wl_stats::rng::seeded_rng;
+
+fn main() {
+    let n = 4096;
+    let mut workloads = production_workloads(2024, n);
+
+    // Fit Jann to the synthesized CTC log (as the original was fitted to
+    // the real CTC trace), defaults for the rest.
+    let ctc = workloads[0].clone();
+    for model in all_models() {
+        let mut rng = seeded_rng(5000 + workloads.len() as u64);
+        if model.name() == "Jann" {
+            let fitted = Jann::fit_from_workload(&ctc).expect("fit CTC");
+            workloads.push(fitted.generate(n, &mut rng));
+        } else {
+            workloads.push(model.generate(n, &mut rng));
+        }
+    }
+
+    let data = build_matrix(&workloads, &["Rm", "Ri", "Nm", "Ni", "Cm", "Ci", "Im", "Ii"]);
+    let result = Coplot::new().seed(11).analyze(&data).expect("coplot");
+    println!("{}", coplot::render::render_text(&result, 72, 28));
+    println!(
+        "theta = {:.3}, mean arrow correlation = {:.3}",
+        result.alienation,
+        result.mean_arrow_correlation()
+    );
+
+    println!("\nclosest production log to each model:");
+    let logs = ["CTC", "KTH", "LANL", "LANLi", "LANLb", "LLNL", "NASA", "SDSC", "SDSCi", "SDSCb"];
+    for model in ["Feitelson '96", "Feitelson '97", "Downey", "Jann", "Lublin"] {
+        let closest = logs
+            .iter()
+            .min_by(|a, b| {
+                result
+                    .map_distance(model, a)
+                    .unwrap()
+                    .partial_cmp(&result.map_distance(model, b).unwrap())
+                    .unwrap()
+            })
+            .unwrap();
+        println!(
+            "  {model:<15} -> {closest:<6} (map distance {:.3})",
+            result.map_distance(model, closest).unwrap()
+        );
+    }
+}

@@ -1,0 +1,61 @@
+//! Test whether a log is homogeneous over time by splitting it into periods
+//! and co-plotting the periods with the full log — the paper's section 6
+//! methodology, which exposed the LANL CM-5's wild final year.
+//!
+//! ```sh
+//! cargo run --release --example log_evolution
+//! ```
+
+use coplot::{Coplot, DataMatrix};
+use wl_logsynth::periods::lanl_over_time;
+use wl_swf::{Variable, WorkloadStats};
+
+fn main() {
+    // A two-year LANL-like log whose final year changed character.
+    let log = lanl_over_time(31, 3000);
+    println!("full log: {} jobs over {:.0} days", log.len(), log.duration() / 86_400.0);
+
+    // Split into four consecutive periods, as the paper did.
+    let mut parts = log.split_periods(4, "L");
+    parts.push(log.clone());
+
+    let codes = ["Rm", "Ri", "Pm", "Pi", "Cm", "Ci", "Im"];
+    let stats: Vec<WorkloadStats> = parts.iter().map(WorkloadStats::compute).collect();
+    for s in &stats {
+        println!(
+            "  {:<6} Rm {:>8.1}  Pm {:>6.1}  Im {:>7.1}",
+            s.name,
+            s.runtime_median.unwrap_or(f64::NAN),
+            s.procs_median.unwrap_or(f64::NAN),
+            s.interarrival_median.unwrap_or(f64::NAN),
+        );
+    }
+
+    let rows: Vec<Vec<Option<f64>>> = stats
+        .iter()
+        .map(|s| {
+            codes
+                .iter()
+                .map(|c| s.get(Variable::from_code(c).unwrap()))
+                .collect()
+        })
+        .collect();
+    let row_refs: Vec<&[Option<f64>]> = rows.iter().map(|r| r.as_slice()).collect();
+    let data = DataMatrix::from_optional_rows(
+        stats.iter().map(|s| s.name.clone()).collect(),
+        codes.iter().map(|c| c.to_string()).collect(),
+        &row_refs,
+    );
+    let result = Coplot::new().seed(3).analyze(&data).expect("coplot");
+    println!("\n{}", coplot::render::render_text(&result, 64, 24));
+
+    // Homogeneity verdict: how far does each period sit from the full log?
+    println!("distance of each period from the full log:");
+    for p in ["L1", "L2", "L3", "L4"] {
+        println!("  {p}: {:.3}", result.map_distance(p, "LANL").unwrap());
+    }
+    println!(
+        "\nperiods L3/L4 drift far from the first year: the log is not \
+         homogeneous, so using year 1 as a model of year 2 would mislead."
+    );
+}

@@ -1,0 +1,75 @@
+//! The paper's proposed three-parameter workload model (section 8) and the
+//! self-similar model its conclusions call for (section 10), both live.
+//!
+//! ```sh
+//! cargo run --release --example parametric_model
+//! ```
+
+use wl_analysis::ParametricModel;
+use wl_models::{SelfSimilarModel, WorkloadModel};
+use wl_selfsim::HurstEstimator;
+use wl_stats::rng::seeded_rng;
+use wl_swf::workload::AllocationFlexibility;
+use wl_swf::{JobSeries, WorkloadStats};
+
+fn main() {
+    // Part 1: the three-parameter model. The paper: "a general model of
+    // parallel workloads will accept these three parameters as input
+    // [allocation flexibility + medians of parallelism and inter-arrival
+    // time]. It would use the highly positive correlations with other
+    // variables to assume their distributions."
+    println!("three-parameter model: same medians, different allocation flexibility\n");
+    println!(
+        "{:<28}{:>10}{:>12}{:>10}{:>10}",
+        "allocation", "Rm", "Ri", "Pm", "Im"
+    );
+    for alloc in [
+        AllocationFlexibility::PowerOfTwoPartitions,
+        AllocationFlexibility::Limited,
+        AllocationFlexibility::Unlimited,
+    ] {
+        let model = ParametricModel::new(alloc, 8.0, 120.0, 256);
+        let w = model.generate(8000, &mut seeded_rng(61));
+        let s = WorkloadStats::compute(&w);
+        println!(
+            "{:<28}{:>10.1}{:>12.1}{:>10.1}{:>10.1}",
+            format!("{alloc:?}"),
+            s.runtime_median.unwrap(),
+            s.runtime_interval.unwrap(),
+            s.procs_median.unwrap(),
+            s.interarrival_median.unwrap(),
+        );
+    }
+    println!(
+        "\nflexible allocation implies longer jobs — the cluster-4 relation the\n\
+         paper reads off Figure 1, used generatively.\n"
+    );
+
+    // Part 2: the self-similar model the paper says is "a near future
+    // requirement". None of the 1999 models exhibits H > 0.5; this one does,
+    // tunably.
+    println!("self-similar model: configured vs estimated Hurst parameter\n");
+    println!("{:<14}{:>10}{:>10}{:>10}", "configured H", "V-T", "Per.", "R/S");
+    for &h in &[0.55, 0.7, 0.85] {
+        let model = SelfSimilarModel::new(h, h, h, 300.0, 9000.0, 120.0, 1500.0, 128);
+        let w = model.generate(16_384, &mut seeded_rng((h * 100.0) as u64));
+        let gaps: Vec<f64> = JobSeries::InterArrival
+            .extract(&w)
+            .iter()
+            .map(|g| g.ln())
+            .collect();
+        print!("{h:<14.2}");
+        for est in [
+            HurstEstimator::VarianceTime,
+            HurstEstimator::Periodogram,
+            HurstEstimator::RsAnalysis,
+        ] {
+            print!("{:>10.2}", est.estimate(&gaps).unwrap());
+        }
+        println!();
+    }
+    println!(
+        "\nthe marginals stay calibrated (runtime median 300 s, inter-arrival\n\
+         median 120 s) while the serial structure carries the configured memory."
+    );
+}

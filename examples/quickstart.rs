@@ -1,0 +1,62 @@
+//! Quickstart: run a Co-plot analysis on a small workload collection.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+//!
+//! Generates three synthetic workloads, computes their Table-1-style
+//! characteristics, and draws the Co-plot map with goodness-of-fit numbers.
+
+use coplot::{Coplot, DataMatrix};
+use wl_logsynth::machines::MachineId;
+use wl_swf::{Variable, WorkloadStats};
+
+fn main() {
+    // 1. Get some workloads: three synthesized production-log stand-ins.
+    let workloads = [
+        MachineId::Ctc.generate(2000, 7),
+        MachineId::Nasa.generate(2000, 7),
+        MachineId::Llnl.generate(2000, 7),
+        MachineId::Kth.generate(2000, 7),
+    ];
+
+    // 2. Characterize each one (medians, 90% intervals, loads, ...).
+    let stats: Vec<WorkloadStats> = workloads.iter().map(WorkloadStats::compute).collect();
+    for s in &stats {
+        println!(
+            "{:<6} runtime median {:>8.1}s  parallelism median {:>5.1}  inter-arrival median {:>7.1}s",
+            s.name,
+            s.runtime_median.unwrap(),
+            s.procs_median.unwrap(),
+            s.interarrival_median.unwrap()
+        );
+    }
+    println!();
+
+    // 3. Build the observations x variables matrix.
+    let codes = ["Rm", "Ri", "Pm", "Pi", "Im", "Ii"];
+    let rows: Vec<Vec<f64>> = stats
+        .iter()
+        .map(|s| {
+            codes
+                .iter()
+                .map(|c| s.get(Variable::from_code(c).unwrap()).unwrap())
+                .collect()
+        })
+        .collect();
+    let row_refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+    let data = DataMatrix::from_rows(
+        stats.iter().map(|s| s.name.clone()).collect(),
+        codes.iter().map(|c| c.to_string()).collect(),
+        &row_refs,
+    );
+
+    // 4. Run the four Co-plot stages and render the map.
+    let result = Coplot::new().seed(42).analyze(&data).expect("coplot");
+    println!("{}", coplot::render::render_text(&result, 64, 24));
+    println!(
+        "fit: theta = {:.3} (below 0.15 is good), mean arrow correlation = {:.3}",
+        result.alienation,
+        result.mean_arrow_correlation()
+    );
+}

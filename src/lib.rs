@@ -1,0 +1,32 @@
+//! # coplot-suite
+//!
+//! Umbrella crate for the Co-plot parallel-workload analysis workspace — a
+//! from-scratch Rust reproduction of *"Comparing Logs and Models of Parallel
+//! Workloads Using the Co-plot Method"* (Talby, Feitelson, Raveh; IPPS 1999).
+//!
+//! Re-exports every member crate under one roof:
+//!
+//! * [`coplot`] — the Co-plot multivariate method (normalize → city-block
+//!   dissimilarities → nonmetric MDS scored by Guttman's coefficient of
+//!   alienation → variable arrows).
+//! * [`swf`] — the Standard Workload Format toolkit: job records,
+//!   parser/writer, workload containers, and the derived-characteristics
+//!   engine behind the paper's Tables 1-2.
+//! * [`models`] — the five synthetic workload models the paper evaluates
+//!   (Feitelson '96/'97, Downey, Jann, Lublin).
+//! * [`selfsim`] — Hurst-parameter estimation (R/S, variance-time,
+//!   periodogram) and exact fractional-Gaussian-noise generation.
+//! * [`logsynth`] — calibrated stand-ins for the paper's production logs.
+//! * [`stats`] / [`linalg`] — the statistical and linear-algebra substrates.
+//!
+//! See the `examples/` directory for runnable walkthroughs and the
+//! `wl-repro` crate for one binary per table/figure of the paper.
+
+pub use coplot;
+pub use wl_analysis as analysis;
+pub use wl_linalg as linalg;
+pub use wl_logsynth as logsynth;
+pub use wl_models as models;
+pub use wl_selfsim as selfsim;
+pub use wl_stats as stats;
+pub use wl_swf as swf;

@@ -1,0 +1,155 @@
+//! Integration tests: the Co-plot pipeline run on the paper's own published
+//! matrices must reproduce the paper's quantitative fit statistics and
+//! qualitative geometry. This validates the method implementation
+//! independently of the log synthesis.
+
+use coplot::{Coplot, DataMatrix};
+
+/// Rebuild the paper's Table 1 matrix for a set of variable codes, without
+/// depending on the wl-repro crate (integration tests exercise only the
+/// public library APIs; the numbers are transcribed from the paper).
+fn table1(codes: &[&str]) -> DataMatrix {
+    const OBS: [&str; 10] = [
+        "CTC", "KTH", "LANL", "LANLi", "LANLb", "LLNL", "NASA", "SDSC", "SDSCi", "SDSCb",
+    ];
+    let col = |code: &str| -> Vec<Option<f64>> {
+        match code {
+            "AL" => [3.0, 3.0, 1.0, 1.0, 1.0, 2.0, 1.0, 2.0, 2.0, 2.0]
+                .iter().map(|&v| Some(v)).collect(),
+            "RL" => vec![
+                Some(0.56), Some(0.69), Some(0.66), Some(0.02), Some(0.65),
+                Some(0.62), None, Some(0.7), Some(0.01), Some(0.69),
+            ],
+            "Rm" => [960.0, 848.0, 68.0, 57.0, 376.0, 36.0, 19.0, 45.0, 12.0, 1812.0]
+                .iter().map(|&v| Some(v)).collect(),
+            "Ri" => [
+                57216.0, 47875.0, 9064.0, 267.0, 11136.0, 9143.0, 1168.0, 28498.0, 484.0,
+                39290.0,
+            ].iter().map(|&v| Some(v)).collect(),
+            "Pm" => [2.0, 3.0, 64.0, 32.0, 64.0, 8.0, 1.0, 5.0, 4.0, 8.0]
+                .iter().map(|&v| Some(v)).collect(),
+            "Pi" => [37.0, 31.0, 224.0, 96.0, 480.0, 62.0, 31.0, 63.0, 31.0, 63.0]
+                .iter().map(|&v| Some(v)).collect(),
+            "Nm" => [0.76, 3.84, 8.0, 4.0, 8.0, 4.0, 1.0, 1.54, 1.23, 2.46]
+                .iter().map(|&v| Some(v)).collect(),
+            "Ni" => [14.1, 39.68, 28.0, 12.0, 60.0, 31.0, 31.0, 19.38, 9.54, 19.38]
+                .iter().map(|&v| Some(v)).collect(),
+            "Cm" => [2181.0, 2880.0, 256.0, 128.0, 2944.0, 384.0, 19.0, 209.0, 86.0, 9472.0]
+                .iter().map(|&v| Some(v)).collect(),
+            "Ci" => [
+                326057.0, 355140.0, 559104.0, 2560.0, 1582080.0, 455582.0, 19774.0,
+                918544.0, 3960.0, 1754212.0,
+            ].iter().map(|&v| Some(v)).collect(),
+            "Im" => [64.0, 192.0, 162.0, 16.0, 169.0, 119.0, 56.0, 170.0, 68.0, 208.0]
+                .iter().map(|&v| Some(v)).collect(),
+            "Ii" => [1472.0, 3806.0, 1968.0, 276.0, 2064.0, 1660.0, 443.0, 4265.0, 2076.0, 5884.0]
+                .iter().map(|&v| Some(v)).collect(),
+            other => panic!("unknown code {other}"),
+        }
+    };
+    let cols: Vec<Vec<Option<f64>>> = codes.iter().map(|c| col(c)).collect();
+    let rows: Vec<Vec<Option<f64>>> = (0..10)
+        .map(|i| cols.iter().map(|c| c[i]).collect())
+        .collect();
+    let row_refs: Vec<&[Option<f64>]> = rows.iter().map(|r| r.as_slice()).collect();
+    DataMatrix::from_optional_rows(
+        OBS.iter().map(|s| s.to_string()).collect(),
+        codes.iter().map(|c| c.to_string()).collect(),
+        &row_refs,
+    )
+}
+
+const FIG1_VARS: [&str; 9] = ["RL", "Rm", "Ri", "Nm", "Ni", "Cm", "Ci", "Im", "Ii"];
+
+#[test]
+fn figure1_fit_statistics_match_paper() {
+    let result = Coplot::new().seed(1999).analyze(&table1(&FIG1_VARS)).unwrap();
+    // Paper: theta = 0.07, mean correlation 0.88, minimum 0.83. Allow the
+    // optimizer some slack but demand the same fit class.
+    assert!(result.alienation < 0.12, "theta = {}", result.alienation);
+    assert!(
+        result.mean_arrow_correlation() > 0.84,
+        "mean corr = {}",
+        result.mean_arrow_correlation()
+    );
+    assert!(result.min_arrow_correlation() > 0.75);
+}
+
+#[test]
+fn figure1_variable_clusters_match_paper() {
+    let result = Coplot::new().seed(1999).analyze(&table1(&FIG1_VARS)).unwrap();
+    let cos = |a: &str, b: &str| {
+        result
+            .arrow(a)
+            .unwrap()
+            .cos_angle_with(result.arrow(b).unwrap())
+    };
+    // Cluster 1: normalized parallelism median & interval.
+    assert!(cos("Nm", "Ni") > 0.9, "Nm~Ni: {}", cos("Nm", "Ni"));
+    // Cluster 4: runtime median & interval.
+    assert!(cos("Rm", "Ri") > 0.9, "Rm~Ri: {}", cos("Rm", "Ri"));
+    // Cluster 2: inter-arrival median, CPU-work interval, runtime load.
+    assert!(cos("Im", "Ci") > 0.8, "Im~Ci: {}", cos("Im", "Ci"));
+    assert!(cos("Im", "RL") > 0.8, "Im~RL: {}", cos("Im", "RL"));
+    // Strong negative correlation between parallelism and runtime clusters.
+    assert!(cos("Nm", "Rm") < -0.3, "Nm anti Rm: {}", cos("Nm", "Rm"));
+}
+
+#[test]
+fn figure1_batch_outliers() {
+    let result = Coplot::new().seed(1999).analyze(&table1(&FIG1_VARS)).unwrap();
+    // LANLb and SDSCb stretch the map: they are the two most extreme
+    // observations by distance from the centroid.
+    let radius = |name: &str| {
+        let (x, y) = result.position(name).unwrap();
+        (x * x + y * y).sqrt()
+    };
+    let mut radii: Vec<(String, f64)> = result
+        .observations
+        .iter()
+        .map(|o| (o.clone(), radius(o)))
+        .collect();
+    radii.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    let top2: Vec<&str> = radii.iter().take(2).map(|(n, _)| n.as_str()).collect();
+    assert!(
+        top2.contains(&"LANLb") || top2.contains(&"SDSCb"),
+        "extremes: {top2:?}"
+    );
+}
+
+#[test]
+fn figure2_interactive_cluster() {
+    const FIG2_VARS: [&str; 9] = ["RL", "Rm", "Ri", "Pm", "Pi", "Cm", "Ci", "Im", "Ii"];
+    let data = table1(&FIG2_VARS)
+        .drop_observations_by_name(&["LANLb", "SDSCb"])
+        .unwrap();
+    let result = Coplot::new().seed(1999).analyze(&data).unwrap();
+    assert!(result.alienation < 0.10, "theta = {}", result.alienation);
+    // The interactive workloads plus NASA form the only natural cluster.
+    let d = |a: &str, b: &str| result.map_distance(a, b).unwrap();
+    let cluster = d("LANLi", "SDSCi").max(d("SDSCi", "NASA"));
+    assert!(cluster < d("LANLi", "CTC"));
+    assert!(cluster < d("SDSCi", "KTH"));
+}
+
+#[test]
+fn section8_three_parameters_suffice() {
+    let data = table1(&["AL", "Pm", "Im"]);
+    let result = Coplot::new().seed(1999).analyze(&data).unwrap();
+    // Paper: theta = 0.02, mean correlation 0.94.
+    assert!(result.alienation < 0.08, "theta = {}", result.alienation);
+    assert!(result.mean_arrow_correlation() > 0.90);
+}
+
+#[test]
+fn projections_identify_extreme_observations() {
+    let result = Coplot::new().seed(1999).analyze(&table1(&FIG1_VARS)).unwrap();
+    // SDSCb has the longest runtimes: its projection on the Rm arrow must
+    // be the largest; the interactive workloads' must be negative.
+    let proj = |o: &str| result.projection(o, "Rm").unwrap();
+    for o in ["CTC", "KTH", "LANL", "LANLi", "LLNL", "NASA", "SDSC", "SDSCi"] {
+        assert!(proj("SDSCb") > proj(o), "{o}");
+    }
+    assert!(proj("LANLi") < 0.0);
+    assert!(proj("SDSCi") < 0.0);
+}
