@@ -81,13 +81,22 @@ impl Default for HomogeneityConfig {
 ///
 /// `codes` selects the variables; the paper's Figure 3 set was
 /// `["Rm", "Ri", "Nm", "Ni", "Cm", "Ci", "Im"]`.
+///
+/// # Errors
+/// [`CoplotError::InvalidConfig`] for fewer than two periods, plus any
+/// error from the underlying analysis.
 pub fn test_homogeneity(
     log: &Workload,
     references: &[Workload],
     codes: &[&str],
     config: &HomogeneityConfig,
 ) -> Result<HomogeneityReport, CoplotError> {
-    assert!(config.periods >= 2, "need at least two periods");
+    if config.periods < 2 {
+        return Err(CoplotError::InvalidConfig(format!(
+            "need at least two periods, got {}",
+            config.periods
+        )));
+    }
     let parts = log.split_periods(config.periods, "P");
 
     let mut all: Vec<Workload> = Vec::with_capacity(parts.len() + 1 + references.len());
@@ -201,13 +210,13 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at least two periods")]
     fn one_period_rejected() {
         let log = MachineId::Kth.generate(500, 1);
         let config = HomogeneityConfig {
             periods: 1,
             ..Default::default()
         };
-        let _ = test_homogeneity(&log, &[], &CODES, &config);
+        let err = test_homogeneity(&log, &[], &CODES, &config).unwrap_err();
+        assert!(matches!(err, CoplotError::InvalidConfig(_)), "{err}");
     }
 }

@@ -39,14 +39,24 @@ pub struct MatchReport {
 /// by a log when their map distance is below `acceptance_radius` (the map
 /// has unit RMS radius, so ~0.25 means "clearly together"; the paper never
 /// quantifies it, only says LLNL is "close enough").
+///
+/// # Errors
+/// [`CoplotError::EmptyInput`] when `logs` or `models` is empty, plus any
+/// error from the underlying analysis.
 pub fn match_models(
     logs: &[Workload],
     models: &[Workload],
     acceptance_radius: f64,
     seed: u64,
 ) -> Result<MatchReport, CoplotError> {
-    assert!(!logs.is_empty(), "need at least one reference log");
-    assert!(!models.is_empty(), "need at least one model");
+    if logs.is_empty() {
+        return Err(CoplotError::EmptyInput {
+            what: "reference logs",
+        });
+    }
+    if models.is_empty() {
+        return Err(CoplotError::EmptyInput { what: "models" });
+    }
     let mut all: Vec<Workload> = logs.to_vec();
     all.extend(models.iter().cloned());
 
@@ -61,12 +71,15 @@ pub fn match_models(
                 .map(|l| {
                     (
                         l.name.clone(),
+                        // Every workload in `all` has a map row, so the
+                        // lookups below cannot fail.
                         result
                             .map_distance(&m.name, &l.name)
                             .expect("both present in map"),
                     )
                 })
-                .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+                // Map distances are finite (MDS rejects non-finite input).
+                .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite distances"))
                 .expect("at least one log");
             let (x, y) = result.position(&m.name).expect("model in map");
             ModelMatch {
@@ -89,7 +102,7 @@ pub fn match_models(
 mod tests {
     use super::*;
     use wl_logsynth::machines::production_workloads;
-    use wl_models::{all_models, WorkloadModel};
+    use wl_models::all_models;
     use wl_stats::rng::seeded_rng;
 
     fn suite() -> (Vec<Workload>, Vec<Workload>) {
@@ -162,9 +175,15 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at least one model")]
-    fn empty_models_rejected() {
-        let (logs, _) = suite();
-        let _ = match_models(&logs, &[], 0.25, 5);
+    fn empty_inputs_are_errors() {
+        let (logs, models) = suite();
+        assert!(matches!(
+            match_models(&logs, &[], 0.25, 5).unwrap_err(),
+            CoplotError::EmptyInput { what: "models" }
+        ));
+        assert!(matches!(
+            match_models(&[], &models, 0.25, 5).unwrap_err(),
+            CoplotError::EmptyInput { what: "reference logs" }
+        ));
     }
 }

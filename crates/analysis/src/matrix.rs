@@ -1,6 +1,6 @@
 //! Assemble Co-plot data matrices from workloads.
 
-use coplot::DataMatrix;
+use coplot::{CoplotError, DataMatrix};
 use wl_swf::{Variable, Workload, WorkloadStats};
 
 /// Build an observations-by-variables matrix from workloads and Table 1
@@ -8,32 +8,58 @@ use wl_swf::{Variable, Workload, WorkloadStats};
 /// rule. Unknown statistics become missing cells.
 ///
 /// # Panics
-/// Panics on an unknown variable code.
+/// Panics on an unknown variable code; use [`try_workload_matrix`] to get
+/// a [`CoplotError`] instead.
 pub fn workload_matrix(workloads: &[Workload], codes: &[&str]) -> DataMatrix {
+    try_workload_matrix(workloads, codes).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Build a matrix from workloads, reporting unknown codes as errors.
+///
+/// # Errors
+/// [`CoplotError::InvalidConfig`] on an unknown variable code.
+pub fn try_workload_matrix(
+    workloads: &[Workload],
+    codes: &[&str],
+) -> Result<DataMatrix, CoplotError> {
     let stats: Vec<WorkloadStats> = workloads
         .iter()
         .map(|w| WorkloadStats::compute(w).with_load_imputation())
         .collect();
-    stats_matrix(&stats, codes)
+    try_stats_matrix(&stats, codes)
 }
 
 /// Build a matrix from precomputed statistics.
 ///
 /// # Panics
-/// Panics on an unknown variable code.
+/// Panics on an unknown variable code; use [`try_stats_matrix`] to get a
+/// [`CoplotError`] instead.
 pub fn stats_matrix(stats: &[WorkloadStats], codes: &[&str]) -> DataMatrix {
+    try_stats_matrix(stats, codes).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Build a matrix from precomputed statistics, reporting unknown codes as
+/// errors.
+///
+/// # Errors
+/// [`CoplotError::InvalidConfig`] on an unknown variable code.
+pub fn try_stats_matrix(
+    stats: &[WorkloadStats],
+    codes: &[&str],
+) -> Result<DataMatrix, CoplotError> {
     let vars: Vec<Variable> = codes
         .iter()
         .map(|c| {
-            Variable::from_code(c).unwrap_or_else(|| panic!("unknown variable code {c:?}"))
+            Variable::from_code(c)
+                .ok_or_else(|| CoplotError::InvalidConfig(format!("unknown variable code {c:?}")))
         })
-        .collect();
+        .collect::<Result<_, _>>()?;
     let rows: Vec<Vec<Option<f64>>> = stats
         .iter()
         .map(|s| vars.iter().map(|&v| s.get(v)).collect())
         .collect();
     let row_refs: Vec<&[Option<f64>]> = rows.iter().map(|r| r.as_slice()).collect();
-    DataMatrix::from_optional_rows(
+    DataMatrix::try_from_optional_rows(
         stats.iter().map(|s| s.name.clone()).collect(),
         codes.iter().map(|c| c.to_string()).collect(),
         &row_refs,
@@ -68,5 +94,12 @@ mod tests {
     fn unknown_code_panics() {
         let ws = [MachineId::Ctc.generate(100, 1)];
         workload_matrix(&ws, &["nope"]);
+    }
+
+    #[test]
+    fn unknown_code_is_an_error_in_try_variant() {
+        let ws = [MachineId::Ctc.generate(100, 1)];
+        let err = try_workload_matrix(&ws, &["nope"]).unwrap_err();
+        assert!(matches!(err, CoplotError::InvalidConfig(_)), "{err}");
     }
 }

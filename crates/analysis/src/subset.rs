@@ -9,7 +9,7 @@
 //! return the one with the best fit, optionally requiring the subset's map
 //! to agree with the full map (Procrustes residual).
 
-use coplot::{Coplot, CoplotError};
+use coplot::{CoplotEngine, CoplotError};
 use wl_linalg::procrustes_align;
 
 /// One scored subset.
@@ -31,11 +31,15 @@ pub struct SubsetSearchResult {
 /// `max_alienation`. Subsets whose per-variable arrows cannot be fitted are
 /// skipped. Returns subsets ranked best-first (up to `top`).
 ///
-/// Complexity: `C(p, k)` Co-plot runs — fine for the paper's p <= 18 and
-/// k <= 4; guard rails reject larger searches.
+/// Complexity: `C(p, k)` embeddings — fine for the paper's p <= 18 and
+/// k <= 4; guard rails reject larger searches. All subsets share one
+/// [`CoplotEngine`], so the data is normalized and its dissimilarity
+/// contributions computed exactly once; each subset only re-embeds.
 ///
-/// # Panics
-/// Panics when `k` is 2 > p, or the search space exceeds 20,000 subsets.
+/// # Errors
+/// [`CoplotError::InvalidConfig`] when `k` is outside `2..=p` or the search
+/// space exceeds 20,000 subsets, plus any error from the full-variable
+/// analysis.
 pub fn best_variable_subset(
     data: &coplot::DataMatrix,
     k: usize,
@@ -44,25 +48,31 @@ pub fn best_variable_subset(
     seed: u64,
 ) -> Result<Vec<SubsetSearchResult>, CoplotError> {
     let p = data.n_variables();
-    assert!(k >= 2 && k <= p, "subset size {k} out of 2..={p}");
+    if k < 2 || k > p {
+        return Err(CoplotError::InvalidConfig(format!(
+            "subset size {k} out of 2..={p}"
+        )));
+    }
     let n_subsets = binomial(p, k);
-    assert!(
-        n_subsets <= 20_000,
-        "search space too large: C({p},{k}) = {n_subsets}"
-    );
+    if n_subsets > 20_000 {
+        return Err(CoplotError::InvalidConfig(format!(
+            "search space too large: C({p},{k}) = {n_subsets}"
+        )));
+    }
 
-    // Reference map from all variables.
-    let full = Coplot::new().seed(seed).analyze(data)?;
+    // Reference map from all variables; this also fills the engine's
+    // normalization/contribution caches for all the subset runs below.
+    let mut engine = CoplotEngine::builder().seed(seed).build();
+    let full = engine.analyze(data)?;
 
     let mut results: Vec<SubsetSearchResult> = Vec::new();
     let mut indices: Vec<usize> = (0..k).collect();
     loop {
-        let sub = data.select_variables(&indices);
-        if let Ok(r) = Coplot::new().seed(seed).analyze(&sub) {
+        if let Ok(r) = engine.analyze_selected(data, &indices) {
             if r.alienation <= max_alienation {
                 let fit = procrustes_align(&full.coords, &r.coords);
                 results.push(SubsetSearchResult {
-                    variables: sub.variables().to_vec(),
+                    variables: r.arrows.iter().map(|a| a.name.clone()).collect(),
                     alienation: r.alienation,
                     mean_correlation: r.mean_arrow_correlation(),
                     map_conservation_rmsd: fit.rmsd,
@@ -177,8 +187,9 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "out of 2..=")]
     fn subset_size_validated() {
-        let _ = best_variable_subset(&redundant_data(), 1, 0.2, 1, 5);
+        let err = best_variable_subset(&redundant_data(), 1, 0.2, 1, 5).unwrap_err();
+        assert!(matches!(err, CoplotError::InvalidConfig(_)), "{err}");
+        assert!(err.to_string().contains("out of 2..="));
     }
 }

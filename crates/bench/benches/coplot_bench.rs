@@ -78,6 +78,57 @@ fn bench_mds_restart_ablation(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_mds_parallel_restarts(c: &mut Criterion) {
+    // The paper's two main maps: Figure 1 (production workloads, 9
+    // variables) and Figure 4 (production + models, the 8 job-stream
+    // variables). Results are bit-identical for any thread count, so this
+    // measures pure restart-parallelism speedup.
+    use wl_logsynth::machines::production_workloads;
+    use wl_stats::rng::seeded_rng;
+
+    let fig1_codes = ["RL", "Rm", "Ri", "Nm", "Ni", "Cm", "Ci", "Im", "Ii"];
+    let fig4_codes = ["Rm", "Ri", "Nm", "Ni", "Cm", "Ci", "Im", "Ii"];
+    let logs = production_workloads(1999, 2000);
+    let mut rng = seeded_rng(1999);
+    let mut fig4_ws = logs.clone();
+    fig4_ws.extend(
+        wl_models::all_models()
+            .iter()
+            .map(|m| m.generate(2000, &mut rng)),
+    );
+
+    for (figure, ws, codes) in [
+        ("fig1", &logs, &fig1_codes[..]),
+        ("fig4", &fig4_ws, &fig4_codes[..]),
+    ] {
+        let z = wl_bench::workload_matrix(ws, codes)
+            .normalize(Imputation::ColumnMean)
+            .unwrap();
+        let diss = DissimilarityMatrix::compute(&z, Metric::CityBlock);
+        let mut group = c.benchmark_group(format!("mds_parallel_restarts_{figure}"));
+        for threads in [1usize, 4, 8] {
+            group.bench_with_input(
+                BenchmarkId::from_parameter(threads),
+                &threads,
+                |b, &threads| {
+                    b.iter(|| {
+                        coplot::mds::nonmetric_mds(
+                            black_box(&diss),
+                            &coplot::MdsConfig {
+                                restarts: 8,
+                                threads,
+                                ..Default::default()
+                            },
+                        )
+                        .unwrap()
+                    })
+                },
+            );
+        }
+        group.finish();
+    }
+}
+
 fn bench_alienation(c: &mut Criterion) {
     // All pairs-of-pairs: O(P^2) with P = n(n-1)/2.
     let mut group = c.benchmark_group("coefficient_of_alienation");
@@ -126,6 +177,7 @@ criterion_group! {
     bench_dissimilarity,
     bench_mds_scaling,
     bench_mds_restart_ablation,
+    bench_mds_parallel_restarts,
     bench_alienation,
     bench_arrow_fit,
     bench_full_pipeline

@@ -26,13 +26,21 @@ fn default_machine() -> MachineInfo {
 /// Parsed CLI arguments: positional values plus `(name, value)` flags.
 type ParsedArgs = (Vec<String>, Vec<(String, String)>);
 
-/// Split positional arguments from `--flag value` options.
+/// Boolean flags (no value follows them); everything else is `--flag value`.
+const BOOLEAN_FLAGS: [&str; 1] = ["timings"];
+
+/// Split positional arguments from `--flag value` / `--switch` options.
 fn split_args(args: &[String]) -> Result<ParsedArgs, String> {
     let mut positional = Vec::new();
     let mut flags = Vec::new();
     let mut i = 0;
     while i < args.len() {
         if let Some(name) = args[i].strip_prefix("--") {
+            if BOOLEAN_FLAGS.contains(&name) {
+                flags.push((name.to_string(), "true".to_string()));
+                i += 1;
+                continue;
+            }
             let value = args
                 .get(i + 1)
                 .ok_or_else(|| format!("flag --{name} needs a value"))?;
@@ -121,14 +129,19 @@ pub fn coplot(args: &[String]) -> Result<(), String> {
         .map(|v| v.parse().map_err(|_| "--seed needs an integer"))
         .transpose()?
         .unwrap_or(1999);
+    let threads: usize = flag(&flags, "threads")
+        .map(|v| v.parse().map_err(|_| "--threads needs an integer"))
+        .transpose()?
+        .unwrap_or(1);
+    let timings = flag(&flags, "timings").is_some();
 
     let data = workload_matrix(&workloads, &codes);
+    let mut engine = Coplot::new().seed(seed).threads(threads).engine();
     let result = if let Some(min_corr) = flag(&flags, "min-corr") {
         let threshold: f64 = min_corr
             .parse()
             .map_err(|_| "--min-corr needs a number".to_string())?;
-        let (r, removed) = Coplot::new()
-            .seed(seed)
+        let (r, removed) = engine
             .analyze_with_elimination(&data, threshold)
             .map_err(|e| e.to_string())?;
         if !removed.is_empty() {
@@ -136,13 +149,14 @@ pub fn coplot(args: &[String]) -> Result<(), String> {
         }
         r
     } else {
-        Coplot::new()
-            .seed(seed)
-            .analyze(&data)
-            .map_err(|e| e.to_string())?
+        engine.analyze(&data).map_err(|e| e.to_string())?
     };
 
     println!("{}", coplot::render::render_text(&result, 72, 28));
+    if timings {
+        println!("per-stage timings:");
+        print!("{}", coplot::StageReportTable(engine.reports()));
+    }
     if let Some(svg_path) = flag(&flags, "svg") {
         std::fs::write(svg_path, coplot::render::render_svg(&result, "wl coplot"))
             .map_err(|e| format!("cannot write {svg_path}: {e}"))?;
@@ -317,6 +331,23 @@ mod tests {
     fn split_args_rejects_dangling_flag() {
         let args: Vec<String> = ["--seed"].iter().map(|s| s.to_string()).collect();
         assert!(split_args(&args).is_err());
+    }
+
+    #[test]
+    fn split_args_boolean_flag_takes_no_value() {
+        let args: Vec<String> = ["--timings", "a.swf", "--seed", "7"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let (positional, flags) = split_args(&args).unwrap();
+        assert_eq!(positional, ["a.swf"]);
+        assert_eq!(
+            flags,
+            [
+                ("timings".to_string(), "true".to_string()),
+                ("seed".to_string(), "7".to_string())
+            ]
+        );
     }
 
     #[test]

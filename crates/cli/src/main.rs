@@ -56,7 +56,7 @@ fn usage() -> &'static str {
 
 USAGE:
   wl stats <file.swf>...
-  wl coplot <file.swf>... [--vars Rm,Ri,Pm,Pi,Im,Ii] [--svg out.svg] [--seed N] [--min-corr X]
+  wl coplot <file.swf>... [--vars Rm,Ri,Pm,Pi,Im,Ii] [--svg out.svg] [--seed N] [--min-corr X] [--threads N] [--timings]
   wl hurst <file.swf>...
   wl homogeneity <file.swf> [--periods N] [--seed N]
   wl generate <model> [--jobs N] [--seed N] [--out file.swf]

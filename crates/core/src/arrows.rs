@@ -15,6 +15,7 @@
 //! is a linear predictor of `z` from `P`; the best linear predictor is the
 //! OLS fit.) A brute-force angle scan in the tests confirms this.
 
+use crate::error::CoplotError;
 use wl_linalg::solve::solve2;
 use wl_linalg::Matrix;
 use wl_stats::corr::pearson;
@@ -50,9 +51,35 @@ impl Arrow {
 /// collinear configuration with no usable component, or `n < 3`.
 ///
 /// # Panics
-/// Panics if `z.len() != coords.rows()`.
+/// Panics if `z.len() != coords.rows()`; use [`try_fit_arrow`] to get a
+/// [`CoplotError`] instead.
 pub fn fit_arrow(name: &str, coords: &Matrix, z: &[f64]) -> Option<Arrow> {
-    assert_eq!(z.len(), coords.rows(), "variable length mismatch");
+    match try_fit_arrow(name, coords, z) {
+        Ok(arrow) => Some(arrow),
+        Err(CoplotError::DegenerateVariable(_)) => None,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fit one variable's arrow, reporting every failure as a [`CoplotError`].
+///
+/// # Errors
+/// [`CoplotError::DimensionMismatch`] when `z.len() != coords.rows()`;
+/// [`CoplotError::DegenerateVariable`] for the cases where [`fit_arrow`]
+/// returns `None`.
+pub fn try_fit_arrow(name: &str, coords: &Matrix, z: &[f64]) -> Result<Arrow, CoplotError> {
+    if z.len() != coords.rows() {
+        return Err(CoplotError::DimensionMismatch {
+            context: format!("arrow fit for variable {name:?}"),
+            expected: coords.rows(),
+            got: z.len(),
+        });
+    }
+    fit_arrow_inner(name, coords, z)
+        .ok_or_else(|| CoplotError::DegenerateVariable(name.to_string()))
+}
+
+fn fit_arrow_inner(name: &str, coords: &Matrix, z: &[f64]) -> Option<Arrow> {
     let n = z.len();
     if n < 3 {
         return None;
@@ -232,6 +259,20 @@ mod tests {
     fn constant_variable_is_degenerate() {
         let m = coords(&[(0.0, 0.0), (1.0, 0.0), (0.0, 1.0)]);
         assert!(fit_arrow("c", &m, &[5.0, 5.0, 5.0]).is_none());
+        assert!(matches!(
+            try_fit_arrow("c", &m, &[5.0, 5.0, 5.0]).unwrap_err(),
+            CoplotError::DegenerateVariable(_)
+        ));
+    }
+
+    #[test]
+    fn length_mismatch_is_an_error() {
+        let m = coords(&[(0.0, 0.0), (1.0, 0.0), (0.0, 1.0)]);
+        let err = try_fit_arrow("v", &m, &[1.0, 2.0]).unwrap_err();
+        assert!(
+            matches!(err, CoplotError::DimensionMismatch { expected: 3, got: 2, .. }),
+            "{err}"
+        );
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! `Z_ij = (Y_ij - mean_j) / std_j` (Eq. 1), which makes the city-block
 //! distances of stage 2 unit-free.
 
+use crate::error::CoplotError;
 use wl_stats::describe;
 
 /// How to handle missing cells before analysis.
@@ -33,6 +34,9 @@ pub struct DataMatrix {
 impl DataMatrix {
     /// Build from complete rows.
     ///
+    /// Convenience constructor for statically-shaped data; use
+    /// [`DataMatrix::try_from_rows`] for untrusted input.
+    ///
     /// # Panics
     /// Panics if row lengths don't match the variable count.
     pub fn from_rows(
@@ -40,21 +44,32 @@ impl DataMatrix {
         variables: Vec<String>,
         rows: &[&[f64]],
     ) -> DataMatrix {
-        assert_eq!(rows.len(), observations.len(), "row count mismatch");
-        let p = variables.len();
-        let mut cells = Vec::with_capacity(rows.len() * p);
-        for (i, row) in rows.iter().enumerate() {
-            assert_eq!(row.len(), p, "row {i} has wrong length");
-            cells.extend(row.iter().map(|&v| Some(v)));
-        }
-        DataMatrix {
-            observations,
-            variables,
-            cells,
-        }
+        Self::try_from_rows(observations, variables, rows).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Build from complete rows, reporting shape mismatches as errors.
+    ///
+    /// # Errors
+    /// Returns [`CoplotError::DimensionMismatch`] when the row count
+    /// doesn't match the observation names or a row's length doesn't match
+    /// the variable count.
+    pub fn try_from_rows(
+        observations: Vec<String>,
+        variables: Vec<String>,
+        rows: &[&[f64]],
+    ) -> Result<DataMatrix, CoplotError> {
+        let optional: Vec<Vec<Option<f64>>> = rows
+            .iter()
+            .map(|row| row.iter().map(|&v| Some(v)).collect())
+            .collect();
+        let refs: Vec<&[Option<f64>]> = optional.iter().map(|r| r.as_slice()).collect();
+        Self::try_from_optional_rows(observations, variables, &refs)
     }
 
     /// Build from rows that may contain missing values.
+    ///
+    /// Convenience constructor for statically-shaped data; use
+    /// [`DataMatrix::try_from_optional_rows`] for untrusted input.
     ///
     /// # Panics
     /// Panics if row lengths don't match the variable count.
@@ -63,18 +78,46 @@ impl DataMatrix {
         variables: Vec<String>,
         rows: &[&[Option<f64>]],
     ) -> DataMatrix {
-        assert_eq!(rows.len(), observations.len(), "row count mismatch");
+        Self::try_from_optional_rows(observations, variables, rows)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Build from rows that may contain missing values, reporting shape
+    /// mismatches as errors.
+    ///
+    /// # Errors
+    /// Returns [`CoplotError::DimensionMismatch`] when the row count
+    /// doesn't match the observation names or a row's length doesn't match
+    /// the variable count.
+    pub fn try_from_optional_rows(
+        observations: Vec<String>,
+        variables: Vec<String>,
+        rows: &[&[Option<f64>]],
+    ) -> Result<DataMatrix, CoplotError> {
+        if rows.len() != observations.len() {
+            return Err(CoplotError::DimensionMismatch {
+                context: "data matrix rows vs observation names".into(),
+                expected: observations.len(),
+                got: rows.len(),
+            });
+        }
         let p = variables.len();
         let mut cells = Vec::with_capacity(rows.len() * p);
         for (i, row) in rows.iter().enumerate() {
-            assert_eq!(row.len(), p, "row {i} has wrong length");
+            if row.len() != p {
+                return Err(CoplotError::DimensionMismatch {
+                    context: format!("data matrix row {i}"),
+                    expected: p,
+                    got: row.len(),
+                });
+            }
             cells.extend_from_slice(row);
         }
-        DataMatrix {
+        Ok(DataMatrix {
             observations,
             variables,
             cells,
-        }
+        })
     }
 
     /// Number of observations `n`.
@@ -191,11 +234,15 @@ impl DataMatrix {
     ///
     /// Column statistics are computed over *present* cells. Constant columns
     /// (zero standard deviation) are rejected: their z-scores are undefined
-    /// and they carry no ordering information.
-    pub fn normalize(&self, imputation: Imputation) -> Result<NormalizedMatrix, String> {
+    /// and they carry no ordering information. NaN or infinite cells are
+    /// rejected outright — they are data corruption, not missing values.
+    pub fn normalize(&self, imputation: Imputation) -> Result<NormalizedMatrix, CoplotError> {
         let n = self.observations.len();
         if n < 3 {
-            return Err(format!("need at least 3 observations, have {n}"));
+            return Err(CoplotError::TooFewObservations { n, min: 3 });
+        }
+        if self.variables.is_empty() {
+            return Err(CoplotError::EmptyInput { what: "variables" });
         }
 
         // Choose the surviving variables.
@@ -206,15 +253,17 @@ impl DataMatrix {
             _ => (0..self.variables.len()).collect(),
         };
         if keep.is_empty() {
-            return Err("no complete variables left".into());
+            return Err(CoplotError::EmptyInput {
+                what: "complete variables",
+            });
         }
         if imputation == Imputation::Forbid {
             for &v in &keep {
                 if (0..n).any(|i| self.get(i, v).is_none()) {
-                    return Err(format!(
+                    return Err(CoplotError::Normalization(format!(
                         "variable {:?} has missing cells (imputation forbidden)",
                         self.variables[v]
-                    ));
+                    )));
                 }
             }
         }
@@ -223,18 +272,24 @@ impl DataMatrix {
         for (out_v, &v) in keep.iter().enumerate() {
             let present: Vec<f64> = (0..n).filter_map(|i| self.get(i, v)).collect();
             if present.len() < 2 {
-                return Err(format!(
+                return Err(CoplotError::Normalization(format!(
                     "variable {:?} has fewer than 2 known values",
                     self.variables[v]
-                ));
+                )));
+            }
+            if present.iter().any(|c| !c.is_finite()) {
+                return Err(CoplotError::NonFinite(format!(
+                    "variable {:?} contains NaN or infinite cells",
+                    self.variables[v]
+                )));
             }
             let mean = describe::mean(&present);
             let sd = describe::std_dev(&present);
             if sd <= 0.0 || sd.is_nan() {
-                return Err(format!(
+                return Err(CoplotError::Normalization(format!(
                     "variable {:?} is constant; z-scores undefined",
                     self.variables[v]
-                ));
+                )));
             }
             for i in 0..n {
                 // Missing cells become z = 0 under ColumnMean.
@@ -295,6 +350,32 @@ impl NormalizedMatrix {
         (0..self.observations.len())
             .map(|i| self.z[i * self.variables.len() + var])
             .collect()
+    }
+
+    /// A copy keeping only the variables at the given indices, in order.
+    ///
+    /// Z-scores are per-column, so the subset is exact — no re-normalization
+    /// is needed. This is what lets the engine reuse one normalization pass
+    /// across variable-elimination rounds and subset searches.
+    ///
+    /// # Panics
+    /// Panics on an out-of-range index — a caller bug, not a data error.
+    pub fn select_variables(&self, keep: &[usize]) -> NormalizedMatrix {
+        let p = self.variables.len();
+        for &v in keep {
+            assert!(v < p, "variable index {v} out of range");
+        }
+        let n = self.observations.len();
+        let mut z = Vec::with_capacity(n * keep.len());
+        for i in 0..n {
+            let row = &self.z[i * p..(i + 1) * p];
+            z.extend(keep.iter().map(|&v| row[v]));
+        }
+        NormalizedMatrix {
+            observations: self.observations.clone(),
+            variables: keep.iter().map(|&v| self.variables[v].clone()).collect(),
+            z,
+        }
     }
 }
 
@@ -384,7 +465,51 @@ mod tests {
             &[&[5.0], &[5.0], &[5.0]],
         );
         let err = d.normalize(Imputation::Forbid).unwrap_err();
-        assert!(err.contains("constant"));
+        assert!(err.to_string().contains("constant"));
+    }
+
+    #[test]
+    fn nan_cell_rejected() {
+        let d = DataMatrix::from_rows(
+            names("o", 3),
+            names("v", 1),
+            &[&[1.0], &[f64::NAN], &[3.0]],
+        );
+        let err = d.normalize(Imputation::Forbid).unwrap_err();
+        assert!(matches!(err, CoplotError::NonFinite(_)), "{err}");
+    }
+
+    #[test]
+    fn ragged_rows_are_an_error() {
+        let err = DataMatrix::try_from_rows(
+            names("o", 2),
+            names("v", 2),
+            &[&[1.0, 2.0], &[3.0]],
+        )
+        .unwrap_err();
+        assert!(matches!(err, CoplotError::DimensionMismatch { .. }), "{err}");
+    }
+
+    #[test]
+    fn normalized_select_variables_matches_fresh_normalization() {
+        let d = DataMatrix::from_rows(
+            names("o", 4),
+            vec!["a".into(), "b".into(), "c".into()],
+            &[
+                &[1.0, 9.0, 2.0],
+                &[2.0, 7.0, 8.0],
+                &[3.0, 8.0, 5.0],
+                &[4.0, 1.0, 3.0],
+            ],
+        );
+        let z = d.normalize(Imputation::Forbid).unwrap();
+        let subset = z.select_variables(&[2, 0]);
+        let fresh = d
+            .select_variables_by_name(&["c", "a"])
+            .unwrap()
+            .normalize(Imputation::Forbid)
+            .unwrap();
+        assert_eq!(subset, fresh);
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! the *order* of the dissimilarities.
 
 use crate::data::NormalizedMatrix;
+use crate::error::CoplotError;
 use wl_linalg::vecops;
 
 /// Distance metric between normalized observation rows.
@@ -27,6 +28,18 @@ impl Metric {
             Metric::CityBlock => vecops::cityblock_distance(a, b),
             Metric::Euclidean => vecops::euclidean_distance(a, b),
             Metric::Minkowski(p) => vecops::minkowski_distance(a, b, *p),
+        }
+    }
+
+    /// The Minkowski order `p` of this metric. All three metrics are
+    /// `(sum_v |a_v - b_v|^p)^(1/p)`, which is what lets the engine cache
+    /// per-variable contributions `|a_v - b_v|^p` and rebuild distances for
+    /// any variable subset by summing (see `engine`).
+    pub fn order(&self) -> f64 {
+        match self {
+            Metric::CityBlock => 1.0,
+            Metric::Euclidean => 2.0,
+            Metric::Minkowski(p) => *p,
         }
     }
 }
@@ -56,24 +69,56 @@ impl DissimilarityMatrix {
     /// Build directly from a full symmetric matrix (used by tests and by
     /// analyses that bring their own dissimilarities).
     ///
-    /// # Panics
-    /// Panics if the matrix is ragged, asymmetric, or has a nonzero
-    /// diagonal.
-    pub fn from_full(matrix: &[Vec<f64>]) -> DissimilarityMatrix {
+    /// # Errors
+    /// Returns [`CoplotError::DimensionMismatch`] for ragged input and
+    /// [`CoplotError::Normalization`] when the matrix is asymmetric or has
+    /// a nonzero diagonal.
+    pub fn from_full(matrix: &[Vec<f64>]) -> Result<DissimilarityMatrix, CoplotError> {
         let n = matrix.len();
         let mut upper = Vec::with_capacity(n * (n - 1) / 2);
         for (i, row) in matrix.iter().enumerate() {
-            assert_eq!(row.len(), n, "row {i} has wrong length");
-            assert!(row[i].abs() < 1e-12, "diagonal must be zero");
+            if row.len() != n {
+                return Err(CoplotError::DimensionMismatch {
+                    context: format!("dissimilarity matrix row {i}"),
+                    expected: n,
+                    got: row.len(),
+                });
+            }
+            // `>=` plus an explicit NaN check so a NaN diagonal also errors.
+            if row[i].abs() >= 1e-12 || row[i].is_nan() {
+                return Err(CoplotError::Normalization(format!(
+                    "dissimilarity diagonal entry ({i}, {i}) must be zero, got {}",
+                    row[i]
+                )));
+            }
             for (k, &value) in row.iter().enumerate().skip(i + 1) {
-                assert!(
-                    (value - matrix[k][i]).abs() < 1e-9,
-                    "matrix must be symmetric"
-                );
+                let gap = (value - matrix[k][i]).abs();
+                // `>=` plus an explicit NaN check so NaN cells also error.
+                if gap >= 1e-9 || gap.is_nan() {
+                    return Err(CoplotError::Normalization(format!(
+                        "dissimilarity matrix must be symmetric: ({i}, {k}) = {value} \
+                         vs ({k}, {i}) = {}",
+                        matrix[k][i]
+                    )));
+                }
                 upper.push(value);
             }
         }
+        Ok(DissimilarityMatrix { n, upper })
+    }
+
+    /// Build from an already-flattened upper triangle (the engine's cached
+    /// contribution path). Callers guarantee the length invariant.
+    pub(crate) fn from_pairs(n: usize, upper: Vec<f64>) -> DissimilarityMatrix {
+        debug_assert_eq!(upper.len(), n * (n - 1) / 2, "pair count mismatch");
         DissimilarityMatrix { n, upper }
+    }
+
+    /// Overwrite one upper-triangle entry, bypassing validation — only for
+    /// exercising error paths in tests.
+    #[cfg(test)]
+    pub(crate) fn poison_for_tests(&mut self, pair: usize, value: f64) {
+        self.upper[pair] = value;
     }
 
     /// Number of observations.
@@ -87,6 +132,9 @@ impl DissimilarityMatrix {
     }
 
     /// Dissimilarity between observations `i` and `k` (0 when `i == k`).
+    ///
+    /// # Panics
+    /// Panics on an out-of-range index — a caller bug, not a data error.
     pub fn get(&self, i: usize, k: usize) -> f64 {
         assert!(i < self.n && k < self.n, "index out of range");
         if i == k {
@@ -207,19 +255,33 @@ mod tests {
             vec![1.0, 0.0, 3.0],
             vec![2.0, 3.0, 0.0],
         ];
-        let d = DissimilarityMatrix::from_full(&m);
+        let d = DissimilarityMatrix::from_full(&m).unwrap();
         assert_eq!(d.get(0, 1), 1.0);
         assert_eq!(d.get(2, 0), 2.0);
         assert_eq!(d.get(1, 2), 3.0);
     }
 
     #[test]
-    #[should_panic(expected = "symmetric")]
     fn asymmetric_rejected() {
         let m = vec![
             vec![0.0, 1.0],
             vec![2.0, 0.0],
         ];
-        DissimilarityMatrix::from_full(&m);
+        let err = DissimilarityMatrix::from_full(&m).unwrap_err();
+        assert!(err.to_string().contains("symmetric"), "{err}");
+    }
+
+    #[test]
+    fn ragged_and_bad_diagonal_rejected() {
+        let ragged = vec![vec![0.0, 1.0], vec![1.0]];
+        assert!(matches!(
+            DissimilarityMatrix::from_full(&ragged).unwrap_err(),
+            crate::CoplotError::DimensionMismatch { .. }
+        ));
+        let diag = vec![vec![1.0, 1.0], vec![1.0, 0.0]];
+        assert!(DissimilarityMatrix::from_full(&diag).is_err());
+        // NaN anywhere fails the symmetry/diagonal comparisons too.
+        let nan = vec![vec![0.0, f64::NAN], vec![f64::NAN, 0.0]];
+        assert!(DissimilarityMatrix::from_full(&nan).is_err());
     }
 }

@@ -1,0 +1,882 @@
+//! The staged Co-plot engine: explicit stage traits, intermediate-result
+//! caching, and per-stage instrumentation.
+//!
+//! [`CoplotEngine`] owns the four pipeline stages behind trait objects, so
+//! each can be swapped independently:
+//!
+//! * [`Normalizer`] — raw data to z-scores ([`ZScoreNormalizer`]);
+//! * [`DissimilarityStage`] — z-scores to pairwise dissimilarities
+//!   ([`MetricDissimilarity`]);
+//! * [`Embedder`] — dissimilarities to a planar configuration
+//!   ([`NonmetricMdsEmbedder`]);
+//! * [`ArrowFitter`] — variable columns to arrows ([`OlsArrowFitter`]).
+//!
+//! Unlike the one-shot [`crate::pipeline::Coplot`] facade (now a thin
+//! wrapper over this engine), the engine is stateful: it caches the
+//! normalized matrix and the per-variable dissimilarity contributions of the
+//! last input, so variable elimination and subset searches re-embed without
+//! re-normalizing or recomputing distances from scratch. Every run also
+//! records a [`StageReport`] per stage — wall time, iteration counts, the
+//! per-restart MDS thetas, and whether the stage was served from cache —
+//! retrievable via [`CoplotEngine::reports`] and printable with
+//! [`StageReportTable`].
+//!
+//! # Caching and exactness
+//!
+//! Z-scores are per-column, so a column subset of the cached normalized
+//! matrix equals the normalization of the subset. All three [`Metric`]s are
+//! Minkowski distances `(sum_v |dz_v|^p)^(1/p)`, so the engine caches the
+//! per-variable contributions `|dz_v|^p` for every observation pair and
+//! rebuilds the dissimilarities of any variable subset by summing the active
+//! contributions in ascending variable order — the same floating-point
+//! additions, in the same order, as a direct computation, hence
+//! bit-identical results.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+use crate::arrows::{try_fit_arrow, Arrow};
+use crate::data::{DataMatrix, Imputation, NormalizedMatrix};
+use crate::dissimilarity::{DissimilarityMatrix, Metric};
+use crate::error::CoplotError;
+use crate::mds::{nonmetric_mds, MdsConfig, MdsSolution};
+use crate::pipeline::CoplotResult;
+use wl_linalg::Matrix;
+
+/// Stage 1: raw data to a complete z-score matrix.
+///
+/// Implementations must normalize column-locally (each output column a
+/// function of that input column alone); the engine relies on this to reuse
+/// one normalization across variable subsets.
+pub trait Normalizer: fmt::Debug + Send + Sync {
+    /// Normalize a data matrix.
+    fn normalize(&self, data: &DataMatrix) -> Result<NormalizedMatrix, CoplotError>;
+}
+
+/// Stage 2: z-scores to pairwise dissimilarities.
+pub trait DissimilarityStage: fmt::Debug + Send + Sync {
+    /// Dissimilarities over all variables of `z`.
+    fn compute(&self, z: &NormalizedMatrix) -> Result<DissimilarityMatrix, CoplotError>;
+
+    /// Reusable per-variable pair contributions, if this stage's metric
+    /// decomposes over variables. `None` (the default) disables the
+    /// engine's dissimilarity cache; subsets are then recomputed directly.
+    fn contributions(&self, _z: &NormalizedMatrix) -> Option<PairContributions> {
+        None
+    }
+}
+
+/// Stage 3: dissimilarities to a low-dimensional configuration.
+pub trait Embedder: fmt::Debug + Send + Sync {
+    /// Embed the dissimilarities.
+    fn embed(&self, diss: &DissimilarityMatrix) -> Result<MdsSolution, CoplotError>;
+}
+
+/// Stage 4: one variable column to an arrow over the configuration.
+pub trait ArrowFitter: fmt::Debug + Send + Sync {
+    /// Fit the arrow for variable `name`.
+    fn fit(&self, name: &str, coords: &Matrix, z: &[f64]) -> Result<Arrow, CoplotError>;
+}
+
+/// The paper's stage 1: z-score normalization (Eq. 1).
+#[derive(Debug, Clone, Copy)]
+pub struct ZScoreNormalizer {
+    /// Missing-cell policy.
+    pub imputation: Imputation,
+}
+
+impl Normalizer for ZScoreNormalizer {
+    fn normalize(&self, data: &DataMatrix) -> Result<NormalizedMatrix, CoplotError> {
+        data.normalize(self.imputation)
+    }
+}
+
+/// The paper's stage 2: a Minkowski-family metric over z-score rows (Eq. 2
+/// uses city-block).
+#[derive(Debug, Clone, Copy)]
+pub struct MetricDissimilarity {
+    /// The row metric.
+    pub metric: Metric,
+}
+
+impl DissimilarityStage for MetricDissimilarity {
+    fn compute(&self, z: &NormalizedMatrix) -> Result<DissimilarityMatrix, CoplotError> {
+        Ok(DissimilarityMatrix::compute(z, self.metric))
+    }
+
+    fn contributions(&self, z: &NormalizedMatrix) -> Option<PairContributions> {
+        Some(PairContributions::compute(z, self.metric))
+    }
+}
+
+/// The paper's stage 3: nonmetric MDS scored by Guttman's coefficient of
+/// alienation.
+#[derive(Debug, Clone, Copy)]
+pub struct NonmetricMdsEmbedder {
+    /// Optimizer knobs (restarts, seed, threads...).
+    pub config: MdsConfig,
+}
+
+impl Embedder for NonmetricMdsEmbedder {
+    fn embed(&self, diss: &DissimilarityMatrix) -> Result<MdsSolution, CoplotError> {
+        nonmetric_mds(diss, &self.config)
+    }
+}
+
+/// The paper's stage 4: closed-form OLS arrow fits.
+#[derive(Debug, Clone, Copy)]
+pub struct OlsArrowFitter;
+
+impl ArrowFitter for OlsArrowFitter {
+    fn fit(&self, name: &str, coords: &Matrix, z: &[f64]) -> Result<Arrow, CoplotError> {
+        try_fit_arrow(name, coords, z)
+    }
+}
+
+/// Per-variable dissimilarity contributions `|dz_v|^p` for every observation
+/// pair, cached so any variable subset's dissimilarities can be rebuilt by
+/// summation instead of a fresh pass over the data.
+#[derive(Debug, Clone)]
+pub struct PairContributions {
+    n: usize,
+    order: f64,
+    /// `per_variable[v][pair]` in upper-triangle pair order.
+    per_variable: Vec<Vec<f64>>,
+}
+
+impl PairContributions {
+    /// Contributions of every variable of `z` under `metric`.
+    pub fn compute(z: &NormalizedMatrix, metric: Metric) -> PairContributions {
+        let n = z.n_observations();
+        let p = z.n_variables();
+        let order = metric.order();
+        let n_pairs = n * (n - 1) / 2;
+        let mut per_variable = vec![Vec::with_capacity(n_pairs); p];
+        for i in 0..n {
+            for k in (i + 1)..n {
+                let (a, b) = (z.row(i), z.row(k));
+                for (v, contribs) in per_variable.iter_mut().enumerate() {
+                    let d = a[v] - b[v];
+                    // Match vecops' per-term expressions exactly so summing
+                    // contributions is bit-identical to a direct distance.
+                    contribs.push(match metric {
+                        Metric::CityBlock => d.abs(),
+                        Metric::Euclidean => d * d,
+                        Metric::Minkowski(p) => d.abs().powf(p),
+                    });
+                }
+            }
+        }
+        PairContributions {
+            n,
+            order,
+            per_variable,
+        }
+    }
+
+    /// Number of variables with cached contributions.
+    pub fn n_variables(&self) -> usize {
+        self.per_variable.len()
+    }
+
+    /// Dissimilarities over the variable subset `keep`.
+    ///
+    /// `keep` must be ascending for bit-identity with a direct computation
+    /// (a direct pass sums variables in ascending order).
+    ///
+    /// # Panics
+    /// Panics on an out-of-range variable index — a caller bug.
+    pub fn combine(&self, keep: &[usize]) -> DissimilarityMatrix {
+        let n_pairs = self.n * (self.n - 1) / 2;
+        let mut sums = vec![0.0; n_pairs];
+        for &v in keep {
+            for (s, &c) in sums.iter_mut().zip(&self.per_variable[v]) {
+                *s += c;
+            }
+        }
+        if self.order == 2.0 {
+            // `.sqrt()` rather than `.powf(0.5)`: same choice as vecops.
+            for s in &mut sums {
+                *s = s.sqrt();
+            }
+        } else if self.order != 1.0 {
+            for s in &mut sums {
+                *s = s.powf(1.0 / self.order);
+            }
+        }
+        DissimilarityMatrix::from_pairs(self.n, sums)
+    }
+}
+
+/// Which pipeline stage a [`StageReport`] describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage {
+    /// Stage 1: z-score normalization.
+    Normalize,
+    /// Stage 2: pairwise dissimilarities.
+    Dissimilarity,
+    /// Stage 3: MDS embedding.
+    Embedding,
+    /// Stage 4: variable arrows.
+    Arrows,
+}
+
+impl Stage {
+    /// Lower-case stage name as printed in reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Stage::Normalize => "normalize",
+            Stage::Dissimilarity => "dissimilarity",
+            Stage::Embedding => "embedding",
+            Stage::Arrows => "arrows",
+        }
+    }
+}
+
+/// One stage's instrumentation record for one pipeline pass.
+#[derive(Debug, Clone)]
+pub struct StageReport {
+    /// The stage this record describes.
+    pub stage: Stage,
+    /// Wall-clock time the stage spent.
+    pub wall_time: Duration,
+    /// Iterations consumed (MDS majorization iterations across all starts;
+    /// 0 for non-iterative stages).
+    pub iterations: usize,
+    /// Per-start coefficients of alienation (embedding stage only).
+    pub theta_per_restart: Vec<f64>,
+    /// Whether the stage reused a cached intermediate instead of computing
+    /// from the raw input.
+    pub cache_hit: bool,
+}
+
+/// Renders a slice of [`StageReport`]s as an aligned text table (what the
+/// CLI's `--timings` flag prints).
+pub struct StageReportTable<'a>(pub &'a [StageReport]);
+
+impl fmt::Display for StageReportTable<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{:<14} {:>12} {:>6} {:>6}  theta per start",
+            "stage", "wall", "iters", "cache"
+        )?;
+        for r in self.0 {
+            let micros = r.wall_time.as_secs_f64() * 1e6;
+            let thetas = if r.theta_per_restart.is_empty() {
+                "-".to_string()
+            } else {
+                r.theta_per_restart
+                    .iter()
+                    .map(|t| {
+                        if t.is_finite() {
+                            format!("{t:.4}")
+                        } else {
+                            "collapsed".to_string()
+                        }
+                    })
+                    .collect::<Vec<_>>()
+                    .join(" ")
+            };
+            writeln!(
+                f,
+                "{:<14} {:>9.1} us {:>6} {:>6}  {}",
+                r.stage.name(),
+                micros,
+                r.iterations,
+                if r.cache_hit { "hit" } else { "miss" },
+                thetas
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Cached intermediates of the engine's last input.
+#[derive(Debug, Clone)]
+struct EngineCache {
+    fingerprint: u64,
+    z: NormalizedMatrix,
+    contributions: Option<PairContributions>,
+}
+
+/// How much prepare-time work the current pass inherited (threaded into the
+/// stage reports of the first selection it serves).
+#[derive(Clone, Copy)]
+struct PrepareInfo {
+    cache_hit: bool,
+    normalize_time: Duration,
+    contrib_time: Duration,
+}
+
+impl PrepareInfo {
+    fn cached() -> PrepareInfo {
+        PrepareInfo {
+            cache_hit: true,
+            normalize_time: Duration::ZERO,
+            contrib_time: Duration::ZERO,
+        }
+    }
+}
+
+/// FNV-1a over the data matrix's names and cells; a content fingerprint for
+/// the cache (collisions are astronomically unlikely at the scale of tens of
+/// workloads, and a false hit only ever reuses a *valid* normalization of
+/// the colliding data).
+fn fingerprint(data: &DataMatrix) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(PRIME);
+        }
+    };
+    for name in data.observations() {
+        eat(name.as_bytes());
+        eat(&[0xff]);
+    }
+    eat(&[0xfe]);
+    for name in data.variables() {
+        eat(name.as_bytes());
+        eat(&[0xff]);
+    }
+    for i in 0..data.n_observations() {
+        for v in 0..data.n_variables() {
+            match data.get(i, v) {
+                Some(x) => {
+                    eat(&[1]);
+                    eat(&x.to_bits().to_le_bytes());
+                }
+                None => eat(&[0]),
+            }
+        }
+    }
+    h
+}
+
+/// The staged, caching, instrumented Co-plot pipeline.
+///
+/// Build one with [`CoplotEngine::builder`]; run analyses with
+/// [`analyze`](CoplotEngine::analyze),
+/// [`analyze_with_elimination`](CoplotEngine::analyze_with_elimination) or
+/// [`analyze_selected`](CoplotEngine::analyze_selected); inspect the last
+/// run's per-stage instrumentation with
+/// [`reports`](CoplotEngine::reports).
+#[derive(Debug)]
+pub struct CoplotEngine {
+    normalizer: Box<dyn Normalizer>,
+    dissimilarity: Box<dyn DissimilarityStage>,
+    embedder: Box<dyn Embedder>,
+    arrow_fitter: Box<dyn ArrowFitter>,
+    cache: Option<EngineCache>,
+    reports: Vec<StageReport>,
+}
+
+impl Default for CoplotEngine {
+    fn default() -> Self {
+        CoplotEngine::builder().build()
+    }
+}
+
+impl CoplotEngine {
+    /// A builder preloaded with the paper's defaults.
+    pub fn builder() -> CoplotEngineBuilder {
+        CoplotEngineBuilder::default()
+    }
+
+    /// Run all four stages on a data matrix.
+    ///
+    /// Re-running on the same data reuses the cached normalization and
+    /// dissimilarity contributions (visible as `cache_hit` in the reports).
+    pub fn analyze(&mut self, data: &DataMatrix) -> Result<CoplotResult, CoplotError> {
+        self.reports.clear();
+        let info = self.prepare(data)?;
+        let keep: Vec<usize> = (0..self.cached_z().n_variables()).collect();
+        self.run_selection(&keep, info)
+    }
+
+    /// Run the stages on a subset of variables, given by ascending indices
+    /// into the normalized matrix's variables.
+    ///
+    /// The normalization and dissimilarity caches are shared with every
+    /// other analysis of the same data, which is what makes subset searches
+    /// (e.g. `wl-analysis`'s best-subset scan) cheap: only the embedding and
+    /// arrow stages run per subset.
+    pub fn analyze_selected(
+        &mut self,
+        data: &DataMatrix,
+        keep: &[usize],
+    ) -> Result<CoplotResult, CoplotError> {
+        self.reports.clear();
+        let info = self.prepare(data)?;
+        let p = self.cached_z().n_variables();
+        if keep.is_empty() {
+            return Err(CoplotError::EmptyInput {
+                what: "selected variables",
+            });
+        }
+        if let Some(&bad) = keep.iter().find(|&&v| v >= p) {
+            return Err(CoplotError::DimensionMismatch {
+                context: "analyze_selected: variable index".into(),
+                expected: p,
+                got: bad,
+            });
+        }
+        self.run_selection(keep, info)
+    }
+
+    /// The paper's variable-elimination workflow: analyze, drop the worst
+    /// variable while any arrow correlation is below `min_correlation`,
+    /// re-run, repeat. Returns the final result plus the names of removed
+    /// variables, in removal order.
+    ///
+    /// At least two variables are always kept; if even those fall below the
+    /// threshold the last result is returned anyway (matching how the paper
+    /// reports maps with a few weaker variables noted). Normalization and
+    /// dissimilarity contributions are computed once; each round only
+    /// re-embeds and re-fits arrows.
+    pub fn analyze_with_elimination(
+        &mut self,
+        data: &DataMatrix,
+        min_correlation: f64,
+    ) -> Result<(CoplotResult, Vec<String>), CoplotError> {
+        self.reports.clear();
+        let mut info = self.prepare(data)?;
+        let mut keep: Vec<usize> = (0..self.cached_z().n_variables()).collect();
+        let mut removed = Vec::new();
+        loop {
+            let result = self.run_selection(&keep, info)?;
+            info = PrepareInfo::cached();
+            if keep.len() <= 2 {
+                return Ok((result, removed));
+            }
+            // Find the worst-fitting variable. The comparison is total:
+            // arrow correlations are finite by construction (a NaN fit is a
+            // DegenerateVariable error upstream).
+            let worst = result
+                .arrows
+                .iter()
+                .enumerate()
+                .min_by(|(_, a), (_, b)| {
+                    a.correlation
+                        .abs()
+                        .partial_cmp(&b.correlation.abs())
+                        .expect("finite correlations")
+                })
+                .map(|(i, a)| (i, a.correlation.abs(), a.name.clone()))
+                .expect("at least one arrow");
+            if worst.1 >= min_correlation {
+                return Ok((result, removed));
+            }
+            keep.remove(worst.0);
+            removed.push(worst.2);
+        }
+    }
+
+    /// Per-stage instrumentation of the last `analyze*` call, in execution
+    /// order. Elimination runs append one group of four reports per round.
+    pub fn reports(&self) -> &[StageReport] {
+        &self.reports
+    }
+
+    /// Drop the cached intermediates (the next run recomputes everything).
+    pub fn clear_cache(&mut self) {
+        self.cache = None;
+    }
+
+    fn cached_z(&self) -> &NormalizedMatrix {
+        &self.cache.as_ref().expect("cache populated by prepare").z
+    }
+
+    /// Make sure the cache holds this data's normalization and
+    /// contributions, computing them if the fingerprint changed.
+    fn prepare(&mut self, data: &DataMatrix) -> Result<PrepareInfo, CoplotError> {
+        let fp = fingerprint(data);
+        if self.cache.as_ref().is_some_and(|c| c.fingerprint == fp) {
+            return Ok(PrepareInfo::cached());
+        }
+        let t = Instant::now();
+        let z = self.normalizer.normalize(data)?;
+        let normalize_time = t.elapsed();
+        let t = Instant::now();
+        let contributions = self.dissimilarity.contributions(&z);
+        let contrib_time = t.elapsed();
+        self.cache = Some(EngineCache {
+            fingerprint: fp,
+            z,
+            contributions,
+        });
+        Ok(PrepareInfo {
+            cache_hit: false,
+            normalize_time,
+            contrib_time,
+        })
+    }
+
+    /// Run stages 1'–4 for one variable selection against the cache, timing
+    /// each stage and appending its report.
+    fn run_selection(
+        &mut self,
+        keep: &[usize],
+        info: PrepareInfo,
+    ) -> Result<CoplotResult, CoplotError> {
+        let cache = self.cache.as_ref().expect("cache populated by prepare");
+        let full = keep.len() == cache.z.n_variables()
+            && keep.iter().enumerate().all(|(i, &v)| i == v);
+
+        let t = Instant::now();
+        let z = if full {
+            cache.z.clone()
+        } else {
+            cache.z.select_variables(keep)
+        };
+        self.reports.push(StageReport {
+            stage: Stage::Normalize,
+            wall_time: info.normalize_time + t.elapsed(),
+            iterations: 0,
+            theta_per_restart: Vec::new(),
+            cache_hit: info.cache_hit,
+        });
+
+        let t = Instant::now();
+        let (diss, diss_hit) = match &cache.contributions {
+            Some(c) => (c.combine(keep), info.cache_hit),
+            None => (self.dissimilarity.compute(&z)?, false),
+        };
+        self.reports.push(StageReport {
+            stage: Stage::Dissimilarity,
+            wall_time: info.contrib_time + t.elapsed(),
+            iterations: 0,
+            theta_per_restart: Vec::new(),
+            cache_hit: diss_hit,
+        });
+
+        let t = Instant::now();
+        let sol = self.embedder.embed(&diss)?;
+        self.reports.push(StageReport {
+            stage: Stage::Embedding,
+            wall_time: t.elapsed(),
+            iterations: sol.iterations,
+            theta_per_restart: sol.theta_per_restart.clone(),
+            cache_hit: false,
+        });
+
+        let t = Instant::now();
+        let mut arrows = Vec::with_capacity(z.n_variables());
+        for v in 0..z.n_variables() {
+            let col = z.column(v);
+            arrows.push(self.arrow_fitter.fit(&z.variables()[v], &sol.coords, &col)?);
+        }
+        self.reports.push(StageReport {
+            stage: Stage::Arrows,
+            wall_time: t.elapsed(),
+            iterations: 0,
+            theta_per_restart: Vec::new(),
+            cache_hit: false,
+        });
+
+        Ok(CoplotResult {
+            observations: z.observations().to_vec(),
+            coords: sol.coords,
+            arrows,
+            alienation: sol.alienation,
+            stress: sol.stress,
+            dissimilarities: diss,
+        })
+    }
+}
+
+/// Builder for [`CoplotEngine`]; defaults match the paper (city-block
+/// metric, column-mean imputation, classical init + 8 seeded restarts).
+#[derive(Debug)]
+pub struct CoplotEngineBuilder {
+    metric: Metric,
+    imputation: Imputation,
+    mds: MdsConfig,
+    normalizer: Option<Box<dyn Normalizer>>,
+    dissimilarity: Option<Box<dyn DissimilarityStage>>,
+    embedder: Option<Box<dyn Embedder>>,
+    arrow_fitter: Option<Box<dyn ArrowFitter>>,
+}
+
+impl Default for CoplotEngineBuilder {
+    fn default() -> Self {
+        CoplotEngineBuilder {
+            metric: Metric::CityBlock,
+            imputation: Imputation::ColumnMean,
+            mds: MdsConfig::default(),
+            normalizer: None,
+            dissimilarity: None,
+            embedder: None,
+            arrow_fitter: None,
+        }
+    }
+}
+
+impl CoplotEngineBuilder {
+    /// Choose the stage-2 metric.
+    pub fn metric(mut self, metric: Metric) -> Self {
+        self.metric = metric;
+        self
+    }
+
+    /// Choose the missing-cell policy.
+    pub fn imputation(mut self, imputation: Imputation) -> Self {
+        self.imputation = imputation;
+        self
+    }
+
+    /// Replace the whole MDS configuration.
+    pub fn mds(mut self, config: MdsConfig) -> Self {
+        self.mds = config;
+        self
+    }
+
+    /// Seed the MDS restarts.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.mds.seed = seed;
+        self
+    }
+
+    /// Number of random restarts (beyond the classical-scaling start).
+    pub fn restarts(mut self, restarts: usize) -> Self {
+        self.mds.restarts = restarts;
+        self
+    }
+
+    /// Worker threads for the MDS restarts (results are bit-identical for
+    /// any thread count).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.mds.threads = threads;
+        self
+    }
+
+    /// Majorization iteration cap per start.
+    pub fn max_iterations(mut self, iters: usize) -> Self {
+        self.mds.max_iterations = iters;
+        self
+    }
+
+    /// Install a custom stage-1 normalizer (must be column-local; see
+    /// [`Normalizer`]).
+    pub fn normalizer(mut self, stage: Box<dyn Normalizer>) -> Self {
+        self.normalizer = Some(stage);
+        self
+    }
+
+    /// Install a custom stage-2 dissimilarity.
+    pub fn dissimilarity(mut self, stage: Box<dyn DissimilarityStage>) -> Self {
+        self.dissimilarity = Some(stage);
+        self
+    }
+
+    /// Install a custom stage-3 embedder.
+    pub fn embedder(mut self, stage: Box<dyn Embedder>) -> Self {
+        self.embedder = Some(stage);
+        self
+    }
+
+    /// Install a custom stage-4 arrow fitter.
+    pub fn arrow_fitter(mut self, stage: Box<dyn ArrowFitter>) -> Self {
+        self.arrow_fitter = Some(stage);
+        self
+    }
+
+    /// Build the engine.
+    pub fn build(self) -> CoplotEngine {
+        CoplotEngine {
+            normalizer: self.normalizer.unwrap_or_else(|| {
+                Box::new(ZScoreNormalizer {
+                    imputation: self.imputation,
+                })
+            }),
+            dissimilarity: self
+                .dissimilarity
+                .unwrap_or_else(|| Box::new(MetricDissimilarity { metric: self.metric })),
+            embedder: self
+                .embedder
+                .unwrap_or_else(|| Box::new(NonmetricMdsEmbedder { config: self.mds })),
+            arrow_fitter: self.arrow_fitter.unwrap_or(Box::new(OlsArrowFitter)),
+            cache: None,
+            reports: Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::Coplot;
+
+    fn structured_data() -> DataMatrix {
+        DataMatrix::from_rows(
+            vec![
+                "lo1".into(),
+                "lo2".into(),
+                "lo3".into(),
+                "hi1".into(),
+                "hi2".into(),
+                "hi3".into(),
+            ],
+            vec!["a".into(), "a2".into(), "anti".into(), "b".into()],
+            &[
+                &[1.0, 1.1, 9.0, 5.0],
+                &[1.2, 1.0, 8.8, 3.0],
+                &[0.9, 1.2, 9.1, 4.0],
+                &[5.0, 5.2, 1.0, 4.2],
+                &[5.3, 4.9, 1.2, 2.8],
+                &[4.8, 5.1, 0.8, 5.1],
+            ],
+        )
+    }
+
+    #[test]
+    fn engine_matches_pipeline_facade() {
+        let data = structured_data();
+        let facade = Coplot::new().seed(11).analyze(&data).unwrap();
+        let mut engine = CoplotEngine::builder().seed(11).build();
+        let direct = engine.analyze(&data).unwrap();
+        assert_eq!(facade.coords.as_slice(), direct.coords.as_slice());
+        assert_eq!(facade.alienation.to_bits(), direct.alienation.to_bits());
+        assert_eq!(facade.arrows, direct.arrows);
+    }
+
+    #[test]
+    fn second_run_hits_the_cache_with_identical_results() {
+        let data = structured_data();
+        let mut engine = CoplotEngine::builder().seed(12).build();
+        let first = engine.analyze(&data).unwrap();
+        assert!(engine.reports().iter().all(|r| !r.cache_hit));
+        let second = engine.analyze(&data).unwrap();
+        let hits: Vec<bool> = engine.reports().iter().map(|r| r.cache_hit).collect();
+        assert_eq!(hits, [true, true, false, false]);
+        assert_eq!(first.coords.as_slice(), second.coords.as_slice());
+        assert_eq!(first.alienation.to_bits(), second.alienation.to_bits());
+    }
+
+    #[test]
+    fn cache_invalidates_on_new_data() {
+        let mut engine = CoplotEngine::builder().seed(13).build();
+        engine.analyze(&structured_data()).unwrap();
+        let mut other = structured_data();
+        other = other.select_observations(&[0, 1, 2, 3, 4]);
+        engine.analyze(&other).unwrap();
+        assert!(engine.reports().iter().all(|r| !r.cache_hit));
+    }
+
+    #[test]
+    fn contributions_combine_is_bit_identical_to_direct_compute() {
+        let data = structured_data();
+        let z = data.normalize(Imputation::ColumnMean).unwrap();
+        for metric in [Metric::CityBlock, Metric::Euclidean, Metric::Minkowski(3.0)] {
+            let direct_full = DissimilarityMatrix::compute(&z, metric);
+            let contribs = PairContributions::compute(&z, metric);
+            let combined_full = contribs.combine(&[0, 1, 2, 3]);
+            assert_eq!(direct_full, combined_full, "{metric:?}");
+
+            let keep = [0usize, 2];
+            let direct_sub = DissimilarityMatrix::compute(&z.select_variables(&keep), metric);
+            let combined_sub = contribs.combine(&keep);
+            assert_eq!(direct_sub, combined_sub, "{metric:?} subset");
+        }
+    }
+
+    #[test]
+    fn analyze_selected_matches_fresh_analysis_of_the_subset() {
+        let data = structured_data();
+        let mut engine = CoplotEngine::builder().seed(14).build();
+        engine.analyze(&data).unwrap();
+        let sub = engine.analyze_selected(&data, &[0, 1, 3]).unwrap();
+        // The dissimilarity stage must have come from the cache.
+        assert!(engine.reports()[1].cache_hit);
+
+        let fresh_data = data.select_variables(&[0, 1, 3]);
+        let fresh = CoplotEngine::builder()
+            .seed(14)
+            .build()
+            .analyze(&fresh_data)
+            .unwrap();
+        assert_eq!(sub.coords.as_slice(), fresh.coords.as_slice());
+        assert_eq!(sub.alienation.to_bits(), fresh.alienation.to_bits());
+        assert_eq!(sub.arrows, fresh.arrows);
+    }
+
+    #[test]
+    fn analyze_selected_rejects_bad_selections() {
+        let data = structured_data();
+        let mut engine = CoplotEngine::default();
+        assert!(matches!(
+            engine.analyze_selected(&data, &[]).unwrap_err(),
+            CoplotError::EmptyInput { .. }
+        ));
+        assert!(matches!(
+            engine.analyze_selected(&data, &[0, 9]).unwrap_err(),
+            CoplotError::DimensionMismatch { got: 9, .. }
+        ));
+    }
+
+    #[test]
+    fn elimination_reuses_the_cache_across_rounds() {
+        // Strong 2-D structure plus a noise variable: elimination runs at
+        // least two rounds, and only the first computes stages 1-2.
+        let d = DataMatrix::from_rows(
+            (1..=8).map(|i| format!("o{i}")).collect(),
+            vec![
+                "x".into(),
+                "x2".into(),
+                "y".into(),
+                "y2".into(),
+                "noise".into(),
+            ],
+            &[
+                &[1.0, 1.1, 8.0, 7.9, 3.0],
+                &[2.0, 2.2, 1.0, 1.2, -1.0],
+                &[3.0, 2.9, 6.0, 6.1, 4.0],
+                &[4.0, 4.1, 2.0, 2.1, -3.0],
+                &[5.0, 4.8, 7.0, 7.2, 3.5],
+                &[6.0, 6.2, 3.0, 2.8, -2.0],
+                &[7.0, 7.1, 5.0, 5.2, 2.0],
+                &[8.0, 7.9, 4.0, 4.1, -4.0],
+            ],
+        );
+        let mut engine = CoplotEngine::builder().seed(5).build();
+        let (_, removed) = engine.analyze_with_elimination(&d, 0.95).unwrap();
+        assert!(!removed.is_empty());
+        let reports = engine.reports();
+        assert!(reports.len() >= 8, "at least two rounds of four stages");
+        assert!(!reports[0].cache_hit, "first round computes");
+        assert!(reports[4].cache_hit, "second round reuses normalization");
+        assert!(reports[5].cache_hit, "second round reuses contributions");
+    }
+
+    #[test]
+    fn report_table_renders_every_stage() {
+        let data = structured_data();
+        let mut engine = CoplotEngine::default();
+        engine.analyze(&data).unwrap();
+        let table = StageReportTable(engine.reports()).to_string();
+        for stage in ["normalize", "dissimilarity", "embedding", "arrows"] {
+            assert!(table.contains(stage), "missing {stage} in:\n{table}");
+        }
+        assert!(table.contains("miss"));
+    }
+
+    #[test]
+    fn embedding_report_carries_restart_thetas() {
+        let data = structured_data();
+        let mut engine = CoplotEngine::builder().restarts(3).build();
+        let r = engine.analyze(&data).unwrap();
+        let embed = &engine.reports()[2];
+        assert_eq!(embed.stage, Stage::Embedding);
+        assert_eq!(embed.theta_per_restart.len(), 4);
+        assert!(embed.iterations > 0);
+        let min = embed
+            .theta_per_restart
+            .iter()
+            .cloned()
+            .fold(f64::INFINITY, f64::min);
+        assert_eq!(min, r.alienation);
+    }
+}

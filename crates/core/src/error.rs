@@ -1,0 +1,160 @@
+//! The workspace-wide error taxonomy for Co-plot analyses.
+//!
+//! Every public entry point of the pipeline returns [`CoplotError`] instead
+//! of panicking on invalid input, so callers (the CLI, the reproduction
+//! binaries, the analysis crate) can report *which* stage rejected the data
+//! and why. Errors from the substrate crates are converted via `From`:
+//! [`wl_linalg::LinalgError`] and [`wl_stats::StatsError`] here, and
+//! `wl_swf::ParseError` from within `wl-swf` (the crate that owns that
+//! type).
+
+use std::fmt;
+use wl_linalg::LinalgError;
+use wl_stats::StatsError;
+
+/// Why an analysis could not run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoplotError {
+    /// Stage-1 normalization failed (missing data under `Forbid`, constant
+    /// variable, too few observations...).
+    Normalization(String),
+    /// A variable's arrow could not be fitted.
+    DegenerateVariable(String),
+    /// Variable elimination removed everything below the threshold.
+    NothingLeft,
+    /// The input had no observations or no variables at all.
+    EmptyInput {
+        /// What was empty ("observations", "variables", "workloads"...).
+        what: &'static str,
+    },
+    /// Fewer observations than the stage can work with.
+    TooFewObservations {
+        /// How many observations were supplied.
+        n: usize,
+        /// The minimum the stage needs.
+        min: usize,
+    },
+    /// Two dimensions that must agree did not (ragged rows, arrow column vs
+    /// configuration, embedding dimension out of range...).
+    DimensionMismatch {
+        /// Which stage or structure rejected the input.
+        context: String,
+        /// The dimension it expected.
+        expected: usize,
+        /// The dimension it got.
+        got: usize,
+    },
+    /// A cell or derived quantity was NaN or infinite.
+    NonFinite(String),
+    /// An iterative stage hit its iteration cap without converging.
+    NonConvergence {
+        /// Which stage failed to converge.
+        stage: &'static str,
+        /// Iterations spent before giving up.
+        iterations: usize,
+    },
+    /// A caller-supplied knob was out of range (subset size, period count,
+    /// unknown variable code...).
+    InvalidConfig(String),
+    /// Input data could not be parsed (`wl-swf` converts its `ParseError`
+    /// into this; the fields mirror it so no dependency cycle is needed).
+    Parse {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// Human-readable description.
+        message: String,
+    },
+    /// A linear-algebra kernel rejected its input.
+    Linalg(LinalgError),
+    /// A statistics kernel rejected its input.
+    Stats(StatsError),
+}
+
+impl fmt::Display for CoplotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoplotError::Normalization(msg) => write!(f, "normalization failed: {msg}"),
+            CoplotError::DegenerateVariable(name) => {
+                write!(f, "variable {name:?} has a degenerate arrow fit")
+            }
+            CoplotError::NothingLeft => {
+                write!(f, "no variables survive the correlation threshold")
+            }
+            CoplotError::EmptyInput { what } => write!(f, "empty input: no {what}"),
+            CoplotError::TooFewObservations { n, min } => {
+                write!(f, "need at least {min} observations, have {n}")
+            }
+            CoplotError::DimensionMismatch {
+                context,
+                expected,
+                got,
+            } => write!(f, "{context}: dimension mismatch (expected {expected}, got {got})"),
+            CoplotError::NonFinite(msg) => write!(f, "non-finite value: {msg}"),
+            CoplotError::NonConvergence { stage, iterations } => {
+                write!(f, "{stage} did not converge within {iterations} iterations")
+            }
+            CoplotError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            CoplotError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+            CoplotError::Linalg(e) => write!(f, "linear algebra: {e}"),
+            CoplotError::Stats(e) => write!(f, "statistics: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CoplotError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoplotError::Linalg(e) => Some(e),
+            CoplotError::Stats(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LinalgError> for CoplotError {
+    fn from(e: LinalgError) -> Self {
+        CoplotError::Linalg(e)
+    }
+}
+
+impl From<StatsError> for CoplotError {
+    fn from(e: StatsError) -> Self {
+        CoplotError::Stats(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn substrate_errors_convert() {
+        let e: CoplotError = LinalgError::NonFinite { context: "jacobi_eigen" }.into();
+        assert!(matches!(e, CoplotError::Linalg(_)));
+        assert!(e.to_string().contains("jacobi_eigen"));
+        let e: CoplotError = StatsError::EmptyInput { context: "pearson" }.into();
+        assert!(matches!(e, CoplotError::Stats(_)));
+    }
+
+    #[test]
+    fn sources_are_chained() {
+        use std::error::Error;
+        let e: CoplotError = LinalgError::NonFinite { context: "x" }.into();
+        assert!(e.source().is_some());
+        assert!(CoplotError::NothingLeft.source().is_none());
+    }
+
+    #[test]
+    fn display_covers_new_variants() {
+        let e = CoplotError::TooFewObservations { n: 2, min: 3 };
+        assert!(e.to_string().contains("at least 3"));
+        let e = CoplotError::NonConvergence { stage: "mds", iterations: 300 };
+        assert!(e.to_string().contains("converge"));
+        let e = CoplotError::EmptyInput { what: "workloads" };
+        assert!(e.to_string().contains("workloads"));
+        let e = CoplotError::Parse { line: 7, message: "field 3 not numeric".into() };
+        assert!(e.to_string().contains("line 7"));
+    }
+}

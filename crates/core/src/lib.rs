@@ -27,7 +27,12 @@
 //!
 //! The [`pipeline`] module ties the stages into the [`pipeline::Coplot`]
 //! builder, including the paper's variable-elimination workflow, and
-//! [`render`] draws the result as text or SVG.
+//! [`render`] draws the result as text or SVG. Underneath the facade, the
+//! [`engine`] module holds the staged [`engine::CoplotEngine`]: explicit
+//! stage traits, caching of the normalized matrix and dissimilarity
+//! contributions between re-runs, parallel deterministic MDS restarts, and
+//! per-stage [`engine::StageReport`] instrumentation. Invalid inputs are
+//! reported as [`error::CoplotError`] values, never panics.
 //!
 //! ```
 //! use coplot::{DataMatrix, Coplot};
@@ -52,13 +57,17 @@ pub mod alienation;
 pub mod arrows;
 pub mod data;
 pub mod dissimilarity;
+pub mod engine;
+pub mod error;
 pub mod mds;
 pub mod pipeline;
 pub mod render;
 
 pub use alienation::{coefficient_of_alienation, mu_statistic};
-pub use arrows::{fit_arrow, Arrow};
+pub use arrows::{fit_arrow, try_fit_arrow, Arrow};
 pub use data::{DataMatrix, Imputation, NormalizedMatrix};
 pub use dissimilarity::{DissimilarityMatrix, Metric};
-pub use mds::{MdsConfig, MdsSolution};
-pub use pipeline::{Coplot, CoplotError, CoplotResult};
+pub use engine::{CoplotEngine, CoplotEngineBuilder, Stage, StageReport, StageReportTable};
+pub use error::CoplotError;
+pub use mds::{nonmetric_mds, restart_seed, MdsConfig, MdsSolution};
+pub use pipeline::{Coplot, CoplotResult};

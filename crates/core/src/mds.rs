@@ -23,13 +23,24 @@
 //! is the one with the smallest coefficient of alienation. Output
 //! configurations are centered on the origin with unit RMS radius (MDS
 //! solutions are only defined up to similarity transforms anyway).
+//!
+//! # Determinism and parallel restarts
+//!
+//! Each restart draws its initial configuration from its **own** ChaCha
+//! generator, seeded by [`restart_seed`] from the base seed and the restart
+//! index. Restarts therefore do not share RNG state, so they can run on
+//! worker threads ([`MdsConfig::threads`] > 1) and still produce results
+//! bit-identical to the sequential path: the winning solution only depends
+//! on (seed, restart index), never on scheduling order.
 
 use crate::alienation::coefficient_of_alienation;
 use crate::dissimilarity::DissimilarityMatrix;
+use crate::error::CoplotError;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha12Rng;
 use wl_linalg::{double_center, jacobi_eigen, Matrix};
 use wl_stats::isotonic::isotonic_regression;
-use wl_stats::rng::seeded_rng;
-use rand::Rng;
+use wl_stats::rng::derive_seed;
 
 /// Tuning knobs for the MDS optimizer.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -47,6 +58,9 @@ pub struct MdsConfig {
     /// dimensions are just not enough" for too many weakly related
     /// variables).
     pub dims: usize,
+    /// Worker threads for the restarts (1 = run them sequentially on the
+    /// calling thread). Results are bit-identical for any thread count.
+    pub threads: usize,
 }
 
 impl Default for MdsConfig {
@@ -57,6 +71,7 @@ impl Default for MdsConfig {
             restarts: 8,
             seed: 0x5EED,
             dims: 2,
+            threads: 1,
         }
     }
 }
@@ -73,17 +88,59 @@ pub struct MdsSolution {
     pub stress: f64,
     /// Total majorization iterations spent across all starts.
     pub iterations: usize,
+    /// Coefficient of alienation achieved by each start, in start order
+    /// (index 0 is the classical-scaling start). Collapsed configurations
+    /// score infinity.
+    pub theta_per_restart: Vec<f64>,
+}
+
+/// The seed for one restart's private generator.
+///
+/// Both the sequential and the parallel restart paths derive per-restart
+/// seeds through this single helper (SplitMix64 finalizer via
+/// [`wl_stats::rng::derive_seed`]), which is what makes them bit-identical:
+/// a restart's initial configuration depends only on `(base, restart)`.
+pub fn restart_seed(base: u64, restart: usize) -> u64 {
+    derive_seed(base, restart as u64)
+}
+
+/// What one start produced, before the best-of selection.
+struct StartOutcome {
+    coords: Matrix,
+    stress: f64,
+    iterations: usize,
+    theta: f64,
 }
 
 /// Run nonmetric MDS on a dissimilarity matrix.
 ///
-/// # Panics
-/// Panics for fewer than 3 observations.
-pub fn nonmetric_mds(diss: &DissimilarityMatrix, config: &MdsConfig) -> MdsSolution {
+/// # Errors
+/// Returns [`CoplotError::TooFewObservations`] for fewer than 3
+/// observations, [`CoplotError::DimensionMismatch`] when the embedding
+/// dimension is not in `1..n`, [`CoplotError::NonFinite`] when a
+/// dissimilarity is NaN or infinite, and propagates kernel errors from the
+/// classical-scaling start.
+pub fn nonmetric_mds(
+    diss: &DissimilarityMatrix,
+    config: &MdsConfig,
+) -> Result<MdsSolution, CoplotError> {
     let n = diss.n();
-    assert!(n >= 3, "MDS needs at least 3 observations, got {n}");
+    if n < 3 {
+        return Err(CoplotError::TooFewObservations { n, min: 3 });
+    }
     let dims = config.dims;
-    assert!((1..n).contains(&dims), "dims {dims} out of 1..{n}");
+    if !(1..n).contains(&dims) {
+        return Err(CoplotError::DimensionMismatch {
+            context: format!("nonmetric_mds: embedding dims must be in 1..{n}"),
+            expected: n - 1,
+            got: dims,
+        });
+    }
+    if diss.pairs().iter().any(|d| !d.is_finite()) {
+        return Err(CoplotError::NonFinite(
+            "dissimilarity matrix contains NaN or infinite entries".into(),
+        ));
+    }
     let deltas = diss.pairs().to_vec();
 
     // Pair index table: pair p connects observations pair_idx[p] = (i, k).
@@ -91,58 +148,114 @@ pub fn nonmetric_mds(diss: &DissimilarityMatrix, config: &MdsConfig) -> MdsSolut
         .flat_map(|i| ((i + 1)..n).map(move |k| (i, k)))
         .collect();
 
-    let mut rng = seeded_rng(config.seed);
-    let mut best: Option<MdsSolution> = None;
-    let mut total_iters = 0;
+    let n_starts = config.restarts + 1;
+    let mut outcomes: Vec<Option<Result<StartOutcome, CoplotError>>> = Vec::new();
+    outcomes.resize_with(n_starts, || None);
 
-    for start in 0..=config.restarts {
-        let mut coords = if start == 0 {
-            classical_init(diss, dims)
-        } else {
-            let mut m = Matrix::zeros(n, dims);
-            for i in 0..n {
-                for c in 0..dims {
-                    m[(i, c)] = rng.gen_range(-1.0..1.0);
-                }
+    let workers = config.threads.clamp(1, n_starts);
+    if workers == 1 {
+        for (start, slot) in outcomes.iter_mut().enumerate() {
+            *slot = Some(run_start(start, diss, &deltas, &pair_idx, config));
+        }
+    } else {
+        // Contiguous chunks of starts per worker; each worker writes only
+        // its own slots, so no synchronization beyond the scope join is
+        // needed. Determinism is unaffected because each start's result is
+        // a pure function of (seed, start index).
+        let chunk = n_starts.div_ceil(workers);
+        std::thread::scope(|scope| {
+            for (w, slots) in outcomes.chunks_mut(chunk).enumerate() {
+                let deltas = &deltas;
+                let pair_idx = &pair_idx;
+                scope.spawn(move || {
+                    for (off, slot) in slots.iter_mut().enumerate() {
+                        let start = w * chunk + off;
+                        *slot = Some(run_start(start, diss, deltas, pair_idx, config));
+                    }
+                });
             }
-            m
-        };
+        });
+    }
 
-        let (stress, iters) = refine(&mut coords, &deltas, &pair_idx, n, config);
-        total_iters += iters;
-
-        let dists = pair_distances(&coords, &pair_idx);
-        // A collapsed configuration (all points coincident) has all-equal
-        // distances, which scores a vacuous theta of zero; never prefer it
-        // over a spread-out solution.
-        let spread = dists.iter().cloned().fold(0.0, f64::max);
-        let max_delta = deltas.iter().cloned().fold(0.0, f64::max);
-        let collapsed = spread <= 1e-9 && max_delta > 0.0;
-        let theta = coefficient_of_alienation(&deltas, &dists);
-        let candidate = MdsSolution {
-            coords,
-            alienation: if collapsed { f64::INFINITY } else { theta },
-            stress,
-            iterations: 0,
-        };
+    // Select the best start exactly as the sequential loop would: walk in
+    // start order, keep a strictly better theta (ties keep the earliest).
+    let mut best: Option<StartOutcome> = None;
+    let mut total_iters = 0;
+    let mut theta_per_restart = Vec::with_capacity(n_starts);
+    for slot in outcomes {
+        let outcome = slot.expect("every start slot is filled")?;
+        total_iters += outcome.iterations;
+        theta_per_restart.push(outcome.theta);
         let better = match &best {
             None => true,
-            Some(b) => candidate.alienation < b.alienation,
+            Some(b) => outcome.theta < b.theta,
         };
         if better {
-            best = Some(candidate);
+            best = Some(outcome);
         }
     }
 
-    let mut solution = best.expect("at least one start runs");
-    normalize_config(&mut solution.coords);
-    solution.iterations = total_iters;
-    solution
+    let best = best.expect("at least one start runs");
+    let mut coords = best.coords;
+    normalize_config(&mut coords);
+    Ok(MdsSolution {
+        coords,
+        alienation: best.theta,
+        stress: best.stress,
+        iterations: total_iters,
+        theta_per_restart,
+    })
+}
+
+/// Run one start (classical scaling for start 0, a seeded random
+/// configuration otherwise) through the refinement loop and score it.
+fn run_start(
+    start: usize,
+    diss: &DissimilarityMatrix,
+    deltas: &[f64],
+    pair_idx: &[(usize, usize)],
+    config: &MdsConfig,
+) -> Result<StartOutcome, CoplotError> {
+    let n = diss.n();
+    let dims = config.dims;
+    let mut coords = if start == 0 {
+        classical_init(diss, dims)?
+    } else {
+        let mut rng = ChaCha12Rng::seed_from_u64(restart_seed(config.seed, start));
+        let mut m = Matrix::zeros(n, dims);
+        for i in 0..n {
+            for c in 0..dims {
+                m[(i, c)] = rng.gen_range(-1.0..1.0);
+            }
+        }
+        m
+    };
+
+    let (stress, iterations) = refine(&mut coords, deltas, pair_idx, n, config);
+
+    let dists = pair_distances(&coords, pair_idx);
+    // A collapsed configuration (all points coincident) has all-equal
+    // distances, which scores a vacuous theta of zero; never prefer it
+    // over a spread-out solution.
+    let spread = dists.iter().cloned().fold(0.0, f64::max);
+    let max_delta = deltas.iter().cloned().fold(0.0, f64::max);
+    let collapsed = spread <= 1e-9 && max_delta > 0.0;
+    let theta = if collapsed {
+        f64::INFINITY
+    } else {
+        coefficient_of_alienation(deltas, &dists)
+    };
+    Ok(StartOutcome {
+        coords,
+        stress,
+        iterations,
+        theta,
+    })
 }
 
 /// Classical (Torgerson) scaling of the dissimilarities into `dims`
 /// dimensions.
-fn classical_init(diss: &DissimilarityMatrix, dims: usize) -> Matrix {
+fn classical_init(diss: &DissimilarityMatrix, dims: usize) -> Result<Matrix, CoplotError> {
     let n = diss.n();
     let mut d2 = Matrix::zeros(n, n);
     for i in 0..n {
@@ -151,8 +264,8 @@ fn classical_init(diss: &DissimilarityMatrix, dims: usize) -> Matrix {
             d2[(i, k)] = d * d;
         }
     }
-    let b = double_center(&d2);
-    let eig = jacobi_eigen(&b, 1e-12, 100);
+    let b = double_center(&d2)?;
+    let eig = jacobi_eigen(&b, 1e-12, 100)?;
     let mut coords = Matrix::zeros(n, dims);
     for j in 0..dims.min(eig.values.len()) {
         let scale = eig.values[j].max(0.0).sqrt();
@@ -160,7 +273,7 @@ fn classical_init(diss: &DissimilarityMatrix, dims: usize) -> Matrix {
             coords[(i, j)] = eig.vectors[(i, j)] * scale;
         }
     }
-    coords
+    Ok(coords)
 }
 
 /// Alternate monotone regression and Guttman-transform updates until the
@@ -183,12 +296,14 @@ fn refine(
 
         // Kruskal's primary approach: order pairs by (delta, distance) so
         // tied dissimilarities don't constrain each other.
+        // Deltas are validated finite at the entry point and distances of a
+        // finite configuration are finite, so the comparisons are total.
         let mut order: Vec<usize> = (0..p).collect();
         order.sort_by(|&a, &b| {
             deltas[a]
                 .partial_cmp(&deltas[b])
-                .unwrap()
-                .then(dists[a].partial_cmp(&dists[b]).unwrap())
+                .expect("finite dissimilarities")
+                .then(dists[a].partial_cmp(&dists[b]).expect("finite distances"))
         });
         let sorted_d: Vec<f64> = order.iter().map(|&i| dists[i]).collect();
         let fitted = isotonic_regression(&sorted_d, None);
@@ -301,7 +416,7 @@ mod tests {
                 full[i][k] = (dx * dx + dy * dy).sqrt();
             }
         }
-        DissimilarityMatrix::from_full(&full)
+        DissimilarityMatrix::from_full(&full).unwrap()
     }
 
     #[test]
@@ -315,7 +430,7 @@ mod tests {
             (0.1, 2.4),
         ];
         let diss = planted(&pts);
-        let sol = nonmetric_mds(&diss, &MdsConfig::default());
+        let sol = nonmetric_mds(&diss, &MdsConfig::default()).unwrap();
         assert!(
             sol.alienation < 0.02,
             "planted config should embed nearly perfectly, theta = {}",
@@ -333,7 +448,7 @@ mod tests {
     #[test]
     fn output_is_normalized() {
         let pts = [(0.0, 0.0), (5.0, 0.0), (0.0, 7.0), (4.0, 4.0)];
-        let sol = nonmetric_mds(&planted(&pts), &MdsConfig::default());
+        let sol = nonmetric_mds(&planted(&pts), &MdsConfig::default()).unwrap();
         let n = sol.coords.rows();
         let (mut cx, mut cy, mut r2) = (0.0, 0.0, 0.0);
         for i in 0..n {
@@ -353,16 +468,17 @@ mod tests {
         let n = pts.len();
         let base = planted(&pts);
         let mut warped = vec![vec![0.0; n]; n];
-        for i in 0..n {
-            for k in 0..n {
+        for (i, row) in warped.iter_mut().enumerate() {
+            for (k, cell) in row.iter_mut().enumerate() {
                 let d = base.get(i, k);
-                warped[i][k] = d * d * d + d; // strictly monotone
+                *cell = d * d * d + d; // strictly monotone
             }
         }
         let sol = nonmetric_mds(
-            &DissimilarityMatrix::from_full(&warped),
+            &DissimilarityMatrix::from_full(&warped).unwrap(),
             &MdsConfig::default(),
-        );
+        )
+        .unwrap();
         assert!(sol.alienation < 0.05, "theta = {}", sol.alienation);
     }
 
@@ -374,9 +490,10 @@ mod tests {
             vec![1.0, 1.0, 0.0],
         ];
         let sol = nonmetric_mds(
-            &DissimilarityMatrix::from_full(&full),
+            &DissimilarityMatrix::from_full(&full).unwrap(),
             &MdsConfig::default(),
-        );
+        )
+        .unwrap();
         // All pairwise map distances equal.
         let d01 = dist(&sol.coords, 0, 1);
         let d02 = dist(&sol.coords, 0, 2);
@@ -396,9 +513,10 @@ mod tests {
             row[i] = 0.0;
         }
         let sol = nonmetric_mds(
-            &DissimilarityMatrix::from_full(&full),
+            &DissimilarityMatrix::from_full(&full).unwrap(),
             &MdsConfig::default(),
-        );
+        )
+        .unwrap();
         assert!((0.0..=1.0).contains(&sol.alienation));
     }
 
@@ -406,8 +524,8 @@ mod tests {
     fn deterministic_for_fixed_seed() {
         let pts = [(0.0, 0.0), (1.0, 0.2), (0.3, 1.0), (1.5, 1.5)];
         let diss = planted(&pts);
-        let a = nonmetric_mds(&diss, &MdsConfig::default());
-        let b = nonmetric_mds(&diss, &MdsConfig::default());
+        let a = nonmetric_mds(&diss, &MdsConfig::default()).unwrap();
+        let b = nonmetric_mds(&diss, &MdsConfig::default()).unwrap();
         assert_eq!(a.coords.as_slice(), b.coords.as_slice());
         assert_eq!(a.alienation, b.alienation);
     }
@@ -423,7 +541,8 @@ mod tests {
                 dims: 1,
                 ..Default::default()
             },
-        );
+        )
+        .unwrap();
         assert_eq!(sol.coords.cols(), 1);
         assert!(sol.alienation < 1e-6, "theta = {}", sol.alienation);
     }
@@ -442,39 +561,129 @@ mod tests {
         full[1][0] = 1.05;
         full[2][3] = 0.95;
         full[3][2] = 0.95;
-        let diss = DissimilarityMatrix::from_full(&full);
-        let d2 = nonmetric_mds(&diss, &MdsConfig { dims: 2, ..Default::default() });
-        let d3 = nonmetric_mds(&diss, &MdsConfig { dims: 3, ..Default::default() });
+        let diss = DissimilarityMatrix::from_full(&full).unwrap();
+        let d2 = nonmetric_mds(&diss, &MdsConfig { dims: 2, ..Default::default() }).unwrap();
+        let d3 = nonmetric_mds(&diss, &MdsConfig { dims: 3, ..Default::default() }).unwrap();
         assert_eq!(d3.coords.cols(), 3);
         assert!(d3.alienation <= d2.alienation + 1e-9);
         assert!(d3.alienation < 1e-6, "3-D fit should be exact: {}", d3.alienation);
     }
 
     #[test]
-    #[should_panic(expected = "dims")]
-    fn dims_must_be_below_n() {
+    fn dims_out_of_range_is_an_error() {
         let full = vec![
             vec![0.0, 1.0, 1.0],
             vec![1.0, 0.0, 1.0],
             vec![1.0, 1.0, 0.0],
         ];
-        nonmetric_mds(
-            &DissimilarityMatrix::from_full(&full),
-            &MdsConfig {
-                dims: 3,
-                ..Default::default()
-            },
-        );
+        let diss = DissimilarityMatrix::from_full(&full).unwrap();
+        for dims in [0, 3, 10] {
+            let err = nonmetric_mds(&diss, &MdsConfig { dims, ..Default::default() })
+                .unwrap_err();
+            assert!(
+                matches!(err, CoplotError::DimensionMismatch { got, .. } if got == dims),
+                "dims = {dims}: {err}"
+            );
+        }
     }
 
     #[test]
-    #[should_panic(expected = "at least 3 observations")]
-    fn too_small_panics() {
+    fn too_few_observations_is_an_error() {
         let full = vec![vec![0.0, 1.0], vec![1.0, 0.0]];
-        nonmetric_mds(
-            &DissimilarityMatrix::from_full(&full),
+        let err = nonmetric_mds(
+            &DissimilarityMatrix::from_full(&full).unwrap(),
             &MdsConfig::default(),
-        );
+        )
+        .unwrap_err();
+        assert_eq!(err, CoplotError::TooFewObservations { n: 2, min: 3 });
+    }
+
+    #[test]
+    fn nan_dissimilarity_is_an_error() {
+        let pts = [(0.0f64, 0.0f64), (1.0, 0.2), (0.3, 1.0), (1.5, 1.5)];
+        let mut full = vec![vec![0.0; 4]; 4];
+        for i in 0..4 {
+            for k in 0..4 {
+                let dx = pts[i].0 - pts[k].0;
+                let dy = pts[i].1 - pts[k].1;
+                full[i][k] = (dx * dx + dy * dy).sqrt();
+            }
+        }
+        let mut diss = DissimilarityMatrix::from_full(&full).unwrap();
+        diss.poison_for_tests(0, f64::NAN);
+        let err = nonmetric_mds(&diss, &MdsConfig::default()).unwrap_err();
+        assert!(matches!(err, CoplotError::NonFinite(_)), "{err}");
+    }
+
+    #[test]
+    fn parallel_restarts_bit_identical_to_sequential() {
+        // The regression test for the parallel path: any thread count must
+        // reproduce the sequential result bit for bit, for any restart
+        // count (0 = classical start only, 1 = one random start, 8 =
+        // default-sized pool).
+        let pts = [
+            (0.0, 0.0),
+            (1.0, 0.0),
+            (2.0, 0.3),
+            (0.5, 1.5),
+            (1.7, 1.2),
+            (0.1, 2.4),
+        ];
+        let diss = planted(&pts);
+        for restarts in [0usize, 1, 8] {
+            let seq = nonmetric_mds(
+                &diss,
+                &MdsConfig { restarts, threads: 1, ..Default::default() },
+            )
+            .unwrap();
+            for threads in [2usize, 4, 8] {
+                let par = nonmetric_mds(
+                    &diss,
+                    &MdsConfig { restarts, threads, ..Default::default() },
+                )
+                .unwrap();
+                assert_eq!(
+                    seq.coords.as_slice(),
+                    par.coords.as_slice(),
+                    "restarts {restarts}, threads {threads}"
+                );
+                assert_eq!(seq.alienation.to_bits(), par.alienation.to_bits());
+                assert_eq!(seq.stress.to_bits(), par.stress.to_bits());
+                assert_eq!(seq.theta_per_restart, par.theta_per_restart);
+                assert_eq!(seq.iterations, par.iterations);
+            }
+        }
+    }
+
+    #[test]
+    fn theta_per_restart_has_one_entry_per_start() {
+        let pts = [(0.0, 0.0), (1.0, 0.2), (0.3, 1.0), (1.5, 1.5)];
+        let sol = nonmetric_mds(
+            &planted(&pts),
+            &MdsConfig { restarts: 5, ..Default::default() },
+        )
+        .unwrap();
+        assert_eq!(sol.theta_per_restart.len(), 6);
+        // The winner is the minimum of the per-start thetas.
+        let min = sol
+            .theta_per_restart
+            .iter()
+            .cloned()
+            .fold(f64::INFINITY, f64::min);
+        assert_eq!(min, sol.alienation);
+    }
+
+    #[test]
+    fn restart_seeds_are_distinct_and_stable() {
+        // Shared helper between the sequential and parallel paths: stable
+        // in (base, index) and collision-free across a realistic pool.
+        let seeds: Vec<u64> = (0..64).map(|i| restart_seed(0x5EED, i)).collect();
+        let mut dedup = seeds.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), seeds.len());
+        assert_eq!(restart_seed(7, 3), restart_seed(7, 3));
+        assert_ne!(restart_seed(7, 3), restart_seed(8, 3));
     }
 
     fn dist(m: &Matrix, i: usize, k: usize) -> f64 {

@@ -1,36 +1,19 @@
 //! The full four-stage Co-plot pipeline behind a builder API.
+//!
+//! [`Coplot`] is a stateless facade: each `analyze*` call builds a
+//! [`CoplotEngine`](crate::engine::CoplotEngine) and runs it, so the
+//! engine's caching still benefits multi-round workflows such as variable
+//! elimination within one call. Callers that want caching *across* calls,
+//! custom stages, or per-stage instrumentation should hold an engine
+//! directly (see [`Coplot::engine`]).
 
-use crate::arrows::{fit_arrow, Arrow};
+use crate::arrows::Arrow;
 use crate::data::{DataMatrix, Imputation};
 use crate::dissimilarity::{DissimilarityMatrix, Metric};
-use crate::mds::{nonmetric_mds, MdsConfig};
+use crate::engine::CoplotEngine;
+pub use crate::error::CoplotError;
+use crate::mds::MdsConfig;
 use wl_linalg::Matrix;
-
-/// Why an analysis could not run.
-#[derive(Debug, Clone, PartialEq)]
-pub enum CoplotError {
-    /// Stage-1 normalization failed (missing data under `Forbid`, constant
-    /// variable, too few observations...).
-    Normalization(String),
-    /// A variable's arrow could not be fitted.
-    DegenerateVariable(String),
-    /// Variable elimination removed everything below the threshold.
-    NothingLeft,
-}
-
-impl std::fmt::Display for CoplotError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            CoplotError::Normalization(msg) => write!(f, "normalization failed: {msg}"),
-            CoplotError::DegenerateVariable(name) => {
-                write!(f, "variable {name:?} has a degenerate arrow fit")
-            }
-            CoplotError::NothingLeft => write!(f, "no variables survive the correlation threshold"),
-        }
-    }
-}
-
-impl std::error::Error for CoplotError {}
 
 /// Builder for a Co-plot analysis.
 #[derive(Debug, Clone)]
@@ -91,30 +74,31 @@ impl Coplot {
         self
     }
 
+    /// Worker threads for the MDS restarts (1 = sequential; results are
+    /// bit-identical for any thread count).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.mds.threads = threads;
+        self
+    }
+
+    /// A [`CoplotEngine`] with this builder's configuration — the way to
+    /// keep the normalization/dissimilarity caches warm across calls and to
+    /// read per-stage [`StageReport`](crate::engine::StageReport)s.
+    pub fn engine(&self) -> CoplotEngine {
+        CoplotEngine::builder()
+            .metric(self.metric)
+            .imputation(self.imputation)
+            .mds(self.mds)
+            .build()
+    }
+
     /// Run all four stages on a data matrix.
+    ///
+    /// # Errors
+    /// Any stage's [`CoplotError`]: normalization failures, degenerate
+    /// inputs, non-finite data, or a degenerate arrow fit.
     pub fn analyze(&self, data: &DataMatrix) -> Result<CoplotResult, CoplotError> {
-        let z = data
-            .normalize(self.imputation)
-            .map_err(CoplotError::Normalization)?;
-        let diss = DissimilarityMatrix::compute(&z, self.metric);
-        let sol = nonmetric_mds(&diss, &self.mds);
-
-        let mut arrows = Vec::with_capacity(z.n_variables());
-        for v in 0..z.n_variables() {
-            let col = z.column(v);
-            let arrow = fit_arrow(&z.variables()[v], &sol.coords, &col)
-                .ok_or_else(|| CoplotError::DegenerateVariable(z.variables()[v].clone()))?;
-            arrows.push(arrow);
-        }
-
-        Ok(CoplotResult {
-            observations: z.observations().to_vec(),
-            coords: sol.coords,
-            arrows,
-            alienation: sol.alienation,
-            stress: sol.stress,
-            dissimilarities: diss,
-        })
+        self.engine().analyze(data)
     }
 
     /// The paper's variable-elimination workflow: run the analysis, drop the
@@ -124,39 +108,18 @@ impl Coplot {
     ///
     /// At least two variables are always kept; if even those fall below the
     /// threshold the last result is returned anyway (matching how the paper
-    /// reports maps with a few weaker variables noted).
+    /// reports maps with a few weaker variables noted). Data is normalized
+    /// and its dissimilarity contributions computed once; each round only
+    /// re-embeds (see [`crate::engine`]).
+    ///
+    /// # Errors
+    /// Any stage's [`CoplotError`].
     pub fn analyze_with_elimination(
         &self,
         data: &DataMatrix,
         min_correlation: f64,
     ) -> Result<(CoplotResult, Vec<String>), CoplotError> {
-        let mut current = data.clone();
-        let mut removed = Vec::new();
-        loop {
-            let result = self.analyze(&current)?;
-            if current.n_variables() <= 2 {
-                return Ok((result, removed));
-            }
-            // Find the worst-fitting variable.
-            let worst = result
-                .arrows
-                .iter()
-                .enumerate()
-                .min_by(|(_, a), (_, b)| {
-                    a.correlation
-                        .abs()
-                        .partial_cmp(&b.correlation.abs())
-                        .unwrap()
-                })
-                .map(|(i, a)| (i, a.correlation.abs(), a.name.clone()))
-                .expect("at least one arrow");
-            if worst.1 >= min_correlation {
-                return Ok((result, removed));
-            }
-            let keep: Vec<usize> = (0..current.n_variables()).filter(|&v| v != worst.0).collect();
-            current = current.select_variables(&keep);
-            removed.push(worst.2);
-        }
+        self.engine().analyze_with_elimination(data, min_correlation)
     }
 }
 

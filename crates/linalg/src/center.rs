@@ -1,5 +1,6 @@
 //! Double centering for classical (Torgerson) scaling.
 
+use crate::error::LinalgError;
 use crate::matrix::Matrix;
 
 /// Double-center a squared-dissimilarity matrix:
@@ -9,13 +10,19 @@ use crate::matrix::Matrix;
 /// matrix of the centered configuration, whose top eigenpairs give the
 /// classical MDS embedding.
 ///
-/// # Panics
-/// Panics if `d2` is not square.
-pub fn double_center(d2: &Matrix) -> Matrix {
-    assert_eq!(d2.rows(), d2.cols(), "double_center requires square input");
+/// # Errors
+/// Returns [`LinalgError::NotSquare`] if `d2` is not square.
+pub fn double_center(d2: &Matrix) -> Result<Matrix, LinalgError> {
+    if d2.rows() != d2.cols() {
+        return Err(LinalgError::NotSquare {
+            context: "double_center",
+            rows: d2.rows(),
+            cols: d2.cols(),
+        });
+    }
     let n = d2.rows();
     if n == 0 {
-        return Matrix::zeros(0, 0);
+        return Ok(Matrix::zeros(0, 0));
     }
     let nf = n as f64;
 
@@ -45,7 +52,7 @@ pub fn double_center(d2: &Matrix) -> Matrix {
             b[(i, j)] = -0.5 * (d2[(i, j)] - row_means[i] - col_means[j] + grand);
         }
     }
-    b
+    Ok(b)
 }
 
 #[cfg(test)]
@@ -71,7 +78,7 @@ mod tests {
         // Points already centered at origin: B should equal X X^T exactly.
         let pts = vec![vec![1.0, 0.0], vec![-1.0, 0.0], vec![0.0, 2.0], vec![0.0, -2.0]];
         let d2 = sq_dist_matrix(&pts);
-        let b = double_center(&d2);
+        let b = double_center(&d2).unwrap();
         for i in 0..4 {
             for j in 0..4 {
                 let ip: f64 = pts[i].iter().zip(&pts[j]).map(|(a, b)| a * b).sum();
@@ -92,15 +99,15 @@ mod tests {
             .iter()
             .map(|p| vec![p[0] + 100.0, p[1] - 42.0])
             .collect();
-        let b1 = double_center(&sq_dist_matrix(&pts1));
-        let b2 = double_center(&sq_dist_matrix(&pts2));
+        let b1 = double_center(&sq_dist_matrix(&pts1)).unwrap();
+        let b2 = double_center(&sq_dist_matrix(&pts2)).unwrap();
         assert!(b1.max_abs_diff(&b2) < 1e-8);
     }
 
     #[test]
     fn rows_and_cols_sum_to_zero() {
         let pts = vec![vec![1.0, 2.0], vec![3.0, -1.0], vec![0.5, 0.5], vec![-2.0, 4.0]];
-        let b = double_center(&sq_dist_matrix(&pts));
+        let b = double_center(&sq_dist_matrix(&pts)).unwrap();
         for i in 0..4 {
             let rs: f64 = (0..4).map(|j| b[(i, j)]).sum();
             let cs: f64 = (0..4).map(|j| b[(j, i)]).sum();
@@ -111,7 +118,13 @@ mod tests {
 
     #[test]
     fn empty_input_ok() {
-        let b = double_center(&Matrix::zeros(0, 0));
+        let b = double_center(&Matrix::zeros(0, 0)).unwrap();
         assert!(b.is_empty());
+    }
+
+    #[test]
+    fn non_square_is_an_error() {
+        let err = double_center(&Matrix::zeros(2, 3)).unwrap_err();
+        assert!(matches!(err, LinalgError::NotSquare { .. }));
     }
 }

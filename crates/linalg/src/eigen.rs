@@ -5,6 +5,7 @@
 //! this workspace (n <= a few hundred) the cyclic Jacobi method is simple,
 //! numerically robust, and plenty fast.
 
+use crate::error::LinalgError;
 use crate::matrix::Matrix;
 
 /// Result of a symmetric eigendecomposition: `A = V diag(values) V^T`.
@@ -25,10 +26,21 @@ pub struct Eigen {
 /// falls below `tol` times the initial norm (or `max_sweeps` is reached —
 /// which for symmetric input essentially never happens before convergence).
 ///
-/// # Panics
-/// Panics if `a` is not square.
-pub fn jacobi_eigen(a: &Matrix, tol: f64, max_sweeps: usize) -> Eigen {
-    assert_eq!(a.rows(), a.cols(), "jacobi_eigen requires a square matrix");
+/// # Errors
+/// Returns [`LinalgError::NotSquare`] for a non-square input and
+/// [`LinalgError::NonFinite`] when the input contains NaN or infinite
+/// entries (the rotations would silently spread them everywhere).
+pub fn jacobi_eigen(a: &Matrix, tol: f64, max_sweeps: usize) -> Result<Eigen, LinalgError> {
+    if a.rows() != a.cols() {
+        return Err(LinalgError::NotSquare {
+            context: "jacobi_eigen",
+            rows: a.rows(),
+            cols: a.cols(),
+        });
+    }
+    if a.as_slice().iter().any(|v| !v.is_finite()) {
+        return Err(LinalgError::NonFinite { context: "jacobi_eigen" });
+    }
     let n = a.rows();
     let mut m = a.clone();
     let mut v = Matrix::identity(n);
@@ -90,9 +102,10 @@ pub fn jacobi_eigen(a: &Matrix, tol: f64, max_sweeps: usize) -> Eigen {
         }
     }
 
-    // Extract and sort descending.
+    // Extract and sort descending. Finite input (checked above) keeps the
+    // rotations finite, so total ordering via partial_cmp cannot fail here.
     let mut pairs: Vec<(f64, Vec<f64>)> = (0..n).map(|i| (m[(i, i)], v.col(i))).collect();
-    pairs.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+    pairs.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite eigenvalues"));
 
     let values: Vec<f64> = pairs.iter().map(|(l, _)| *l).collect();
     let mut vectors = Matrix::zeros(n, n);
@@ -101,7 +114,7 @@ pub fn jacobi_eigen(a: &Matrix, tol: f64, max_sweeps: usize) -> Eigen {
             vectors[(i, j)] = col[i];
         }
     }
-    Eigen { values, vectors }
+    Ok(Eigen { values, vectors })
 }
 
 impl Eigen {
@@ -132,7 +145,7 @@ mod tests {
             vec![0.0, 1.0, 0.0],
             vec![0.0, 0.0, 2.0],
         ]);
-        let e = jacobi_eigen(&m, 1e-12, 50);
+        let e = jacobi_eigen(&m, 1e-12, 50).unwrap();
         assert_close(e.values[0], 3.0, 1e-10);
         assert_close(e.values[1], 2.0, 1e-10);
         assert_close(e.values[2], 1.0, 1e-10);
@@ -142,7 +155,7 @@ mod tests {
     fn two_by_two_known_eigenpairs() {
         // [[2,1],[1,2]] has eigenvalues 3 and 1.
         let m = Matrix::from_rows(&[vec![2.0, 1.0], vec![1.0, 2.0]]);
-        let e = jacobi_eigen(&m, 1e-14, 50);
+        let e = jacobi_eigen(&m, 1e-14, 50).unwrap();
         assert_close(e.values[0], 3.0, 1e-10);
         assert_close(e.values[1], 1.0, 1e-10);
         // Eigenvector for 3 is (1,1)/sqrt(2) up to sign.
@@ -158,7 +171,7 @@ mod tests {
             vec![1.0, 2.0, 0.0],
             vec![-2.0, 0.0, 3.0],
         ]);
-        let e = jacobi_eigen(&m, 1e-14, 100);
+        let e = jacobi_eigen(&m, 1e-14, 100).unwrap();
         let r = e.reconstruct();
         assert!(m.max_abs_diff(&r) < 1e-9, "reconstruction error too large");
     }
@@ -171,7 +184,7 @@ mod tests {
             vec![1.0, 0.5, 3.0, 0.2],
             vec![0.0, 0.1, 0.2, 1.0],
         ]);
-        let e = jacobi_eigen(&m, 1e-14, 100);
+        let e = jacobi_eigen(&m, 1e-14, 100).unwrap();
         let vt = e.vectors.transpose();
         let g = vt.matmul(&e.vectors);
         assert!(g.max_abs_diff(&Matrix::identity(4)) < 1e-9);
@@ -184,7 +197,7 @@ mod tests {
             vec![0.3, 2.0, -0.4],
             vec![0.2, -0.4, -1.0],
         ]);
-        let e = jacobi_eigen(&m, 1e-14, 100);
+        let e = jacobi_eigen(&m, 1e-14, 100).unwrap();
         let trace = m[(0, 0)] + m[(1, 1)] + m[(2, 2)];
         let sum: f64 = e.values.iter().sum();
         assert_close(trace, sum, 1e-10);
@@ -193,7 +206,27 @@ mod tests {
     #[test]
     fn handles_one_by_one() {
         let m = Matrix::from_rows(&[vec![7.5]]);
-        let e = jacobi_eigen(&m, 1e-12, 10);
+        let e = jacobi_eigen(&m, 1e-12, 10).unwrap();
         assert_eq!(e.values, vec![7.5]);
+    }
+
+    #[test]
+    fn non_square_is_an_error() {
+        let m = Matrix::zeros(2, 3);
+        let err = jacobi_eigen(&m, 1e-12, 10).unwrap_err();
+        assert!(matches!(err, LinalgError::NotSquare { rows: 2, cols: 3, .. }));
+    }
+
+    #[test]
+    fn nan_input_is_an_error() {
+        let m = Matrix::from_rows(&[vec![1.0, f64::NAN], vec![f64::NAN, 1.0]]);
+        let err = jacobi_eigen(&m, 1e-12, 10).unwrap_err();
+        assert!(matches!(err, LinalgError::NonFinite { .. }));
+    }
+
+    #[test]
+    fn infinite_input_is_an_error() {
+        let m = Matrix::from_rows(&[vec![1.0, f64::INFINITY], vec![f64::INFINITY, 1.0]]);
+        assert!(jacobi_eigen(&m, 1e-12, 10).is_err());
     }
 }

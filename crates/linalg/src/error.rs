@@ -1,0 +1,74 @@
+//! Typed errors for the linear-algebra kernels.
+//!
+//! The kernels used on the Co-plot hot path (`jacobi_eigen`,
+//! `double_center`) report invalid input through [`LinalgError`] instead of
+//! panicking, so the pipeline can surface a diagnosable error for degenerate
+//! dissimilarity matrices.
+
+use std::fmt;
+
+/// Why a linear-algebra kernel could not run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinalgError {
+    /// A square matrix was required.
+    NotSquare {
+        /// Which kernel rejected the input.
+        context: &'static str,
+        /// Actual row count.
+        rows: usize,
+        /// Actual column count.
+        cols: usize,
+    },
+    /// Two dimensions that must agree did not.
+    DimensionMismatch {
+        /// Which kernel rejected the input.
+        context: &'static str,
+        /// The dimension the kernel expected.
+        expected: usize,
+        /// The dimension it got.
+        got: usize,
+    },
+    /// The input contained NaN or infinite entries.
+    NonFinite {
+        /// Which kernel rejected the input.
+        context: &'static str,
+    },
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::NotSquare { context, rows, cols } => {
+                write!(f, "{context}: matrix is {rows}x{cols}, not square")
+            }
+            LinalgError::DimensionMismatch {
+                context,
+                expected,
+                got,
+            } => write!(f, "{context}: dimension mismatch (expected {expected}, got {got})"),
+            LinalgError::NonFinite { context } => {
+                write!(f, "{context}: input contains NaN or infinite entries")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_kernel() {
+        let e = LinalgError::NotSquare {
+            context: "jacobi_eigen",
+            rows: 2,
+            cols: 3,
+        };
+        assert!(e.to_string().contains("jacobi_eigen"));
+        assert!(e.to_string().contains("2x3"));
+        let e = LinalgError::NonFinite { context: "double_center" };
+        assert!(e.to_string().contains("NaN"));
+    }
+}

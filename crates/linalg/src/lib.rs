@@ -20,6 +20,7 @@
 
 pub mod center;
 pub mod eigen;
+pub mod error;
 pub mod matrix;
 pub mod procrustes;
 pub mod solve;
@@ -27,6 +28,7 @@ pub mod vecops;
 
 pub use center::double_center;
 pub use eigen::{jacobi_eigen, Eigen};
+pub use error::LinalgError;
 pub use matrix::Matrix;
 pub use procrustes::{procrustes_align, ProcrustesFit};
 pub use solve::{cholesky, solve_gauss, solve2};

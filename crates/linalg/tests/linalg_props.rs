@@ -25,7 +25,7 @@ proptest! {
 
     #[test]
     fn jacobi_reconstructs_random_symmetric(m in arb_symmetric(5)) {
-        let e = jacobi_eigen(&m, 1e-14, 100);
+        let e = jacobi_eigen(&m, 1e-14, 100).expect("finite symmetric input");
         let r = e.reconstruct();
         prop_assert!(m.max_abs_diff(&r) < 1e-7, "diff {}", m.max_abs_diff(&r));
         // Eigenvalues sorted descending.
@@ -49,7 +49,7 @@ proptest! {
                 }
             }
         }
-        let b = double_center(&d2);
+        let b = double_center(&d2).expect("square input");
         for i in 0..n {
             let rs: f64 = (0..n).map(|j| b[(i, j)]).sum();
             prop_assert!(rs.abs() < 1e-8, "row {i} sums to {rs}");
@@ -86,7 +86,7 @@ proptest! {
 
     #[test]
     fn procrustes_recovers_any_similarity_transform(
-        angle in 0.0f64..6.28,
+        angle in 0.0f64..std::f64::consts::TAU,
         scale in 0.1f64..10.0,
         tx in -100.0f64..100.0,
         ty in -100.0f64..100.0,
@@ -113,6 +113,22 @@ proptest! {
             .fold(0.0, f64::max)
             .max(1.0);
         prop_assert!(fit.rmsd < 1e-6 * spread * scale.max(1.0), "rmsd {}", fit.rmsd);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn jacobi_rejects_nan_instead_of_panicking(
+        m in arb_symmetric(4),
+        i in 0usize..4,
+        j in 0usize..4,
+    ) {
+        let mut m = m;
+        m[(i, j)] = f64::NAN;
+        m[(j, i)] = f64::NAN;
+        prop_assert!(jacobi_eigen(&m, 1e-12, 50).is_err());
     }
 }
 

@@ -2,7 +2,6 @@
 //! retained variables. The paper reports theta = 0.07, mean correlation
 //! 0.88 (min 0.83), four variable clusters, and LANLb/SDSCb as outliers.
 
-use coplot::Coplot;
 use wl_repro::paper::{fit_claims, FIG1_VARIABLES};
 use wl_repro::{paper_table1_matrix, production_suite, report_figure, stats_matrix, suite_stats, Options};
 
@@ -13,7 +12,7 @@ fn main() {
     } else {
         stats_matrix(&suite_stats(&production_suite(&opts)), &FIG1_VARIABLES)
     };
-    let result = Coplot::new().seed(opts.seed).analyze(&data).expect("coplot");
+    let result = wl_repro::run_coplot(&opts, &data);
     report_figure(
         if opts.paper_data {
             "Figure 1 (paper's Table 1 matrix)"

@@ -2,7 +2,6 @@
 //! un-normalized parallelism. Paper: theta = 0.01, mean correlation 0.88,
 //! and the interactive workloads plus NASA form the only natural cluster.
 
-use coplot::Coplot;
 use wl_repro::paper::{fit_claims, FIG2_DROPPED, FIG2_VARIABLES};
 use wl_repro::{paper_table1_matrix, production_suite, report_figure, stats_matrix, suite_stats, Options};
 
@@ -16,7 +15,7 @@ fn main() {
     let data = full
         .drop_observations_by_name(&FIG2_DROPPED)
         .expect("drop batch outliers");
-    let result = Coplot::new().seed(opts.seed).analyze(&data).expect("coplot");
+    let result = wl_repro::run_coplot(&opts, &data);
     report_figure(
         if opts.paper_data {
             "Figure 2 (paper's Table 1 matrix)"

@@ -3,7 +3,6 @@
 //! The paper finds the SDSC periods clustered, the LANL first year close to
 //! the full LANL log, and L3/L4 as definite outliers.
 
-use coplot::Coplot;
 use wl_repro::paper::{fit_claims, FIG3_VARIABLES, TABLE2, TABLE2_OBSERVATIONS, TABLE2_VARIABLES};
 use wl_repro::{
     paper_table1_matrix, period_suite, production_suite, report_figure, stats_matrix,
@@ -45,7 +44,7 @@ fn main() {
         workloads.extend(period_suite(&opts));
         stats_matrix(&suite_stats(&workloads), &FIG3_VARIABLES)
     };
-    let result = Coplot::new().seed(opts.seed).analyze(&data).expect("coplot");
+    let result = wl_repro::run_coplot(&opts, &data);
     report_figure(
         if opts.paper_data {
             "Figure 3 (paper's Tables 1+2)"

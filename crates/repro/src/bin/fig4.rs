@@ -4,7 +4,6 @@
 //! the Feitelson models near the interactive + NASA corner; Jann closest to
 //! CTC (and KTH); LANL/SDSC/batch workloads have no model near them.
 
-use coplot::Coplot;
 use wl_repro::paper::{fit_claims, FIG4_VARIABLES};
 use wl_repro::{model_suite, production_suite, report_figure, stats_matrix, suite_stats, Options};
 
@@ -19,7 +18,7 @@ fn main() {
     let mut workloads = production_suite(&opts);
     workloads.extend(model_suite(&opts));
     let data = stats_matrix(&suite_stats(&workloads), &FIG4_VARIABLES);
-    let result = Coplot::new().seed(opts.seed).analyze(&data).expect("coplot");
+    let result = wl_repro::run_coplot(&opts, &data);
     report_figure(
         "Figure 4 (production + synthetic models)",
         &result,

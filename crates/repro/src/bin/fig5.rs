@@ -3,7 +3,6 @@
 //! point toward the production workloads — the logs are self-similar, the
 //! models are not — and Lublin sits isolated with the lowest estimates.
 
-use coplot::Coplot;
 use wl_repro::paper::{fit_claims, FIG5_VARIABLES};
 use wl_repro::{hurst_matrix, model_suite, paper_table3_matrix, production_suite, report_figure, Options};
 
@@ -16,7 +15,7 @@ fn main() {
         workloads.extend(model_suite(&opts));
         hurst_matrix(&workloads, &FIG5_VARIABLES)
     };
-    let result = Coplot::new().seed(opts.seed).analyze(&data).expect("coplot");
+    let result = wl_repro::run_coplot(&opts, &data);
     report_figure(
         if opts.paper_data {
             "Figure 5 (paper's Table 3 matrix)"

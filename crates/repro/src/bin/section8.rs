@@ -3,7 +3,6 @@
 //! of (un-normalized) parallelism and inter-arrival time — reproduces the
 //! map with theta = 0.02 and mean correlation 0.94.
 
-use coplot::Coplot;
 use wl_repro::paper::{fit_claims, SEC8_VARIABLES};
 use wl_repro::{paper_table1_matrix, production_suite, report_figure, stats_matrix, suite_stats, Options};
 
@@ -14,7 +13,7 @@ fn main() {
     } else {
         stats_matrix(&suite_stats(&production_suite(&opts)), &SEC8_VARIABLES)
     };
-    let result = Coplot::new().seed(opts.seed).analyze(&data).expect("coplot");
+    let result = wl_repro::run_coplot(&opts, &data);
     report_figure(
         if opts.paper_data {
             "Section 8 three-parameter map (paper's Table 1 matrix)"

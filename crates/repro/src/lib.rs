@@ -37,6 +37,11 @@ pub struct Options {
     pub seed: u64,
     /// Jobs per full synthesized log.
     pub jobs: usize,
+    /// Worker threads for the MDS restarts (results are identical for any
+    /// thread count).
+    pub threads: usize,
+    /// Print per-stage timing reports after each Co-plot run.
+    pub timings: bool,
 }
 
 impl Default for Options {
@@ -45,6 +50,8 @@ impl Default for Options {
             paper_data: false,
             seed: 1999, // the year of the paper
             jobs: 8192,
+            threads: 1,
+            timings: false,
         }
     }
 }
@@ -58,6 +65,7 @@ impl Options {
         while i < args.len() {
             match args[i].as_str() {
                 "--paper" => opts.paper_data = true,
+                "--timings" => opts.timings = true,
                 "--seed" => {
                     i += 1;
                     opts.seed = args
@@ -72,12 +80,37 @@ impl Options {
                         .and_then(|v| v.parse().ok())
                         .expect("--jobs needs an integer");
                 }
-                other => panic!("unknown flag {other:?} (use --paper, --seed N, --jobs N)"),
+                "--threads" => {
+                    i += 1;
+                    opts.threads = args
+                        .get(i)
+                        .and_then(|v| v.parse().ok())
+                        .expect("--threads needs an integer");
+                }
+                other => panic!(
+                    "unknown flag {other:?} (use --paper, --timings, --seed N, --jobs N, --threads N)"
+                ),
             }
             i += 1;
         }
         opts
     }
+}
+
+/// Run the Co-plot engine on `data` with this run's seed/thread options,
+/// honouring `--timings` by printing the per-stage reports.
+pub fn run_coplot(opts: &Options, data: &DataMatrix) -> CoplotResult {
+    let mut engine = coplot::Coplot::new()
+        .seed(opts.seed)
+        .threads(opts.threads)
+        .engine();
+    let result = engine.analyze(data).expect("coplot");
+    if opts.timings {
+        println!("per-stage timings:");
+        print!("{}", coplot::StageReportTable(engine.reports()));
+        println!();
+    }
+    result
 }
 
 /// The ten production observations, synthesized (Table 1 column order).

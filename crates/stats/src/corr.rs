@@ -1,5 +1,6 @@
 //! Covariance and correlation (Pearson, Spearman).
 
+use crate::error::StatsError;
 use crate::rank::ranks;
 
 /// Sample covariance (denominator `n - 1`). `NaN` below two points.
@@ -25,12 +26,29 @@ pub fn covariance(x: &[f64], y: &[f64]) -> f64 {
 /// variance or fewer than two points.
 ///
 /// # Panics
-/// Panics if the slices have different lengths.
+/// Panics if the slices have different lengths; see [`try_pearson`] for the
+/// fallible variant.
 pub fn pearson(x: &[f64], y: &[f64]) -> f64 {
-    assert_eq!(x.len(), y.len(), "pearson length mismatch");
+    try_pearson(x, y).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible variant of [`pearson`] for callers that must report invalid
+/// input instead of panicking.
+///
+/// # Errors
+/// Returns [`StatsError::LengthMismatch`] when the slices have different
+/// lengths.
+pub fn try_pearson(x: &[f64], y: &[f64]) -> Result<f64, StatsError> {
+    if x.len() != y.len() {
+        return Err(StatsError::LengthMismatch {
+            context: "pearson",
+            left: x.len(),
+            right: y.len(),
+        });
+    }
     let n = x.len();
     if n < 2 {
-        return f64::NAN;
+        return Ok(f64::NAN);
     }
     let mx = x.iter().sum::<f64>() / n as f64;
     let my = y.iter().sum::<f64>() / n as f64;
@@ -43,9 +61,9 @@ pub fn pearson(x: &[f64], y: &[f64]) -> f64 {
         syy += dy * dy;
     }
     if sxx == 0.0 || syy == 0.0 {
-        return f64::NAN;
+        return Ok(f64::NAN);
     }
-    sxy / (sxx * syy).sqrt()
+    Ok(sxy / (sxx * syy).sqrt())
 }
 
 /// Spearman rank correlation (Pearson on midranks, so ties are handled
@@ -129,11 +147,11 @@ mod tests {
             vec![4.0, 3.0, 2.0, 1.0],
         ];
         let m = correlation_matrix(&cols);
-        for i in 0..3 {
-            assert_eq!(m[i][i], 1.0);
-            for j in 0..3 {
-                assert!((m[i][j] - m[j][i]).abs() < 1e-15);
-                assert!(m[i][j] >= -1.0 - 1e-12 && m[i][j] <= 1.0 + 1e-12);
+        for (i, row) in m.iter().enumerate() {
+            assert_eq!(row[i], 1.0);
+            for (j, &v) in row.iter().enumerate() {
+                assert!((v - m[j][i]).abs() < 1e-15);
+                assert!((-1.0 - 1e-12..=1.0 + 1e-12).contains(&v));
             }
         }
     }

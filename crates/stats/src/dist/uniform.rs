@@ -160,7 +160,7 @@ mod tests {
         let mut counts = [0usize; 3];
         for _ in 0..n {
             let x = d.sample(&mut rng);
-            let octave = x.log2().floor().min(2.0).max(0.0) as usize;
+            let octave = x.log2().floor().clamp(0.0, 2.0) as usize;
             counts[octave] += 1;
         }
         for c in counts {

@@ -1,0 +1,64 @@
+//! Typed errors for the statistics kernels.
+//!
+//! Most functions in this crate keep their lightweight conventions (NaN or
+//! `None` for degenerate input), but the kernels sitting on the Co-plot hot
+//! path also have fallible variants returning [`StatsError`], so the
+//! pipeline can propagate a typed error instead of panicking.
+
+use std::fmt;
+
+/// Why a statistics kernel could not run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StatsError {
+    /// Two slices that must have equal lengths did not.
+    LengthMismatch {
+        /// Which kernel rejected the input.
+        context: &'static str,
+        /// Length of the first slice.
+        left: usize,
+        /// Length of the second slice.
+        right: usize,
+    },
+    /// The input was empty where at least one value is required.
+    EmptyInput {
+        /// Which kernel rejected the input.
+        context: &'static str,
+    },
+    /// A weight was negative.
+    NegativeWeight {
+        /// Which kernel rejected the input.
+        context: &'static str,
+    },
+}
+
+impl fmt::Display for StatsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StatsError::LengthMismatch {
+                context,
+                left,
+                right,
+            } => write!(f, "{context}: length mismatch ({left} vs {right})"),
+            StatsError::EmptyInput { context } => write!(f, "{context}: empty input"),
+            StatsError::NegativeWeight { context } => write!(f, "{context}: negative weight"),
+        }
+    }
+}
+
+impl std::error::Error for StatsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = StatsError::LengthMismatch {
+            context: "pearson",
+            left: 3,
+            right: 5,
+        };
+        assert!(e.to_string().contains("pearson"));
+        assert!(e.to_string().contains("3 vs 5"));
+    }
+}

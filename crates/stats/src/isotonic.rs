@@ -6,20 +6,44 @@
 //! transform is exactly an isotonic regression of the distances against the
 //! dissimilarity order, which PAVA solves optimally in linear time.
 
+use crate::error::StatsError;
+
 /// Weighted isotonic regression: given `y` (and optional non-negative
 /// weights), return the non-decreasing sequence `f` minimizing
 /// `sum w_i (y_i - f_i)^2`.
 ///
 /// # Panics
-/// Panics on length mismatch or a negative weight.
+/// Panics on length mismatch or a negative weight; see
+/// [`try_isotonic_regression`] for the fallible variant.
 pub fn isotonic_regression(y: &[f64], w: Option<&[f64]>) -> Vec<f64> {
+    try_isotonic_regression(y, w).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible variant of [`isotonic_regression`], used by callers (like the
+/// MDS optimizer) that must report invalid input instead of panicking.
+///
+/// # Errors
+/// Returns [`StatsError::LengthMismatch`] when the weight slice's length
+/// differs from `y`'s and [`StatsError::NegativeWeight`] for a negative
+/// weight.
+pub fn try_isotonic_regression(y: &[f64], w: Option<&[f64]>) -> Result<Vec<f64>, StatsError> {
     if let Some(w) = w {
-        assert_eq!(w.len(), y.len(), "weight length mismatch");
-        assert!(w.iter().all(|&v| v >= 0.0), "negative weight");
+        if w.len() != y.len() {
+            return Err(StatsError::LengthMismatch {
+                context: "isotonic_regression",
+                left: w.len(),
+                right: y.len(),
+            });
+        }
+        if w.iter().any(|&v| v < 0.0) {
+            return Err(StatsError::NegativeWeight {
+                context: "isotonic_regression",
+            });
+        }
     }
     let n = y.len();
     if n == 0 {
-        return Vec::new();
+        return Ok(Vec::new());
     }
 
     // Blocks of pooled values: (weighted mean, total weight, count).
@@ -59,7 +83,7 @@ pub fn isotonic_regression(y: &[f64], w: Option<&[f64]>) -> Vec<f64> {
     for (m, c) in means.iter().zip(&counts) {
         out.extend(std::iter::repeat_n(*m, *c));
     }
-    out
+    Ok(out)
 }
 
 /// Antitonic (non-increasing) regression, via isotonic on the negated data.
@@ -80,6 +104,16 @@ mod tests {
     fn already_monotone_unchanged() {
         let y = [1.0, 2.0, 3.0];
         assert_eq!(isotonic_regression(&y, None), vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn try_variant_reports_bad_weights() {
+        let y = [1.0, 2.0];
+        let err = try_isotonic_regression(&y, Some(&[1.0])).unwrap_err();
+        assert!(matches!(err, StatsError::LengthMismatch { .. }));
+        let err = try_isotonic_regression(&y, Some(&[1.0, -1.0])).unwrap_err();
+        assert!(matches!(err, StatsError::NegativeWeight { .. }));
+        assert_eq!(try_isotonic_regression(&[], None).unwrap(), Vec::<f64>::new());
     }
 
     #[test]

@@ -26,6 +26,7 @@
 pub mod corr;
 pub mod describe;
 pub mod dist;
+pub mod error;
 pub mod histogram;
 pub mod isotonic;
 pub mod ks;
@@ -34,10 +35,11 @@ pub mod rank;
 pub mod regress;
 pub mod rng;
 
-pub use corr::{covariance, pearson, spearman};
+pub use corr::{covariance, pearson, spearman, try_pearson};
 pub use describe::{mean, std_dev, variance, Describe, Moments};
 pub use dist::Distribution;
-pub use isotonic::isotonic_regression;
+pub use error::StatsError;
+pub use isotonic::{isotonic_regression, try_isotonic_regression};
 pub use ks::{ks_statistic, ks_two_sample, ks_two_sample_pvalue};
 pub use order::{interval, median, percentile, Percentiles};
 pub use rank::ranks;

@@ -27,6 +27,18 @@ impl fmt::Display for ParseError {
 
 impl std::error::Error for ParseError {}
 
+// The conversion lives here (not in `coplot`) because of the orphan rule:
+// `coplot` cannot name `ParseError` without a dependency cycle, so its
+// `CoplotError::Parse` variant mirrors the fields instead.
+impl From<ParseError> for coplot::CoplotError {
+    fn from(e: ParseError) -> coplot::CoplotError {
+        coplot::CoplotError::Parse {
+            line: e.line,
+            message: e.message,
+        }
+    }
+}
+
 /// Parsed SWF document: header metadata plus jobs.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SwfDocument {
@@ -241,6 +253,9 @@ mod tests {
         let err = parse_swf("1 2 3\n").unwrap_err();
         assert_eq!(err.line, 1);
         assert!(err.message.contains("18 fields"));
+        // The conversion into the pipeline's error type keeps the location.
+        let converted: coplot::CoplotError = err.into();
+        assert!(matches!(converted, coplot::CoplotError::Parse { line: 1, .. }));
     }
 
     #[test]

@@ -84,6 +84,7 @@ pub fn arrival_counts(w: &Workload, bin_seconds: f64) -> Vec<f64> {
     if w.len() < 2 || bin_seconds <= 0.0 {
         return Vec::new();
     }
+    // Non-empty: the len() < 2 early return above handles the empty case.
     let t0 = w.jobs().first().unwrap().submit_time;
     let t1 = w.jobs().last().unwrap().submit_time;
     let nbins = (((t1 - t0) / bin_seconds).floor() as usize + 1).max(1);

@@ -80,7 +80,8 @@ pub struct Workload {
 impl Workload {
     /// Build a workload, sorting jobs by submit time.
     pub fn new(name: impl Into<String>, machine: MachineInfo, mut jobs: Vec<Job>) -> Self {
-        jobs.sort_by(|a, b| a.submit_time.partial_cmp(&b.submit_time).unwrap());
+        // total_cmp: NaN submit times sort last instead of panicking.
+        jobs.sort_by(|a, b| a.submit_time.total_cmp(&b.submit_time));
         Workload {
             name: name.into(),
             machine,
@@ -109,6 +110,7 @@ impl Workload {
         if self.jobs.is_empty() {
             return 0.0;
         }
+        // Non-empty: the early return above handles the empty case.
         let start = self.jobs.first().unwrap().submit_time;
         let end = self
             .jobs
@@ -156,6 +158,7 @@ impl Workload {
                 })
                 .collect();
         }
+        // Non-empty: the early return above handles the empty case.
         let t0 = self.jobs.first().unwrap().submit_time;
         let t1 = self.jobs.last().unwrap().submit_time;
         let span = (t1 - t0).max(f64::MIN_POSITIVE);

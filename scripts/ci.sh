@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Local CI gate: build, test, lint. Run from the repository root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo build --release =="
+cargo build --workspace --release
+
+echo "== cargo test =="
+cargo test --workspace -q
+
+echo "== cargo clippy -D warnings =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "CI green."

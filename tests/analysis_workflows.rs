@@ -156,7 +156,7 @@ fn self_similar_model_separates_from_classics_in_figure_5_style_map() {
     };
     let classic_max = workloads[..5]
         .iter()
-        .map(|w| mean_h(w))
+        .map(&mean_h)
         .fold(f64::NEG_INFINITY, f64::max);
     let ours = mean_h(&workloads[5]);
     assert!(

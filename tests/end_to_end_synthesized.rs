@@ -5,7 +5,7 @@
 use coplot::{Coplot, DataMatrix};
 use wl_logsynth::machines::{production_workloads, MachineId};
 use wl_logsynth::periods::lanl_periods;
-use wl_models::{all_models, WorkloadModel};
+use wl_models::all_models;
 use wl_selfsim::HurstEstimator;
 use wl_stats::rng::seeded_rng;
 use wl_swf::{JobSeries, Variable, Workload, WorkloadStats};

@@ -99,6 +99,108 @@ proptest! {
     }
 }
 
+mod pipeline_error_paths {
+    use super::*;
+    use coplot::CoplotError;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        #[test]
+        fn too_few_observations_is_an_error(n in 0usize..3, p in 1usize..5, seed in 0u64..100) {
+            let rows: Vec<Vec<f64>> = (0..n)
+                .map(|i| (0..p).map(|v| (i * p + v) as f64).collect())
+                .collect();
+            let row_refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+            let data = DataMatrix::try_from_rows(
+                (0..n).map(|i| format!("o{i}")).collect(),
+                (0..p).map(|v| format!("v{v}")).collect(),
+                &row_refs,
+            ).unwrap();
+            let err = Coplot::new().seed(seed).analyze(&data).unwrap_err();
+            prop_assert!(
+                matches!(err, CoplotError::TooFewObservations { min: 3, .. }),
+                "{err}"
+            );
+        }
+
+        #[test]
+        fn constant_column_is_an_error(data in arb_matrix(), constant in -50.0f64..50.0) {
+            // Overwrite one column with a constant: its z-score is undefined.
+            let n = data.n_observations();
+            let p = data.n_variables();
+            let rows: Vec<Vec<f64>> = (0..n)
+                .map(|i| {
+                    (0..p)
+                        .map(|v| if v == 0 { constant } else { data.get(i, v).unwrap() })
+                        .collect()
+                })
+                .collect();
+            let row_refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+            let degenerate = DataMatrix::try_from_rows(
+                data.observations().to_vec(),
+                data.variables().to_vec(),
+                &row_refs,
+            ).unwrap();
+            // Rounding can leave the column's std a few ulps above zero, in
+            // which case the degeneracy surfaces at the arrow fit instead of
+            // normalization — either way a typed error, never a panic.
+            let err = Coplot::new().seed(1).analyze(&degenerate).unwrap_err();
+            prop_assert!(
+                err.to_string().contains("constant")
+                    || matches!(err, CoplotError::DegenerateVariable(_)),
+                "{err}"
+            );
+        }
+
+        #[test]
+        fn nan_cell_is_an_error(data in arb_matrix(), row in 0usize..4, col in 0usize..2) {
+            let n = data.n_observations();
+            let p = data.n_variables();
+            let (row, col) = (row % n, col % p);
+            let rows: Vec<Vec<f64>> = (0..n)
+                .map(|i| {
+                    (0..p)
+                        .map(|v| {
+                            if (i, v) == (row, col) { f64::NAN } else { data.get(i, v).unwrap() }
+                        })
+                        .collect()
+                })
+                .collect();
+            let row_refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+            let poisoned = DataMatrix::try_from_rows(
+                data.observations().to_vec(),
+                data.variables().to_vec(),
+                &row_refs,
+            ).unwrap();
+            let err = Coplot::new().seed(1).analyze(&poisoned).unwrap_err();
+            prop_assert!(matches!(err, CoplotError::NonFinite(_)), "{err}");
+        }
+    }
+
+    #[test]
+    fn empty_matrix_is_an_error() {
+        let data = DataMatrix::try_from_rows(vec![], vec!["v0".into()], &[]).unwrap();
+        let err = Coplot::new().analyze(&data).unwrap_err();
+        assert!(
+            matches!(err, CoplotError::TooFewObservations { n: 0, min: 3 }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn no_variables_is_an_error() {
+        let data = DataMatrix::try_from_rows(
+            vec!["a".into(), "b".into(), "c".into()],
+            vec![],
+            &[&[], &[], &[]],
+        )
+        .unwrap();
+        let err = Coplot::new().analyze(&data).unwrap_err();
+        assert!(matches!(err, CoplotError::EmptyInput { what: "variables" }), "{err}");
+    }
+}
+
 mod swf_props {
     use super::*;
     use wl_swf::job::{Job, JobStatus};

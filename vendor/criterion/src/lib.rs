@@ -1,0 +1,373 @@
+//! Offline, API-compatible subset of the `criterion` 0.5 crate.
+//!
+//! The build environment has no crates.io access, so the benchmarking API
+//! this workspace uses is vendored here (see `vendor/README.md`). This is a
+//! real wall-clock harness — warm-up, calibrated iterations-per-sample,
+//! multiple samples, min/median/mean/max reporting — but without criterion's
+//! statistical machinery (no bootstrap confidence intervals, outlier
+//! classification, HTML plots, or saved baselines). Numbers it prints are
+//! honest medians and are what EXPERIMENTS.md records.
+//!
+//! Supported: [`Criterion`] (`sample_size`, `warm_up_time`,
+//! `measurement_time`, `bench_function`, `benchmark_group`),
+//! [`BenchmarkGroup`] (`throughput`, `bench_function`, `bench_with_input`,
+//! `finish`), [`BenchmarkId`], [`Throughput`], [`Bencher::iter`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros (both forms). A first
+//! non-flag CLI argument is a substring filter on benchmark names, so
+//! `cargo bench --bench coplot_bench -- mds` works as with upstream.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Benchmark-harness configuration and entry point.
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            // Upstream defaults are 100 samples / 3 s / 5 s; the suites in
+            // this workspace always shrink these, so the defaults matter
+            // little, but keep them in the same spirit.
+            sample_size: 100,
+            warm_up_time: Duration::from_secs(3),
+            measurement_time: Duration::from_secs(5),
+            filter: None,
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark (each sample runs a calibrated
+    /// number of iterations).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// How long to run the routine before timing starts.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Target total measurement time per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Restrict to benchmarks whose full name contains `filter`.
+    pub fn with_filter(mut self, filter: impl Into<String>) -> Self {
+        self.filter = Some(filter.into());
+        self
+    }
+
+    fn configure_from_args(mut self) -> Self {
+        // `cargo bench` passes `--bench`; a first non-flag argument is a
+        // name filter, as with upstream criterion.
+        for arg in std::env::args().skip(1) {
+            if !arg.starts_with('-') && self.filter.is_none() {
+                self.filter = Some(arg);
+            }
+        }
+        self
+    }
+
+    fn skip(&self, name: &str) -> bool {
+        matches!(&self.filter, Some(f) if !name.contains(f.as_str()))
+    }
+
+    /// Benchmark a single routine.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        if !self.skip(name) {
+            run_one(name, self.sample_size, self.warm_up_time, self.measurement_time, None, f);
+        }
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), throughput: None }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and throughput.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the per-iteration throughput used for rate reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Shrink this group's sample count.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.criterion.sample_size = n;
+        self
+    }
+
+    /// Benchmark one routine within the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        let full = id.into().full_name(&self.name);
+        if !self.criterion.skip(&full) {
+            run_one(
+                &full,
+                self.criterion.sample_size,
+                self.criterion.warm_up_time,
+                self.criterion.measurement_time,
+                self.throughput,
+                f,
+            );
+        }
+        self
+    }
+
+    /// Benchmark one routine with an explicit input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        f: F,
+    ) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// End the group (upstream flushes reports here; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Identifier for one benchmark within a group.
+pub struct BenchmarkId {
+    function: Option<String>,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// A function name plus a parameter, rendered `function/parameter`.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { function: Some(function.into()), parameter: Some(parameter.to_string()) }
+    }
+
+    /// Only a parameter (the group name supplies the function part).
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { function: None, parameter: Some(parameter.to_string()) }
+    }
+
+    fn full_name(&self, group: &str) -> String {
+        match (&self.function, &self.parameter) {
+            (Some(f), Some(p)) => format!("{group}/{f}/{p}"),
+            (Some(f), None) => format!("{group}/{f}"),
+            (None, Some(p)) => format!("{group}/{p}"),
+            (None, None) => group.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(function: &str) -> Self {
+        BenchmarkId { function: Some(function.to_string()), parameter: None }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(function: String) -> Self {
+        BenchmarkId { function: Some(function), parameter: None }
+    }
+}
+
+/// Units processed per iteration, for rate reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements (jobs, rows, ...) per iteration.
+    Elements(u64),
+    /// Bytes per iteration.
+    Bytes(u64),
+}
+
+/// Passed to the benchmark closure; call [`iter`](Bencher::iter) with the
+/// routine to measure.
+pub struct Bencher {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    /// Nanoseconds per iteration, one entry per sample.
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    /// Measure `f`, timing batches of calls after a warm-up period.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // Warm-up: run until the warm-up budget elapses, estimating the
+        // per-iteration cost as we go.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up_time {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let est_ns =
+            (warm_start.elapsed().as_nanos() as f64 / warm_iters.max(1) as f64).max(1.0);
+
+        // Calibrate iterations per sample so all samples together fill the
+        // measurement budget.
+        let budget_ns = self.measurement_time.as_nanos() as f64;
+        let per_sample_ns = budget_ns / self.sample_size as f64;
+        let iters = ((per_sample_ns / est_ns).round() as u64).max(1);
+
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let elapsed = start.elapsed().as_nanos() as f64;
+            self.samples.push(elapsed / iters as f64);
+        }
+    }
+}
+
+/// Render nanoseconds with criterion-style units.
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn run_one<F>(
+    name: &str,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+    f: F,
+) where
+    F: FnOnce(&mut Bencher),
+{
+    let mut b = Bencher { sample_size, warm_up_time, measurement_time, samples: Vec::new() };
+    f(&mut b);
+    if b.samples.is_empty() {
+        println!("{name:<44} (no measurement: Bencher::iter never called)");
+        return;
+    }
+    let mut sorted = b.samples.clone();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
+    let min = sorted[0];
+    let max = sorted[sorted.len() - 1];
+    let median = if sorted.len() % 2 == 1 {
+        sorted[sorted.len() / 2]
+    } else {
+        (sorted[sorted.len() / 2 - 1] + sorted[sorted.len() / 2]) / 2.0
+    };
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) if median > 0.0 => {
+            format!("  thrpt: {:>12.0} elem/s", n as f64 * 1e9 / median)
+        }
+        Some(Throughput::Bytes(n)) if median > 0.0 => {
+            format!("  thrpt: {:>12.0} B/s", n as f64 * 1e9 / median)
+        }
+        _ => String::new(),
+    };
+    println!(
+        "{name:<44} time: [{} {} {}]{rate}",
+        fmt_ns(min),
+        fmt_ns(median),
+        fmt_ns(max),
+    );
+}
+
+/// Define a group of benchmark functions, optionally with a configuration
+/// expression (upstream's two accepted forms).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config.configure_from_args_pub();
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Define `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+impl Criterion {
+    /// Macro plumbing: apply CLI args (hidden from docs, public for the
+    /// expansion of [`criterion_group!`]).
+    #[doc(hidden)]
+    pub fn configure_from_args_pub(self) -> Self {
+        self.configure_from_args()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_a_trivial_routine() {
+        let mut c = Criterion::default()
+            .sample_size(5)
+            .warm_up_time(Duration::from_millis(5))
+            .measurement_time(Duration::from_millis(20));
+        let mut x = 0u64;
+        c.bench_function("trivial", |b| b.iter(|| x = x.wrapping_add(1)));
+        assert!(x > 0);
+    }
+
+    #[test]
+    fn group_ids_render() {
+        assert_eq!(BenchmarkId::from_parameter(8).full_name("g"), "g/8");
+        assert_eq!(BenchmarkId::new("f", 8).full_name("g"), "g/f/8");
+        assert_eq!(BenchmarkId::from("f").full_name("g"), "g/f");
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let c = Criterion::default().with_filter("mds");
+        assert!(c.skip("normalize_20x18"));
+        assert!(!c.skip("mds_restart_ablation/8"));
+    }
+}

@@ -1,0 +1,160 @@
+//! The ChaCha stream cipher as a random number generator.
+//!
+//! This is D. J. Bernstein's ChaCha block function (the same core upstream
+//! `rand_chacha` 0.3 uses) with 8, 12, or 20 rounds. A 256-bit key (the
+//! seed) plus a 64-bit block counter produce 16 words of output per block;
+//! the generator walks the counter, so the stream is deterministic in the
+//! seed and has a period far beyond anything a test suite can consume.
+
+use crate::{RngCore, SeedableRng};
+
+#[inline(always)]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+/// One ChaCha block: mixes `input` for `rounds` rounds and adds the input
+/// back (the standard feed-forward).
+fn chacha_block(input: &[u32; 16], rounds: u32) -> [u32; 16] {
+    let mut x = *input;
+    for _ in 0..rounds / 2 {
+        // Column round.
+        quarter_round(&mut x, 0, 4, 8, 12);
+        quarter_round(&mut x, 1, 5, 9, 13);
+        quarter_round(&mut x, 2, 6, 10, 14);
+        quarter_round(&mut x, 3, 7, 11, 15);
+        // Diagonal round.
+        quarter_round(&mut x, 0, 5, 10, 15);
+        quarter_round(&mut x, 1, 6, 11, 12);
+        quarter_round(&mut x, 2, 7, 8, 13);
+        quarter_round(&mut x, 3, 4, 9, 14);
+    }
+    for (o, i) in x.iter_mut().zip(input.iter()) {
+        *o = o.wrapping_add(*i);
+    }
+    x
+}
+
+/// ChaCha keyed by a 256-bit seed, parameterized by round count.
+#[derive(Debug, Clone)]
+pub struct ChaChaRng<const ROUNDS: u32> {
+    /// The 16-word input block: constants, key, counter, nonce.
+    input: [u32; 16],
+    /// Current output block.
+    block: [u32; 16],
+    /// Next unread word in `block` (16 = exhausted).
+    index: usize,
+}
+
+impl<const ROUNDS: u32> ChaChaRng<ROUNDS> {
+    const SIGMA: [u32; 4] = [0x6170_7865, 0x3320_646E, 0x7962_2D32, 0x6B20_6574];
+
+    fn refill(&mut self) {
+        self.block = chacha_block(&self.input, ROUNDS);
+        self.index = 0;
+        // 64-bit block counter in words 12..14.
+        let counter = (self.input[12] as u64 | ((self.input[13] as u64) << 32)).wrapping_add(1);
+        self.input[12] = counter as u32;
+        self.input[13] = (counter >> 32) as u32;
+    }
+}
+
+impl<const ROUNDS: u32> SeedableRng for ChaChaRng<ROUNDS> {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut input = [0u32; 16];
+        input[..4].copy_from_slice(&Self::SIGMA);
+        for (i, chunk) in seed.chunks_exact(4).enumerate() {
+            input[4 + i] = u32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
+        }
+        // Counter and nonce start at zero.
+        ChaChaRng {
+            input,
+            block: [0; 16],
+            index: 16,
+        }
+    }
+}
+
+impl<const ROUNDS: u32> RngCore for ChaChaRng<ROUNDS> {
+    fn next_u32(&mut self) -> u32 {
+        if self.index >= 16 {
+            self.refill();
+        }
+        let w = self.block[self.index];
+        self.index += 1;
+        w
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let lo = self.next_u32() as u64;
+        let hi = self.next_u32() as u64;
+        lo | (hi << 32)
+    }
+}
+
+/// ChaCha with 8 rounds (fastest member of the family).
+pub type ChaCha8Rng = ChaChaRng<8>;
+/// ChaCha with 12 rounds (upstream `StdRng`'s choice).
+pub type ChaCha12Rng = ChaChaRng<12>;
+/// ChaCha with 20 rounds (the original cipher).
+pub type ChaCha20Rng = ChaChaRng<20>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// RFC 7539 section 2.3.2 test vector for the 20-round block function.
+    #[test]
+    fn rfc7539_block_vector() {
+        let mut input = [0u32; 16];
+        input[..4].copy_from_slice(&ChaCha20Rng::SIGMA);
+        // Key 00 01 02 ... 1f.
+        let key: Vec<u8> = (0u8..32).collect();
+        for (i, chunk) in key.chunks_exact(4).enumerate() {
+            input[4 + i] = u32::from_le_bytes(chunk.try_into().unwrap());
+        }
+        input[12] = 0x0000_0001; // counter
+        input[13] = 0x0900_0000; // nonce
+        input[14] = 0x4a00_0000;
+        input[15] = 0x0000_0000;
+        let out = chacha_block(&input, 20);
+        assert_eq!(out[0], 0xe4e7_f110);
+        assert_eq!(out[1], 0x1559_3bd1);
+        assert_eq!(out[15], 0x4e3c_50a2);
+    }
+
+    #[test]
+    fn rounds_differ() {
+        let a = ChaCha8Rng::seed_from_u64(1).next_u64();
+        let b = ChaCha12Rng::seed_from_u64(1).next_u64();
+        let c = ChaCha20Rng::seed_from_u64(1).next_u64();
+        assert!(a != b && b != c);
+    }
+
+    #[test]
+    fn stream_is_reproducible() {
+        let mut a = ChaCha12Rng::seed_from_u64(99);
+        let mut b = ChaCha12Rng::seed_from_u64(99);
+        let xs: Vec<u64> = (0..100).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..100).map(|_| b.next_u64()).collect();
+        assert_eq!(xs, ys);
+    }
+
+    #[test]
+    fn counter_advances_across_blocks() {
+        let mut rng = ChaCha12Rng::seed_from_u64(5);
+        // Consume 3 blocks' worth of words; all distinct blocks.
+        let words: Vec<u32> = (0..48).map(|_| rng.next_u32()).collect();
+        assert_ne!(&words[0..16], &words[16..32]);
+        assert_ne!(&words[16..32], &words[32..48]);
+    }
+}

@@ -1,0 +1,264 @@
+//! Offline, API-compatible subset of the `rand` 0.8 crate.
+//!
+//! The build environment for this workspace has no access to crates.io, so
+//! the handful of `rand` APIs the workspace actually uses are vendored here
+//! (see `vendor/README.md`). The generators are real ChaCha stream ciphers
+//! ([`chacha`]), not toy LCGs: `StdRng` is ChaCha with 12 rounds, exactly
+//! like upstream `rand` 0.8. Only the *byte streams* may differ from
+//! upstream (seed expansion and word order are simplified), which is fine
+//! because nothing in the workspace hard-codes expected random values —
+//! determinism for a fixed seed within this workspace is what matters.
+
+pub mod chacha;
+pub mod rngs;
+
+use std::ops::{Range, RangeInclusive};
+
+/// The core of every random number generator: a source of random words.
+pub trait RngCore {
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fill `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut i = 0;
+        while i < dest.len() {
+            let word = self.next_u64().to_le_bytes();
+            let take = (dest.len() - i).min(8);
+            dest[i..i + take].copy_from_slice(&word[..take]);
+            i += take;
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// A generator that can be constructed deterministically from a seed.
+pub trait SeedableRng: Sized {
+    /// Raw seed type (a byte array for every generator here).
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Construct from a full raw seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Construct from a 64-bit seed, expanding it with SplitMix64 exactly
+    /// like `rand_core`'s default implementation does.
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            // SplitMix64 step.
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            let bytes = z.to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// Types that can be sampled uniformly from a generator with `Rng::gen`.
+pub trait Standard: Sized {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_standard_uint {
+    ($($t:ty => $via:ident),*) => {$(
+        impl Standard for $t {
+            fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.$via() as $t
+            }
+        }
+    )*};
+}
+impl_standard_uint!(u8 => next_u32, u16 => next_u32, u32 => next_u32,
+    u64 => next_u64, usize => next_u64, i8 => next_u32, i16 => next_u32,
+    i32 => next_u32, i64 => next_u64, isize => next_u64);
+
+impl Standard for u128 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+    }
+}
+
+impl Standard for bool {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() as i32) < 0
+    }
+}
+
+impl Standard for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision (the upstream
+    /// `Standard` distribution's multiply-based conversion).
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Ranges usable with `Rng::gen_range`.
+pub trait SampleRange<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "empty range in gen_range");
+        let u = f64::sample_standard(rng);
+        let v = self.start + u * (self.end - self.start);
+        // Rounding can land exactly on `end` when the span is tiny.
+        if v < self.end { v } else { self.start }
+    }
+}
+
+impl SampleRange<f32> for Range<f32> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f32 {
+        assert!(self.start < self.end, "empty range in gen_range");
+        let u = f32::sample_standard(rng);
+        let v = self.start + u * (self.end - self.start);
+        if v < self.end { v } else { self.start }
+    }
+}
+
+/// Uniform integer in `[0, span)` by widening multiply (no modulo bias
+/// worth worrying about at these spans).
+fn uniform_u64<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    ((rng.next_u64() as u128 * span as u128) >> 64) as u64
+}
+
+macro_rules! impl_range_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range in gen_range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + uniform_u64(rng, span) as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range in gen_range");
+                let span = (hi as i128 - lo as i128 + 1) as u64;
+                if span == 0 {
+                    // Full-width range: any value is in range.
+                    return <$t as Standard>::sample_standard(rng);
+                }
+                (lo as i128 + uniform_u64(rng, span) as i128) as $t
+            }
+        }
+    )*};
+}
+impl_range_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Convenience methods on every generator (upstream's `Rng` extension
+/// trait).
+pub trait Rng: RngCore {
+    /// A uniformly random value of a primitive type.
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample_standard(self)
+    }
+
+    /// A uniformly random value in the given range.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_single(self)
+    }
+
+    /// `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool probability out of range");
+        f64::sample_standard(self) < p
+    }
+
+    /// Fill a slice of primitives with random values.
+    fn fill<T: Standard>(&mut self, dest: &mut [T]) {
+        for slot in dest {
+            *slot = T::sample_standard(self);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Re-exports mirroring `rand::prelude`.
+pub mod prelude {
+    pub use crate::rngs::StdRng;
+    pub use crate::{Rng, RngCore, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(
+            (0..8).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..8).map(|_| c.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..1000 {
+            let x = rng.gen_range(-1.0..1.0);
+            assert!((-1.0..1.0).contains(&x));
+            let k = rng.gen_range(3usize..12);
+            assert!((3..12).contains(&k));
+            let j = rng.gen_range(-5i64..=5);
+            assert!((-5..=5).contains(&j));
+        }
+    }
+
+    #[test]
+    fn fill_bytes_covers_tail() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut buf = [0u8; 13];
+        rng.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+
+    #[test]
+    fn mean_of_uniform_is_half() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let n = 20_000;
+        let sum: f64 = (0..n).map(|_| rng.gen::<f64>()).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+}

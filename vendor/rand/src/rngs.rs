@@ -1,0 +1,29 @@
+//! Standard generators.
+
+use crate::chacha::ChaCha12Rng;
+use crate::{RngCore, SeedableRng};
+
+/// The standard general-purpose generator: ChaCha with 12 rounds, the same
+/// algorithm upstream `rand` 0.8 uses for its `StdRng`.
+#[derive(Debug, Clone)]
+pub struct StdRng(ChaCha12Rng);
+
+impl SeedableRng for StdRng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        StdRng(ChaCha12Rng::from_seed(seed))
+    }
+}
+
+impl RngCore for StdRng {
+    fn next_u32(&mut self) -> u32 {
+        self.0.next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.0.fill_bytes(dest)
+    }
+}
