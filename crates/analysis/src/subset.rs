@@ -34,7 +34,10 @@ pub struct SubsetSearchResult {
 /// Complexity: `C(p, k)` embeddings — fine for the paper's p <= 18 and
 /// k <= 4; guard rails reject larger searches. All subsets share one
 /// [`CoplotEngine`], so the data is normalized and its dissimilarity
-/// contributions computed exactly once; each subset only re-embeds.
+/// contributions computed exactly once; the subsets only re-embed, spread
+/// over `threads` workers. Each subset's map depends only on the cached
+/// intermediates and the engine seed, so the ranking is identical for any
+/// thread count.
 ///
 /// # Errors
 /// [`CoplotError::InvalidConfig`] when `k` is outside `2..=p` or the search
@@ -46,6 +49,7 @@ pub fn best_variable_subset(
     max_alienation: f64,
     top: usize,
     seed: u64,
+    threads: usize,
 ) -> Result<Vec<SubsetSearchResult>, CoplotError> {
     let p = data.n_variables();
     if k < 2 || k > p {
@@ -65,24 +69,30 @@ pub fn best_variable_subset(
     let mut engine = CoplotEngine::builder().seed(seed).build();
     let full = engine.analyze(data)?;
 
-    let mut results: Vec<SubsetSearchResult> = Vec::new();
+    // Enumerate every combination up front (lexicographic), then score
+    // them concurrently against the shared read-only engine cache.
+    let mut combos: Vec<Vec<usize>> = Vec::with_capacity(n_subsets);
     let mut indices: Vec<usize> = (0..k).collect();
     loop {
-        if let Ok(r) = engine.analyze_selected(data, &indices) {
-            if r.alienation <= max_alienation {
-                let fit = procrustes_align(&full.coords, &r.coords);
-                results.push(SubsetSearchResult {
-                    variables: r.arrows.iter().map(|a| a.name.clone()).collect(),
-                    alienation: r.alienation,
-                    mean_correlation: r.mean_arrow_correlation(),
-                    map_conservation_rmsd: fit.rmsd,
-                });
-            }
-        }
+        combos.push(indices.clone());
         if !next_combination(&mut indices, p) {
             break;
         }
     }
+    let scored = wl_par::par_map(threads, &combos, |combo| {
+        let r = engine.analyze_selected_shared(data, combo).ok()?;
+        if r.alienation > max_alienation {
+            return None;
+        }
+        let fit = procrustes_align(&full.coords, &r.coords);
+        Some(SubsetSearchResult {
+            variables: r.arrows.iter().map(|a| a.name.clone()).collect(),
+            alienation: r.alienation,
+            mean_correlation: r.mean_arrow_correlation(),
+            map_conservation_rmsd: fit.rmsd,
+        })
+    });
+    let mut results: Vec<SubsetSearchResult> = scored.into_iter().flatten().collect();
 
     // Rank: conserve the map first (low RMSD), then high correlation.
     results.sort_by(|a, b| {
@@ -151,7 +161,7 @@ mod tests {
 
     #[test]
     fn finds_one_representative_per_cluster() {
-        let results = best_variable_subset(&redundant_data(), 2, 0.3, 3, 5).unwrap();
+        let results = best_variable_subset(&redundant_data(), 2, 0.3, 3, 5, 1).unwrap();
         assert!(!results.is_empty());
         let best = &results[0];
         // The best 2-subset must span both redundant pairs.
@@ -159,6 +169,17 @@ mod tests {
         let has_b = best.variables.iter().any(|v| v.starts_with('b'));
         assert!(has_a && has_b, "best subset: {:?}", best.variables);
         assert!(best.map_conservation_rmsd < 0.5, "rmsd {}", best.map_conservation_rmsd);
+    }
+
+    #[test]
+    fn search_bit_identical_across_thread_counts() {
+        let data = redundant_data();
+        let reference = best_variable_subset(&data, 2, 1.0, 10, 1999, 1).unwrap();
+        assert!(!reference.is_empty());
+        for threads in [2, 3, 8] {
+            let par = best_variable_subset(&data, 2, 1.0, 10, 1999, threads).unwrap();
+            assert_eq!(par, reference, "threads = {threads}");
+        }
     }
 
     #[test]
@@ -182,13 +203,13 @@ mod tests {
     #[test]
     fn threshold_filters_bad_subsets() {
         // An impossible alienation bound returns nothing.
-        let results = best_variable_subset(&redundant_data(), 2, -1.0, 3, 5).unwrap();
+        let results = best_variable_subset(&redundant_data(), 2, -1.0, 3, 5, 1).unwrap();
         assert!(results.is_empty());
     }
 
     #[test]
     fn subset_size_validated() {
-        let err = best_variable_subset(&redundant_data(), 1, 0.2, 1, 5).unwrap_err();
+        let err = best_variable_subset(&redundant_data(), 1, 0.2, 1, 5, 1).unwrap_err();
         assert!(matches!(err, CoplotError::InvalidConfig(_)), "{err}");
         assert!(err.to_string().contains("out of 2..="));
     }

@@ -45,7 +45,7 @@ fn bench_subset_search(c: &mut Criterion) {
     // C(8,3) = 56 Co-plot runs per iteration.
     let data = synthetic_matrix(10, 8);
     c.bench_function("subset_search_c8_3", |b| {
-        b.iter(|| best_variable_subset(black_box(&data), 3, 0.5, 5, 7).unwrap())
+        b.iter(|| best_variable_subset(black_box(&data), 3, 0.5, 5, 7, 1).unwrap())
     });
 }
 

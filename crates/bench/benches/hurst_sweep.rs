@@ -1,0 +1,72 @@
+//! The Table 3 sweep's kernel benchmarks: R/S pox plots and variance-time
+//! plots (the two estimators PR 3 rewrote around prefix sums and pyramid
+//! aggregation), plus the full 15-workload x 12-column Hurst sweep behind
+//! `table3`/`fig5`, single- and multi-threaded.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use wl_selfsim::rs::pox_plot;
+use wl_selfsim::vartime::variance_time_plot;
+use wl_selfsim::{rs_hurst, variance_time_hurst, FgnDaviesHarte};
+use wl_stats::rng::seeded_rng;
+
+fn series(n: usize) -> Vec<f64> {
+    FgnDaviesHarte::new(0.75, n)
+        .unwrap()
+        .generate(&mut seeded_rng(42))
+}
+
+/// The two rewritten kernels in isolation, at Table 3's series lengths.
+fn bench_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hurst_sweep_kernels");
+    for n in [8192usize, 16384] {
+        let x = series(n);
+        group.bench_with_input(BenchmarkId::new("pox_plot", n), &x, |b, x| {
+            b.iter(|| pox_plot(black_box(x), 8, 20))
+        });
+        group.bench_with_input(BenchmarkId::new("variance_time_plot", n), &x, |b, x| {
+            b.iter(|| variance_time_plot(black_box(x), 20, 5))
+        });
+        group.bench_with_input(BenchmarkId::new("rs_hurst", n), &x, |b, x| {
+            b.iter(|| rs_hurst(black_box(x)).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("variance_time_hurst", n), &x, |b, x| {
+            b.iter(|| variance_time_hurst(black_box(x)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+/// The R/S + variance-time path of one full Table 3 row (the acceptance
+/// criterion's "R/S + variance-time path": both kernels over all four job
+/// series of one log).
+fn bench_rs_vt_row(c: &mut Criterion) {
+    let w = wl_logsynth::machines::MachineId::Ctc.generate(8192, 5);
+    c.bench_function("rs_vt_one_workload", |b| {
+        b.iter(|| {
+            let mut out = Vec::new();
+            for series in wl_swf::JobSeries::ALL {
+                let xs = series.extract(black_box(&w));
+                out.push(rs_hurst(&xs));
+                out.push(variance_time_hurst(&xs));
+            }
+            out
+        })
+    });
+}
+
+/// Short measurement windows, as in the sibling suites.
+fn short() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_millis(800))
+}
+
+criterion_group! {
+    name = benches;
+    config = short();
+    targets = bench_kernels, bench_rs_vt_row
+}
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Section 8's exhaustive variable-subset search: C(p,k) re-embeddings
+//! sharing one engine's normalization/dissimilarity cache.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use wl_analysis::best_variable_subset;
+use wl_bench::synthetic_matrix;
+
+fn bench_subset_search(c: &mut Criterion) {
+    // C(9,3) = 84 and C(12,3) = 220 embeddings (the paper's section 8 runs
+    // the latter shape on the Table 1 variables).
+    let mut group = c.benchmark_group("subset_search");
+    group.sample_size(10);
+    for p in [9usize, 12] {
+        let data = synthetic_matrix(10, p);
+        for threads in [1usize, 2, 4] {
+            let id = BenchmarkId::new(format!("k3_{threads}thread"), p);
+            group.bench_with_input(id, &data, |b, data| {
+                b.iter(|| best_variable_subset(black_box(data), 3, 1.0, 5, 1999, threads).unwrap())
+            });
+        }
+    }
+    group.finish();
+}
+
+fn short() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_millis(800))
+}
+
+criterion_group! {
+    name = benches;
+    config = short();
+    targets = bench_subset_search
+}
+criterion_main!(benches);

@@ -61,6 +61,15 @@ fn flag<'a>(flags: &'a [(String, String)], name: &str) -> Option<&'a str> {
         .map(|(_, v)| v.as_str())
 }
 
+/// `--threads N`, defaulting to `WL_THREADS` and then the machine's
+/// available parallelism.
+fn parse_threads(flags: &[(String, String)]) -> Result<usize, String> {
+    flag(flags, "threads")
+        .map(|v| v.parse().map_err(|_| "--threads needs an integer".to_string()))
+        .transpose()
+        .map(|t| t.unwrap_or_else(wl_par::default_threads))
+}
+
 fn load_workload(path: &str) -> Result<Workload, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let doc = parse_swf(&text).map_err(|e| format!("{path}: {e}"))?;
@@ -129,10 +138,7 @@ pub fn coplot(args: &[String]) -> Result<(), String> {
         .map(|v| v.parse().map_err(|_| "--seed needs an integer"))
         .transpose()?
         .unwrap_or(1999);
-    let threads: usize = flag(&flags, "threads")
-        .map(|v| v.parse().map_err(|_| "--threads needs an integer"))
-        .transpose()?
-        .unwrap_or(1);
+    let threads = parse_threads(&flags)?;
     let timings = flag(&flags, "timings").is_some();
 
     let data = workload_matrix(&workloads, &codes);
@@ -165,9 +171,11 @@ pub fn coplot(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-/// `wl hurst` — self-similarity estimates per file.
+/// `wl hurst` — self-similarity estimates per file, the per-workload
+/// estimation fanned out over `--threads` workers.
 pub fn hurst(args: &[String]) -> Result<(), String> {
-    let (paths, _) = split_args(args)?;
+    let (paths, flags) = split_args(args)?;
+    let threads = parse_threads(&flags)?;
     let workloads = load_all(&paths)?;
     print!("{:<20}", "workload");
     for series in JobSeries::ALL {
@@ -176,15 +184,22 @@ pub fn hurst(args: &[String]) -> Result<(), String> {
         }
     }
     println!();
-    for w in &workloads {
-        print!("{:<20}", truncate(&w.name, 19));
+    let rows = wl_par::par_map(threads, &workloads, |w| {
+        let mut row = Vec::with_capacity(12);
         for series in JobSeries::ALL {
             let xs = series.extract(w);
             for est in HurstEstimator::ALL {
-                match est.estimate(&xs) {
-                    Some(h) => print!("{h:>9.2}"),
-                    None => print!("{:>9}", "-"),
-                }
+                row.push(est.estimate(&xs));
+            }
+        }
+        row
+    });
+    for (w, row) in workloads.iter().zip(rows) {
+        print!("{:<20}", truncate(&w.name, 19));
+        for h in row {
+            match h {
+                Some(h) => print!("{h:>9.2}"),
+                None => print!("{:>9}", "-"),
             }
         }
         println!();

@@ -9,7 +9,7 @@
 //! wl stats <file.swf>...                      Table-1 characteristics
 //! wl coplot <file.swf>... [--vars A,B,..]     Co-plot map across files
 //!           [--svg out.svg] [--seed N]
-//! wl hurst <file.swf>...                      Hurst estimates (3 estimators
+//! wl hurst <file.swf>... [--threads N]        Hurst estimates (3 estimators
 //!                                             x 4 series) per file
 //! wl homogeneity <file.swf> [--periods N]     section-6 stability test
 //! wl generate <model> [--jobs N] [--seed N]   synthesize a workload to
@@ -57,9 +57,12 @@ fn usage() -> &'static str {
 USAGE:
   wl stats <file.swf>...
   wl coplot <file.swf>... [--vars Rm,Ri,Pm,Pi,Im,Ii] [--svg out.svg] [--seed N] [--min-corr X] [--threads N] [--timings]
-  wl hurst <file.swf>...
+  wl hurst <file.swf>... [--threads N]
   wl homogeneity <file.swf> [--periods N] [--seed N]
   wl generate <model> [--jobs N] [--seed N] [--out file.swf]
+
+--threads defaults to WL_THREADS, then the available parallelism; results
+are identical for any thread count.
 
 MODELS for generate:
   feitelson96 feitelson97 downey jann lublin selfsimilar

@@ -523,6 +523,92 @@ impl CoplotEngine {
         info: PrepareInfo,
     ) -> Result<CoplotResult, CoplotError> {
         let cache = self.cache.as_ref().expect("cache populated by prepare");
+        let (result, t) = self.compute_selection(cache, keep)?;
+        self.reports.push(StageReport {
+            stage: Stage::Normalize,
+            wall_time: info.normalize_time + t.select,
+            iterations: 0,
+            theta_per_restart: Vec::new(),
+            cache_hit: info.cache_hit,
+        });
+        self.reports.push(StageReport {
+            stage: Stage::Dissimilarity,
+            wall_time: info.contrib_time + t.diss,
+            iterations: 0,
+            theta_per_restart: Vec::new(),
+            cache_hit: t.diss_cacheable && info.cache_hit,
+        });
+        self.reports.push(StageReport {
+            stage: Stage::Embedding,
+            wall_time: t.embed,
+            iterations: t.iterations,
+            theta_per_restart: t.theta_per_restart,
+            cache_hit: false,
+        });
+        self.reports.push(StageReport {
+            stage: Stage::Arrows,
+            wall_time: t.arrows,
+            iterations: 0,
+            theta_per_restart: Vec::new(),
+            cache_hit: false,
+        });
+        Ok(result)
+    }
+
+    /// Like [`analyze_selected`](CoplotEngine::analyze_selected), but
+    /// immutable: the selection is served entirely from the already-populated
+    /// cache, and no stage reports are recorded. Because it takes `&self`
+    /// (and every stage is `Send + Sync`), many selections can run
+    /// concurrently against one shared engine — this is what
+    /// `wl-analysis`'s parallel subset search uses. Results are
+    /// bit-identical to [`analyze_selected`](CoplotEngine::analyze_selected)
+    /// (both run the same selection core).
+    ///
+    /// # Errors
+    /// [`CoplotError::InvalidConfig`] when the cache does not hold `data`'s
+    /// intermediates (call [`analyze`](CoplotEngine::analyze) on the same
+    /// data first), plus the usual selection validation errors.
+    pub fn analyze_selected_shared(
+        &self,
+        data: &DataMatrix,
+        keep: &[usize],
+    ) -> Result<CoplotResult, CoplotError> {
+        let cache = self
+            .cache
+            .as_ref()
+            .filter(|c| c.fingerprint == fingerprint(data))
+            .ok_or_else(|| {
+                CoplotError::InvalidConfig(
+                    "analyze_selected_shared: engine cache does not hold this \
+                     data's intermediates; run analyze() on it first"
+                        .into(),
+                )
+            })?;
+        let p = cache.z.n_variables();
+        if keep.is_empty() {
+            return Err(CoplotError::EmptyInput {
+                what: "selected variables",
+            });
+        }
+        if let Some(&bad) = keep.iter().find(|&&v| v >= p) {
+            return Err(CoplotError::DimensionMismatch {
+                context: "analyze_selected_shared: variable index".into(),
+                expected: p,
+                got: bad,
+            });
+        }
+        self.compute_selection(cache, keep).map(|(r, _)| r)
+    }
+
+    /// The shared selection core: stages 1'–4 against a populated cache,
+    /// with per-stage timings returned rather than recorded. Both the
+    /// report-recording path and the immutable shared path run exactly this
+    /// code, so their results are bit-identical by construction.
+    fn compute_selection(
+        &self,
+        cache: &EngineCache,
+        keep: &[usize],
+    ) -> Result<(CoplotResult, SelectionTimings), CoplotError> {
         let full = keep.len() == cache.z.n_variables()
             && keep.iter().enumerate().all(|(i, &v)| i == v);
 
@@ -532,36 +618,18 @@ impl CoplotEngine {
         } else {
             cache.z.select_variables(keep)
         };
-        self.reports.push(StageReport {
-            stage: Stage::Normalize,
-            wall_time: info.normalize_time + t.elapsed(),
-            iterations: 0,
-            theta_per_restart: Vec::new(),
-            cache_hit: info.cache_hit,
-        });
+        let select = t.elapsed();
 
         let t = Instant::now();
-        let (diss, diss_hit) = match &cache.contributions {
-            Some(c) => (c.combine(keep), info.cache_hit),
+        let (diss, diss_cacheable) = match &cache.contributions {
+            Some(c) => (c.combine(keep), true),
             None => (self.dissimilarity.compute(&z)?, false),
         };
-        self.reports.push(StageReport {
-            stage: Stage::Dissimilarity,
-            wall_time: info.contrib_time + t.elapsed(),
-            iterations: 0,
-            theta_per_restart: Vec::new(),
-            cache_hit: diss_hit,
-        });
+        let diss_time = t.elapsed();
 
         let t = Instant::now();
         let sol = self.embedder.embed(&diss)?;
-        self.reports.push(StageReport {
-            stage: Stage::Embedding,
-            wall_time: t.elapsed(),
-            iterations: sol.iterations,
-            theta_per_restart: sol.theta_per_restart.clone(),
-            cache_hit: false,
-        });
+        let embed = t.elapsed();
 
         let t = Instant::now();
         let mut arrows = Vec::with_capacity(z.n_variables());
@@ -569,23 +637,41 @@ impl CoplotEngine {
             let col = z.column(v);
             arrows.push(self.arrow_fitter.fit(&z.variables()[v], &sol.coords, &col)?);
         }
-        self.reports.push(StageReport {
-            stage: Stage::Arrows,
-            wall_time: t.elapsed(),
-            iterations: 0,
-            theta_per_restart: Vec::new(),
-            cache_hit: false,
-        });
+        let arrows_time = t.elapsed();
 
-        Ok(CoplotResult {
-            observations: z.observations().to_vec(),
-            coords: sol.coords,
-            arrows,
-            alienation: sol.alienation,
-            stress: sol.stress,
-            dissimilarities: diss,
-        })
+        let timings = SelectionTimings {
+            select,
+            diss: diss_time,
+            diss_cacheable,
+            embed,
+            arrows: arrows_time,
+            iterations: sol.iterations,
+            theta_per_restart: sol.theta_per_restart,
+        };
+        Ok((
+            CoplotResult {
+                observations: z.observations().to_vec(),
+                coords: sol.coords,
+                arrows,
+                alienation: sol.alienation,
+                stress: sol.stress,
+                dissimilarities: diss,
+            },
+            timings,
+        ))
     }
+}
+
+/// Per-stage wall times (and embedding diagnostics) of one selection pass,
+/// handed back by the selection core for the caller to fold into reports.
+struct SelectionTimings {
+    select: Duration,
+    diss: Duration,
+    diss_cacheable: bool,
+    embed: Duration,
+    arrows: Duration,
+    iterations: usize,
+    theta_per_restart: Vec<f64>,
 }
 
 /// Builder for [`CoplotEngine`]; defaults match the paper (city-block
@@ -801,6 +887,37 @@ mod tests {
         assert_eq!(sub.coords.as_slice(), fresh.coords.as_slice());
         assert_eq!(sub.alienation.to_bits(), fresh.alienation.to_bits());
         assert_eq!(sub.arrows, fresh.arrows);
+    }
+
+    #[test]
+    fn shared_selection_matches_mutable_selection() {
+        let data = structured_data();
+        let mut engine = CoplotEngine::builder().seed(14).build();
+        engine.analyze(&data).unwrap();
+        let mutable = engine.analyze_selected(&data, &[0, 1, 3]).unwrap();
+        let shared = engine.analyze_selected_shared(&data, &[0, 1, 3]).unwrap();
+        assert_eq!(mutable.coords.as_slice(), shared.coords.as_slice());
+        assert_eq!(mutable.alienation.to_bits(), shared.alienation.to_bits());
+        assert_eq!(mutable.arrows, shared.arrows);
+    }
+
+    #[test]
+    fn shared_selection_requires_populated_cache() {
+        let engine = CoplotEngine::builder().seed(14).build();
+        let err = engine
+            .analyze_selected_shared(&structured_data(), &[0, 1])
+            .unwrap_err();
+        assert!(matches!(err, CoplotError::InvalidConfig(_)), "{err}");
+
+        // A cache of *different* data is also rejected.
+        let mut engine = CoplotEngine::builder().seed(14).build();
+        engine
+            .analyze(&structured_data().select_observations(&[0, 1, 2, 3, 4]))
+            .unwrap();
+        let err = engine
+            .analyze_selected_shared(&structured_data(), &[0, 1])
+            .unwrap_err();
+        assert!(matches!(err, CoplotError::InvalidConfig(_)), "{err}");
     }
 
     #[test]

@@ -28,10 +28,11 @@
 //!
 //! Each restart draws its initial configuration from its **own** ChaCha
 //! generator, seeded by [`restart_seed`] from the base seed and the restart
-//! index. Restarts therefore do not share RNG state, so they can run on
-//! worker threads ([`MdsConfig::threads`] > 1) and still produce results
-//! bit-identical to the sequential path: the winning solution only depends
-//! on (seed, restart index), never on scheduling order.
+//! index. Restarts therefore do not share RNG state, so they can run on the
+//! workspace pool ([`wl_par::par_map_indexed`], [`MdsConfig::threads`] > 1)
+//! and still produce results bit-identical to the sequential path: the
+//! winning solution only depends on (seed, restart index), never on
+//! scheduling order.
 
 use crate::alienation::coefficient_of_alienation;
 use crate::dissimilarity::DissimilarityMatrix;
@@ -149,41 +150,20 @@ pub fn nonmetric_mds(
         .collect();
 
     let n_starts = config.restarts + 1;
-    let mut outcomes: Vec<Option<Result<StartOutcome, CoplotError>>> = Vec::new();
-    outcomes.resize_with(n_starts, || None);
-
-    let workers = config.threads.clamp(1, n_starts);
-    if workers == 1 {
-        for (start, slot) in outcomes.iter_mut().enumerate() {
-            *slot = Some(run_start(start, diss, &deltas, &pair_idx, config));
-        }
-    } else {
-        // Contiguous chunks of starts per worker; each worker writes only
-        // its own slots, so no synchronization beyond the scope join is
-        // needed. Determinism is unaffected because each start's result is
-        // a pure function of (seed, start index).
-        let chunk = n_starts.div_ceil(workers);
-        std::thread::scope(|scope| {
-            for (w, slots) in outcomes.chunks_mut(chunk).enumerate() {
-                let deltas = &deltas;
-                let pair_idx = &pair_idx;
-                scope.spawn(move || {
-                    for (off, slot) in slots.iter_mut().enumerate() {
-                        let start = w * chunk + off;
-                        *slot = Some(run_start(start, diss, deltas, pair_idx, config));
-                    }
-                });
-            }
-        });
-    }
+    // Each start's result is a pure function of (seed, start index), so the
+    // pool's determinism contract applies and any thread count reproduces
+    // the sequential path bit for bit.
+    let outcomes = wl_par::par_map_indexed(config.threads, n_starts, |start| {
+        run_start(start, diss, &deltas, &pair_idx, config)
+    });
 
     // Select the best start exactly as the sequential loop would: walk in
     // start order, keep a strictly better theta (ties keep the earliest).
     let mut best: Option<StartOutcome> = None;
     let mut total_iters = 0;
     let mut theta_per_restart = Vec::with_capacity(n_starts);
-    for slot in outcomes {
-        let outcome = slot.expect("every start slot is filled")?;
+    for outcome in outcomes {
+        let outcome = outcome?;
         total_iters += outcome.iterations;
         theta_per_restart.push(outcome.theta);
         let better = match &best {

@@ -317,28 +317,42 @@ fn sdsc_batch() -> StreamSpec {
 ///
 /// `n_per_log` sizes the full logs; split observations inherit their share.
 pub fn production_workloads(seed: u64, n_per_log: usize) -> Vec<Workload> {
-    let mut out = Vec::with_capacity(10);
-    for id in MachineId::ALL {
+    production_workloads_par(seed, n_per_log, 1)
+}
+
+/// [`production_workloads`] with the synthesis fan-out spread over
+/// `threads` workers. Each machine derives its RNG seed from `(seed,
+/// machine id)` independently of scheduling, so the output is bit-identical
+/// to the sequential path for any thread count.
+pub fn production_workloads_par(seed: u64, n_per_log: usize, threads: usize) -> Vec<Workload> {
+    let per_machine = wl_par::par_map(threads, &MachineId::ALL, |&id| {
         let mut rng = seeded_rng(derive_seed(seed, id as u64));
         let w = id.generate_with_rng(n_per_log, &mut rng);
         match id {
             MachineId::Lanl | MachineId::Sdsc => {
                 let i = w.interactive_only();
                 let b = w.batch_only();
-                out.push(w);
-                out.push(i);
-                out.push(b);
+                vec![w, i, b]
             }
-            _ => out.push(w),
+            _ => vec![w],
         }
-    }
-    out
+    });
+    per_machine.into_iter().flatten().collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use wl_swf::WorkloadStats;
+
+    #[test]
+    fn parallel_fanout_bit_identical_to_sequential() {
+        let reference = production_workloads(1999, 400);
+        for threads in [1, 2, 3, 8] {
+            let par = production_workloads_par(1999, 400, threads);
+            assert_eq!(par, reference, "threads = {threads}");
+        }
+    }
 
     #[test]
     fn ten_observations_in_table_order() {

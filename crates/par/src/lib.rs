@@ -1,0 +1,258 @@
+//! Deterministic data parallelism for the workspace's sweep loops.
+//!
+//! Every parallel hot loop in this workspace — MDS restarts, log-synthesis
+//! fan-out, the Table 3 Hurst sweep, the section-8 subset search — is a map
+//! over items whose results are **pure functions of the item** (any
+//! randomness derives its seed from the item index, never from the worker).
+//! That invariant makes parallelism trivial to reason about: this crate runs
+//! such maps on a scoped pool of `std::thread`s, returns the results in
+//! input order, and is therefore **bit-identical to the sequential path for
+//! any thread count**. Threads change wall time, nothing else.
+//!
+//! The pool is work-stealing in the simplest possible sense: workers claim
+//! item indices from a shared atomic counter, so a slow item (one workload
+//! synthesizes slower, one MDS start converges later) never idles the other
+//! workers the way fixed chunking would. Claim order varies run to run;
+//! results cannot, because each index is computed exactly once and written
+//! to its own slot.
+//!
+//! There is deliberately no registry dependency (the build environment has
+//! no crates.io access — see `vendor/README.md`), no global pool, and no
+//! channel machinery: a [`par_map`] call spawns at most `threads - 1`
+//! workers inside a [`std::thread::scope`], the calling thread works too,
+//! and everything joins before the call returns.
+//!
+//! # Choosing a thread count
+//!
+//! CLI layers resolve the knob in one place: `--threads N` if given, else
+//! the `WL_THREADS` environment variable, else the machine's available
+//! parallelism — exactly what [`default_threads`] returns.
+//!
+//! # Determinism contract
+//!
+//! `f` must be a pure function of its input (index or item). In particular,
+//! per-item RNG streams must be seeded by deriving from the item index
+//! (e.g. `wl_stats::rng::derive_seed(base, index)`), never by sharing a
+//! generator across items or seeding per worker. Under that contract:
+//!
+//! * results are returned in input order;
+//! * every item is evaluated exactly once;
+//! * the output is byte-identical for every `threads >= 1`.
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// The workspace-wide default thread count: `WL_THREADS` when set to a
+/// positive integer, else [`std::thread::available_parallelism`], else 1.
+pub fn default_threads() -> usize {
+    if let Ok(v) = std::env::var("WL_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Result slots shared across workers, one cell per item so writes never
+/// form a reference to the whole collection. Each index is claimed by
+/// exactly one worker (via the atomic counter in [`par_map_indexed`]), so
+/// each cell is written at most once and never read before the scope joins.
+struct Slots<T>(Vec<UnsafeCell<Option<T>>>);
+
+// SAFETY: workers only write disjoint cells (one per claimed index), and
+// reads happen strictly after all writers have joined.
+unsafe impl<T: Send> Sync for Slots<T> {}
+
+/// Map `f` over `0..n` on up to `threads` workers, returning results in
+/// index order.
+///
+/// Bit-identical to `(0..n).map(f).collect()` when `f` is pure (see the
+/// crate-level determinism contract). `threads <= 1`, `n <= 1`, or a
+/// single-worker clamp all take the plain sequential path on the calling
+/// thread.
+pub fn par_map_indexed<U, F>(threads: usize, n: usize, f: F) -> Vec<U>
+where
+    U: Send,
+    F: Fn(usize) -> U + Sync,
+{
+    let workers = threads.max(1).min(n);
+    if workers <= 1 {
+        return (0..n).map(f).collect();
+    }
+
+    let slots = Slots((0..n).map(|_| UnsafeCell::new(None)).collect());
+    let next = AtomicUsize::new(0);
+    let f = &f;
+    let slots_ref = &slots;
+    let next_ref = &next;
+
+    std::thread::scope(|scope| {
+        // The calling thread is worker 0; spawn the other workers.
+        let handles: Vec<_> = (1..workers)
+            .map(|_| scope.spawn(move || worker_loop(slots_ref, next_ref, n, f)))
+            .collect();
+        worker_loop(slots_ref, next_ref, n, f);
+        // Re-raise a worker panic with its original payload (plain scope
+        // exit would replace it with "a scoped thread panicked").
+        for handle in handles {
+            if let Err(payload) = handle.join() {
+                std::panic::resume_unwind(payload);
+            }
+        }
+    });
+
+    slots
+        .0
+        .into_iter()
+        .map(|cell| {
+            cell.into_inner()
+                .expect("every index claimed and computed")
+        })
+        .collect()
+}
+
+/// Claim indices from the shared counter until they run out.
+fn worker_loop<U, F>(slots: &Slots<U>, next: &AtomicUsize, n: usize, f: &F)
+where
+    U: Send,
+    F: Fn(usize) -> U + Sync,
+{
+    loop {
+        let i = next.fetch_add(1, Ordering::Relaxed);
+        if i >= n {
+            return;
+        }
+        let result = f(i);
+        // SAFETY: index i was claimed by this worker alone (fetch_add hands
+        // each index out once), so this is the only access to cell i.
+        unsafe {
+            *slots.0[i].get() = Some(result);
+        }
+    }
+}
+
+/// Map `f` over a slice on up to `threads` workers, preserving input order.
+///
+/// Bit-identical to `items.iter().map(f).collect()` when `f` is pure.
+pub fn par_map<T, U, F>(threads: usize, items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    par_map_indexed(threads, items.len(), |i| f(&items[i]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    /// SplitMix64 finalizer: a cheap pure per-index "workload".
+    fn mix(i: usize) -> u64 {
+        let mut z = (i as u64).wrapping_add(0x9E3779B97F4A7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    #[test]
+    fn matches_sequential_for_every_thread_count() {
+        let seq: Vec<u64> = (0..257).map(mix).collect();
+        for threads in [1usize, 2, 3, 4, 8, 64] {
+            let par = par_map_indexed(threads, 257, mix);
+            assert_eq!(par, seq, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn par_map_preserves_order_over_slices() {
+        let items: Vec<f64> = (0..100).map(|i| i as f64 * 0.37).collect();
+        let seq: Vec<f64> = items.iter().map(|x| x.sin() * x.cos()).collect();
+        for threads in [1usize, 3, 8] {
+            let par = par_map(threads, &items, |x| x.sin() * x.cos());
+            // Bit-identity, not approximate equality.
+            let seq_bits: Vec<u64> = seq.iter().map(|v| v.to_bits()).collect();
+            let par_bits: Vec<u64> = par.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(par_bits, seq_bits, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn every_item_evaluated_exactly_once() {
+        let calls = AtomicUsize::new(0);
+        let out = par_map_indexed(4, 1000, |i| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            i * 2
+        });
+        assert_eq!(calls.load(Ordering::Relaxed), 1000);
+        assert_eq!(out.len(), 1000);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i * 2);
+        }
+    }
+
+    #[test]
+    fn more_threads_than_items() {
+        assert_eq!(par_map_indexed(16, 3, |i| i + 1), vec![1, 2, 3]);
+        assert_eq!(par_map_indexed(16, 1, |i| i), vec![0]);
+    }
+
+    #[test]
+    fn empty_input() {
+        let out: Vec<usize> = par_map_indexed(4, 0, |i| i);
+        assert!(out.is_empty());
+        let out: Vec<usize> = par_map(4, &[], |&x: &usize| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn zero_threads_clamps_to_sequential() {
+        assert_eq!(par_map_indexed(0, 4, |i| i), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn uneven_item_costs_still_ordered() {
+        // Early items sleep, late items are instant: with fixed chunking
+        // the result would still be ordered, but this exercises stealing.
+        let out = par_map_indexed(4, 32, |i| {
+            if i < 4 {
+                std::thread::sleep(std::time::Duration::from_millis(5));
+            }
+            i
+        });
+        assert_eq!(out, (0..32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "item 7 exploded")]
+    fn worker_panics_propagate() {
+        par_map_indexed(4, 16, |i| {
+            if i == 7 {
+                panic!("item 7 exploded");
+            }
+            i
+        });
+    }
+
+    #[test]
+    fn default_threads_is_positive() {
+        assert!(default_threads() >= 1);
+    }
+
+    #[test]
+    fn wl_threads_env_overrides() {
+        // Serialized by being the only test touching this variable.
+        std::env::set_var("WL_THREADS", "3");
+        assert_eq!(default_threads(), 3);
+        std::env::set_var("WL_THREADS", "not a number");
+        assert!(default_threads() >= 1);
+        std::env::set_var("WL_THREADS", "0");
+        assert!(default_threads() >= 1);
+        std::env::remove_var("WL_THREADS");
+    }
+}

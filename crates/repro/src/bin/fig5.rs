@@ -13,7 +13,7 @@ fn main() {
     } else {
         let mut workloads = production_suite(&opts);
         workloads.extend(model_suite(&opts));
-        hurst_matrix(&workloads, &FIG5_VARIABLES)
+        hurst_matrix(&workloads, &FIG5_VARIABLES, opts.threads)
     };
     let result = wl_repro::run_coplot(&opts, &data);
     report_figure(

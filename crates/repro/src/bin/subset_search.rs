@@ -17,8 +17,8 @@ fn main() {
     let data = paper_table1_matrix(&codes);
 
     println!("searching all C(12,3) = 220 three-variable subsets of Table 1...");
-    let results =
-        best_variable_subset(&data, 3, 0.15, 10, opts.seed).expect("search must run");
+    let results = best_variable_subset(&data, 3, 0.15, 10, opts.seed, opts.threads)
+        .expect("search must run");
     println!(
         "{:<28}{:>8}{:>12}{:>16}",
         "subset", "theta", "mean corr", "map RMSD"
@@ -34,7 +34,7 @@ fn main() {
     }
 
     // Where does the paper's choice rank?
-    let all = best_variable_subset(&data, 3, 1.0, 220, opts.seed).expect("search");
+    let all = best_variable_subset(&data, 3, 1.0, 220, opts.seed, opts.threads).expect("search");
     let paper_pick = all
         .iter()
         .position(|r| {

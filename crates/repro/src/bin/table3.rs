@@ -2,7 +2,7 @@
 //! (10 production + 5 models), three estimators per series.
 
 use wl_repro::paper::{TABLE3, TABLE3_COLUMNS, TABLE3_OBSERVATIONS};
-use wl_repro::{cell, hurst_row, model_suite, production_suite, Options};
+use wl_repro::{cell, hurst_row, hurst_rows, model_suite, production_suite, Options};
 
 fn main() {
     let opts = Options::from_args();
@@ -16,9 +16,10 @@ fn main() {
     }
     println!();
 
+    // All 15 rows estimated up front, fanned out over --threads workers.
+    let rows = hurst_rows(&workloads, opts.threads);
     let mut measured_means = Vec::new();
-    for (oi, w) in workloads.iter().enumerate() {
-        let row = hurst_row(w);
+    for ((oi, w), row) in workloads.iter().enumerate().zip(rows) {
         print!("{:<16}", format!("{} paper", TABLE3_OBSERVATIONS[oi]));
         for v in TABLE3[oi] {
             print!("{:>8}", format!("{v:.2}"));
@@ -32,6 +33,11 @@ fn main() {
         let known: Vec<f64> = row.iter().flatten().copied().collect();
         let mean = known.iter().sum::<f64>() / known.len().max(1) as f64;
         measured_means.push((w.name.clone(), mean));
+    }
+
+    if opts.timings {
+        println!();
+        wl_repro::print_estimator_work(&workloads[0]);
     }
 
     // The paper's headline: production logs are self-similar (H > 0.5),

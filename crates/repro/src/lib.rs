@@ -37,8 +37,8 @@ pub struct Options {
     pub seed: u64,
     /// Jobs per full synthesized log.
     pub jobs: usize,
-    /// Worker threads for the MDS restarts (results are identical for any
-    /// thread count).
+    /// Worker threads for synthesis, Hurst estimation, and the MDS
+    /// restarts (results are identical for any thread count).
     pub threads: usize,
     /// Print per-stage timing reports after each Co-plot run.
     pub timings: bool,
@@ -50,7 +50,7 @@ impl Default for Options {
             paper_data: false,
             seed: 1999, // the year of the paper
             jobs: 8192,
-            threads: 1,
+            threads: wl_par::default_threads(),
             timings: false,
         }
     }
@@ -88,7 +88,9 @@ impl Options {
                         .expect("--threads needs an integer");
                 }
                 other => panic!(
-                    "unknown flag {other:?} (use --paper, --timings, --seed N, --jobs N, --threads N)"
+                    "unknown flag {other:?} (use --paper, --timings, --seed N, --jobs N, \
+                     --threads N; --threads defaults to WL_THREADS, then the available \
+                     parallelism)"
                 ),
             }
             i += 1;
@@ -114,8 +116,9 @@ pub fn run_coplot(opts: &Options, data: &DataMatrix) -> CoplotResult {
 }
 
 /// The ten production observations, synthesized (Table 1 column order).
+/// The per-machine synthesis fans out over `opts.threads` workers.
 pub fn production_suite(opts: &Options) -> Vec<Workload> {
-    machines::production_workloads(opts.seed, opts.jobs)
+    machines::production_workloads_par(opts.seed, opts.jobs, opts.threads)
 }
 
 /// The eight Table 2 period observations: L1..L4 then S1..S4.
@@ -134,17 +137,23 @@ pub fn period_suite(opts: &Options) -> Vec<Workload> {
 pub fn model_suite(opts: &Options) -> Vec<Workload> {
     use wl_models::{Jann, WorkloadModel};
     use wl_stats::rng::{derive_seed, seeded_rng};
-    let mut out = Vec::new();
-    for (k, model) in all_models().iter().enumerate() {
+    // Model trait objects are not Send, so each worker rebuilds the model
+    // list and picks its index; seeds derive from the index alone, keeping
+    // the output independent of the thread count.
+    let n_models = all_models().len();
+    let opts = *opts;
+    let mut out = wl_par::par_map_indexed(opts.threads, n_models, move |k| {
+        let models = all_models();
+        let model = &models[k];
         let mut rng = seeded_rng(derive_seed(opts.seed, 1000 + k as u64));
         if model.name() == "Jann" {
             let ctc = machines::MachineId::Ctc.generate(opts.jobs, opts.seed);
             let fitted = Jann::fit_from_workload(&ctc).expect("CTC fit");
-            out.push(fitted.generate(opts.jobs, &mut rng));
+            fitted.generate(opts.jobs, &mut rng)
         } else {
-            out.push(model.generate(opts.jobs, &mut rng));
+            model.generate(opts.jobs, &mut rng)
         }
-    }
+    });
     let order = ["Lublin", "Feitelson '97", "Feitelson '96", "Downey", "Jann"];
     out.sort_by_key(|w| order.iter().position(|&n| n == w.name).unwrap_or(usize::MAX));
     out
@@ -201,9 +210,17 @@ pub fn hurst_row(w: &Workload) -> Vec<Option<f64>> {
     out
 }
 
+/// [`hurst_row`] for every workload, the per-workload estimation spread
+/// over `threads` workers. Row order matches `workloads`; each row is a
+/// pure function of its workload, so the result is identical for any
+/// thread count.
+pub fn hurst_rows(workloads: &[Workload], threads: usize) -> Vec<Vec<Option<f64>>> {
+    wl_par::par_map(threads, workloads, hurst_row)
+}
+
 /// Build the Figure 5 data matrix (measured Hurst estimates, selected
-/// columns) for the given workloads.
-pub fn hurst_matrix(workloads: &[Workload], codes: &[&str]) -> DataMatrix {
+/// columns) for the given workloads, estimating on `threads` workers.
+pub fn hurst_matrix(workloads: &[Workload], codes: &[&str], threads: usize) -> DataMatrix {
     let col_idx: Vec<usize> = codes
         .iter()
         .map(|c| {
@@ -213,12 +230,9 @@ pub fn hurst_matrix(workloads: &[Workload], codes: &[&str]) -> DataMatrix {
                 .unwrap_or_else(|| panic!("unknown Table 3 code {c:?}"))
         })
         .collect();
-    let rows: Vec<Vec<Option<f64>>> = workloads
-        .iter()
-        .map(|w| {
-            let full = hurst_row(w);
-            col_idx.iter().map(|&i| full[i]).collect()
-        })
+    let rows: Vec<Vec<Option<f64>>> = hurst_rows(workloads, threads)
+        .into_iter()
+        .map(|full| col_idx.iter().map(|&i| full[i]).collect())
         .collect();
     let row_refs: Vec<&[Option<f64>]> = rows.iter().map(|r| r.as_slice()).collect();
     DataMatrix::from_optional_rows(
@@ -226,6 +240,33 @@ pub fn hurst_matrix(workloads: &[Workload], codes: &[&str]) -> DataMatrix {
         codes.iter().map(|c| c.to_string()).collect(),
         &row_refs,
     )
+}
+
+/// Print the estimator-kernel work for one workload: per series, how many
+/// pox-plot points (and blocks behind them) and variance-time levels (and
+/// aggregated blocks) the R/S and variance-time estimators actually fit.
+/// Used by the repro binaries under `--timings`.
+pub fn print_estimator_work(w: &Workload) {
+    use wl_selfsim::{rs, vartime};
+    println!("estimator work for {}:", w.name);
+    println!(
+        "  {:<14} {:>6} {:>10} {:>10} {:>9} {:>10}",
+        "series", "len", "pox pts", "pox blks", "vt lvls", "vt blks"
+    );
+    for series in JobSeries::ALL {
+        let xs = series.extract(w);
+        let pox = rs::pox_plot(&xs, rs::DEFAULT_MIN_BLOCK, rs::DEFAULT_POINTS);
+        let vt = vartime::variance_time_plot(&xs, vartime::DEFAULT_POINTS, vartime::DEFAULT_MIN_BLOCKS);
+        println!(
+            "  {:<14} {:>6} {:>10} {:>10} {:>9} {:>10}",
+            format!("{series:?}"),
+            xs.len(),
+            pox.len(),
+            pox.iter().map(|p| p.blocks).sum::<usize>(),
+            vt.len(),
+            vt.iter().map(|p| p.blocks).sum::<usize>(),
+        );
+    }
 }
 
 /// Build the Figure 5 matrix from the paper's Table 3 numbers.
@@ -376,6 +417,29 @@ mod tests {
             names,
             vec!["Lublin", "Feitelson '97", "Feitelson '96", "Downey", "Jann"]
         );
+    }
+
+    #[test]
+    fn suites_and_hurst_matrix_bit_identical_across_thread_counts() {
+        let base = Options {
+            jobs: 400,
+            threads: 1,
+            ..Options::default()
+        };
+        let mut workloads = production_suite(&base);
+        workloads.extend(model_suite(&base));
+        let reference = hurst_matrix(&workloads, &["rp", "vr", "pc"], 1);
+        for threads in [2, 3, 8] {
+            let opts = Options { threads, ..base };
+            let mut ws = production_suite(&opts);
+            ws.extend(model_suite(&opts));
+            assert_eq!(ws, workloads, "suite at threads = {threads}");
+            assert_eq!(
+                hurst_matrix(&ws, &["rp", "vr", "pc"], threads),
+                reference,
+                "hurst matrix at threads = {threads}"
+            );
+        }
     }
 
     #[test]

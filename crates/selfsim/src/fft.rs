@@ -5,8 +5,20 @@
 //! whatever the log happened to contain, so a power-of-two-only FFT is not
 //! enough; Bluestein's chirp-z trick reduces any length to a power-of-two
 //! convolution. The Davies-Harte fGn generator also runs on these kernels.
+//!
+//! Transforms of one length recur constantly — every fGn path of a
+//! generator reuses one embedding size, every periodogram of an 8192-job
+//! log is the same length — so [`FftPlan`] precomputes the per-length
+//! tables (bit-reversal permutation, butterfly twiddles, Bluestein chirp
+//! and B-spectrum) once, and [`plan`] caches plans by length for the whole
+//! process. Planned transforms are **bit-identical** to the planless
+//! [`fft_pow2`]/[`fft_any`] paths: the tables are filled by exactly the
+//! code the planless kernels run inline (same twiddle recurrence, same
+//! chirp expressions), so only the wall time changes.
 
+use std::collections::HashMap;
 use std::f64::consts::PI;
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// In-place radix-2 FFT over split real/imaginary arrays.
 ///
@@ -139,7 +151,278 @@ pub fn fft_any(re_in: &[f64], im_in: &[f64], inverse: bool) -> (Vec<f64>, Vec<f6
 /// DFT of a real series: returns `(re, im)` of all `n` bins.
 pub fn rfft(x: &[f64]) -> (Vec<f64>, Vec<f64>) {
     let zeros = vec![0.0; x.len()];
-    fft_any(x, &zeros, false)
+    plan(x.len()).process_any(x, &zeros, false)
+}
+
+/// Precomputed tables for one radix-2 size.
+#[derive(Debug)]
+struct Pow2Tables {
+    n: usize,
+    /// Bit-reversal swaps `(i, j)` with `j > i`.
+    swaps: Vec<(u32, u32)>,
+    /// Forward twiddles, one vector of `w^k` per butterfly level
+    /// (`len = 2, 4, ..., n`), filled with the same running recurrence
+    /// [`fft_pow2`] uses inline so the planned transform is bit-identical.
+    fwd: Vec<Vec<(f64, f64)>>,
+    /// The inverse-transform twiddles (conjugate sign).
+    inv: Vec<Vec<(f64, f64)>>,
+}
+
+impl Pow2Tables {
+    fn new(n: usize) -> Pow2Tables {
+        assert!(n.is_power_of_two(), "Pow2Tables requires power-of-two length");
+        let mut swaps = Vec::new();
+        if n > 1 {
+            let bits = n.trailing_zeros();
+            for i in 0..n {
+                let j = i.reverse_bits() >> (usize::BITS - bits);
+                if j > i {
+                    swaps.push((i as u32, j as u32));
+                }
+            }
+        }
+        let levels = |sign: f64| -> Vec<Vec<(f64, f64)>> {
+            let mut out = Vec::new();
+            let mut len = 2;
+            while len <= n {
+                let ang = sign * 2.0 * PI / len as f64;
+                let (wr, wi) = (ang.cos(), ang.sin());
+                let mut tw = Vec::with_capacity(len / 2);
+                let (mut cr, mut ci) = (1.0, 0.0);
+                for _ in 0..len / 2 {
+                    tw.push((cr, ci));
+                    let ncr = cr * wr - ci * wi;
+                    ci = cr * wi + ci * wr;
+                    cr = ncr;
+                }
+                out.push(tw);
+                len <<= 1;
+            }
+            out
+        };
+        Pow2Tables {
+            n,
+            swaps,
+            fwd: levels(-1.0),
+            inv: levels(1.0),
+        }
+    }
+
+    /// The planned equivalent of [`fft_pow2`]: same butterflies, twiddles
+    /// read from the tables instead of recomputed.
+    fn fft(&self, re: &mut [f64], im: &mut [f64], inverse: bool) {
+        let n = self.n;
+        assert_eq!(n, re.len(), "re length does not match plan");
+        assert_eq!(n, im.len(), "im length does not match plan");
+        if n <= 1 {
+            return;
+        }
+        for &(i, j) in &self.swaps {
+            re.swap(i as usize, j as usize);
+            im.swap(i as usize, j as usize);
+        }
+        let levels = if inverse { &self.inv } else { &self.fwd };
+        let mut len = 2;
+        for tw in levels {
+            for start in (0..n).step_by(len) {
+                for (k, &(cr, ci)) in tw.iter().enumerate() {
+                    let a = start + k;
+                    let b = a + len / 2;
+                    let tr = re[b] * cr - im[b] * ci;
+                    let ti = re[b] * ci + im[b] * cr;
+                    re[b] = re[a] - tr;
+                    im[b] = im[a] - ti;
+                    re[a] += tr;
+                    im[a] += ti;
+                }
+            }
+            len <<= 1;
+        }
+    }
+}
+
+/// One transform direction's Bluestein tables: the chirp sequence and the
+/// FFT of the (input-independent) B array.
+#[derive(Debug)]
+struct BluesteinSide {
+    chirp: Vec<(f64, f64)>,
+    bre: Vec<f64>,
+    bim: Vec<f64>,
+}
+
+impl BluesteinSide {
+    fn new(n: usize, m: usize, sign: f64, pow2: &Pow2Tables) -> BluesteinSide {
+        // Same chirp expression as fft_any: k^2 mod 2n avoids precision
+        // loss for large k.
+        let chirp: Vec<(f64, f64)> = (0..n)
+            .map(|k| {
+                let k2 = ((k as u128 * k as u128) % (2 * n as u128)) as f64;
+                let ang = sign * PI * k2 / n as f64;
+                (ang.cos(), ang.sin())
+            })
+            .collect();
+        let mut bre = vec![0.0; m];
+        let mut bim = vec![0.0; m];
+        bre[0] = chirp[0].0;
+        bim[0] = -chirp[0].1;
+        for k in 1..n {
+            let (cr, ci) = chirp[k];
+            bre[k] = cr;
+            bim[k] = -ci;
+            bre[m - k] = cr;
+            bim[m - k] = -ci;
+        }
+        pow2.fft(&mut bre, &mut bim, false);
+        BluesteinSide { chirp, bre, bim }
+    }
+}
+
+#[derive(Debug)]
+enum PlanKind {
+    Empty,
+    Pow2(Pow2Tables),
+    Bluestein {
+        pow2: Pow2Tables,
+        fwd: BluesteinSide,
+        inv: BluesteinSide,
+    },
+}
+
+/// Precomputed transform tables for one length.
+///
+/// Power-of-two lengths hold bit-reversal swaps and butterfly twiddles;
+/// other lengths additionally hold both directions' Bluestein chirp tables
+/// and B-array spectra (the B array does not depend on the input, so its
+/// FFT is paid once per length instead of once per call). Construction is
+/// O(m log m); every transform after that skips all trigonometry.
+///
+/// Obtain plans through [`plan`], which caches them by length.
+#[derive(Debug)]
+pub struct FftPlan {
+    n: usize,
+    kind: PlanKind,
+}
+
+impl FftPlan {
+    /// Build the tables for length `n`.
+    pub fn new(n: usize) -> FftPlan {
+        let kind = if n == 0 {
+            PlanKind::Empty
+        } else if n.is_power_of_two() {
+            PlanKind::Pow2(Pow2Tables::new(n))
+        } else {
+            let m = (2 * n - 1).next_power_of_two();
+            let pow2 = Pow2Tables::new(m);
+            let fwd = BluesteinSide::new(n, m, -1.0, &pow2);
+            let inv = BluesteinSide::new(n, m, 1.0, &pow2);
+            PlanKind::Bluestein { pow2, fwd, inv }
+        };
+        FftPlan { n, kind }
+    }
+
+    /// The transform length this plan serves.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True for the zero-length plan.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// In-place radix-2 transform; bit-identical to [`fft_pow2`].
+    ///
+    /// # Panics
+    /// Panics when the plan's length is not a power of two or the slices
+    /// do not match it.
+    pub fn process_pow2(&self, re: &mut [f64], im: &mut [f64], inverse: bool) {
+        match &self.kind {
+            PlanKind::Pow2(t) => t.fft(re, im, inverse),
+            _ => panic!(
+                "process_pow2 on a plan of non-power-of-two length {}",
+                self.n
+            ),
+        }
+    }
+
+    /// Out-of-place transform of any length; bit-identical to [`fft_any`].
+    ///
+    /// # Panics
+    /// Panics when the input length does not match the plan.
+    pub fn process_any(
+        &self,
+        re_in: &[f64],
+        im_in: &[f64],
+        inverse: bool,
+    ) -> (Vec<f64>, Vec<f64>) {
+        assert_eq!(re_in.len(), self.n, "re length does not match plan");
+        assert_eq!(im_in.len(), self.n, "im length does not match plan");
+        match &self.kind {
+            PlanKind::Empty => (Vec::new(), Vec::new()),
+            PlanKind::Pow2(t) => {
+                let mut re = re_in.to_vec();
+                let mut im = im_in.to_vec();
+                t.fft(&mut re, &mut im, inverse);
+                (re, im)
+            }
+            PlanKind::Bluestein { pow2, fwd, inv } => {
+                let side = if inverse { inv } else { fwd };
+                let n = self.n;
+                let m = pow2.n;
+
+                let mut are = vec![0.0; m];
+                let mut aim = vec![0.0; m];
+                for k in 0..n {
+                    let (cr, ci) = side.chirp[k];
+                    are[k] = re_in[k] * cr - im_in[k] * ci;
+                    aim[k] = re_in[k] * ci + im_in[k] * cr;
+                }
+                pow2.fft(&mut are, &mut aim, false);
+                for i in 0..m {
+                    let r = are[i] * side.bre[i] - aim[i] * side.bim[i];
+                    let im_ = are[i] * side.bim[i] + aim[i] * side.bre[i];
+                    are[i] = r;
+                    aim[i] = im_;
+                }
+                pow2.fft(&mut are, &mut aim, true);
+                let scale = 1.0 / m as f64;
+                let mut out_re = Vec::with_capacity(n);
+                let mut out_im = Vec::with_capacity(n);
+                for k in 0..n {
+                    let (cr, ci) = side.chirp[k];
+                    let r = are[k] * scale;
+                    let i = aim[k] * scale;
+                    out_re.push(r * cr - i * ci);
+                    out_im.push(r * ci + i * cr);
+                }
+                (out_re, out_im)
+            }
+        }
+    }
+}
+
+/// Plans kept alive at once; enough for every distinct length a repro run
+/// touches (a handful of embedding sizes plus the log lengths). On
+/// overflow the cache is cleared rather than evicted piecemeal — plans are
+/// cheap to rebuild and the limit only guards against unbounded growth
+/// under adversarial length patterns.
+const PLAN_CACHE_CAP: usize = 64;
+
+/// The process-wide plan for length `n`, building and caching it on first
+/// use. Thread-safe; concurrent callers share one plan per length.
+pub fn plan(n: usize) -> Arc<FftPlan> {
+    static PLANS: OnceLock<Mutex<HashMap<usize, Arc<FftPlan>>>> = OnceLock::new();
+    let cache = PLANS.get_or_init(|| Mutex::new(HashMap::new()));
+    let mut map = cache.lock().unwrap_or_else(|e| e.into_inner());
+    if let Some(p) = map.get(&n) {
+        return Arc::clone(p);
+    }
+    if map.len() >= PLAN_CACHE_CAP {
+        map.clear();
+    }
+    let p = Arc::new(FftPlan::new(n));
+    map.insert(n, Arc::clone(&p));
+    p
 }
 
 #[cfg(test)]
@@ -267,6 +550,59 @@ mod tests {
         let (re, im) = fft_any(&[3.5], &[0.0], false);
         assert_eq!(re, vec![3.5]);
         assert_eq!(im, vec![0.0]);
+    }
+
+    #[test]
+    fn planned_pow2_bit_identical_to_planless() {
+        for n in [1usize, 2, 8, 64, 1024] {
+            let re: Vec<f64> = (0..n).map(|i| (i as f64 * 0.7).sin() * 3.0).collect();
+            let im: Vec<f64> = (0..n).map(|i| (i as f64 * 1.3).cos() - 0.25).collect();
+            let p = plan(n);
+            for inverse in [false, true] {
+                let (mut re_a, mut im_a) = (re.clone(), im.clone());
+                fft_pow2(&mut re_a, &mut im_a, inverse);
+                let (mut re_b, mut im_b) = (re.clone(), im.clone());
+                p.process_pow2(&mut re_b, &mut im_b, inverse);
+                let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+                assert_eq!(bits(&re_a), bits(&re_b), "n {n} inverse {inverse}");
+                assert_eq!(bits(&im_a), bits(&im_b), "n {n} inverse {inverse}");
+            }
+        }
+    }
+
+    #[test]
+    fn planned_any_bit_identical_to_planless() {
+        for n in [3usize, 5, 7, 12, 13, 100, 1009] {
+            let re: Vec<f64> = (0..n).map(|i| (i as f64 * 0.7).sin()).collect();
+            let im: Vec<f64> = (0..n).map(|i| (i as f64 * 1.3).cos() * 0.5).collect();
+            let p = plan(n);
+            for inverse in [false, true] {
+                let (re_a, im_a) = fft_any(&re, &im, inverse);
+                let (re_b, im_b) = p.process_any(&re, &im, inverse);
+                let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+                assert_eq!(bits(&re_a), bits(&re_b), "n {n} inverse {inverse}");
+                assert_eq!(bits(&im_a), bits(&im_b), "n {n} inverse {inverse}");
+            }
+        }
+    }
+
+    #[test]
+    fn plan_cache_returns_shared_plans() {
+        let a = plan(48);
+        let b = plan(48);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(a.len(), 48);
+        assert!(!a.is_empty());
+        assert!(plan(0).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "process_pow2 on a plan of non-power-of-two length")]
+    fn pow2_processing_rejects_bluestein_plans() {
+        let p = FftPlan::new(12);
+        let mut re = vec![0.0; 12];
+        let mut im = vec![0.0; 12];
+        p.process_pow2(&mut re, &mut im, false);
     }
 
     #[test]

@@ -20,8 +20,9 @@
 //! long-range dependence the paper measures in Table 3, and the estimator
 //! tests use it as ground truth.
 
-use crate::fft::fft_pow2;
+use crate::fft::{self, FftPlan};
 use rand::RngCore;
+use std::sync::Arc;
 use wl_stats::dist::Normal;
 
 /// The fGn autocovariance `gamma(k)` for unit-variance noise.
@@ -48,6 +49,9 @@ pub struct FgnDaviesHarte {
     amps: Vec<f64>,
     /// Embedding size (power of two, >= 2n).
     m: usize,
+    /// Shared FFT plan for the embedding size; every generated path reuses
+    /// its precomputed tables.
+    plan: Arc<FftPlan>,
 }
 
 impl FgnDaviesHarte {
@@ -76,9 +80,10 @@ impl FgnDaviesHarte {
             c[m - k] = c[k];
         }
         // Eigenvalues = FFT of the first row (real by symmetry).
+        let plan = fft::plan(m);
         let mut re = c;
         let mut im = vec![0.0; m];
-        fft_pow2(&mut re, &mut im, false);
+        plan.process_pow2(&mut re, &mut im, false);
         let mut amps = Vec::with_capacity(m);
         for (j, &lambda) in re.iter().enumerate() {
             if lambda < -1e-8 {
@@ -88,7 +93,7 @@ impl FgnDaviesHarte {
             }
             amps.push((lambda.max(0.0) / m as f64).sqrt());
         }
-        Ok(FgnDaviesHarte { h, n, amps, m })
+        Ok(FgnDaviesHarte { h, n, amps, m, plan })
     }
 
     /// The Hurst parameter.
@@ -125,7 +130,7 @@ impl FgnDaviesHarte {
             im[m - j] = -im[j];
         }
 
-        fft_pow2(&mut re, &mut im, false);
+        self.plan.process_pow2(&mut re, &mut im, false);
         // Real part of the first n entries, scaled: the construction above
         // makes Var = 2 per sample (both halves contribute), so divide by
         // sqrt(2).

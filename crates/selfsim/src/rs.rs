@@ -8,6 +8,11 @@
 
 use wl_stats::linear_fit;
 
+/// Smallest block size [`rs_hurst`] plots.
+pub const DEFAULT_MIN_BLOCK: usize = 8;
+/// Number of pox-plot points [`rs_hurst`] requests.
+pub const DEFAULT_POINTS: usize = 20;
+
 /// One point of the pox plot: block size and the mean R/S over all
 /// non-overlapping blocks of that size.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -46,18 +51,123 @@ pub fn rescaled_range(block: &[f64]) -> Option<f64> {
 }
 
 /// Compute the pox plot: logarithmically spaced block sizes from
-/// `min_block` up to `len / min_blocks_per_size`, mean R/S per size.
+/// `min_block` (floored at 4) up to `len / 2`, so every plotted size
+/// averages at least two complete blocks; mean R/S per size.
+///
+/// One upfront pass builds prefix sums of the series and its squares, so
+/// each block's mean and variance are O(1) lookups and only the
+/// adjusted-range extrema need a per-element pass — one sweep per block
+/// size instead of the naive three. That remaining sweep reads the partial
+/// sums `W_k = p[lo+k] - p[lo] - k A` straight off the prefix array, so it
+/// is a plain (reassociable, vectorizable) max/min reduction rather than a
+/// loop-carried accumulation.
 pub fn pox_plot(x: &[f64], min_block: usize, points: usize) -> Vec<PoxPoint> {
     let n = x.len();
     let min_block = min_block.max(4);
-    // Need at least 2 blocks at the largest size for a meaningful average;
-    // allow 1 at the very top since R/S analysis traditionally includes it.
     let max_block = n / 2;
     if max_block < min_block || points == 0 {
         return Vec::new();
     }
     let ratio = (max_block as f64 / min_block as f64).powf(1.0 / (points.max(2) - 1) as f64);
 
+    // p[i] = sum of x[..i], q[i] = sum of squares of x[..i].
+    let mut p = Vec::with_capacity(n + 1);
+    let mut q = Vec::with_capacity(n + 1);
+    p.push(0.0);
+    q.push(0.0);
+    let (mut ps, mut qs) = (0.0, 0.0);
+    for &v in x {
+        ps += v;
+        qs += v * v;
+        p.push(ps);
+        q.push(qs);
+    }
+
+    let mut out: Vec<PoxPoint> = Vec::new();
+    let mut size_f = min_block as f64;
+    for _ in 0..points {
+        let size = (size_f.round() as usize).clamp(min_block, max_block);
+        if out.last().map(|p| p.block_size) != Some(size) {
+            let s = size as f64;
+            let mut sum = 0.0;
+            let mut count = 0;
+            for b in 0..n / size {
+                let (lo, hi) = (b * size, (b + 1) * size);
+                let mean = (p[hi] - p[lo]) / s;
+                // E[x^2] - mean^2; cancellation can push a (near-)constant
+                // block to <= 0, which the direct two-pass variance reports
+                // as degenerate too — skip either way.
+                let var = (q[hi] - q[lo]) / s - mean * mean;
+                if var <= 0.0 {
+                    continue;
+                }
+                let sdev = var.sqrt();
+                let base = p[lo];
+                let win = &p[lo + 1..=hi];
+                // Four independent extrema lanes break the loop-carried
+                // max/min dependency; merging them at the end is exact, so
+                // the result matches a single-lane scan bit for bit.
+                // W_0 = 0 participates in both extrema via the lane seeds.
+                let mut max_w = [0.0f64; 4];
+                let mut min_w = [0.0f64; 4];
+                let chunks = win.chunks_exact(4);
+                let rem = chunks.remainder();
+                let mut k0 = 0usize;
+                for c in chunks {
+                    for j in 0..4 {
+                        let w = c[j] - base - (k0 + j + 1) as f64 * mean;
+                        max_w[j] = max_w[j].max(w);
+                        min_w[j] = min_w[j].min(w);
+                    }
+                    k0 += 4;
+                }
+                for (j, &pk) in rem.iter().enumerate() {
+                    let w = pk - base - (k0 + j + 1) as f64 * mean;
+                    max_w[0] = max_w[0].max(w);
+                    min_w[0] = min_w[0].min(w);
+                }
+                let r = max_w[0].max(max_w[1]).max(max_w[2]).max(max_w[3])
+                    - min_w[0].min(min_w[1]).min(min_w[2]).min(min_w[3]);
+                sum += r / sdev;
+                count += 1;
+            }
+            if count > 0 {
+                out.push(PoxPoint {
+                    block_size: size,
+                    mean_rs: sum / count as f64,
+                    blocks: count,
+                });
+            }
+        }
+        size_f *= ratio;
+    }
+    out
+}
+
+/// Estimate the Hurst parameter by R/S analysis: slope of the pox plot in
+/// log-log coordinates. Returns `None` when fewer than 3 pox points are
+/// available (series too short or degenerate).
+pub fn rs_hurst(x: &[f64]) -> Option<f64> {
+    let points = pox_plot(x, DEFAULT_MIN_BLOCK, DEFAULT_POINTS);
+    if points.len() < 3 {
+        return None;
+    }
+    let logs_n: Vec<f64> = points.iter().map(|p| (p.block_size as f64).ln()).collect();
+    let logs_rs: Vec<f64> = points.iter().map(|p| p.mean_rs.ln()).collect();
+    linear_fit(&logs_n, &logs_rs).map(|f| f.slope)
+}
+
+/// The pre-prefix-sum pox plot, kept as the test oracle: per block it
+/// recomputes mean and variance directly via [`rescaled_range`].
+#[cfg(test)]
+pub(crate) fn pox_plot_naive(x: &[f64], min_block: usize, points: usize) -> Vec<PoxPoint> {
+    let n = x.len();
+    let min_block = min_block.max(4);
+    let max_block = n / 2;
+    if max_block < min_block || points == 0 {
+        return Vec::new();
+    }
+    let ratio = (max_block as f64 / min_block as f64).powf(1.0 / (points.max(2) - 1) as f64);
     let mut out: Vec<PoxPoint> = Vec::new();
     let mut size_f = min_block as f64;
     for _ in 0..points {
@@ -84,22 +194,10 @@ pub fn pox_plot(x: &[f64], min_block: usize, points: usize) -> Vec<PoxPoint> {
     out
 }
 
-/// Estimate the Hurst parameter by R/S analysis: slope of the pox plot in
-/// log-log coordinates. Returns `None` when fewer than 3 pox points are
-/// available (series too short or degenerate).
-pub fn rs_hurst(x: &[f64]) -> Option<f64> {
-    let points = pox_plot(x, 8, 20);
-    if points.len() < 3 {
-        return None;
-    }
-    let logs_n: Vec<f64> = points.iter().map(|p| (p.block_size as f64).ln()).collect();
-    let logs_rs: Vec<f64> = points.iter().map(|p| p.mean_rs.ln()).collect();
-    linear_fit(&logs_n, &logs_rs).map(|f| f.slope)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
     use wl_stats::rng::seeded_rng;
     use rand::Rng;
 
@@ -178,5 +276,69 @@ mod tests {
         // Purely alternating series: R/S grows very slowly.
         let h = rs_hurst(&x).unwrap();
         assert!(h < 0.3, "H = {h}");
+    }
+
+    /// Point-by-point agreement between the prefix-sum plot and the naive
+    /// oracle, to `tol` relative.
+    fn assert_matches_oracle(x: &[f64], min_block: usize, points: usize, tol: f64) {
+        let fast = pox_plot(x, min_block, points);
+        let naive = pox_plot_naive(x, min_block, points);
+        assert_eq!(fast.len(), naive.len());
+        for (f, o) in fast.iter().zip(&naive) {
+            assert_eq!(f.block_size, o.block_size);
+            assert_eq!(f.blocks, o.blocks);
+            let rel = (f.mean_rs - o.mean_rs).abs() / o.mean_rs.abs().max(1e-300);
+            assert!(
+                rel <= tol,
+                "block {}: {} vs {} (rel {rel:e})",
+                f.block_size,
+                f.mean_rs,
+                o.mean_rs
+            );
+        }
+    }
+
+    #[test]
+    fn prefix_sum_plot_matches_naive_on_noise_and_walks() {
+        for seed in 0..4 {
+            let noise = white_noise(3000 + 97 * seed as usize, seed);
+            assert_matches_oracle(&noise, 8, 20, 1e-12);
+            let mut acc = 0.0;
+            let walk: Vec<f64> = noise
+                .iter()
+                .map(|v| {
+                    acc += v;
+                    acc
+                })
+                .collect();
+            // Walk levels drift far from zero, so small blocks have
+            // mean^2 >> var and the E[x^2] - mean^2 form loses a few more
+            // bits to cancellation than on centered noise.
+            assert_matches_oracle(&walk, 4, 15, 1e-9);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prefix_sum_plot_matches_naive_on_random_series(
+            xs in proptest::collection::vec(-1e3f64..1e3, 64..400),
+            min_block in 4usize..16,
+            points in 1usize..25,
+        ) {
+            assert_matches_oracle(&xs, min_block, points, 1e-12);
+        }
+
+        #[test]
+        fn rescaled_range_scale_invariant(
+            xs in proptest::collection::vec(-100f64..100.0, 8..64),
+            scale in 0.5f64..100.0,
+        ) {
+            // R/S is invariant under affine maps x -> a x + b.
+            if let Some(rs) = rescaled_range(&xs) {
+                let mapped: Vec<f64> = xs.iter().map(|v| scale * v + 7.0).collect();
+                let rs2 = rescaled_range(&mapped).unwrap();
+                prop_assert!((rs - rs2).abs() / rs <= 1e-9, "{rs} vs {rs2}");
+            }
+        }
     }
 }

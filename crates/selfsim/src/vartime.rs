@@ -9,6 +9,11 @@
 use crate::aggregate::aggregate_series;
 use wl_stats::linear_fit;
 
+/// Number of plot points [`variance_time_hurst`] requests.
+pub const DEFAULT_POINTS: usize = 20;
+/// Minimum blocks per aggregation level for [`variance_time_hurst`].
+pub const DEFAULT_MIN_BLOCKS: usize = 5;
+
 /// One point of the variance-time plot.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct VtPoint {
@@ -20,6 +25,14 @@ pub struct VtPoint {
 
 /// Compute the variance-time plot over logarithmically spaced aggregation
 /// levels, keeping only levels with at least `min_blocks` blocks.
+///
+/// Aggregation is pyramidal: each level `m` aggregates from the coarsest
+/// earlier level whose `m` divides it (falling back to the raw series),
+/// instead of always re-averaging the raw series. Block counts are
+/// unaffected — `floor(floor(n/d) / (m/d)) = floor(n/m)` — and block means
+/// of complete blocks are the same sums grouped differently, so the plot
+/// agrees with direct aggregation to rounding error while touching far
+/// fewer elements at the large-`m` levels.
 pub fn variance_time_plot(x: &[f64], points: usize, min_blocks: usize) -> Vec<VtPoint> {
     let n = x.len();
     let min_blocks = min_blocks.max(2);
@@ -29,6 +42,76 @@ pub fn variance_time_plot(x: &[f64], points: usize, min_blocks: usize) -> Vec<Vt
     let max_m = n / min_blocks;
     let ratio = (max_m as f64).powf(1.0 / (points.max(2) - 1) as f64);
 
+    // Aggregated series computed so far, ascending in m; bases for later
+    // levels. The raw series is the implicit m = 1 base.
+    let mut pyramid: Vec<(usize, Vec<f64>)> = Vec::new();
+    let mut out: Vec<VtPoint> = Vec::new();
+    let mut m_f: f64 = 1.0;
+    for _ in 0..points {
+        let m = (m_f.round() as usize).clamp(1, max_m);
+        if out.last().map(|p| p.m) != Some(m) && pyramid.last().map(|(pm, _)| *pm) != Some(m)
+        {
+            let agg = if m == 1 {
+                x.to_vec()
+            } else {
+                let (d, base) = pyramid
+                    .iter()
+                    .rev()
+                    .find(|(d, _)| *d > 1 && m.is_multiple_of(*d))
+                    .map(|(d, v)| (*d, v.as_slice()))
+                    .unwrap_or((1, x));
+                aggregate_series(base, m / d)
+            };
+            if agg.len() >= min_blocks {
+                let var = wl_stats::variance(&agg);
+                if var.is_finite() && var > 0.0 {
+                    out.push(VtPoint {
+                        m,
+                        variance: var,
+                        blocks: agg.len(),
+                    });
+                }
+            }
+            pyramid.push((m, agg));
+        }
+        m_f *= ratio;
+    }
+    out
+}
+
+/// Estimate the Hurst parameter from the variance-time plot slope:
+/// `H = 1 - beta/2` where the fitted slope is `-beta`. Returns `None` when
+/// fewer than 3 usable aggregation levels exist.
+///
+/// The estimate is clamped to `[0, 1]` (slopes outside `[-2, 0]` are
+/// outside the self-similar regime but arise on short noisy series).
+pub fn variance_time_hurst(x: &[f64]) -> Option<f64> {
+    let points = variance_time_plot(x, DEFAULT_POINTS, DEFAULT_MIN_BLOCKS);
+    if points.len() < 3 {
+        return None;
+    }
+    let logs_m: Vec<f64> = points.iter().map(|p| (p.m as f64).ln()).collect();
+    let logs_v: Vec<f64> = points.iter().map(|p| p.variance.ln()).collect();
+    let fit = linear_fit(&logs_m, &logs_v)?;
+    let beta = -fit.slope;
+    Some((1.0 - beta / 2.0).clamp(0.0, 1.0))
+}
+
+/// The pre-pyramid plot, kept as the test oracle: every level aggregates
+/// the raw series from scratch.
+#[cfg(test)]
+pub(crate) fn variance_time_plot_naive(
+    x: &[f64],
+    points: usize,
+    min_blocks: usize,
+) -> Vec<VtPoint> {
+    let n = x.len();
+    let min_blocks = min_blocks.max(2);
+    if n < 2 * min_blocks || points == 0 {
+        return Vec::new();
+    }
+    let max_m = n / min_blocks;
+    let ratio = (max_m as f64).powf(1.0 / (points.max(2) - 1) as f64);
     let mut out: Vec<VtPoint> = Vec::new();
     let mut m_f: f64 = 1.0;
     for _ in 0..points {
@@ -51,27 +134,10 @@ pub fn variance_time_plot(x: &[f64], points: usize, min_blocks: usize) -> Vec<Vt
     out
 }
 
-/// Estimate the Hurst parameter from the variance-time plot slope:
-/// `H = 1 - beta/2` where the fitted slope is `-beta`. Returns `None` when
-/// fewer than 3 usable aggregation levels exist.
-///
-/// The estimate is clamped to `[0, 1]` (slopes outside `[-2, 0]` are
-/// outside the self-similar regime but arise on short noisy series).
-pub fn variance_time_hurst(x: &[f64]) -> Option<f64> {
-    let points = variance_time_plot(x, 20, 5);
-    if points.len() < 3 {
-        return None;
-    }
-    let logs_m: Vec<f64> = points.iter().map(|p| (p.m as f64).ln()).collect();
-    let logs_v: Vec<f64> = points.iter().map(|p| p.variance.ln()).collect();
-    let fit = linear_fit(&logs_m, &logs_v)?;
-    let beta = -fit.slope;
-    Some((1.0 - beta / 2.0).clamp(0.0, 1.0))
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
     use rand::Rng;
     use wl_stats::rng::seeded_rng;
 
@@ -150,5 +216,53 @@ mod tests {
         let h = variance_time_hurst(&x).unwrap();
         assert!((0.0..=1.0).contains(&h));
         assert!(h > 0.9);
+    }
+
+    /// Point-by-point agreement between the pyramid plot and the naive
+    /// oracle, to 1e-12 relative.
+    fn assert_matches_oracle(x: &[f64], points: usize, min_blocks: usize) {
+        let fast = variance_time_plot(x, points, min_blocks);
+        let naive = variance_time_plot_naive(x, points, min_blocks);
+        assert_eq!(fast.len(), naive.len());
+        for (f, o) in fast.iter().zip(&naive) {
+            assert_eq!(f.m, o.m);
+            assert_eq!(f.blocks, o.blocks);
+            let rel = (f.variance - o.variance).abs() / o.variance.abs().max(1e-300);
+            assert!(
+                rel <= 1e-12,
+                "m {}: {} vs {} (rel {rel:e})",
+                f.m,
+                f.variance,
+                o.variance
+            );
+        }
+    }
+
+    #[test]
+    fn pyramid_matches_naive_on_noise_and_walks() {
+        for seed in 0..4 {
+            let noise = white_noise(4096 + 111 * seed as usize, 40 + seed);
+            assert_matches_oracle(&noise, 20, 5);
+            let mut acc = 0.0;
+            let walk: Vec<f64> = noise
+                .iter()
+                .map(|v| {
+                    acc += v;
+                    acc
+                })
+                .collect();
+            assert_matches_oracle(&walk, 15, 3);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn pyramid_matches_naive_on_random_series(
+            xs in proptest::collection::vec(-1e3f64..1e3, 32..400),
+            points in 1usize..30,
+            min_blocks in 2usize..8,
+        ) {
+            assert_matches_oracle(&xs, points, min_blocks);
+        }
     }
 }

@@ -12,4 +12,10 @@ cargo test --workspace -q
 echo "== cargo clippy -D warnings =="
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== cargo bench --no-run =="
+cargo bench --workspace --no-run
+
+echo "== table3 smoke run (--threads 8) =="
+./target/release/table3 --jobs 512 --threads 8 > /dev/null
+
 echo "CI green."

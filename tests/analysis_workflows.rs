@@ -42,7 +42,7 @@ fn subset_search_recovers_one_per_cluster_structure() {
     // {Pm, Pi} (parallelism), {Im, Ii} (arrivals), AL near runtime. Every
     // top-3 subset must span at least two distinct clusters, and the best
     // must fit well.
-    let results = best_variable_subset(&table1_matrix(), 3, 0.15, 3, 1999).unwrap();
+    let results = best_variable_subset(&table1_matrix(), 3, 0.15, 3, 1999, 1).unwrap();
     assert!(!results.is_empty());
     let cluster = |v: &str| match v {
         "AL" | "Rm" | "Ri" => "runtime",
