@@ -63,6 +63,8 @@ pub fn best_variable_subset(
             "search space too large: C({p},{k}) = {n_subsets}"
         )));
     }
+    let _span = wl_obs::span!("subset.search");
+    wl_obs::counter!("subset.candidates", n_subsets as u64);
 
     // Reference map from all variables; this also fills the engine's
     // normalization/contribution caches for all the subset runs below.
@@ -93,6 +95,7 @@ pub fn best_variable_subset(
         })
     });
     let mut results: Vec<SubsetSearchResult> = scored.into_iter().flatten().collect();
+    wl_obs::counter!("subset.kept", results.len() as u64);
 
     // Rank: conserve the map first (low RMSD), then high correlation.
     results.sort_by(|a, b| {

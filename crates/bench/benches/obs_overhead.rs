@@ -1,0 +1,104 @@
+//! Cost of the wl-obs instrumentation on the two hot paths it touches
+//! most: the Table 3 Hurst kernels (`hurst_sweep`) and the MDS restart
+//! loop (`mds_parallel_restarts`). Each workload runs twice — registry
+//! disabled (the default, every `counter!`/`span!` is one relaxed atomic
+//! load) and enabled (interned-handle updates plus span events) — so
+//! the enabled/disabled ratio is the overhead. The disabled numbers are
+//! the ones held against the pre-PR baselines in EXPERIMENTS.md.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use coplot::{DissimilarityMatrix, Imputation, Metric};
+use wl_selfsim::rs::pox_plot;
+use wl_selfsim::vartime::variance_time_plot;
+use wl_selfsim::FgnDaviesHarte;
+use wl_stats::rng::seeded_rng;
+
+fn series(n: usize) -> Vec<f64> {
+    FgnDaviesHarte::new(0.75, n)
+        .unwrap()
+        .generate(&mut seeded_rng(42))
+}
+
+/// The instrumented Hurst kernels, with the registry off then on.
+fn bench_hurst_kernels(c: &mut Criterion) {
+    let x = series(8192);
+    let mut group = c.benchmark_group("obs_overhead_hurst");
+    for (mode, enabled) in [("disabled", false), ("enabled", true)] {
+        wl_obs::set_enabled(enabled);
+        group.bench_with_input(BenchmarkId::new("pox_plot", mode), &x, |b, x| {
+            b.iter(|| pox_plot(black_box(x), 8, 20))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("variance_time_plot", mode),
+            &x,
+            |b, x| b.iter(|| variance_time_plot(black_box(x), 20, 5)),
+        );
+    }
+    wl_obs::set_enabled(false);
+    group.finish();
+}
+
+/// The instrumented MDS restart loop (Figure 1's matrix), off then on.
+fn bench_mds_restarts(c: &mut Criterion) {
+    use wl_logsynth::machines::production_workloads;
+
+    let codes = ["RL", "Rm", "Ri", "Nm", "Ni", "Cm", "Ci", "Im", "Ii"];
+    let logs = production_workloads(1999, 2000);
+    let z = wl_bench::workload_matrix(&logs, &codes)
+        .normalize(Imputation::ColumnMean)
+        .unwrap();
+    let diss = DissimilarityMatrix::compute(&z, Metric::CityBlock);
+
+    let mut group = c.benchmark_group("obs_overhead_mds");
+    for (mode, enabled) in [("disabled", false), ("enabled", true)] {
+        wl_obs::set_enabled(enabled);
+        group.bench_with_input(BenchmarkId::new("fig1", mode), &diss, |b, diss| {
+            b.iter(|| {
+                coplot::mds::nonmetric_mds(
+                    black_box(diss),
+                    &coplot::MdsConfig {
+                        restarts: 8,
+                        threads: 1,
+                        ..Default::default()
+                    },
+                )
+                .unwrap()
+            })
+        });
+    }
+    wl_obs::set_enabled(false);
+    group.finish();
+}
+
+/// The bare macro fast path: what one disabled `counter!` costs.
+fn bench_macro_floor(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obs_overhead_macro");
+    for (mode, enabled) in [("disabled", false), ("enabled", true)] {
+        wl_obs::set_enabled(enabled);
+        group.bench_function(BenchmarkId::new("counter_x1000", mode), |b| {
+            b.iter(|| {
+                for i in 0..1000u64 {
+                    wl_obs::counter!("bench.obs.floor", black_box(i) & 1);
+                }
+            })
+        });
+    }
+    wl_obs::set_enabled(false);
+    group.finish();
+}
+
+fn short() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = short();
+    targets = bench_hurst_kernels, bench_mds_restarts, bench_macro_floor
+}
+criterion_main!(benches);

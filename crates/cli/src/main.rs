@@ -26,6 +26,13 @@ mod commands;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    let (args, session) = match obs_session(args) {
+        Ok(pair) => pair,
+        Err(msg) => {
+            eprintln!("wl: {msg}");
+            return ExitCode::FAILURE;
+        }
+    };
     let Some((command, rest)) = args.split_first() else {
         eprintln!("{}", usage());
         return ExitCode::FAILURE;
@@ -42,6 +49,7 @@ fn main() -> ExitCode {
         }
         other => Err(format!("unknown command {other:?}\n{}", usage())),
     };
+    session.finish();
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(msg) => {
@@ -49,6 +57,38 @@ fn main() -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+/// Strip the global `--trace <text|json>` / `--metrics-out <path>` flags
+/// (valid anywhere on the command line, for every subcommand) and build the
+/// observability session from them.
+fn obs_session(args: Vec<String>) -> Result<(Vec<String>, wl_obs::ObsSession), String> {
+    let mut rest = Vec::with_capacity(args.len());
+    let mut trace = None;
+    let mut metrics_out = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            name @ ("--trace" | "--metrics-out") => {
+                let value = args
+                    .get(i + 1)
+                    .ok_or_else(|| format!("flag {name} needs a value"))?
+                    .clone();
+                if name == "--trace" {
+                    trace = Some(value);
+                } else {
+                    metrics_out = Some(value);
+                }
+                i += 2;
+            }
+            _ => {
+                rest.push(args[i].clone());
+                i += 1;
+            }
+        }
+    }
+    let session = wl_obs::ObsSession::from_flags(trace.as_deref(), metrics_out.as_deref())?;
+    Ok((rest, session))
 }
 
 fn usage() -> &'static str {
@@ -63,6 +103,12 @@ USAGE:
 
 --threads defaults to WL_THREADS, then the available parallelism; results
 are identical for any thread count.
+
+GLOBAL FLAGS (any subcommand):
+  --trace <text|json>    print spans + metrics to stderr after the run
+  --metrics-out <path>   write the JSON-lines trace/metrics to a file
+Tracing writes only to stderr/the file; stdout is byte-identical to an
+untraced run.
 
 MODELS for generate:
   feitelson96 feitelson97 downey jann lublin selfsimilar

@@ -493,16 +493,31 @@ impl CoplotEngine {
     /// Make sure the cache holds this data's normalization and
     /// contributions, computing them if the fingerprint changed.
     fn prepare(&mut self, data: &DataMatrix) -> Result<PrepareInfo, CoplotError> {
+        let _span = wl_obs::span!("engine.prepare");
         let fp = fingerprint(data);
         if self.cache.as_ref().is_some_and(|c| c.fingerprint == fp) {
+            wl_obs::counter!("engine.cache.normalized.hit", 1u64);
+            if self.cache.as_ref().is_some_and(|c| c.contributions.is_some()) {
+                wl_obs::counter!("engine.cache.contributions.hit", 1u64);
+            }
             return Ok(PrepareInfo::cached());
         }
+        wl_obs::counter!("engine.cache.normalized.miss", 1u64);
         let t = Instant::now();
-        let z = self.normalizer.normalize(data)?;
+        let z = {
+            let _span = wl_obs::span!("engine.normalize");
+            self.normalizer.normalize(data)?
+        };
         let normalize_time = t.elapsed();
         let t = Instant::now();
-        let contributions = self.dissimilarity.contributions(&z);
+        let contributions = {
+            let _span = wl_obs::span!("engine.contributions");
+            self.dissimilarity.contributions(&z)
+        };
         let contrib_time = t.elapsed();
+        if contributions.is_some() {
+            wl_obs::counter!("engine.cache.contributions.miss", 1u64);
+        }
         self.cache = Some(EngineCache {
             fingerprint: fp,
             z,
@@ -597,6 +612,7 @@ impl CoplotEngine {
                 got: bad,
             });
         }
+        wl_obs::counter!("engine.shared_selections", 1u64);
         self.compute_selection(cache, keep).map(|(r, _)| r)
     }
 
@@ -609,6 +625,8 @@ impl CoplotEngine {
         cache: &EngineCache,
         keep: &[usize],
     ) -> Result<(CoplotResult, SelectionTimings), CoplotError> {
+        let _span = wl_obs::span!("engine.selection");
+        wl_obs::counter!("engine.selections", 1u64);
         let full = keep.len() == cache.z.n_variables()
             && keep.iter().enumerate().all(|(i, &v)| i == v);
 
@@ -621,21 +639,36 @@ impl CoplotEngine {
         let select = t.elapsed();
 
         let t = Instant::now();
-        let (diss, diss_cacheable) = match &cache.contributions {
-            Some(c) => (c.combine(keep), true),
-            None => (self.dissimilarity.compute(&z)?, false),
+        let (diss, diss_cacheable) = {
+            let _span = wl_obs::span!("engine.dissimilarity");
+            match &cache.contributions {
+                Some(c) => {
+                    wl_obs::counter!("engine.selection.diss.cached", 1u64);
+                    (c.combine(keep), true)
+                }
+                None => {
+                    wl_obs::counter!("engine.selection.diss.direct", 1u64);
+                    (self.dissimilarity.compute(&z)?, false)
+                }
+            }
         };
         let diss_time = t.elapsed();
 
         let t = Instant::now();
-        let sol = self.embedder.embed(&diss)?;
+        let sol = {
+            let _span = wl_obs::span!("engine.embed");
+            self.embedder.embed(&diss)?
+        };
         let embed = t.elapsed();
 
         let t = Instant::now();
         let mut arrows = Vec::with_capacity(z.n_variables());
-        for v in 0..z.n_variables() {
-            let col = z.column(v);
-            arrows.push(self.arrow_fitter.fit(&z.variables()[v], &sol.coords, &col)?);
+        {
+            let _span = wl_obs::span!("engine.arrows");
+            for v in 0..z.n_variables() {
+                let col = z.column(v);
+                arrows.push(self.arrow_fitter.fit(&z.variables()[v], &sol.coords, &col)?);
+            }
         }
         let arrows_time = t.elapsed();
 
@@ -966,6 +999,37 @@ mod tests {
         assert!(!reports[0].cache_hit, "first round computes");
         assert!(reports[4].cache_hit, "second round reuses normalization");
         assert!(reports[5].cache_hit, "second round reuses contributions");
+    }
+
+    #[test]
+    fn cache_counters_increment_for_shared_selections() {
+        wl_obs::set_enabled(true);
+        let before = wl_obs::registry().snapshot();
+        let data = structured_data();
+        let mut engine = CoplotEngine::builder().seed(21).build();
+        engine.analyze(&data).unwrap(); // cold: normalized miss
+        engine.analyze(&data).unwrap(); // warm: normalized + contributions hit
+        engine.analyze_selected_shared(&data, &[0, 2]).unwrap();
+        let after = wl_obs::registry().snapshot();
+        // Delta assertions — the registry is global and tests run
+        // concurrently, so check growth by at least this test's activity.
+        let grew = |name: &str, by: u64| {
+            assert!(
+                after.counter(name) >= before.counter(name) + by,
+                "{name}: {} -> {}",
+                before.counter(name),
+                after.counter(name)
+            );
+        };
+        grew("engine.cache.normalized.miss", 1);
+        grew("engine.cache.normalized.hit", 1);
+        grew("engine.cache.contributions.hit", 1);
+        grew("engine.cache.contributions.miss", 1);
+        grew("engine.shared_selections", 1);
+        // All three selections combined cached contributions.
+        grew("engine.selection.diss.cached", 3);
+        assert!(after.counter("engine.cache.normalized.hit") > 0);
+        assert!(after.counter("engine.cache.normalized.miss") > 0);
     }
 
     #[test]

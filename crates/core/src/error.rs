@@ -12,6 +12,37 @@ use std::fmt;
 use wl_linalg::LinalgError;
 use wl_stats::StatsError;
 
+/// Typed reason a data line could not be parsed; mirrored from
+/// `wl_swf::ParseErrorKind` (the orphan rule keeps the concrete type there)
+/// so callers can dispatch without string matching.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParseKind {
+    /// Wrong number of whitespace-separated fields (truncated or padded
+    /// line).
+    FieldCount,
+    /// A field was not numeric.
+    NotNumeric,
+    /// A field that must be non-negative (the job id) was negative.
+    NegativeId,
+    /// A field parsed to NaN or an infinity.
+    NonFinite,
+    /// Any other malformation.
+    Other,
+}
+
+impl ParseKind {
+    /// Short kebab-case label, stable for metrics and error messages.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ParseKind::FieldCount => "field-count",
+            ParseKind::NotNumeric => "not-numeric",
+            ParseKind::NegativeId => "negative-id",
+            ParseKind::NonFinite => "non-finite",
+            ParseKind::Other => "other",
+        }
+    }
+}
+
 /// Why an analysis could not run.
 #[derive(Debug, Clone, PartialEq)]
 pub enum CoplotError {
@@ -61,6 +92,8 @@ pub enum CoplotError {
     Parse {
         /// 1-based line number of the offending line.
         line: usize,
+        /// What kind of malformation was found.
+        kind: ParseKind,
         /// Human-readable description.
         message: String,
     },
@@ -94,8 +127,8 @@ impl fmt::Display for CoplotError {
                 write!(f, "{stage} did not converge within {iterations} iterations")
             }
             CoplotError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
-            CoplotError::Parse { line, message } => {
-                write!(f, "parse error at line {line}: {message}")
+            CoplotError::Parse { line, kind, message } => {
+                write!(f, "parse error at line {line} ({}): {message}", kind.label())
             }
             CoplotError::Linalg(e) => write!(f, "linear algebra: {e}"),
             CoplotError::Stats(e) => write!(f, "statistics: {e}"),
@@ -154,7 +187,12 @@ mod tests {
         assert!(e.to_string().contains("converge"));
         let e = CoplotError::EmptyInput { what: "workloads" };
         assert!(e.to_string().contains("workloads"));
-        let e = CoplotError::Parse { line: 7, message: "field 3 not numeric".into() };
+        let e = CoplotError::Parse {
+            line: 7,
+            kind: ParseKind::NotNumeric,
+            message: "field 3 not numeric".into(),
+        };
         assert!(e.to_string().contains("line 7"));
+        assert!(e.to_string().contains("not-numeric"));
     }
 }

@@ -68,6 +68,6 @@ pub use arrows::{fit_arrow, try_fit_arrow, Arrow};
 pub use data::{DataMatrix, Imputation, NormalizedMatrix};
 pub use dissimilarity::{DissimilarityMatrix, Metric};
 pub use engine::{CoplotEngine, CoplotEngineBuilder, Stage, StageReport, StageReportTable};
-pub use error::CoplotError;
+pub use error::{CoplotError, ParseKind};
 pub use mds::{nonmetric_mds, restart_seed, MdsConfig, MdsSolution};
 pub use pipeline::{Coplot, CoplotResult};

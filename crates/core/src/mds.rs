@@ -150,6 +150,8 @@ pub fn nonmetric_mds(
         .collect();
 
     let n_starts = config.restarts + 1;
+    let _span = wl_obs::span!("mds.restarts");
+    wl_obs::counter!("mds.starts", n_starts as u64);
     // Each start's result is a pure function of (seed, start index), so the
     // pool's determinism contract applies and any thread count reproduces
     // the sequential path bit for bit.
@@ -165,6 +167,13 @@ pub fn nonmetric_mds(
     for outcome in outcomes {
         let outcome = outcome?;
         total_iters += outcome.iterations;
+        wl_obs::hist_record!("mds.iterations_per_start", outcome.iterations as u64);
+        if outcome.theta.is_infinite() {
+            wl_obs::counter!("mds.collapsed_starts", 1u64);
+        }
+        if outcome.iterations >= config.max_iterations {
+            wl_obs::counter!("mds.unconverged_starts", 1u64);
+        }
         theta_per_restart.push(outcome.theta);
         let better = match &best {
             None => true,

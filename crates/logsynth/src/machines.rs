@@ -325,6 +325,7 @@ pub fn production_workloads(seed: u64, n_per_log: usize) -> Vec<Workload> {
 /// machine id)` independently of scheduling, so the output is bit-identical
 /// to the sequential path for any thread count.
 pub fn production_workloads_par(seed: u64, n_per_log: usize, threads: usize) -> Vec<Workload> {
+    let _span = wl_obs::span!("logsynth.production_workloads");
     let per_machine = wl_par::par_map(threads, &MachineId::ALL, |&id| {
         let mut rng = seeded_rng(derive_seed(seed, id as u64));
         let w = id.generate_with_rng(n_per_log, &mut rng);
@@ -337,7 +338,13 @@ pub fn production_workloads_par(seed: u64, n_per_log: usize, threads: usize) -> 
             _ => vec![w],
         }
     });
-    per_machine.into_iter().flatten().collect()
+    let out: Vec<Workload> = per_machine.into_iter().flatten().collect();
+    wl_obs::counter!("logsynth.workloads", out.len() as u64);
+    wl_obs::counter!(
+        "logsynth.jobs",
+        out.iter().map(|w| w.len() as u64).sum::<u64>()
+    );
+    out
 }
 
 #[cfg(test)]

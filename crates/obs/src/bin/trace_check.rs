@@ -1,0 +1,41 @@
+//! `trace-check`: validate a wl-obs JSON-lines trace.
+//!
+//! Usage: `trace-check [FILE]` — reads FILE (or stdin when absent or `-`),
+//! runs the well-formedness checker, prints a one-line summary, and exits
+//! nonzero on the first violation. Used by `scripts/ci.sh` to gate the
+//! `wl coplot --trace json` smoke run.
+
+use std::io::Read;
+
+fn main() {
+    let arg = std::env::args().nth(1);
+    let input = match arg.as_deref() {
+        None | Some("-") => {
+            let mut buf = String::new();
+            if let Err(e) = std::io::stdin().read_to_string(&mut buf) {
+                eprintln!("trace-check: failed to read stdin: {e}");
+                std::process::exit(2);
+            }
+            buf
+        }
+        Some(path) => match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("trace-check: failed to read {path}: {e}");
+                std::process::exit(2);
+            }
+        },
+    };
+    match wl_obs::check_trace(&input) {
+        Ok(stats) => {
+            println!(
+                "trace OK: {} lines, {} span events, {} metrics, {} threads",
+                stats.lines, stats.span_events, stats.metrics, stats.threads
+            );
+        }
+        Err(e) => {
+            eprintln!("trace INVALID: {e}");
+            std::process::exit(1);
+        }
+    }
+}

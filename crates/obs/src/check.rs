@@ -1,0 +1,253 @@
+//! Well-formedness checker for the `wl-obs` JSON-lines trace format.
+//!
+//! Rules enforced (the golden-trace test and the `trace-check` binary run
+//! this over real `--trace json` output):
+//! - every non-empty line is a standalone JSON object with a `"type"` field;
+//! - metric names are unique across counters, gauges and histograms;
+//! - span events nest properly per thread (exit name matches the innermost
+//!   open enter; nothing left open at end of input);
+//! - per-thread timestamps are monotone non-decreasing integers;
+//! - a span event's `depth` equals its thread's open-span count at that
+//!   point.
+
+use crate::json::{parse_json, JsonValue};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Summary of a validated trace.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TraceStats {
+    /// Non-empty lines checked.
+    pub lines: usize,
+    /// Span enter/exit events seen.
+    pub span_events: usize,
+    /// Distinct metric lines (counter + gauge + histogram).
+    pub metrics: usize,
+    /// Distinct threads that emitted span events.
+    pub threads: usize,
+}
+
+fn field<'a>(obj: &'a JsonValue, line_no: usize, key: &str) -> Result<&'a JsonValue, String> {
+    obj.get(key)
+        .ok_or_else(|| format!("line {line_no}: missing field {key:?}"))
+}
+
+fn str_field(obj: &JsonValue, line_no: usize, key: &str) -> Result<String, String> {
+    field(obj, line_no, key)?
+        .as_str()
+        .map(str::to_string)
+        .ok_or_else(|| format!("line {line_no}: field {key:?} is not a string"))
+}
+
+fn u64_field(obj: &JsonValue, line_no: usize, key: &str) -> Result<u64, String> {
+    field(obj, line_no, key)?
+        .as_u64()
+        .ok_or_else(|| format!("line {line_no}: field {key:?} is not a non-negative integer"))
+}
+
+/// Validate a JSON-lines trace; `Ok` carries summary statistics, `Err` the
+/// first violation found (with its 1-based line number).
+pub fn check_trace(input: &str) -> Result<TraceStats, String> {
+    let mut stats = TraceStats::default();
+    let mut metric_names: BTreeSet<String> = BTreeSet::new();
+    // Per-thread stack of open span names, and last timestamp seen.
+    let mut stacks: BTreeMap<u64, Vec<String>> = BTreeMap::new();
+    let mut last_ts: BTreeMap<u64, u64> = BTreeMap::new();
+
+    for (idx, line) in input.lines().enumerate() {
+        let line_no = idx + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        stats.lines += 1;
+        let obj = parse_json(line).map_err(|e| format!("line {line_no}: invalid JSON: {e}"))?;
+        if !matches!(obj, JsonValue::Object(_)) {
+            return Err(format!("line {line_no}: not a JSON object"));
+        }
+        let kind = str_field(&obj, line_no, "type")?;
+        match kind.as_str() {
+            "meta" => {}
+            "counter" | "gauge" | "histogram" => {
+                let name = str_field(&obj, line_no, "name")?;
+                if !metric_names.insert(name.clone()) {
+                    return Err(format!("line {line_no}: duplicate metric name {name:?}"));
+                }
+                match kind.as_str() {
+                    "histogram" => {
+                        u64_field(&obj, line_no, "count")?;
+                        u64_field(&obj, line_no, "sum")?;
+                    }
+                    "gauge" => {
+                        field(&obj, line_no, "value")?
+                            .as_f64()
+                            .filter(|v| v.fract() == 0.0)
+                            .ok_or_else(|| {
+                                format!("line {line_no}: gauge value is not an integer")
+                            })?;
+                    }
+                    _ => {
+                        u64_field(&obj, line_no, "value")?;
+                    }
+                }
+                stats.metrics += 1;
+            }
+            "span" => {
+                let event = str_field(&obj, line_no, "event")?;
+                let name = str_field(&obj, line_no, "name")?;
+                let ts = u64_field(&obj, line_no, "ts_ns")?;
+                let thread = u64_field(&obj, line_no, "thread")?;
+                let depth = u64_field(&obj, line_no, "depth")?;
+
+                if let Some(prev) = last_ts.get(&thread) {
+                    if ts < *prev {
+                        return Err(format!(
+                            "line {line_no}: thread {thread} timestamp went backwards ({ts} < {prev})"
+                        ));
+                    }
+                }
+                last_ts.insert(thread, ts);
+
+                let stack = stacks.entry(thread).or_default();
+                match event.as_str() {
+                    "enter" => {
+                        if depth != stack.len() as u64 {
+                            return Err(format!(
+                                "line {line_no}: enter depth {depth} but thread {thread} has {} open spans",
+                                stack.len()
+                            ));
+                        }
+                        stack.push(name);
+                    }
+                    "exit" => {
+                        let open = stack.pop().ok_or_else(|| {
+                            format!(
+                                "line {line_no}: exit of {name:?} on thread {thread} with no open span"
+                            )
+                        })?;
+                        if open != name {
+                            return Err(format!(
+                                "line {line_no}: exit of {name:?} but innermost open span is {open:?}"
+                            ));
+                        }
+                        if depth != stack.len() as u64 {
+                            return Err(format!(
+                                "line {line_no}: exit depth {depth} but thread {thread} now has {} open spans",
+                                stack.len()
+                            ));
+                        }
+                    }
+                    other => {
+                        return Err(format!("line {line_no}: unknown span event {other:?}"));
+                    }
+                }
+                stats.span_events += 1;
+            }
+            other => {
+                return Err(format!("line {line_no}: unknown line type {other:?}"));
+            }
+        }
+    }
+
+    for (thread, stack) in &stacks {
+        if let Some(open) = stack.last() {
+            return Err(format!(
+                "thread {thread}: span {open:?} entered but never exited"
+            ));
+        }
+    }
+    stats.threads = stacks.len();
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GOOD: &str = "\
+{\"type\":\"meta\",\"format\":\"wl-obs\",\"version\":1}
+{\"type\":\"span\",\"event\":\"enter\",\"name\":\"a\",\"ts_ns\":1,\"thread\":0,\"depth\":0}
+{\"type\":\"span\",\"event\":\"enter\",\"name\":\"b\",\"ts_ns\":2,\"thread\":0,\"depth\":1}
+{\"type\":\"span\",\"event\":\"exit\",\"name\":\"b\",\"ts_ns\":3,\"thread\":0,\"depth\":1,\"panicked\":false}
+{\"type\":\"span\",\"event\":\"exit\",\"name\":\"a\",\"ts_ns\":9,\"thread\":0,\"depth\":0,\"panicked\":false}
+{\"type\":\"counter\",\"name\":\"hits\",\"value\":4}
+{\"type\":\"gauge\",\"name\":\"threads\",\"value\":-1}
+{\"type\":\"histogram\",\"name\":\"iters\",\"count\":2,\"sum\":10,\"min\":3,\"max\":7,\"p50\":3,\"p99\":7}
+";
+
+    #[test]
+    fn accepts_well_formed_trace() {
+        let stats = check_trace(GOOD).unwrap();
+        assert_eq!(
+            stats,
+            TraceStats {
+                lines: 8,
+                span_events: 4,
+                metrics: 3,
+                threads: 1
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_duplicate_metric_names() {
+        let doc = "{\"type\":\"counter\",\"name\":\"x\",\"value\":1}\n{\"type\":\"gauge\",\"name\":\"x\",\"value\":2}\n";
+        let err = check_trace(doc).unwrap_err();
+        assert!(err.contains("duplicate metric name"), "{err}");
+    }
+
+    #[test]
+    fn rejects_unbalanced_spans() {
+        let doc = "{\"type\":\"span\",\"event\":\"enter\",\"name\":\"a\",\"ts_ns\":1,\"thread\":0,\"depth\":0}\n";
+        let err = check_trace(doc).unwrap_err();
+        assert!(err.contains("never exited"), "{err}");
+    }
+
+    #[test]
+    fn rejects_mismatched_exit_name() {
+        let doc = "\
+{\"type\":\"span\",\"event\":\"enter\",\"name\":\"a\",\"ts_ns\":1,\"thread\":0,\"depth\":0}
+{\"type\":\"span\",\"event\":\"exit\",\"name\":\"b\",\"ts_ns\":2,\"thread\":0,\"depth\":0}
+";
+        let err = check_trace(doc).unwrap_err();
+        assert!(err.contains("innermost open span"), "{err}");
+    }
+
+    #[test]
+    fn rejects_backwards_timestamps_per_thread() {
+        let doc = "\
+{\"type\":\"span\",\"event\":\"enter\",\"name\":\"a\",\"ts_ns\":5,\"thread\":0,\"depth\":0}
+{\"type\":\"span\",\"event\":\"exit\",\"name\":\"a\",\"ts_ns\":4,\"thread\":0,\"depth\":0}
+";
+        let err = check_trace(doc).unwrap_err();
+        assert!(err.contains("went backwards"), "{err}");
+    }
+
+    #[test]
+    fn allows_interleaved_threads_with_independent_clocks() {
+        let doc = "\
+{\"type\":\"span\",\"event\":\"enter\",\"name\":\"a\",\"ts_ns\":100,\"thread\":0,\"depth\":0}
+{\"type\":\"span\",\"event\":\"enter\",\"name\":\"b\",\"ts_ns\":5,\"thread\":1,\"depth\":0}
+{\"type\":\"span\",\"event\":\"exit\",\"name\":\"b\",\"ts_ns\":6,\"thread\":1,\"depth\":0}
+{\"type\":\"span\",\"event\":\"exit\",\"name\":\"a\",\"ts_ns\":101,\"thread\":0,\"depth\":0}
+";
+        assert_eq!(check_trace(doc).unwrap().threads, 2);
+    }
+
+    #[test]
+    fn rejects_invalid_json_with_line_number() {
+        let doc = "{\"type\":\"meta\"}\nnot json\n";
+        let err = check_trace(doc).unwrap_err();
+        assert!(err.contains("line 2"), "{err}");
+    }
+
+    #[test]
+    fn rejects_wrong_depth() {
+        let doc = "{\"type\":\"span\",\"event\":\"enter\",\"name\":\"a\",\"ts_ns\":1,\"thread\":0,\"depth\":3}\n";
+        let err = check_trace(doc).unwrap_err();
+        assert!(err.contains("depth"), "{err}");
+    }
+
+    #[test]
+    fn empty_input_is_valid() {
+        assert_eq!(check_trace("").unwrap(), TraceStats::default());
+    }
+}

@@ -1,0 +1,115 @@
+//! `ObsSession`: flag-driven lifecycle for one instrumented run.
+//!
+//! Binaries construct one session from their `--trace` / `--metrics-out`
+//! flags before doing any work; if either flag is present the global
+//! registry is armed. On drop (or explicit [`ObsSession::finish`]) the
+//! session snapshots the registry and span buffer and exports: the trace
+//! goes to **stderr** — stdout stays byte-identical to an uninstrumented
+//! run, which the golden snapshot tests rely on — and `--metrics-out`
+//! writes the JSON-lines form to a file.
+
+use crate::export::{export_json_lines, export_text};
+use std::path::PathBuf;
+
+/// Trace rendering requested by `--trace`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceFormat {
+    Text,
+    Json,
+}
+
+impl TraceFormat {
+    pub fn parse(s: &str) -> Result<TraceFormat, String> {
+        match s {
+            "text" => Ok(TraceFormat::Text),
+            "json" => Ok(TraceFormat::Json),
+            other => Err(format!(
+                "invalid --trace format {other:?} (expected \"text\" or \"json\")"
+            )),
+        }
+    }
+}
+
+/// RAII observability session; exports on drop.
+pub struct ObsSession {
+    trace: Option<TraceFormat>,
+    metrics_out: Option<PathBuf>,
+    armed: bool,
+}
+
+impl ObsSession {
+    /// Build a session from CLI flag values; arms the registry when either
+    /// flag is present. Errors on an unknown trace format.
+    pub fn from_flags(trace: Option<&str>, metrics_out: Option<&str>) -> Result<ObsSession, String> {
+        let trace = trace.map(TraceFormat::parse).transpose()?;
+        let metrics_out = metrics_out.map(PathBuf::from);
+        let armed = trace.is_some() || metrics_out.is_some();
+        if armed {
+            crate::set_enabled(true);
+        }
+        Ok(ObsSession {
+            trace,
+            metrics_out,
+            armed,
+        })
+    }
+
+    /// Whether this session armed the registry.
+    pub fn active(&self) -> bool {
+        self.armed
+    }
+
+    /// Export now instead of at drop.
+    pub fn finish(mut self) {
+        self.flush();
+    }
+
+    fn flush(&mut self) {
+        if !self.armed {
+            return;
+        }
+        self.armed = false;
+        let snapshot = crate::registry().snapshot();
+        let events = crate::events_snapshot();
+        match self.trace {
+            Some(TraceFormat::Text) => eprint!("{}", export_text(&snapshot, &events)),
+            Some(TraceFormat::Json) => eprint!("{}", export_json_lines(&snapshot, &events)),
+            None => {}
+        }
+        if let Some(path) = &self.metrics_out {
+            let doc = export_json_lines(&snapshot, &events);
+            if let Err(e) = std::fs::write(path, doc) {
+                eprintln!("wl-obs: failed to write {}: {e}", path.display());
+            }
+        }
+    }
+}
+
+impl Drop for ObsSession {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn format_parse_accepts_known_rejects_unknown() {
+        assert_eq!(TraceFormat::parse("text"), Ok(TraceFormat::Text));
+        assert_eq!(TraceFormat::parse("json"), Ok(TraceFormat::Json));
+        assert!(TraceFormat::parse("xml").is_err());
+    }
+
+    #[test]
+    fn no_flags_is_inert() {
+        let session = ObsSession::from_flags(None, None).unwrap();
+        assert!(!session.active());
+    }
+
+    #[test]
+    fn bad_format_is_an_error() {
+        assert!(ObsSession::from_flags(Some("yaml"), None).is_err());
+    }
+}

@@ -7,7 +7,7 @@ use wl_repro::paper::FIG1_VARIABLES;
 use wl_repro::{paper_table1_matrix, Options};
 
 fn main() {
-    let opts = Options::from_args();
+    let (opts, _obs) = Options::from_args();
     let data = paper_table1_matrix(&FIG1_VARIABLES);
 
     println!("== ablation: dissimilarity metric (Figure 1 matrix) ==");

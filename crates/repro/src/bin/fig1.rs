@@ -6,7 +6,7 @@ use wl_repro::paper::{fit_claims, FIG1_VARIABLES};
 use wl_repro::{paper_table1_matrix, production_suite, report_figure, stats_matrix, suite_stats, Options};
 
 fn main() {
-    let opts = Options::from_args();
+    let (opts, _obs) = Options::from_args();
     let data = if opts.paper_data {
         paper_table1_matrix(&FIG1_VARIABLES)
     } else {

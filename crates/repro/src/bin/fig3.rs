@@ -36,7 +36,7 @@ fn paper_matrix() -> DataMatrix {
 }
 
 fn main() {
-    let opts = Options::from_args();
+    let (opts, _obs) = Options::from_args();
     let data = if opts.paper_data {
         paper_matrix()
     } else {

@@ -8,7 +8,7 @@ use wl_repro::paper::{fit_claims, FIG4_VARIABLES};
 use wl_repro::{model_suite, production_suite, report_figure, stats_matrix, suite_stats, Options};
 
 fn main() {
-    let opts = Options::from_args();
+    let (opts, _obs) = Options::from_args();
     if opts.paper_data {
         eprintln!(
             "note: the paper does not publish the models' Figure 4 matrix; \

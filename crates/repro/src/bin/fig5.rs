@@ -7,7 +7,7 @@ use wl_repro::paper::{fit_claims, FIG5_VARIABLES};
 use wl_repro::{hurst_matrix, model_suite, paper_table3_matrix, production_suite, report_figure, Options};
 
 fn main() {
-    let opts = Options::from_args();
+    let (opts, _obs) = Options::from_args();
     let data = if opts.paper_data {
         paper_table3_matrix(&FIG5_VARIABLES)
     } else {

@@ -5,7 +5,7 @@ use wl_repro::{model_suite, production_suite, suite_stats, Options};
 use wl_swf::Variable;
 
 fn main() {
-    let opts = Options::from_args();
+    let (opts, _obs) = Options::from_args();
     let mut workloads = production_suite(&opts);
     workloads.extend(model_suite(&opts));
     let stats = suite_stats(&workloads);

@@ -7,7 +7,7 @@ use wl_repro::paper::{fit_claims, SEC8_VARIABLES};
 use wl_repro::{paper_table1_matrix, production_suite, report_figure, stats_matrix, suite_stats, Options};
 
 fn main() {
-    let opts = Options::from_args();
+    let (opts, _obs) = Options::from_args();
     let data = if opts.paper_data {
         paper_table1_matrix(&SEC8_VARIABLES)
     } else {

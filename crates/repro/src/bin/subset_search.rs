@@ -8,7 +8,7 @@ use wl_analysis::best_variable_subset;
 use wl_repro::{paper_table1_matrix, Options};
 
 fn main() {
-    let opts = Options::from_args();
+    let (opts, _obs) = Options::from_args();
     // All Table 1 variables that the paper kept in play for this exercise
     // (the always-removed low-correlation set stays out).
     let codes = [

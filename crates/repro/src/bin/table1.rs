@@ -6,7 +6,7 @@ use wl_repro::{print_comparison, production_suite, suite_stats, Options};
 use wl_swf::Variable;
 
 fn main() {
-    let opts = Options::from_args();
+    let (opts, _obs) = Options::from_args();
     let workloads = production_suite(&opts);
     let stats = suite_stats(&workloads);
 

@@ -5,7 +5,7 @@ use wl_repro::{period_suite, print_comparison, suite_stats, Options};
 use wl_swf::Variable;
 
 fn main() {
-    let opts = Options::from_args();
+    let (opts, _obs) = Options::from_args();
     let workloads = period_suite(&opts);
     let stats = suite_stats(&workloads);
 

@@ -5,7 +5,7 @@ use wl_repro::paper::{TABLE3, TABLE3_COLUMNS, TABLE3_OBSERVATIONS};
 use wl_repro::{cell, hurst_row, hurst_rows, model_suite, production_suite, Options};
 
 fn main() {
-    let opts = Options::from_args();
+    let (opts, _obs) = Options::from_args();
     let mut workloads = production_suite(&opts);
     workloads.extend(model_suite(&opts));
 

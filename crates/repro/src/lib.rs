@@ -57,9 +57,16 @@ impl Default for Options {
 }
 
 impl Options {
-    /// Parse the common flags from `std::env::args`.
-    pub fn from_args() -> Options {
+    /// Parse the common flags from `std::env::args`, plus the global
+    /// observability flags `--trace <text|json>` / `--metrics-out <path>`.
+    /// The returned [`wl_obs::ObsSession`] must be held for the duration of
+    /// `main`: it arms the metric registry when either flag is present and
+    /// exports the trace (to stderr) / metrics file when dropped. Stdout is
+    /// untouched either way, keeping golden snapshots byte-identical.
+    pub fn from_args() -> (Options, wl_obs::ObsSession) {
         let mut opts = Options::default();
+        let mut trace: Option<String> = None;
+        let mut metrics_out: Option<String> = None;
         let args: Vec<String> = std::env::args().skip(1).collect();
         let mut i = 0;
         while i < args.len() {
@@ -87,15 +94,25 @@ impl Options {
                         .and_then(|v| v.parse().ok())
                         .expect("--threads needs an integer");
                 }
+                "--trace" => {
+                    i += 1;
+                    trace = Some(args.get(i).expect("--trace needs text|json").clone());
+                }
+                "--metrics-out" => {
+                    i += 1;
+                    metrics_out = Some(args.get(i).expect("--metrics-out needs a path").clone());
+                }
                 other => panic!(
                     "unknown flag {other:?} (use --paper, --timings, --seed N, --jobs N, \
-                     --threads N; --threads defaults to WL_THREADS, then the available \
-                     parallelism)"
+                     --threads N, --trace text|json, --metrics-out PATH; --threads defaults \
+                     to WL_THREADS, then the available parallelism)"
                 ),
             }
             i += 1;
         }
-        opts
+        let session = wl_obs::ObsSession::from_flags(trace.as_deref(), metrics_out.as_deref())
+            .unwrap_or_else(|e| panic!("{e}"));
+        (opts, session)
     }
 }
 

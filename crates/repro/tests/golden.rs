@@ -1,0 +1,125 @@
+//! Golden snapshot tests: the canonical reproduction outputs must be
+//! byte-exact, at every thread count.
+//!
+//! The snapshots under `tests/golden/` (repo root) pin `table1`, `table3`,
+//! and `subset_search` stdout for the canonical run (`--seed 1999
+//! --jobs 8192`). Every pipeline behind them — synthesis, statistics,
+//! Hurst estimation, the shared-cache Co-plot subset search — is seeded
+//! and thread-count-invariant, so the snapshot holds for `--threads 1`
+//! and `--threads 8` alike. A diff here means an intentional output
+//! change (regenerate the snapshot and say so in the PR) or a real
+//! determinism regression.
+//!
+//! Regenerate with:
+//! ```text
+//! cargo run --bin table1 -- --seed 1999 --jobs 8192 --threads 1 > tests/golden/table1.txt
+//! cargo run --bin table3 -- --seed 1999 --jobs 8192 --threads 1 > tests/golden/table3.txt
+//! cargo run --bin subset_search -- --seed 1999 --jobs 8192 --threads 1 > tests/golden/subset_search.txt
+//! ```
+
+use std::process::Command;
+
+/// Canonical flags, minus `--threads`.
+const CANONICAL: [&str; 4] = ["--seed", "1999", "--jobs", "8192"];
+
+fn golden(name: &str) -> String {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../tests/golden/");
+    std::fs::read_to_string(format!("{path}{name}.txt"))
+        .unwrap_or_else(|e| panic!("missing golden snapshot {name}: {e}"))
+}
+
+/// Run a repro binary in a scratch directory (so SVG side outputs never
+/// land in the repo) and return its stdout.
+fn run(exe: &str, threads: &str) -> String {
+    let scratch = std::env::temp_dir().join(format!(
+        "wl-golden-{}-t{threads}",
+        std::path::Path::new(exe)
+            .file_stem()
+            .unwrap()
+            .to_string_lossy()
+    ));
+    std::fs::create_dir_all(&scratch).unwrap();
+    let out = Command::new(exe)
+        .args(CANONICAL)
+        .args(["--threads", threads])
+        .current_dir(&scratch)
+        .output()
+        .unwrap_or_else(|e| panic!("cannot run {exe}: {e}"));
+    assert!(
+        out.status.success(),
+        "{exe} --threads {threads} failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("stdout is UTF-8")
+}
+
+fn assert_matches_golden(exe: &str, name: &str, threads: &str) {
+    let got = run(exe, threads);
+    let want = golden(name);
+    assert!(
+        got == want,
+        "{name} --threads {threads} diverges from tests/golden/{name}.txt \
+         ({} vs {} bytes); first differing line: {:?}",
+        got.len(),
+        want.len(),
+        got.lines()
+            .zip(want.lines())
+            .enumerate()
+            .find(|(_, (g, w))| g != w)
+            .map(|(i, (g, w))| format!("line {}: got {g:?}, want {w:?}", i + 1)),
+    );
+}
+
+#[test]
+fn table1_matches_golden_single_thread() {
+    assert_matches_golden(env!("CARGO_BIN_EXE_table1"), "table1", "1");
+}
+
+#[test]
+fn table1_matches_golden_eight_threads() {
+    assert_matches_golden(env!("CARGO_BIN_EXE_table1"), "table1", "8");
+}
+
+#[test]
+fn table3_matches_golden_single_thread() {
+    assert_matches_golden(env!("CARGO_BIN_EXE_table3"), "table3", "1");
+}
+
+#[test]
+fn table3_matches_golden_eight_threads() {
+    assert_matches_golden(env!("CARGO_BIN_EXE_table3"), "table3", "8");
+}
+
+#[test]
+fn subset_search_matches_golden_single_thread() {
+    assert_matches_golden(env!("CARGO_BIN_EXE_subset_search"), "subset_search", "1");
+}
+
+#[test]
+fn subset_search_matches_golden_eight_threads() {
+    assert_matches_golden(env!("CARGO_BIN_EXE_subset_search"), "subset_search", "8");
+}
+
+/// Tracing must not leak into stdout: the snapshot holds even with
+/// `--trace json` armed (the trace goes to stderr).
+#[test]
+fn trace_does_not_perturb_stdout() {
+    let scratch = std::env::temp_dir().join("wl-golden-traced");
+    std::fs::create_dir_all(&scratch).unwrap();
+    let out = Command::new(env!("CARGO_BIN_EXE_table1"))
+        .args(CANONICAL)
+        .args(["--threads", "1", "--trace", "json"])
+        .current_dir(&scratch)
+        .output()
+        .expect("run table1 --trace json");
+    assert!(out.status.success());
+    assert_eq!(
+        String::from_utf8(out.stdout).expect("stdout is UTF-8"),
+        golden("table1"),
+        "--trace json changed stdout"
+    );
+    assert!(
+        !out.stderr.is_empty(),
+        "--trace json produced no trace on stderr"
+    );
+}

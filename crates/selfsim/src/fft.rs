@@ -415,9 +415,12 @@ pub fn plan(n: usize) -> Arc<FftPlan> {
     let cache = PLANS.get_or_init(|| Mutex::new(HashMap::new()));
     let mut map = cache.lock().unwrap_or_else(|e| e.into_inner());
     if let Some(p) = map.get(&n) {
+        wl_obs::counter!("fft.plan.hit", 1u64);
         return Arc::clone(p);
     }
+    wl_obs::counter!("fft.plan.miss", 1u64);
     if map.len() >= PLAN_CACHE_CAP {
+        wl_obs::counter!("fft.plan.evictions", map.len() as u64);
         map.clear();
     }
     let p = Arc::new(FftPlan::new(n));

@@ -141,6 +141,12 @@ pub fn pox_plot(x: &[f64], min_block: usize, points: usize) -> Vec<PoxPoint> {
         }
         size_f *= ratio;
     }
+    wl_obs::counter!("selfsim.pox.calls", 1u64);
+    wl_obs::counter!("selfsim.pox.points", out.len() as u64);
+    wl_obs::counter!(
+        "selfsim.pox.blocks",
+        out.iter().map(|p| p.blocks as u64).sum::<u64>()
+    );
     out
 }
 

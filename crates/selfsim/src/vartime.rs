@@ -76,6 +76,12 @@ pub fn variance_time_plot(x: &[f64], points: usize, min_blocks: usize) -> Vec<Vt
         }
         m_f *= ratio;
     }
+    wl_obs::counter!("selfsim.vt.calls", 1u64);
+    wl_obs::counter!("selfsim.vt.levels", out.len() as u64);
+    wl_obs::counter!(
+        "selfsim.vt.blocks",
+        out.iter().map(|p| p.blocks as u64).sum::<u64>()
+    );
     out
 }
 

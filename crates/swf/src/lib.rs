@@ -26,6 +26,8 @@ pub mod workload;
 
 pub use job::{Job, JobStatus};
 pub use metrics::{Variable, WorkloadStats};
-pub use parse::{parse_swf, write_swf, ParseError};
+pub use parse::{
+    parse_swf, parse_swf_lenient, write_swf, ParseError, ParseErrorKind, ParseReport,
+};
 pub use series::{arrival_counts, JobSeries};
 pub use workload::{AllocationFlexibility, MachineInfo, SchedulerFlexibility, Workload};

@@ -10,18 +10,63 @@ use std::fmt;
 use crate::job::{Job, JobStatus};
 use crate::workload::{AllocationFlexibility, MachineInfo, SchedulerFlexibility, Workload};
 
+/// Typed reason a job line was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ParseErrorKind {
+    /// Wrong number of whitespace-separated fields (truncated or padded
+    /// line).
+    FieldCount,
+    /// A field was not numeric.
+    NotNumeric,
+    /// The job id was negative.
+    NegativeId,
+    /// A field parsed to NaN or an infinity.
+    NonFinite,
+}
+
+impl ParseErrorKind {
+    /// Short kebab-case label, stable for metrics and error messages.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ParseErrorKind::FieldCount => "field-count",
+            ParseErrorKind::NotNumeric => "not-numeric",
+            ParseErrorKind::NegativeId => "negative-id",
+            ParseErrorKind::NonFinite => "non-finite",
+        }
+    }
+
+    /// Skip-counter name incremented when a lenient parse drops a line of
+    /// this kind.
+    fn counter_name(&self) -> &'static str {
+        match self {
+            ParseErrorKind::FieldCount => "swf.skip.field_count",
+            ParseErrorKind::NotNumeric => "swf.skip.not_numeric",
+            ParseErrorKind::NegativeId => "swf.skip.negative_id",
+            ParseErrorKind::NonFinite => "swf.skip.non_finite",
+        }
+    }
+}
+
 /// Error from parsing an SWF document.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ParseError {
     /// 1-based line number of the offending line.
     pub line: usize,
+    /// Typed malformation kind.
+    pub kind: ParseErrorKind,
     /// Human-readable description.
     pub message: String,
 }
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "SWF parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "SWF parse error at line {} ({}): {}",
+            self.line,
+            self.kind.label(),
+            self.message
+        )
     }
 }
 
@@ -34,6 +79,12 @@ impl From<ParseError> for coplot::CoplotError {
     fn from(e: ParseError) -> coplot::CoplotError {
         coplot::CoplotError::Parse {
             line: e.line,
+            kind: match e.kind {
+                ParseErrorKind::FieldCount => coplot::ParseKind::FieldCount,
+                ParseErrorKind::NotNumeric => coplot::ParseKind::NotNumeric,
+                ParseErrorKind::NegativeId => coplot::ParseKind::NegativeId,
+                ParseErrorKind::NonFinite => coplot::ParseKind::NonFinite,
+            },
             message: e.message,
         }
     }
@@ -91,25 +142,99 @@ impl SwfDocument {
     }
 }
 
-/// Parse SWF text into a document.
+/// Per-line accounting of one parse, mirrored into the `swf.*` metrics when
+/// the `wl-obs` registry is armed.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ParseReport {
+    /// Lines read, including blanks and comments.
+    pub lines: usize,
+    /// `; Key: value` header lines absorbed.
+    pub header_lines: usize,
+    /// Blank or non-metadata comment lines skipped.
+    pub ignored_lines: usize,
+    /// Job lines parsed successfully.
+    pub jobs: usize,
+    /// Malformed job lines dropped, with location and typed reason
+    /// (lenient parse only; the strict parse errors on the first).
+    pub skipped: Vec<(usize, ParseErrorKind)>,
+}
+
+impl ParseReport {
+    /// Number of dropped lines of one kind.
+    pub fn skipped_of(&self, kind: ParseErrorKind) -> usize {
+        self.skipped.iter().filter(|(_, k)| *k == kind).count()
+    }
+
+    fn record_metrics(&self) {
+        wl_obs::counter!("swf.lines", self.lines as u64);
+        wl_obs::counter!("swf.header_lines", self.header_lines as u64);
+        wl_obs::counter!("swf.jobs_parsed", self.jobs as u64);
+        if wl_obs::enabled() {
+            for (_, kind) in &self.skipped {
+                wl_obs::registry().counter(kind.counter_name()).add(1);
+            }
+        }
+    }
+}
+
+/// Parse SWF text into a document, erroring on the first malformed job line.
 pub fn parse_swf(text: &str) -> Result<SwfDocument, ParseError> {
+    let _span = wl_obs::span!("swf.parse");
+    let (doc, report, first_err) = parse_inner(text, true);
+    report.record_metrics();
+    match first_err {
+        Some(e) => Err(e),
+        None => Ok(doc),
+    }
+}
+
+/// Parse SWF text, skipping malformed job lines instead of failing.
+///
+/// Every dropped line is recorded in the [`ParseReport`] with its typed
+/// [`ParseErrorKind`], and the matching `swf.skip.*` counter is incremented
+/// when observability is armed. Never panics on any input.
+pub fn parse_swf_lenient(text: &str) -> (SwfDocument, ParseReport) {
+    let _span = wl_obs::span!("swf.parse");
+    let (doc, report, _) = parse_inner(text, false);
+    report.record_metrics();
+    (doc, report)
+}
+
+fn parse_inner(text: &str, strict: bool) -> (SwfDocument, ParseReport, Option<ParseError>) {
     let mut header = BTreeMap::new();
     let mut jobs = Vec::new();
+    let mut report = ParseReport::default();
 
     for (lineno, raw) in text.lines().enumerate() {
+        report.lines += 1;
         let line = raw.trim();
         if line.is_empty() {
+            report.ignored_lines += 1;
             continue;
         }
         if let Some(comment) = line.strip_prefix(';') {
             if let Some((key, value)) = comment.split_once(':') {
                 header.insert(key.trim().to_string(), value.trim().to_string());
+                report.header_lines += 1;
+            } else {
+                report.ignored_lines += 1;
             }
             continue;
         }
-        jobs.push(parse_job_line(line, lineno + 1)?);
+        match parse_job_line(line, lineno + 1) {
+            Ok(job) => {
+                jobs.push(job);
+                report.jobs += 1;
+            }
+            Err(e) => {
+                report.skipped.push((e.line, e.kind));
+                if strict {
+                    return (SwfDocument { header, jobs }, report, Some(e));
+                }
+            }
+        }
     }
-    Ok(SwfDocument { header, jobs })
+    (SwfDocument { header, jobs }, report, None)
 }
 
 fn parse_job_line(line: &str, lineno: usize) -> Result<Job, ParseError> {
@@ -117,14 +242,25 @@ fn parse_job_line(line: &str, lineno: usize) -> Result<Job, ParseError> {
     if fields.len() != 18 {
         return Err(ParseError {
             line: lineno,
+            kind: ParseErrorKind::FieldCount,
             message: format!("expected 18 fields, found {}", fields.len()),
         });
     }
     let f = |i: usize| -> Result<f64, ParseError> {
-        fields[i].parse::<f64>().map_err(|_| ParseError {
+        let v = fields[i].parse::<f64>().map_err(|_| ParseError {
             line: lineno,
+            kind: ParseErrorKind::NotNumeric,
             message: format!("field {} is not numeric: {:?}", i + 1, fields[i]),
-        })
+        })?;
+        if v.is_finite() {
+            Ok(v)
+        } else {
+            Err(ParseError {
+                line: lineno,
+                kind: ParseErrorKind::NonFinite,
+                message: format!("field {} is not finite: {:?}", i + 1, fields[i]),
+            })
+        }
     };
     let int = |i: usize| -> Result<i64, ParseError> {
         // Accept "4" and "4.0" alike; SWF files in the wild mix both.
@@ -135,6 +271,7 @@ fn parse_job_line(line: &str, lineno: usize) -> Result<Job, ParseError> {
     if id < 0 {
         return Err(ParseError {
             line: lineno,
+            kind: ParseErrorKind::NegativeId,
             message: format!("job id must be non-negative, found {id}"),
         });
     }
@@ -252,23 +389,124 @@ mod tests {
     fn wrong_field_count_is_error() {
         let err = parse_swf("1 2 3\n").unwrap_err();
         assert_eq!(err.line, 1);
+        assert_eq!(err.kind, ParseErrorKind::FieldCount);
         assert!(err.message.contains("18 fields"));
-        // The conversion into the pipeline's error type keeps the location.
+        // The conversion into the pipeline's error type keeps location and
+        // kind.
         let converted: coplot::CoplotError = err.into();
-        assert!(matches!(converted, coplot::CoplotError::Parse { line: 1, .. }));
+        assert!(matches!(
+            converted,
+            coplot::CoplotError::Parse {
+                line: 1,
+                kind: coplot::ParseKind::FieldCount,
+                ..
+            }
+        ));
     }
 
     #[test]
     fn non_numeric_field_is_error() {
         let text = "1 0 5 abc 4 90 -1 4 200 -1 1 3 1 7 1 -1 -1 -1\n";
         let err = parse_swf(text).unwrap_err();
+        assert_eq!(err.kind, ParseErrorKind::NotNumeric);
         assert!(err.message.contains("not numeric"));
     }
 
     #[test]
     fn negative_id_is_error() {
         let text = "-1 0 5 1 4 90 -1 4 200 -1 1 3 1 7 1 -1 -1 -1\n";
-        assert!(parse_swf(text).is_err());
+        let err = parse_swf(text).unwrap_err();
+        assert_eq!(err.kind, ParseErrorKind::NegativeId);
+    }
+
+    #[test]
+    fn non_finite_field_is_error() {
+        for bad in ["inf", "-inf", "NaN", "1e999"] {
+            let text = format!("1 0 5 {bad} 4 90 -1 4 200 -1 1 3 1 7 1 -1 -1 -1\n");
+            let err = parse_swf(&text).unwrap_err();
+            assert_eq!(err.kind, ParseErrorKind::NonFinite, "{bad}");
+        }
+    }
+
+    /// A fixture mixing every malformation between good jobs: the strict
+    /// parse reports the first bad line, the lenient parse keeps all good
+    /// jobs and types every drop.
+    const MIXED_FIXTURE: &str = "\
+; Computer: Mixed
+; MaxNodes: 64
+1 0 5 100 4 90 -1 4 200 -1 1 3 1 7 1 -1 -1 -1
+2 0 5
+-3 0 5 1 4 90 -1 4 200 -1 1 3 1 7 1 -1 -1 -1
+4 0 5 abc 4 90 -1 4 200 -1 1 3 1 7 1 -1 -1 -1
+5 0 5 inf 4 90 -1 4 200 -1 1 3 1 7 1 -1 -1 -1
+6 60 1 50 2 -1 -1 -1 -1 -1 0 4 1 8 2 -1 -1 -1
+";
+
+    #[test]
+    fn lenient_parse_skips_and_types_every_malformation() {
+        let (doc, report) = parse_swf_lenient(MIXED_FIXTURE);
+        assert_eq!(doc.jobs.len(), 2);
+        assert_eq!(doc.jobs[0].id, 1);
+        assert_eq!(doc.jobs[1].id, 6);
+        assert_eq!(doc.header["Computer"], "Mixed");
+        assert_eq!(report.jobs, 2);
+        assert_eq!(report.header_lines, 2);
+        assert_eq!(
+            report.skipped,
+            vec![
+                (4, ParseErrorKind::FieldCount),
+                (5, ParseErrorKind::NegativeId),
+                (6, ParseErrorKind::NotNumeric),
+                (7, ParseErrorKind::NonFinite),
+            ]
+        );
+        assert_eq!(report.skipped_of(ParseErrorKind::FieldCount), 1);
+    }
+
+    #[test]
+    fn strict_parse_stops_at_first_bad_line_of_fixture() {
+        let err = parse_swf(MIXED_FIXTURE).unwrap_err();
+        assert_eq!(err.line, 4);
+        assert_eq!(err.kind, ParseErrorKind::FieldCount);
+    }
+
+    #[test]
+    fn lenient_parse_increments_skip_counters() {
+        wl_obs::set_enabled(true);
+        let snap = wl_obs::registry().snapshot();
+        let before: Vec<u64> = [
+            "swf.skip.field_count",
+            "swf.skip.negative_id",
+            "swf.skip.not_numeric",
+            "swf.skip.non_finite",
+            "swf.jobs_parsed",
+        ]
+        .iter()
+        .map(|n| snap.counter(n))
+        .collect();
+        parse_swf_lenient(MIXED_FIXTURE);
+        let snap = wl_obs::registry().snapshot();
+        assert!(snap.counter("swf.skip.field_count") > before[0]);
+        assert!(snap.counter("swf.skip.negative_id") > before[1]);
+        assert!(snap.counter("swf.skip.not_numeric") > before[2]);
+        assert!(snap.counter("swf.skip.non_finite") > before[3]);
+        assert!(snap.counter("swf.jobs_parsed") >= before[4] + 2);
+    }
+
+    #[test]
+    fn truncated_file_mid_line_never_panics() {
+        // Cut a valid document at every byte boundary; both parsers must
+        // return (not panic) on each prefix.
+        let text = "; MaxNodes: 8\n1 0 5 100 4 90 -1 4 200 -1 1 3 1 7 1 -1 -1 -1\n";
+        for cut in 0..=text.len() {
+            if !text.is_char_boundary(cut) {
+                continue;
+            }
+            let prefix = &text[..cut];
+            let _ = parse_swf(prefix);
+            let (_, report) = parse_swf_lenient(prefix);
+            assert!(report.jobs <= 1);
+        }
     }
 
     #[test]
@@ -327,5 +565,84 @@ mod tests {
         let doc = parse_swf(text).unwrap();
         assert_eq!(doc.jobs[0].submit_time, 0.5);
         assert_eq!(doc.jobs[0].run_time, 100.25);
+    }
+
+    mod fuzz {
+        use super::super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Neither parser panics on arbitrary text, and the lenient one
+            /// accounts for every line (parsed + skipped + header + ignored
+            /// = lines).
+            #[test]
+            fn parsers_never_panic_on_arbitrary_text(text in "\\PC*") {
+                let _ = parse_swf(&text);
+                let (doc, report) = parse_swf_lenient(&text);
+                prop_assert_eq!(doc.jobs.len(), report.jobs);
+                prop_assert_eq!(
+                    report.jobs + report.skipped.len() + report.header_lines
+                        + report.ignored_lines,
+                    report.lines
+                );
+            }
+
+            /// Corrupting one field of a valid job line yields a typed error
+            /// (or a valid parse if the mutation happens to stay numeric) —
+            /// never a panic.
+            #[test]
+            fn corrupted_field_gives_typed_error(
+                field in 0usize..18,
+                garbage in "\\PC*",
+            ) {
+                let mut fields: Vec<String> =
+                    "1 0 5 100 4 90 -1 4 200 -1 1 3 1 7 1 -1 -1 -1"
+                        .split_whitespace()
+                        .map(str::to_string)
+                        .collect();
+                fields[field] = garbage;
+                let line = fields.join(" ");
+                // The garbage may itself contain newlines, splitting the
+                // document into several lines — any typed error (or a clean
+                // parse of whatever survives) is acceptable; a panic is not.
+                match parse_swf(&line) {
+                    Ok(doc) => prop_assert!(doc.jobs.len() <= 2),
+                    Err(e) => {
+                        prop_assert!(e.line >= 1);
+                        // Kind is one of the typed reasons; the label is
+                        // total so this cannot panic.
+                        let _ = e.kind.label();
+                    }
+                }
+            }
+
+            /// Lenient parsing of a document with malformed lines injected
+            /// between valid ones keeps exactly the valid jobs.
+            #[test]
+            fn lenient_keeps_exactly_the_valid_jobs(
+                n_good in 0usize..6,
+                n_bad in 0usize..6,
+            ) {
+                let mut text = String::new();
+                for i in 0..n_good.max(n_bad) {
+                    if i < n_good {
+                        text.push_str(&format!(
+                            "{} 0 5 100 4 90 -1 4 200 -1 1 3 1 7 1 -1 -1 -1\n",
+                            i + 1
+                        ));
+                    }
+                    if i < n_bad {
+                        text.push_str("truncated line\n");
+                    }
+                }
+                let (doc, report) = parse_swf_lenient(&text);
+                prop_assert_eq!(doc.jobs.len(), n_good);
+                prop_assert_eq!(report.skipped.len(), n_bad);
+                prop_assert!(report
+                    .skipped
+                    .iter()
+                    .all(|(_, k)| *k == ParseErrorKind::FieldCount));
+            }
+        }
     }
 }

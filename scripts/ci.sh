@@ -18,4 +18,12 @@ cargo bench --workspace --no-run
 echo "== table3 smoke run (--threads 8) =="
 ./target/release/table3 --jobs 512 --threads 8 > /dev/null
 
+echo "== trace smoke run (--trace json | trace-check) =="
+./target/release/table3 --jobs 512 --threads 8 --trace json 2>&1 >/dev/null \
+  | ./target/release/trace-check -
+
+echo "== golden snapshots (threads 1 + 8, full canonical size) =="
+cargo test -q -p wl-repro --test golden
+cargo test -q -p wl-cli --test golden_trace
+
 echo "CI green."
