@@ -9,7 +9,7 @@
 //! return the one with the best fit, optionally requiring the subset's map
 //! to agree with the full map (Procrustes residual).
 
-use coplot::{CoplotEngine, CoplotError};
+use coplot::{CoplotEngine, CoplotError, Selection};
 use wl_linalg::procrustes_align;
 
 /// One scored subset.
@@ -68,8 +68,8 @@ pub fn best_variable_subset(
 
     // Reference map from all variables; this also fills the engine's
     // normalization/contribution caches for all the subset runs below.
-    let mut engine = CoplotEngine::builder().seed(seed).build();
-    let full = engine.analyze(data)?;
+    let engine = CoplotEngine::builder().seed(seed).build();
+    let full = engine.run(data, &Selection::All)?;
 
     // Enumerate every combination up front (lexicographic), then score
     // them concurrently against the shared read-only engine cache.
@@ -82,7 +82,9 @@ pub fn best_variable_subset(
         }
     }
     let scored = wl_par::par_map(threads, &combos, |combo| {
-        let r = engine.analyze_selected_shared(data, combo).ok()?;
+        let r = engine
+            .run(data, &Selection::SubsetShared(combo.clone()))
+            .ok()?;
         if r.alienation > max_alienation {
             return None;
         }

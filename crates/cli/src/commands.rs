@@ -2,17 +2,16 @@
 
 use std::path::Path;
 
-use coplot::Coplot;
+use coplot::{AnalysisRequest, AnalysisResponse, DatasetSpec, Operation};
 use wl_analysis::homogeneity::{test_homogeneity, HomogeneityConfig, HomogeneityVerdict};
-use wl_analysis::workload_matrix;
 use wl_logsynth::machines::MachineId;
 use wl_models::{
     Downey, Feitelson96, Feitelson97, Jann, Lublin, SelfSimilarModel, WorkloadModel,
 };
-use wl_selfsim::HurstEstimator;
+use wl_serve::exec::{execute, ExecConfig, ExecOutcome};
 use wl_stats::rng::seeded_rng;
 use wl_swf::workload::{AllocationFlexibility, MachineInfo, SchedulerFlexibility};
-use wl_swf::{parse_swf, write_swf, JobSeries, Variable, Workload, WorkloadStats};
+use wl_swf::{parse_swf, write_swf, Variable, Workload, WorkloadStats};
 
 /// Default machine when an SWF file carries no metadata header.
 fn default_machine() -> MachineInfo {
@@ -27,7 +26,7 @@ fn default_machine() -> MachineInfo {
 type ParsedArgs = (Vec<String>, Vec<(String, String)>);
 
 /// Boolean flags (no value follows them); everything else is `--flag value`.
-const BOOLEAN_FLAGS: [&str; 1] = ["timings"];
+const BOOLEAN_FLAGS: [&str; 2] = ["timings", "json"];
 
 /// Split positional arguments from `--flag value` / `--switch` options.
 fn split_args(args: &[String]) -> Result<ParsedArgs, String> {
@@ -61,13 +60,25 @@ fn flag<'a>(flags: &'a [(String, String)], name: &str) -> Option<&'a str> {
         .map(|(_, v)| v.as_str())
 }
 
-/// `--threads N`, defaulting to `WL_THREADS` and then the machine's
-/// available parallelism.
-fn parse_threads(flags: &[(String, String)]) -> Result<usize, String> {
-    flag(flags, "threads")
-        .map(|v| v.parse().map_err(|_| "--threads needs an integer".to_string()))
-        .transpose()
-        .map(|t| t.unwrap_or_else(wl_par::default_threads))
+/// Turn the positional arguments into a dataset spec: a single `@name`
+/// selects a named synthesized dataset (see `wl-serve`'s `/v1/datasets`);
+/// anything else is a list of SWF files.
+fn parse_dataset(positional: &[String]) -> Result<DatasetSpec, String> {
+    match positional {
+        [single] if single.starts_with('@') => Ok(DatasetSpec::Named(single[1..].to_string())),
+        _ if positional.iter().any(|p| p.starts_with('@')) => {
+            Err("a named dataset (@name) must be the only positional argument".into())
+        }
+        [] => Err("no input files given".into()),
+        paths => Ok(DatasetSpec::Paths(paths.to_vec())),
+    }
+}
+
+/// Run a request through the shared executor — the same code path
+/// `wl-serve` uses, so `--json` output is byte-identical to a server
+/// response for the same canonical request.
+fn run_request(req: &AnalysisRequest, threads: usize) -> Result<ExecOutcome, String> {
+    execute(req, &ExecConfig::new(threads)).map_err(|e| e.to_string())
 }
 
 fn load_workload(path: &str) -> Result<Workload, String> {
@@ -120,48 +131,42 @@ pub fn stats(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-/// `wl coplot` — map several workloads together.
-pub fn coplot(args: &[String]) -> Result<(), String> {
-    let (paths, flags) = split_args(args)?;
-    let workloads = load_all(&paths)?;
-    if workloads.len() < 3 {
-        return Err("co-plot needs at least 3 workloads".into());
+/// `wl coplot` — map several workloads together. A thin adapter over the
+/// unified analysis API: builds an [`AnalysisRequest`], executes it through
+/// the shared `wl-serve` executor, renders the [`AnalysisResponse`].
+pub fn coplot(args: &[String], threads: usize) -> Result<(), String> {
+    let (positional, flags) = split_args(args)?;
+    let mut req = AnalysisRequest::new(Operation::Coplot, parse_dataset(&positional)?);
+    if let Some(v) = flag(&flags, "vars") {
+        req.vars = v.split(',').map(|s| s.trim().to_string()).collect();
     }
-    let vars_raw = flag(&flags, "vars").unwrap_or("Rm,Ri,Pm,Pi,Cm,Ci,Im,Ii");
-    let codes: Vec<&str> = vars_raw.split(',').map(|s| s.trim()).collect();
-    for c in &codes {
-        if Variable::from_code(c).is_none() {
-            return Err(format!("unknown variable code {c:?}"));
-        }
+    if let Some(v) = flag(&flags, "seed") {
+        req.seed = v.parse().map_err(|_| "--seed needs an integer")?;
     }
-    let seed: u64 = flag(&flags, "seed")
-        .map(|v| v.parse().map_err(|_| "--seed needs an integer"))
-        .transpose()?
-        .unwrap_or(1999);
-    let threads = parse_threads(&flags)?;
-    let timings = flag(&flags, "timings").is_some();
+    if let Some(v) = flag(&flags, "jobs") {
+        req.jobs = v.parse().map_err(|_| "--jobs needs an integer")?;
+    }
+    if let Some(v) = flag(&flags, "min-corr") {
+        req.min_correlation = Some(v.parse().map_err(|_| "--min-corr needs a number")?);
+    }
 
-    let data = workload_matrix(&workloads, &codes);
-    let mut engine = Coplot::new().seed(seed).threads(threads).engine();
-    let result = if let Some(min_corr) = flag(&flags, "min-corr") {
-        let threshold: f64 = min_corr
-            .parse()
-            .map_err(|_| "--min-corr needs a number".to_string())?;
-        let (r, removed) = engine
-            .analyze_with_elimination(&data, threshold)
-            .map_err(|e| e.to_string())?;
-        if !removed.is_empty() {
-            println!("removed low-correlation variables: {removed:?}");
-        }
-        r
-    } else {
-        engine.analyze(&data).map_err(|e| e.to_string())?
+    let outcome = run_request(&req, threads)?;
+    if flag(&flags, "json").is_some() {
+        println!("{}", outcome.response.to_json());
+        return Ok(());
+    }
+    let AnalysisResponse::Coplot(out) = &outcome.response else {
+        return Err("executor returned a non-coplot response".into());
     };
+    if !out.removed.is_empty() {
+        println!("removed low-correlation variables: {:?}", out.removed);
+    }
 
+    let result = out.to_result().map_err(|e| e.to_string())?;
     println!("{}", coplot::render::render_text(&result, 72, 28));
-    if timings {
+    if flag(&flags, "timings").is_some() {
         println!("per-stage timings:");
-        print!("{}", coplot::StageReportTable(engine.reports()));
+        print!("{}", coplot::StageReportTable(&outcome.reports));
     }
     if let Some(svg_path) = flag(&flags, "svg") {
         std::fs::write(svg_path, coplot::render::render_svg(&result, "wl coplot"))
@@ -172,30 +177,33 @@ pub fn coplot(args: &[String]) -> Result<(), String> {
 }
 
 /// `wl hurst` — self-similarity estimates per file, the per-workload
-/// estimation fanned out over `--threads` workers.
-pub fn hurst(args: &[String]) -> Result<(), String> {
-    let (paths, flags) = split_args(args)?;
-    let threads = parse_threads(&flags)?;
-    let workloads = load_all(&paths)?;
+/// estimation fanned out over `--threads` workers. Adapter over the
+/// unified analysis API.
+pub fn hurst(args: &[String], threads: usize) -> Result<(), String> {
+    let (positional, flags) = split_args(args)?;
+    let mut req = AnalysisRequest::new(Operation::Hurst, parse_dataset(&positional)?);
+    if let Some(v) = flag(&flags, "seed") {
+        req.seed = v.parse().map_err(|_| "--seed needs an integer")?;
+    }
+    if let Some(v) = flag(&flags, "jobs") {
+        req.jobs = v.parse().map_err(|_| "--jobs needs an integer")?;
+    }
+
+    let outcome = run_request(&req, threads)?;
+    if flag(&flags, "json").is_some() {
+        println!("{}", outcome.response.to_json());
+        return Ok(());
+    }
+    let AnalysisResponse::Hurst(out) = &outcome.response else {
+        return Err("executor returned a non-hurst response".into());
+    };
     print!("{:<20}", "workload");
-    for series in JobSeries::ALL {
-        for est in HurstEstimator::ALL {
-            print!("{:>9}", format!("{}{}", est.label(), series.code()));
-        }
+    for c in &out.columns {
+        print!("{c:>9}");
     }
     println!();
-    let rows = wl_par::par_map(threads, &workloads, |w| {
-        let mut row = Vec::with_capacity(12);
-        for series in JobSeries::ALL {
-            let xs = series.extract(w);
-            for est in HurstEstimator::ALL {
-                row.push(est.estimate(&xs));
-            }
-        }
-        row
-    });
-    for (w, row) in workloads.iter().zip(rows) {
-        print!("{:<20}", truncate(&w.name, 19));
+    for (name, row) in out.workloads.iter().zip(&out.rows) {
+        print!("{:<20}", truncate(name, 19));
         for h in row {
             match h {
                 Some(h) => print!("{h:>9.2}"),
@@ -206,6 +214,63 @@ pub fn hurst(args: &[String]) -> Result<(), String> {
     }
     println!();
     println!("H = 0.5: no long-range dependence; H -> 1: strongly self-similar.");
+    Ok(())
+}
+
+/// `wl subset` — section 8's representative-variable search: rank the
+/// variable subsets of a given size by arrow correlation among those whose
+/// map stays a good fit. Adapter over the unified analysis API.
+pub fn subset(args: &[String], threads: usize) -> Result<(), String> {
+    let (positional, flags) = split_args(args)?;
+    let mut req = AnalysisRequest::new(Operation::Subset, parse_dataset(&positional)?);
+    if let Some(v) = flag(&flags, "vars") {
+        req.vars = v.split(',').map(|s| s.trim().to_string()).collect();
+    }
+    if let Some(v) = flag(&flags, "seed") {
+        req.seed = v.parse().map_err(|_| "--seed needs an integer")?;
+    }
+    if let Some(v) = flag(&flags, "jobs") {
+        req.jobs = v.parse().map_err(|_| "--jobs needs an integer")?;
+    }
+    if let Some(v) = flag(&flags, "size") {
+        req.subset_size = v.parse().map_err(|_| "--size needs an integer")?;
+    }
+    if let Some(v) = flag(&flags, "max-alienation") {
+        req.max_alienation = v.parse().map_err(|_| "--max-alienation needs a number")?;
+    }
+    if let Some(v) = flag(&flags, "top") {
+        req.top = v.parse().map_err(|_| "--top needs an integer")?;
+    }
+
+    let outcome = run_request(&req, threads)?;
+    if flag(&flags, "json").is_some() {
+        println!("{}", outcome.response.to_json());
+        return Ok(());
+    }
+    let AnalysisResponse::Subset(out) = &outcome.response else {
+        return Err("executor returned a non-subset response".into());
+    };
+    if out.results.is_empty() {
+        println!(
+            "no variable subset of size {} keeps alienation <= {}",
+            req.subset_size, req.max_alienation
+        );
+        return Ok(());
+    }
+    println!(
+        "{:<5} {:<28} {:>10} {:>10} {:>9}",
+        "rank", "variables", "alienation", "mean corr", "map rmsd"
+    );
+    for (i, e) in out.results.iter().enumerate() {
+        println!(
+            "{:<5} {:<28} {:>10.3} {:>10.3} {:>9.2}",
+            i + 1,
+            e.variables.join(","),
+            e.alienation,
+            e.mean_correlation,
+            e.map_conservation_rmsd
+        );
+    }
     Ok(())
 }
 
@@ -391,6 +456,19 @@ mod tests {
     #[test]
     fn stats_errors_without_files() {
         assert!(stats(&[]).is_err());
+    }
+
+    #[test]
+    fn parse_dataset_distinguishes_named_from_paths() {
+        let named = parse_dataset(&["@table1".to_string()]).unwrap();
+        assert_eq!(named, DatasetSpec::Named("table1".into()));
+        let paths = parse_dataset(&["a.swf".to_string(), "b.swf".to_string()]).unwrap();
+        assert_eq!(
+            paths,
+            DatasetSpec::Paths(vec!["a.swf".into(), "b.swf".into()])
+        );
+        assert!(parse_dataset(&[]).is_err());
+        assert!(parse_dataset(&["@table1".to_string(), "a.swf".to_string()]).is_err());
     }
 
     #[test]

@@ -25,11 +25,21 @@ use std::process::ExitCode;
 mod commands;
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let (args, session) = match obs_session(args) {
-        Ok(pair) => pair,
-        Err(msg) => {
-            eprintln!("wl: {msg}");
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    // The shared runtime flags (--threads / --trace / --metrics-out) are
+    // valid anywhere on the command line, for every subcommand; the same
+    // coplot::Runtime parses them for the repro binaries and wl-serve.
+    let rt = match coplot::Runtime::extract(&mut args) {
+        Ok(rt) => rt,
+        Err(e) => {
+            eprintln!("wl: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let session = match rt.obs_session() {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("wl: {e}");
             return ExitCode::FAILURE;
         }
     };
@@ -39,8 +49,9 @@ fn main() -> ExitCode {
     };
     let result = match command.as_str() {
         "stats" => commands::stats(rest),
-        "coplot" => commands::coplot(rest),
-        "hurst" => commands::hurst(rest),
+        "coplot" => commands::coplot(rest, rt.threads),
+        "hurst" => commands::hurst(rest, rt.threads),
+        "subset" => commands::subset(rest, rt.threads),
         "homogeneity" => commands::homogeneity(rest),
         "generate" => commands::generate(rest),
         "help" | "--help" | "-h" => {
@@ -59,52 +70,26 @@ fn main() -> ExitCode {
     }
 }
 
-/// Strip the global `--trace <text|json>` / `--metrics-out <path>` flags
-/// (valid anywhere on the command line, for every subcommand) and build the
-/// observability session from them.
-fn obs_session(args: Vec<String>) -> Result<(Vec<String>, wl_obs::ObsSession), String> {
-    let mut rest = Vec::with_capacity(args.len());
-    let mut trace = None;
-    let mut metrics_out = None;
-    let mut i = 0;
-    while i < args.len() {
-        match args[i].as_str() {
-            name @ ("--trace" | "--metrics-out") => {
-                let value = args
-                    .get(i + 1)
-                    .ok_or_else(|| format!("flag {name} needs a value"))?
-                    .clone();
-                if name == "--trace" {
-                    trace = Some(value);
-                } else {
-                    metrics_out = Some(value);
-                }
-                i += 2;
-            }
-            _ => {
-                rest.push(args[i].clone());
-                i += 1;
-            }
-        }
-    }
-    let session = wl_obs::ObsSession::from_flags(trace.as_deref(), metrics_out.as_deref())?;
-    Ok((rest, session))
-}
-
 fn usage() -> &'static str {
     "wl — parallel workload analysis (Co-plot / IPPS'99 toolkit)
 
 USAGE:
   wl stats <file.swf>...
-  wl coplot <file.swf>... [--vars Rm,Ri,Pm,Pi,Im,Ii] [--svg out.svg] [--seed N] [--min-corr X] [--threads N] [--timings]
-  wl hurst <file.swf>... [--threads N]
+  wl coplot <dataset> [--vars Rm,Ri,Pm,Pi,Im,Ii] [--svg out.svg] [--seed N] [--min-corr X] [--timings] [--json]
+  wl hurst <dataset> [--json]
+  wl subset <dataset> [--size K] [--max-alienation X] [--top N] [--vars ..] [--json]
   wl homogeneity <file.swf> [--periods N] [--seed N]
   wl generate <model> [--jobs N] [--seed N] [--out file.swf]
 
---threads defaults to WL_THREADS, then the available parallelism; results
-are identical for any thread count.
+DATASETS (coplot/hurst/subset):
+  either SWF files (<file.swf>...) or one named synthesized suite:
+  @table1 @table2 @models @table3 (with [--jobs N] [--seed N]).
+  --json prints the analysis response exactly as wl-serve would return it.
 
 GLOBAL FLAGS (any subcommand):
+  --threads N            worker threads (default WL_THREADS, then the
+                         available parallelism; results are identical
+                         for any thread count)
   --trace <text|json>    print spans + metrics to stderr after the run
   --metrics-out <path>   write the JSON-lines trace/metrics to a file
 Tracing writes only to stderr/the file; stdout is byte-identical to an

@@ -1,0 +1,72 @@
+//! CLI/server parity: `wl <op> ... --json` must print byte-for-byte the
+//! body that `wl-serve` returns for the same canonical request.
+//!
+//! Both sides call `wl_serve::exec::execute`, so parity holds by
+//! construction; this golden test pins it against regressions in either
+//! adapter (the CLI flag parsing or the server's request handling).
+
+use std::process::Command;
+
+use wl_serve::http::http_call;
+use wl_serve::{start, ServerConfig};
+
+fn wl_stdout(args: &[&str]) -> String {
+    let output = Command::new(env!("CARGO_BIN_EXE_wl"))
+        .args(args)
+        .output()
+        .expect("run wl");
+    assert!(
+        output.status.success(),
+        "wl {args:?} failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    String::from_utf8(output.stdout).expect("wl stdout is UTF-8")
+}
+
+#[test]
+fn cli_json_output_matches_server_responses() {
+    let server = start(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 1,
+        queue_capacity: 4,
+        cache_capacity: 4,
+        threads: 2,
+        default_deadline_ms: None,
+    })
+    .expect("bind parity server");
+    let addr = server.addr().to_string();
+
+    // One request per analysis op, all on the same canonical dataset.
+    let cases: [(&str, &[&str], &str); 3] = [
+        (
+            "/v1/coplot",
+            &["coplot", "@models", "--jobs", "150", "--seed", "1999", "--threads", "2", "--json"],
+            "{\"op\":\"coplot\",\"dataset\":{\"name\":\"models\"},\"jobs\":150,\"seed\":1999}",
+        ),
+        (
+            "/v1/hurst",
+            &["hurst", "@models", "--jobs", "150", "--seed", "1999", "--threads", "2", "--json"],
+            "{\"op\":\"hurst\",\"dataset\":{\"name\":\"models\"},\"jobs\":150,\"seed\":1999}",
+        ),
+        (
+            "/v1/subset",
+            &[
+                "subset", "@models", "--jobs", "150", "--seed", "1999", "--size", "3", "--top",
+                "2", "--threads", "2", "--json",
+            ],
+            "{\"op\":\"subset\",\"dataset\":{\"name\":\"models\"},\"jobs\":150,\"seed\":1999,\"subset_size\":3,\"top\":2}",
+        ),
+    ];
+
+    for (path, cli_args, request) in cases {
+        let stdout = wl_stdout(cli_args);
+        let (status, _, body) = http_call(&addr, "POST", path, Some(request)).expect("POST");
+        assert_eq!(status, 200, "{path}: {body}");
+        assert_eq!(
+            stdout,
+            format!("{body}\n"),
+            "{path}: CLI --json output must be the server body plus a newline"
+        );
+    }
+    server.shutdown();
+}

@@ -11,15 +11,26 @@
 //!   ([`NonmetricMdsEmbedder`]);
 //! * [`ArrowFitter`] — variable columns to arrows ([`OlsArrowFitter`]).
 //!
-//! Unlike the one-shot [`crate::pipeline::Coplot`] facade (now a thin
-//! wrapper over this engine), the engine is stateful: it caches the
-//! normalized matrix and the per-variable dissimilarity contributions of the
-//! last input, so variable elimination and subset searches re-embed without
-//! re-normalizing or recomputing distances from scratch. Every run also
-//! records a [`StageReport`] per stage — wall time, iteration counts, the
-//! per-restart MDS thetas, and whether the stage was served from cache —
-//! retrievable via [`CoplotEngine::reports`] and printable with
-//! [`StageReportTable`].
+//! Unlike the one-shot [`crate::pipeline::Coplot`] facade (a thin wrapper
+//! over this engine), the engine is stateful: it caches the normalized
+//! matrix and the per-variable dissimilarity contributions of the last
+//! input, so variable elimination and subset searches re-embed without
+//! re-normalizing or recomputing distances from scratch.
+//!
+//! There is one entry point: [`CoplotEngine::run`] takes the data and a
+//! [`Selection`] describing *which* analysis to perform — all variables, an
+//! index subset, a cache-only shared subset, or the paper's
+//! variable-elimination workflow. The engine takes `&self`: the cache sits
+//! behind an `RwLock` and the stage reports behind a `Mutex`, so one engine
+//! can serve many concurrent selections (this is what the parallel subset
+//! search and the `wl-serve` workers rely on). The pre-redesign entry
+//! points (`analyze`, `analyze_selected`, `analyze_selected_shared`,
+//! `analyze_with_elimination`) remain as thin deprecated wrappers.
+//!
+//! Every reported run records a [`StageReport`] per stage — wall time,
+//! iteration counts, the per-restart MDS thetas, and whether the stage was
+//! served from cache — retrievable via [`CoplotEngine::reports`] and
+//! printable with [`StageReportTable`].
 //!
 //! # Caching and exactness
 //!
@@ -33,6 +44,7 @@
 //! bit-identical results.
 
 use std::fmt;
+use std::sync::{Mutex, RwLock};
 use std::time::{Duration, Instant};
 
 use crate::arrows::{try_fit_arrow, Arrow};
@@ -208,6 +220,29 @@ impl PairContributions {
     }
 }
 
+/// Which analysis [`CoplotEngine::run`] performs over the data.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Selection {
+    /// All variables, recording stage reports.
+    All,
+    /// An ascending subset of variable indices, recording stage reports.
+    Subset(Vec<usize>),
+    /// Like [`Selection::Subset`] but served entirely from the
+    /// already-populated cache and without recording reports, so many
+    /// `SubsetShared` runs can proceed concurrently against one engine.
+    /// Errors with [`CoplotError::InvalidConfig`] when the cache does not
+    /// hold this data's intermediates (run [`Selection::All`] first).
+    SubsetShared(Vec<usize>),
+    /// The paper's variable-elimination workflow: analyze, drop the worst
+    /// variable while any arrow correlation is below `min_correlation`,
+    /// re-embed, repeat. The removal order lands in
+    /// [`CoplotResult::removed`].
+    Eliminate {
+        /// Keep eliminating while any arrow correlation is below this.
+        min_correlation: f64,
+    },
+}
+
 /// Which pipeline stage a [`StageReport`] describes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Stage {
@@ -229,6 +264,17 @@ impl Stage {
             Stage::Dissimilarity => "dissimilarity",
             Stage::Embedding => "embedding",
             Stage::Arrows => "arrows",
+        }
+    }
+
+    /// Parse a stage from its [`Stage::name`] label.
+    pub fn from_name(name: &str) -> Option<Stage> {
+        match name {
+            "normalize" => Some(Stage::Normalize),
+            "dissimilarity" => Some(Stage::Dissimilarity),
+            "embedding" => Some(Stage::Embedding),
+            "arrows" => Some(Stage::Arrows),
+            _ => None,
         }
     }
 }
@@ -359,10 +405,8 @@ fn fingerprint(data: &DataMatrix) -> u64 {
 /// The staged, caching, instrumented Co-plot pipeline.
 ///
 /// Build one with [`CoplotEngine::builder`]; run analyses with
-/// [`analyze`](CoplotEngine::analyze),
-/// [`analyze_with_elimination`](CoplotEngine::analyze_with_elimination) or
-/// [`analyze_selected`](CoplotEngine::analyze_selected); inspect the last
-/// run's per-stage instrumentation with
+/// [`run`](CoplotEngine::run) and a [`Selection`]; inspect the last
+/// reported run's per-stage instrumentation with
 /// [`reports`](CoplotEngine::reports).
 #[derive(Debug)]
 pub struct CoplotEngine {
@@ -370,8 +414,8 @@ pub struct CoplotEngine {
     dissimilarity: Box<dyn DissimilarityStage>,
     embedder: Box<dyn Embedder>,
     arrow_fitter: Box<dyn ArrowFitter>,
-    cache: Option<EngineCache>,
-    reports: Vec<StageReport>,
+    cache: RwLock<Option<EngineCache>>,
+    reports: Mutex<Vec<StageReport>>,
 }
 
 impl Default for CoplotEngine {
@@ -386,121 +430,149 @@ impl CoplotEngine {
         CoplotEngineBuilder::default()
     }
 
-    /// Run all four stages on a data matrix.
+    /// Run the pipeline for one [`Selection`].
     ///
-    /// Re-running on the same data reuses the cached normalization and
-    /// dissimilarity contributions (visible as `cache_hit` in the reports).
+    /// `All`, `Subset` and `Eliminate` populate the cache for `data` when it
+    /// is cold and record per-stage [`StageReport`]s (replacing the previous
+    /// run's reports); re-running on the same data reuses the cached
+    /// normalization and dissimilarity contributions, visible as
+    /// `cache_hit` in the reports. `SubsetShared` is served entirely from
+    /// the already-populated cache without touching the reports, so any
+    /// number of `SubsetShared` runs can proceed concurrently against one
+    /// shared engine; results are bit-identical to `Subset` (both run the
+    /// same selection core).
+    ///
+    /// # Errors
+    /// Any stage's [`CoplotError`]; additionally
+    /// [`CoplotError::EmptyInput`] / [`CoplotError::DimensionMismatch`] for
+    /// invalid subsets and [`CoplotError::InvalidConfig`] for a
+    /// `SubsetShared` against a cold or mismatched cache.
+    pub fn run(&self, data: &DataMatrix, selection: &Selection) -> Result<CoplotResult, CoplotError> {
+        let fp = fingerprint(data);
+        match selection {
+            Selection::All => self.with_cache(data, fp, |this, cache, info| {
+                let keep: Vec<usize> = (0..cache.z.n_variables()).collect();
+                this.run_reported(cache, &keep, info)
+            }),
+            Selection::Subset(keep) => self.with_cache(data, fp, |this, cache, info| {
+                validate_keep(cache.z.n_variables(), keep, "Selection::Subset")?;
+                this.run_reported(cache, keep, info)
+            }),
+            Selection::SubsetShared(keep) => {
+                let guard = self.cache.read().expect("engine cache lock");
+                let cache = guard
+                    .as_ref()
+                    .filter(|c| c.fingerprint == fp)
+                    .ok_or_else(|| {
+                        CoplotError::InvalidConfig(
+                            "Selection::SubsetShared: engine cache does not hold this \
+                             data's intermediates; run Selection::All on it first"
+                                .into(),
+                        )
+                    })?;
+                validate_keep(cache.z.n_variables(), keep, "Selection::SubsetShared")?;
+                wl_obs::counter!("engine.shared_selections", 1u64);
+                self.compute_selection(cache, keep).map(|(r, _)| r)
+            }
+            Selection::Eliminate { min_correlation } => {
+                self.with_cache(data, fp, |this, cache, info| {
+                    this.run_elimination(cache, info, *min_correlation)
+                })
+            }
+        }
+    }
+
+    /// Run all four stages on a data matrix.
+    #[deprecated(note = "use CoplotEngine::run(data, &Selection::All)")]
     pub fn analyze(&mut self, data: &DataMatrix) -> Result<CoplotResult, CoplotError> {
-        self.reports.clear();
-        let info = self.prepare(data)?;
-        let keep: Vec<usize> = (0..self.cached_z().n_variables()).collect();
-        self.run_selection(&keep, info)
+        self.run(data, &Selection::All)
     }
 
     /// Run the stages on a subset of variables, given by ascending indices
     /// into the normalized matrix's variables.
-    ///
-    /// The normalization and dissimilarity caches are shared with every
-    /// other analysis of the same data, which is what makes subset searches
-    /// (e.g. `wl-analysis`'s best-subset scan) cheap: only the embedding and
-    /// arrow stages run per subset.
+    #[deprecated(note = "use CoplotEngine::run(data, &Selection::Subset(keep))")]
     pub fn analyze_selected(
         &mut self,
         data: &DataMatrix,
         keep: &[usize],
     ) -> Result<CoplotResult, CoplotError> {
-        self.reports.clear();
-        let info = self.prepare(data)?;
-        let p = self.cached_z().n_variables();
-        if keep.is_empty() {
-            return Err(CoplotError::EmptyInput {
-                what: "selected variables",
-            });
-        }
-        if let Some(&bad) = keep.iter().find(|&&v| v >= p) {
-            return Err(CoplotError::DimensionMismatch {
-                context: "analyze_selected: variable index".into(),
-                expected: p,
-                got: bad,
-            });
-        }
-        self.run_selection(keep, info)
+        self.run(data, &Selection::Subset(keep.to_vec()))
     }
 
-    /// The paper's variable-elimination workflow: analyze, drop the worst
-    /// variable while any arrow correlation is below `min_correlation`,
-    /// re-run, repeat. Returns the final result plus the names of removed
-    /// variables, in removal order.
-    ///
-    /// At least two variables are always kept; if even those fall below the
-    /// threshold the last result is returned anyway (matching how the paper
-    /// reports maps with a few weaker variables noted). Normalization and
-    /// dissimilarity contributions are computed once; each round only
-    /// re-embeds and re-fits arrows.
+    /// Cache-only immutable selection (see [`Selection::SubsetShared`]).
+    #[deprecated(note = "use CoplotEngine::run(data, &Selection::SubsetShared(keep))")]
+    pub fn analyze_selected_shared(
+        &self,
+        data: &DataMatrix,
+        keep: &[usize],
+    ) -> Result<CoplotResult, CoplotError> {
+        self.run(data, &Selection::SubsetShared(keep.to_vec()))
+    }
+
+    /// The paper's variable-elimination workflow; returns the final result
+    /// plus the names of removed variables, in removal order.
+    #[deprecated(note = "use CoplotEngine::run(data, &Selection::Eliminate { .. }); \
+                         removal order is in CoplotResult::removed")]
     pub fn analyze_with_elimination(
         &mut self,
         data: &DataMatrix,
         min_correlation: f64,
     ) -> Result<(CoplotResult, Vec<String>), CoplotError> {
-        self.reports.clear();
-        let mut info = self.prepare(data)?;
-        let mut keep: Vec<usize> = (0..self.cached_z().n_variables()).collect();
-        let mut removed = Vec::new();
-        loop {
-            let result = self.run_selection(&keep, info)?;
-            info = PrepareInfo::cached();
-            if keep.len() <= 2 {
-                return Ok((result, removed));
-            }
-            // Find the worst-fitting variable. The comparison is total:
-            // arrow correlations are finite by construction (a NaN fit is a
-            // DegenerateVariable error upstream).
-            let worst = result
-                .arrows
-                .iter()
-                .enumerate()
-                .min_by(|(_, a), (_, b)| {
-                    a.correlation
-                        .abs()
-                        .partial_cmp(&b.correlation.abs())
-                        .expect("finite correlations")
-                })
-                .map(|(i, a)| (i, a.correlation.abs(), a.name.clone()))
-                .expect("at least one arrow");
-            if worst.1 >= min_correlation {
-                return Ok((result, removed));
-            }
-            keep.remove(worst.0);
-            removed.push(worst.2);
-        }
+        let result = self.run(data, &Selection::Eliminate { min_correlation })?;
+        let removed = result.removed.clone();
+        Ok((result, removed))
     }
 
-    /// Per-stage instrumentation of the last `analyze*` call, in execution
-    /// order. Elimination runs append one group of four reports per round.
-    pub fn reports(&self) -> &[StageReport] {
-        &self.reports
+    /// Per-stage instrumentation of the last reported `run` (selections
+    /// `All`, `Subset`, `Eliminate`), in execution order. Elimination runs
+    /// append one group of four reports per round. `SubsetShared` runs
+    /// leave the reports untouched.
+    pub fn reports(&self) -> Vec<StageReport> {
+        self.reports.lock().expect("engine reports lock").clone()
     }
 
     /// Drop the cached intermediates (the next run recomputes everything).
-    pub fn clear_cache(&mut self) {
-        self.cache = None;
+    pub fn clear_cache(&self) {
+        *self.cache.write().expect("engine cache lock") = None;
     }
 
-    fn cached_z(&self) -> &NormalizedMatrix {
-        &self.cache.as_ref().expect("cache populated by prepare").z
+    /// Run `f` against a cache guaranteed to hold `data`'s intermediates.
+    ///
+    /// `prepare` populates the cache, but another thread may replace it
+    /// between preparing and re-acquiring the read lock (the engine is
+    /// `&self`-shared); the loop re-prepares until the fingerprint under
+    /// the read lock is ours, so concurrent runs on different data are
+    /// slow (they evict each other) but never wrong.
+    fn with_cache<T>(
+        &self,
+        data: &DataMatrix,
+        fp: u64,
+        f: impl FnOnce(&CoplotEngine, &EngineCache, PrepareInfo) -> Result<T, CoplotError>,
+    ) -> Result<T, CoplotError> {
+        let mut f = Some(f);
+        loop {
+            let info = self.prepare(data, fp)?;
+            let guard = self.cache.read().expect("engine cache lock");
+            if let Some(cache) = guard.as_ref().filter(|c| c.fingerprint == fp) {
+                let f = f.take().expect("closure consumed once");
+                return f(self, cache, info);
+            }
+        }
     }
 
     /// Make sure the cache holds this data's normalization and
     /// contributions, computing them if the fingerprint changed.
-    fn prepare(&mut self, data: &DataMatrix) -> Result<PrepareInfo, CoplotError> {
+    fn prepare(&self, data: &DataMatrix, fp: u64) -> Result<PrepareInfo, CoplotError> {
         let _span = wl_obs::span!("engine.prepare");
-        let fp = fingerprint(data);
-        if self.cache.as_ref().is_some_and(|c| c.fingerprint == fp) {
-            wl_obs::counter!("engine.cache.normalized.hit", 1u64);
-            if self.cache.as_ref().is_some_and(|c| c.contributions.is_some()) {
-                wl_obs::counter!("engine.cache.contributions.hit", 1u64);
+        {
+            let guard = self.cache.read().expect("engine cache lock");
+            if let Some(c) = guard.as_ref().filter(|c| c.fingerprint == fp) {
+                wl_obs::counter!("engine.cache.normalized.hit", 1u64);
+                if c.contributions.is_some() {
+                    wl_obs::counter!("engine.cache.contributions.hit", 1u64);
+                }
+                return Ok(PrepareInfo::cached());
             }
-            return Ok(PrepareInfo::cached());
         }
         wl_obs::counter!("engine.cache.normalized.miss", 1u64);
         let t = Instant::now();
@@ -518,7 +590,7 @@ impl CoplotEngine {
         if contributions.is_some() {
             wl_obs::counter!("engine.cache.contributions.miss", 1u64);
         }
-        self.cache = Some(EngineCache {
+        *self.cache.write().expect("engine cache lock") = Some(EngineCache {
             fingerprint: fp,
             z,
             contributions,
@@ -530,37 +602,50 @@ impl CoplotEngine {
         })
     }
 
-    /// Run stages 1'–4 for one variable selection against the cache, timing
-    /// each stage and appending its report.
-    fn run_selection(
-        &mut self,
+    /// One reported selection pass: clear the previous run's reports, run
+    /// the selection core, record the four stage reports.
+    fn run_reported(
+        &self,
+        cache: &EngineCache,
         keep: &[usize],
         info: PrepareInfo,
     ) -> Result<CoplotResult, CoplotError> {
-        let cache = self.cache.as_ref().expect("cache populated by prepare");
+        self.reports.lock().expect("engine reports lock").clear();
+        self.run_selection(cache, keep, info)
+    }
+
+    /// Run stages 1'–4 for one variable selection against the cache, timing
+    /// each stage and appending its report.
+    fn run_selection(
+        &self,
+        cache: &EngineCache,
+        keep: &[usize],
+        info: PrepareInfo,
+    ) -> Result<CoplotResult, CoplotError> {
         let (result, t) = self.compute_selection(cache, keep)?;
-        self.reports.push(StageReport {
+        let mut reports = self.reports.lock().expect("engine reports lock");
+        reports.push(StageReport {
             stage: Stage::Normalize,
             wall_time: info.normalize_time + t.select,
             iterations: 0,
             theta_per_restart: Vec::new(),
             cache_hit: info.cache_hit,
         });
-        self.reports.push(StageReport {
+        reports.push(StageReport {
             stage: Stage::Dissimilarity,
             wall_time: info.contrib_time + t.diss,
             iterations: 0,
             theta_per_restart: Vec::new(),
             cache_hit: t.diss_cacheable && info.cache_hit,
         });
-        self.reports.push(StageReport {
+        reports.push(StageReport {
             stage: Stage::Embedding,
             wall_time: t.embed,
             iterations: t.iterations,
             theta_per_restart: t.theta_per_restart,
             cache_hit: false,
         });
-        self.reports.push(StageReport {
+        reports.push(StageReport {
             stage: Stage::Arrows,
             wall_time: t.arrows,
             iterations: 0,
@@ -570,50 +655,53 @@ impl CoplotEngine {
         Ok(result)
     }
 
-    /// Like [`analyze_selected`](CoplotEngine::analyze_selected), but
-    /// immutable: the selection is served entirely from the already-populated
-    /// cache, and no stage reports are recorded. Because it takes `&self`
-    /// (and every stage is `Send + Sync`), many selections can run
-    /// concurrently against one shared engine — this is what
-    /// `wl-analysis`'s parallel subset search uses. Results are
-    /// bit-identical to [`analyze_selected`](CoplotEngine::analyze_selected)
-    /// (both run the same selection core).
+    /// The elimination loop: analyze, drop the worst variable while any
+    /// arrow correlation is below `min_correlation`, re-run, repeat.
     ///
-    /// # Errors
-    /// [`CoplotError::InvalidConfig`] when the cache does not hold `data`'s
-    /// intermediates (call [`analyze`](CoplotEngine::analyze) on the same
-    /// data first), plus the usual selection validation errors.
-    pub fn analyze_selected_shared(
+    /// At least two variables are always kept; if even those fall below the
+    /// threshold the last result is returned anyway (matching how the paper
+    /// reports maps with a few weaker variables noted). Normalization and
+    /// dissimilarity contributions are computed once; each round only
+    /// re-embeds and re-fits arrows.
+    fn run_elimination(
         &self,
-        data: &DataMatrix,
-        keep: &[usize],
+        cache: &EngineCache,
+        info: PrepareInfo,
+        min_correlation: f64,
     ) -> Result<CoplotResult, CoplotError> {
-        let cache = self
-            .cache
-            .as_ref()
-            .filter(|c| c.fingerprint == fingerprint(data))
-            .ok_or_else(|| {
-                CoplotError::InvalidConfig(
-                    "analyze_selected_shared: engine cache does not hold this \
-                     data's intermediates; run analyze() on it first"
-                        .into(),
-                )
-            })?;
-        let p = cache.z.n_variables();
-        if keep.is_empty() {
-            return Err(CoplotError::EmptyInput {
-                what: "selected variables",
-            });
+        self.reports.lock().expect("engine reports lock").clear();
+        let mut info = info;
+        let mut keep: Vec<usize> = (0..cache.z.n_variables()).collect();
+        let mut removed = Vec::new();
+        loop {
+            let mut result = self.run_selection(cache, &keep, info)?;
+            info = PrepareInfo::cached();
+            if keep.len() <= 2 {
+                result.removed = removed;
+                return Ok(result);
+            }
+            // Find the worst-fitting variable. The comparison is total:
+            // arrow correlations are finite by construction (a NaN fit is a
+            // DegenerateVariable error upstream).
+            let worst = result
+                .arrows
+                .iter()
+                .enumerate()
+                .min_by(|(_, a), (_, b)| {
+                    a.correlation
+                        .abs()
+                        .partial_cmp(&b.correlation.abs())
+                        .expect("finite correlations")
+                })
+                .map(|(i, a)| (i, a.correlation.abs(), a.name.clone()))
+                .expect("at least one arrow");
+            if worst.1 >= min_correlation {
+                result.removed = removed;
+                return Ok(result);
+            }
+            keep.remove(worst.0);
+            removed.push(worst.2);
         }
-        if let Some(&bad) = keep.iter().find(|&&v| v >= p) {
-            return Err(CoplotError::DimensionMismatch {
-                context: "analyze_selected_shared: variable index".into(),
-                expected: p,
-                got: bad,
-            });
-        }
-        wl_obs::counter!("engine.shared_selections", 1u64);
-        self.compute_selection(cache, keep).map(|(r, _)| r)
     }
 
     /// The shared selection core: stages 1'–4 against a populated cache,
@@ -689,10 +777,28 @@ impl CoplotEngine {
                 alienation: sol.alienation,
                 stress: sol.stress,
                 dissimilarities: diss,
+                removed: Vec::new(),
             },
             timings,
         ))
     }
+}
+
+/// Reject empty or out-of-range variable selections.
+fn validate_keep(p: usize, keep: &[usize], context: &str) -> Result<(), CoplotError> {
+    if keep.is_empty() {
+        return Err(CoplotError::EmptyInput {
+            what: "selected variables",
+        });
+    }
+    if let Some(&bad) = keep.iter().find(|&&v| v >= p) {
+        return Err(CoplotError::DimensionMismatch {
+            context: format!("{context}: variable index"),
+            expected: p,
+            got: bad,
+        });
+    }
+    Ok(())
 }
 
 /// Per-stage wall times (and embedding diagnostics) of one selection pass,
@@ -818,8 +924,8 @@ impl CoplotEngineBuilder {
                 .embedder
                 .unwrap_or_else(|| Box::new(NonmetricMdsEmbedder { config: self.mds })),
             arrow_fitter: self.arrow_fitter.unwrap_or(Box::new(OlsArrowFitter)),
-            cache: None,
-            reports: Vec::new(),
+            cache: RwLock::new(None),
+            reports: Mutex::new(Vec::new()),
         }
     }
 }
@@ -855,20 +961,34 @@ mod tests {
     fn engine_matches_pipeline_facade() {
         let data = structured_data();
         let facade = Coplot::new().seed(11).analyze(&data).unwrap();
-        let mut engine = CoplotEngine::builder().seed(11).build();
-        let direct = engine.analyze(&data).unwrap();
+        let engine = CoplotEngine::builder().seed(11).build();
+        let direct = engine.run(&data, &Selection::All).unwrap();
         assert_eq!(facade.coords.as_slice(), direct.coords.as_slice());
         assert_eq!(facade.alienation.to_bits(), direct.alienation.to_bits());
         assert_eq!(facade.arrows, direct.arrows);
     }
 
     #[test]
+    fn deprecated_wrappers_match_run() {
+        let data = structured_data();
+        let engine = CoplotEngine::builder().seed(11).build();
+        let via_run = engine.run(&data, &Selection::All).unwrap();
+        let mut engine = CoplotEngine::builder().seed(11).build();
+        #[allow(deprecated)]
+        let via_wrapper = engine.analyze(&data).unwrap();
+        assert_eq!(via_run.coords.as_slice(), via_wrapper.coords.as_slice());
+        #[allow(deprecated)]
+        let (elim, removed) = engine.analyze_with_elimination(&data, 0.0).unwrap();
+        assert_eq!(elim.removed, removed);
+    }
+
+    #[test]
     fn second_run_hits_the_cache_with_identical_results() {
         let data = structured_data();
-        let mut engine = CoplotEngine::builder().seed(12).build();
-        let first = engine.analyze(&data).unwrap();
+        let engine = CoplotEngine::builder().seed(12).build();
+        let first = engine.run(&data, &Selection::All).unwrap();
         assert!(engine.reports().iter().all(|r| !r.cache_hit));
-        let second = engine.analyze(&data).unwrap();
+        let second = engine.run(&data, &Selection::All).unwrap();
         let hits: Vec<bool> = engine.reports().iter().map(|r| r.cache_hit).collect();
         assert_eq!(hits, [true, true, false, false]);
         assert_eq!(first.coords.as_slice(), second.coords.as_slice());
@@ -877,11 +997,11 @@ mod tests {
 
     #[test]
     fn cache_invalidates_on_new_data() {
-        let mut engine = CoplotEngine::builder().seed(13).build();
-        engine.analyze(&structured_data()).unwrap();
+        let engine = CoplotEngine::builder().seed(13).build();
+        engine.run(&structured_data(), &Selection::All).unwrap();
         let mut other = structured_data();
         other = other.select_observations(&[0, 1, 2, 3, 4]);
-        engine.analyze(&other).unwrap();
+        engine.run(&other, &Selection::All).unwrap();
         assert!(engine.reports().iter().all(|r| !r.cache_hit));
     }
 
@@ -903,11 +1023,11 @@ mod tests {
     }
 
     #[test]
-    fn analyze_selected_matches_fresh_analysis_of_the_subset() {
+    fn subset_selection_matches_fresh_analysis_of_the_subset() {
         let data = structured_data();
-        let mut engine = CoplotEngine::builder().seed(14).build();
-        engine.analyze(&data).unwrap();
-        let sub = engine.analyze_selected(&data, &[0, 1, 3]).unwrap();
+        let engine = CoplotEngine::builder().seed(14).build();
+        engine.run(&data, &Selection::All).unwrap();
+        let sub = engine.run(&data, &Selection::Subset(vec![0, 1, 3])).unwrap();
         // The dissimilarity stage must have come from the cache.
         assert!(engine.reports()[1].cache_hit);
 
@@ -915,7 +1035,7 @@ mod tests {
         let fresh = CoplotEngine::builder()
             .seed(14)
             .build()
-            .analyze(&fresh_data)
+            .run(&fresh_data, &Selection::All)
             .unwrap();
         assert_eq!(sub.coords.as_slice(), fresh.coords.as_slice());
         assert_eq!(sub.alienation.to_bits(), fresh.alienation.to_bits());
@@ -923,46 +1043,51 @@ mod tests {
     }
 
     #[test]
-    fn shared_selection_matches_mutable_selection() {
+    fn shared_selection_matches_reported_selection() {
         let data = structured_data();
-        let mut engine = CoplotEngine::builder().seed(14).build();
-        engine.analyze(&data).unwrap();
-        let mutable = engine.analyze_selected(&data, &[0, 1, 3]).unwrap();
-        let shared = engine.analyze_selected_shared(&data, &[0, 1, 3]).unwrap();
-        assert_eq!(mutable.coords.as_slice(), shared.coords.as_slice());
-        assert_eq!(mutable.alienation.to_bits(), shared.alienation.to_bits());
-        assert_eq!(mutable.arrows, shared.arrows);
+        let engine = CoplotEngine::builder().seed(14).build();
+        engine.run(&data, &Selection::All).unwrap();
+        let reported = engine.run(&data, &Selection::Subset(vec![0, 1, 3])).unwrap();
+        let shared = engine
+            .run(&data, &Selection::SubsetShared(vec![0, 1, 3]))
+            .unwrap();
+        assert_eq!(reported.coords.as_slice(), shared.coords.as_slice());
+        assert_eq!(reported.alienation.to_bits(), shared.alienation.to_bits());
+        assert_eq!(reported.arrows, shared.arrows);
     }
 
     #[test]
     fn shared_selection_requires_populated_cache() {
         let engine = CoplotEngine::builder().seed(14).build();
         let err = engine
-            .analyze_selected_shared(&structured_data(), &[0, 1])
+            .run(&structured_data(), &Selection::SubsetShared(vec![0, 1]))
             .unwrap_err();
         assert!(matches!(err, CoplotError::InvalidConfig(_)), "{err}");
 
         // A cache of *different* data is also rejected.
-        let mut engine = CoplotEngine::builder().seed(14).build();
+        let engine = CoplotEngine::builder().seed(14).build();
         engine
-            .analyze(&structured_data().select_observations(&[0, 1, 2, 3, 4]))
+            .run(
+                &structured_data().select_observations(&[0, 1, 2, 3, 4]),
+                &Selection::All,
+            )
             .unwrap();
         let err = engine
-            .analyze_selected_shared(&structured_data(), &[0, 1])
+            .run(&structured_data(), &Selection::SubsetShared(vec![0, 1]))
             .unwrap_err();
         assert!(matches!(err, CoplotError::InvalidConfig(_)), "{err}");
     }
 
     #[test]
-    fn analyze_selected_rejects_bad_selections() {
+    fn subset_selection_rejects_bad_selections() {
         let data = structured_data();
-        let mut engine = CoplotEngine::default();
+        let engine = CoplotEngine::default();
         assert!(matches!(
-            engine.analyze_selected(&data, &[]).unwrap_err(),
+            engine.run(&data, &Selection::Subset(vec![])).unwrap_err(),
             CoplotError::EmptyInput { .. }
         ));
         assert!(matches!(
-            engine.analyze_selected(&data, &[0, 9]).unwrap_err(),
+            engine.run(&data, &Selection::Subset(vec![0, 9])).unwrap_err(),
             CoplotError::DimensionMismatch { got: 9, .. }
         ));
     }
@@ -991,9 +1116,11 @@ mod tests {
                 &[8.0, 7.9, 4.0, 4.1, -4.0],
             ],
         );
-        let mut engine = CoplotEngine::builder().seed(5).build();
-        let (_, removed) = engine.analyze_with_elimination(&d, 0.95).unwrap();
-        assert!(!removed.is_empty());
+        let engine = CoplotEngine::builder().seed(5).build();
+        let result = engine
+            .run(&d, &Selection::Eliminate { min_correlation: 0.95 })
+            .unwrap();
+        assert!(!result.removed.is_empty());
         let reports = engine.reports();
         assert!(reports.len() >= 8, "at least two rounds of four stages");
         assert!(!reports[0].cache_hit, "first round computes");
@@ -1006,10 +1133,12 @@ mod tests {
         wl_obs::set_enabled(true);
         let before = wl_obs::registry().snapshot();
         let data = structured_data();
-        let mut engine = CoplotEngine::builder().seed(21).build();
-        engine.analyze(&data).unwrap(); // cold: normalized miss
-        engine.analyze(&data).unwrap(); // warm: normalized + contributions hit
-        engine.analyze_selected_shared(&data, &[0, 2]).unwrap();
+        let engine = CoplotEngine::builder().seed(21).build();
+        engine.run(&data, &Selection::All).unwrap(); // cold: normalized miss
+        engine.run(&data, &Selection::All).unwrap(); // warm: normalized + contributions hit
+        engine
+            .run(&data, &Selection::SubsetShared(vec![0, 2]))
+            .unwrap();
         let after = wl_obs::registry().snapshot();
         // Delta assertions — the registry is global and tests run
         // concurrently, so check growth by at least this test's activity.
@@ -1035,9 +1164,9 @@ mod tests {
     #[test]
     fn report_table_renders_every_stage() {
         let data = structured_data();
-        let mut engine = CoplotEngine::default();
-        engine.analyze(&data).unwrap();
-        let table = StageReportTable(engine.reports()).to_string();
+        let engine = CoplotEngine::default();
+        engine.run(&data, &Selection::All).unwrap();
+        let table = StageReportTable(&engine.reports()).to_string();
         for stage in ["normalize", "dissimilarity", "embedding", "arrows"] {
             assert!(table.contains(stage), "missing {stage} in:\n{table}");
         }
@@ -1047,8 +1176,8 @@ mod tests {
     #[test]
     fn embedding_report_carries_restart_thetas() {
         let data = structured_data();
-        let mut engine = CoplotEngine::builder().restarts(3).build();
-        let r = engine.analyze(&data).unwrap();
+        let engine = CoplotEngine::builder().restarts(3).build();
+        let r = engine.run(&data, &Selection::All).unwrap();
         let embed = &engine.reports()[2];
         assert_eq!(embed.stage, Stage::Embedding);
         assert_eq!(embed.theta_per_restart.len(), 4);
@@ -1059,5 +1188,18 @@ mod tests {
             .cloned()
             .fold(f64::INFINITY, f64::min);
         assert_eq!(min, r.alienation);
+    }
+
+    #[test]
+    fn stage_names_round_trip() {
+        for stage in [
+            Stage::Normalize,
+            Stage::Dissimilarity,
+            Stage::Embedding,
+            Stage::Arrows,
+        ] {
+            assert_eq!(Stage::from_name(stage.name()), Some(stage));
+        }
+        assert_eq!(Stage::from_name("nope"), None);
     }
 }

@@ -97,6 +97,13 @@ pub enum CoplotError {
         /// Human-readable description.
         message: String,
     },
+    /// A per-request deadline expired between pipeline stages (the serving
+    /// layer's stage-boundary abort; the stage named is the one that was
+    /// about to run).
+    DeadlineExceeded {
+        /// The stage that would have run next.
+        stage: &'static str,
+    },
     /// A linear-algebra kernel rejected its input.
     Linalg(LinalgError),
     /// A statistics kernel rejected its input.
@@ -127,6 +134,9 @@ impl fmt::Display for CoplotError {
                 write!(f, "{stage} did not converge within {iterations} iterations")
             }
             CoplotError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            CoplotError::DeadlineExceeded { stage } => {
+                write!(f, "deadline exceeded before stage {stage}")
+            }
             CoplotError::Parse { line, kind, message } => {
                 write!(f, "parse error at line {line} ({}): {message}", kind.label())
             }
@@ -194,5 +204,8 @@ mod tests {
         };
         assert!(e.to_string().contains("line 7"));
         assert!(e.to_string().contains("not-numeric"));
+        let e = CoplotError::DeadlineExceeded { stage: "embedding" };
+        assert!(e.to_string().contains("deadline"));
+        assert!(e.to_string().contains("embedding"));
     }
 }

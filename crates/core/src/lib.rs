@@ -54,6 +54,7 @@
 //! ```
 
 pub mod alienation;
+pub mod api;
 pub mod arrows;
 pub mod data;
 pub mod dissimilarity;
@@ -62,12 +63,20 @@ pub mod error;
 pub mod mds;
 pub mod pipeline;
 pub mod render;
+pub mod runtime;
 
 pub use alienation::{coefficient_of_alienation, mu_statistic};
+pub use api::{
+    AnalysisRequest, AnalysisResponse, ApiError, ApiErrorKind, ArrowOut, CoplotOut, DatasetSpec,
+    HurstOut, Operation, SubsetEntry, SubsetOut,
+};
 pub use arrows::{fit_arrow, try_fit_arrow, Arrow};
 pub use data::{DataMatrix, Imputation, NormalizedMatrix};
 pub use dissimilarity::{DissimilarityMatrix, Metric};
-pub use engine::{CoplotEngine, CoplotEngineBuilder, Stage, StageReport, StageReportTable};
+pub use engine::{
+    CoplotEngine, CoplotEngineBuilder, Selection, Stage, StageReport, StageReportTable,
+};
 pub use error::{CoplotError, ParseKind};
 pub use mds::{nonmetric_mds, restart_seed, MdsConfig, MdsSolution};
 pub use pipeline::{Coplot, CoplotResult};
+pub use runtime::Runtime;

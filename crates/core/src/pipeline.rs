@@ -10,7 +10,7 @@
 use crate::arrows::Arrow;
 use crate::data::{DataMatrix, Imputation};
 use crate::dissimilarity::{DissimilarityMatrix, Metric};
-use crate::engine::CoplotEngine;
+use crate::engine::{CoplotEngine, Selection};
 pub use crate::error::CoplotError;
 use crate::mds::MdsConfig;
 use wl_linalg::Matrix;
@@ -98,7 +98,7 @@ impl Coplot {
     /// Any stage's [`CoplotError`]: normalization failures, degenerate
     /// inputs, non-finite data, or a degenerate arrow fit.
     pub fn analyze(&self, data: &DataMatrix) -> Result<CoplotResult, CoplotError> {
-        self.engine().analyze(data)
+        self.engine().run(data, &Selection::All)
     }
 
     /// The paper's variable-elimination workflow: run the analysis, drop the
@@ -119,7 +119,11 @@ impl Coplot {
         data: &DataMatrix,
         min_correlation: f64,
     ) -> Result<(CoplotResult, Vec<String>), CoplotError> {
-        self.engine().analyze_with_elimination(data, min_correlation)
+        let result = self
+            .engine()
+            .run(data, &Selection::Eliminate { min_correlation })?;
+        let removed = result.removed.clone();
+        Ok((result, removed))
     }
 }
 
@@ -139,6 +143,9 @@ pub struct CoplotResult {
     pub stress: f64,
     /// The stage-2 dissimilarities (kept for diagnostics/rendering).
     pub dissimilarities: DissimilarityMatrix,
+    /// Variables dropped by a [`Selection::Eliminate`] run, in removal
+    /// order; empty for every other selection.
+    pub removed: Vec<String>,
 }
 
 impl CoplotResult {

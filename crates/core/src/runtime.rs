@@ -1,0 +1,176 @@
+//! Unified runtime configuration for every executable in the workspace.
+//!
+//! The `wl` CLI, the twelve reproduction binaries, and `wl-serve` all share
+//! three runtime knobs: worker threads (`--threads N`, defaulting to the
+//! `WL_THREADS` environment variable and then the available parallelism)
+//! and the two observability flags (`--trace text|json`,
+//! `--metrics-out PATH`). They used to be parsed in three slightly
+//! different places; [`Runtime::extract`] is now the single implementation,
+//! pulling the flags out of an argument list wherever they appear and
+//! leaving everything else for the program's own parser.
+//!
+//! ```
+//! let mut args: Vec<String> = ["--jobs", "512", "--threads", "4"]
+//!     .map(String::from).to_vec();
+//! let rt = coplot::Runtime::extract(&mut args).unwrap();
+//! assert_eq!(rt.threads, 4);
+//! assert_eq!(args, ["--jobs", "512"]); // the rest stays
+//! let _session = rt.obs_session().unwrap(); // arms wl-obs when requested
+//! ```
+
+use crate::error::CoplotError;
+
+/// The shared runtime knobs of one process.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Runtime {
+    /// Worker threads for synthesis, Hurst estimation, MDS restarts and
+    /// the serve pool (results are bit-identical for any count).
+    pub threads: usize,
+    /// `--trace` value (`"text"` or `"json"`), if given.
+    pub trace: Option<String>,
+    /// `--metrics-out` path, if given.
+    pub metrics_out: Option<String>,
+}
+
+impl Default for Runtime {
+    fn default() -> Self {
+        Runtime {
+            threads: wl_par::default_threads(),
+            trace: None,
+            metrics_out: None,
+        }
+    }
+}
+
+impl Runtime {
+    /// Pull `--threads N`, `--trace FORMAT` and `--metrics-out PATH` out of
+    /// `args` (valid anywhere on the command line), leaving all other
+    /// arguments in place and in order. Threads fall back to `WL_THREADS`,
+    /// then the available parallelism (see `wl_par::default_threads`).
+    ///
+    /// # Errors
+    /// [`CoplotError::InvalidConfig`] for a flag without a value, a
+    /// non-integer or zero `--threads`, or a `--trace` format other than
+    /// `text`/`json`.
+    pub fn extract(args: &mut Vec<String>) -> Result<Runtime, CoplotError> {
+        let mut rt = Runtime::default();
+        let mut rest = Vec::with_capacity(args.len());
+        let mut i = 0;
+        while i < args.len() {
+            match args[i].as_str() {
+                name @ ("--threads" | "--trace" | "--metrics-out") => {
+                    let value = args.get(i + 1).cloned().ok_or_else(|| {
+                        CoplotError::InvalidConfig(format!("flag {name} needs a value"))
+                    })?;
+                    match name {
+                        "--threads" => {
+                            rt.threads = value.parse().ok().filter(|&t: &usize| t > 0).ok_or_else(
+                                || {
+                                    CoplotError::InvalidConfig(
+                                        "--threads needs a positive integer".into(),
+                                    )
+                                },
+                            )?;
+                        }
+                        "--trace" => {
+                            // Validate eagerly so the error mentions the
+                            // flag, not a failing session at exit.
+                            wl_obs::TraceFormat::parse(&value)
+                                .map_err(CoplotError::InvalidConfig)?;
+                            rt.trace = Some(value);
+                        }
+                        _ => rt.metrics_out = Some(value),
+                    }
+                    i += 2;
+                }
+                _ => {
+                    rest.push(args[i].clone());
+                    i += 1;
+                }
+            }
+        }
+        *args = rest;
+        Ok(rt)
+    }
+
+    /// Start the observability session for this runtime: arms the global
+    /// `wl-obs` registry when `--trace`/`--metrics-out` was given. Hold the
+    /// session for the life of `main`; dropping (or
+    /// [`finish`](wl_obs::ObsSession::finish)ing) it exports the trace to
+    /// stderr and/or the metrics file. Stdout is never touched.
+    ///
+    /// # Errors
+    /// [`CoplotError::InvalidConfig`] when the trace format is invalid
+    /// (already caught by [`extract`](Runtime::extract)) — kept as a
+    /// `Result` for callers that build a [`Runtime`] by hand.
+    pub fn obs_session(&self) -> Result<wl_obs::ObsSession, CoplotError> {
+        wl_obs::ObsSession::from_flags(self.trace.as_deref(), self.metrics_out.as_deref())
+            .map_err(CoplotError::InvalidConfig)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(items: &[&str]) -> Vec<String> {
+        items.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn extracts_flags_anywhere_and_keeps_the_rest() {
+        let mut args = argv(&[
+            "coplot",
+            "--threads",
+            "3",
+            "a.swf",
+            "--trace",
+            "json",
+            "--seed",
+            "7",
+            "--metrics-out",
+            "/tmp/m.jsonl",
+        ]);
+        let rt = Runtime::extract(&mut args).unwrap();
+        assert_eq!(rt.threads, 3);
+        assert_eq!(rt.trace.as_deref(), Some("json"));
+        assert_eq!(rt.metrics_out.as_deref(), Some("/tmp/m.jsonl"));
+        assert_eq!(args, argv(&["coplot", "a.swf", "--seed", "7"]));
+    }
+
+    #[test]
+    fn defaults_when_absent() {
+        let mut args = argv(&["stats", "a.swf"]);
+        let rt = Runtime::extract(&mut args).unwrap();
+        assert_eq!(rt.threads, wl_par::default_threads());
+        assert_eq!(rt.trace, None);
+        assert_eq!(rt.metrics_out, None);
+        assert_eq!(args, argv(&["stats", "a.swf"]));
+    }
+
+    #[test]
+    fn rejects_malformed_flags() {
+        for bad in [
+            argv(&["--threads"]),
+            argv(&["--threads", "zero"]),
+            argv(&["--threads", "0"]),
+            argv(&["--trace", "xml"]),
+            argv(&["--trace"]),
+            argv(&["--metrics-out"]),
+        ] {
+            let mut args = bad.clone();
+            let err = Runtime::extract(&mut args).unwrap_err();
+            assert!(
+                matches!(err, CoplotError::InvalidConfig(_)),
+                "{bad:?}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn obs_session_disabled_by_default() {
+        let rt = Runtime::default();
+        let session = rt.obs_session().unwrap();
+        session.finish();
+    }
+}

@@ -64,10 +64,14 @@ impl Options {
     /// exports the trace (to stderr) / metrics file when dropped. Stdout is
     /// untouched either way, keeping golden snapshots byte-identical.
     pub fn from_args() -> (Options, wl_obs::ObsSession) {
-        let mut opts = Options::default();
-        let mut trace: Option<String> = None;
-        let mut metrics_out: Option<String> = None;
-        let args: Vec<String> = std::env::args().skip(1).collect();
+        let mut args: Vec<String> = std::env::args().skip(1).collect();
+        // --threads / --trace / --metrics-out are the shared runtime flags,
+        // parsed by the same coplot::Runtime as the wl CLI and wl-serve.
+        let rt = coplot::Runtime::extract(&mut args).unwrap_or_else(|e| panic!("{e}"));
+        let mut opts = Options {
+            threads: rt.threads,
+            ..Options::default()
+        };
         let mut i = 0;
         while i < args.len() {
             match args[i].as_str() {
@@ -87,21 +91,6 @@ impl Options {
                         .and_then(|v| v.parse().ok())
                         .expect("--jobs needs an integer");
                 }
-                "--threads" => {
-                    i += 1;
-                    opts.threads = args
-                        .get(i)
-                        .and_then(|v| v.parse().ok())
-                        .expect("--threads needs an integer");
-                }
-                "--trace" => {
-                    i += 1;
-                    trace = Some(args.get(i).expect("--trace needs text|json").clone());
-                }
-                "--metrics-out" => {
-                    i += 1;
-                    metrics_out = Some(args.get(i).expect("--metrics-out needs a path").clone());
-                }
                 other => panic!(
                     "unknown flag {other:?} (use --paper, --timings, --seed N, --jobs N, \
                      --threads N, --trace text|json, --metrics-out PATH; --threads defaults \
@@ -110,8 +99,7 @@ impl Options {
             }
             i += 1;
         }
-        let session = wl_obs::ObsSession::from_flags(trace.as_deref(), metrics_out.as_deref())
-            .unwrap_or_else(|e| panic!("{e}"));
+        let session = rt.obs_session().unwrap_or_else(|e| panic!("{e}"));
         (opts, session)
     }
 }
@@ -119,14 +107,16 @@ impl Options {
 /// Run the Co-plot engine on `data` with this run's seed/thread options,
 /// honouring `--timings` by printing the per-stage reports.
 pub fn run_coplot(opts: &Options, data: &DataMatrix) -> CoplotResult {
-    let mut engine = coplot::Coplot::new()
+    let engine = coplot::Coplot::new()
         .seed(opts.seed)
         .threads(opts.threads)
         .engine();
-    let result = engine.analyze(data).expect("coplot");
+    let result = engine
+        .run(data, &coplot::Selection::All)
+        .expect("coplot");
     if opts.timings {
         println!("per-stage timings:");
-        print!("{}", coplot::StageReportTable(engine.reports()));
+        print!("{}", coplot::StageReportTable(&engine.reports()));
         println!();
     }
     result

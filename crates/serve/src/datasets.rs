@@ -1,0 +1,231 @@
+//! The named-dataset registry and content addressing.
+//!
+//! Named datasets are the paper's observation suites, synthesized
+//! deterministically by `wl-repro` from `(name, jobs, seed)` — so the spec
+//! *is* the content and the dataset digest hashes exactly that triple.
+//! Path datasets are SWF files on the server's filesystem; their digests
+//! hash the file bytes, making the result cache content-addressed: editing
+//! a log invalidates every cached result computed from it.
+
+use crate::exec::ExecError;
+use coplot::api::fnv1a;
+use coplot::DatasetSpec;
+use wl_swf::Workload;
+
+/// One named dataset the service can synthesize on demand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NamedDataset {
+    /// The ten production workloads of Table 1.
+    Table1,
+    /// The eight LANL/SDSC six-month periods of Table 2.
+    Table2,
+    /// The five synthetic workload models (Table 3 order).
+    Models,
+    /// Table 3's fifteen observations: production + models.
+    Table3,
+}
+
+impl NamedDataset {
+    /// Every dataset, in listing order.
+    pub const ALL: [NamedDataset; 4] = [
+        NamedDataset::Table1,
+        NamedDataset::Table2,
+        NamedDataset::Models,
+        NamedDataset::Table3,
+    ];
+
+    /// The wire name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            NamedDataset::Table1 => "table1",
+            NamedDataset::Table2 => "table2",
+            NamedDataset::Models => "models",
+            NamedDataset::Table3 => "table3",
+        }
+    }
+
+    /// One-line description for `GET /v1/datasets`.
+    pub fn description(&self) -> &'static str {
+        match self {
+            NamedDataset::Table1 => "the ten production workloads of Table 1",
+            NamedDataset::Table2 => "the eight LANL/SDSC six-month periods of Table 2",
+            NamedDataset::Models => "the five synthetic workload models",
+            NamedDataset::Table3 => "Table 3's fifteen observations: production + models",
+        }
+    }
+
+    /// How many observations the dataset yields.
+    pub fn observations(&self) -> usize {
+        match self {
+            NamedDataset::Table1 => 10,
+            NamedDataset::Table2 => 8,
+            NamedDataset::Models => 5,
+            NamedDataset::Table3 => 15,
+        }
+    }
+
+    /// Look a dataset up by wire name.
+    pub fn from_name(name: &str) -> Option<NamedDataset> {
+        NamedDataset::ALL.iter().copied().find(|d| d.name() == name)
+    }
+
+    /// Synthesize the suite. Pure function of `(self, jobs, seed)`; the
+    /// per-workload synthesis fans out over `threads` workers with
+    /// bit-identical results for any count.
+    pub fn synthesize(&self, jobs: usize, seed: u64, threads: usize) -> Vec<Workload> {
+        let opts = wl_repro::Options {
+            paper_data: false,
+            seed,
+            jobs,
+            threads,
+            timings: false,
+        };
+        match self {
+            NamedDataset::Table1 => wl_repro::production_suite(&opts),
+            NamedDataset::Table2 => wl_repro::period_suite(&opts),
+            NamedDataset::Models => wl_repro::model_suite(&opts),
+            NamedDataset::Table3 => {
+                let mut out = wl_repro::production_suite(&opts);
+                out.extend(wl_repro::model_suite(&opts));
+                out
+            }
+        }
+    }
+}
+
+/// The dataset half of the result-cache key.
+///
+/// # Errors
+/// [`ExecError::DatasetNotFound`] for an unknown name or an unreadable
+/// path.
+pub fn dataset_digest(spec: &DatasetSpec, jobs: u64, seed: u64) -> Result<u64, ExecError> {
+    match spec {
+        DatasetSpec::Named(name) => {
+            let dataset = NamedDataset::from_name(name).ok_or_else(|| unknown_dataset(name))?;
+            // Synthesis is deterministic, so the spec triple is the content.
+            Ok(fnv1a(
+                format!("named\u{0}{}\u{0}{jobs}\u{0}{seed}", dataset.name()).as_bytes(),
+            ))
+        }
+        DatasetSpec::Paths(paths) => {
+            let mut buf: Vec<u8> = b"paths".to_vec();
+            for path in paths {
+                let bytes = std::fs::read(path).map_err(|e| {
+                    ExecError::DatasetNotFound(format!("cannot read {path}: {e}"))
+                })?;
+                // Length-prefix each file so concatenations cannot collide.
+                buf.push(0);
+                buf.extend_from_slice(&(bytes.len() as u64).to_le_bytes());
+                buf.extend_from_slice(&bytes);
+            }
+            Ok(fnv1a(&buf))
+        }
+    }
+}
+
+/// The standard not-found error for a dataset name.
+pub(crate) fn unknown_dataset(name: &str) -> ExecError {
+    let names: Vec<&str> = NamedDataset::ALL.iter().map(|d| d.name()).collect();
+    ExecError::DatasetNotFound(format!(
+        "unknown dataset {name:?} (available: {})",
+        names.join(", ")
+    ))
+}
+
+/// The JSON body of `GET /v1/datasets`.
+pub fn datasets_json() -> String {
+    let mut s = String::from("{\"datasets\":[");
+    for (i, d) in NamedDataset::ALL.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!(
+            "{{\"name\":\"{}\",\"description\":\"{}\",\"observations\":{}}}",
+            d.name(),
+            d.description(),
+            d.observations()
+        ));
+    }
+    s.push_str("]}");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip() {
+        for d in NamedDataset::ALL {
+            assert_eq!(NamedDataset::from_name(d.name()), Some(d));
+        }
+        assert_eq!(NamedDataset::from_name("table9"), None);
+    }
+
+    #[test]
+    fn named_digest_tracks_spec() {
+        let spec = DatasetSpec::Named("table1".into());
+        let base = dataset_digest(&spec, 512, 1999).unwrap();
+        assert_eq!(dataset_digest(&spec, 512, 1999).unwrap(), base);
+        assert_ne!(dataset_digest(&spec, 513, 1999).unwrap(), base);
+        assert_ne!(dataset_digest(&spec, 512, 2000).unwrap(), base);
+        assert_ne!(
+            dataset_digest(&DatasetSpec::Named("table2".into()), 512, 1999).unwrap(),
+            base
+        );
+    }
+
+    #[test]
+    fn unknown_name_is_not_found() {
+        let err = dataset_digest(&DatasetSpec::Named("nope".into()), 512, 1999).unwrap_err();
+        assert!(matches!(err, ExecError::DatasetNotFound(_)), "{err:?}");
+        assert!(err.to_string().contains("table1"), "{err}");
+    }
+
+    #[test]
+    fn path_digest_tracks_content() {
+        let dir = std::env::temp_dir().join("wl-serve-digest-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let a = dir.join("a.swf");
+        let b = dir.join("b.swf");
+        std::fs::write(&a, "; one\n").unwrap();
+        std::fs::write(&b, "; two\n").unwrap();
+        let spec = DatasetSpec::Paths(vec![
+            a.to_str().unwrap().into(),
+            b.to_str().unwrap().into(),
+        ]);
+        // jobs/seed do not enter a path digest: the files are the content.
+        let d1 = dataset_digest(&spec, 1, 1).unwrap();
+        assert_eq!(dataset_digest(&spec, 2, 2).unwrap(), d1);
+        std::fs::write(&b, "; two changed\n").unwrap();
+        assert_ne!(dataset_digest(&spec, 1, 1).unwrap(), d1);
+        let missing = DatasetSpec::Paths(vec![dir.join("missing.swf").to_str().unwrap().into()]);
+        assert!(matches!(
+            dataset_digest(&missing, 1, 1),
+            Err(ExecError::DatasetNotFound(_))
+        ));
+    }
+
+    #[test]
+    fn synthesized_suites_have_the_advertised_sizes() {
+        // Only the cheapest suite: the others multiply synthesis cost
+        // (table1 = 10 machines, table3 = 15 workloads) for the same check.
+        let d = NamedDataset::Models;
+        let ws = d.synthesize(120, 7, 2);
+        assert_eq!(ws.len(), d.observations(), "{}", d.name());
+    }
+
+    #[test]
+    fn datasets_json_lists_everything() {
+        let body = datasets_json();
+        let v = wl_obs::parse_json(&body).unwrap();
+        let list = match v.get("datasets") {
+            Some(wl_obs::JsonValue::Array(a)) => a,
+            other => panic!("bad datasets value: {other:?}"),
+        };
+        assert_eq!(list.len(), NamedDataset::ALL.len());
+        for d in NamedDataset::ALL {
+            assert!(body.contains(d.name()));
+        }
+    }
+}

@@ -1,0 +1,437 @@
+//! The one request executor: [`execute`] turns a canonical
+//! [`AnalysisRequest`] into an [`AnalysisResponse`].
+//!
+//! Every front end — the `wl` CLI subcommands, `wl-serve`'s endpoint
+//! handlers — goes through this function, so "the CLI and the server agree
+//! byte-for-byte" holds by construction: both serialize the same
+//! [`AnalysisResponse`] value. Responses are pure functions of the
+//! canonical request (timings and timestamps travel out of band in
+//! [`ExecOutcome::reports`]), which is what makes `wl-serve`'s result
+//! cache sound.
+//!
+//! Deadlines: an [`ExecConfig::deadline`] is enforced *between* pipeline
+//! stages — each Co-plot stage is wrapped in a gate that refuses to start
+//! past the deadline with [`CoplotError::DeadlineExceeded`]. A stage that
+//! has started always runs to completion, so a request that finishes
+//! returns exactly what it would have returned without a deadline.
+
+use std::time::Instant;
+
+use coplot::engine::{
+    ArrowFitter, DissimilarityStage, Embedder, MetricDissimilarity, NonmetricMdsEmbedder,
+    Normalizer, OlsArrowFitter, PairContributions, ZScoreNormalizer,
+};
+use coplot::{
+    AnalysisRequest, AnalysisResponse, ApiError, CoplotEngine, CoplotError, CoplotOut,
+    DataMatrix, DatasetSpec, DissimilarityMatrix, HurstOut, Imputation, MdsConfig, MdsSolution,
+    Metric, NormalizedMatrix, Operation, Selection, StageReport, SubsetEntry, SubsetOut,
+};
+use wl_linalg::Matrix;
+use wl_swf::workload::{AllocationFlexibility, MachineInfo, SchedulerFlexibility};
+use wl_swf::{parse_swf, Workload};
+
+use crate::datasets::NamedDataset;
+
+/// How to run a request: worker threads and an optional deadline.
+#[derive(Debug, Clone, Copy)]
+pub struct ExecConfig {
+    /// Worker threads for synthesis, Hurst estimation, MDS restarts and the
+    /// subset search (bit-identical results for any count).
+    pub threads: usize,
+    /// Refuse to start further pipeline stages past this instant.
+    pub deadline: Option<Instant>,
+}
+
+impl ExecConfig {
+    /// A config with no deadline.
+    pub fn new(threads: usize) -> ExecConfig {
+        ExecConfig {
+            threads,
+            deadline: None,
+        }
+    }
+}
+
+/// Why a request could not be executed; `wl-serve` maps each variant to a
+/// fixed HTTP status (the service never answers 500).
+#[derive(Debug)]
+pub enum ExecError {
+    /// The request itself is malformed (HTTP 400).
+    Api(ApiError),
+    /// Unknown dataset name or unreadable input file (HTTP 404).
+    DatasetNotFound(String),
+    /// The analysis failed — including [`CoplotError::DeadlineExceeded`],
+    /// which maps to 504; everything else is 422.
+    Analysis(CoplotError),
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::Api(e) => write!(f, "{e}"),
+            ExecError::DatasetNotFound(m) => write!(f, "{m}"),
+            ExecError::Analysis(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// A successful execution: the serializable response plus the per-stage
+/// reports of any Co-plot run (side channel — never on the wire, so
+/// responses stay pure functions of the request).
+#[derive(Debug)]
+pub struct ExecOutcome {
+    /// The wire response.
+    pub response: AnalysisResponse,
+    /// Per-stage timing reports (empty for `hurst`/`subset`).
+    pub reports: Vec<StageReport>,
+}
+
+/// Execute one request.
+///
+/// # Errors
+/// See [`ExecError`].
+pub fn execute(request: &AnalysisRequest, cfg: &ExecConfig) -> Result<ExecOutcome, ExecError> {
+    let req = request.canonicalize().map_err(ExecError::Api)?;
+    check_deadline(cfg, "load")?;
+    let workloads = load_dataset(&req, cfg)?;
+    match req.op {
+        Operation::Coplot => run_coplot(&req, cfg, &workloads),
+        Operation::Hurst => run_hurst(&req, cfg, &workloads),
+        Operation::Subset => run_subset(&req, cfg, &workloads),
+    }
+}
+
+fn check_deadline(cfg: &ExecConfig, stage: &'static str) -> Result<(), ExecError> {
+    match cfg.deadline {
+        Some(d) if Instant::now() >= d => {
+            Err(ExecError::Analysis(CoplotError::DeadlineExceeded { stage }))
+        }
+        _ => Ok(()),
+    }
+}
+
+/// Default machine when an SWF file carries no metadata header (matches
+/// the `wl` CLI's historical behavior).
+fn default_machine() -> MachineInfo {
+    MachineInfo::new(
+        128,
+        SchedulerFlexibility::Backfilling,
+        AllocationFlexibility::Unlimited,
+    )
+}
+
+fn load_dataset(req: &AnalysisRequest, cfg: &ExecConfig) -> Result<Vec<Workload>, ExecError> {
+    match &req.dataset {
+        DatasetSpec::Named(name) => {
+            let dataset =
+                NamedDataset::from_name(name).ok_or_else(|| crate::datasets::unknown_dataset(name))?;
+            Ok(dataset.synthesize(req.jobs as usize, req.seed, cfg.threads))
+        }
+        DatasetSpec::Paths(paths) => paths
+            .iter()
+            .map(|path| {
+                let text = std::fs::read_to_string(path).map_err(|e| {
+                    ExecError::DatasetNotFound(format!("cannot read {path}: {e}"))
+                })?;
+                let doc = parse_swf(&text).map_err(|e| {
+                    ExecError::Analysis(CoplotError::InvalidConfig(format!("{path}: {e}")))
+                })?;
+                let name = std::path::Path::new(path)
+                    .file_stem()
+                    .map(|s| s.to_string_lossy().into_owned())
+                    .unwrap_or_else(|| path.to_string());
+                Ok(doc.into_workload(name, default_machine()))
+            })
+            .collect(),
+    }
+}
+
+fn data_matrix(req: &AnalysisRequest, workloads: &[Workload]) -> Result<DataMatrix, ExecError> {
+    if workloads.len() < 3 {
+        return Err(ExecError::Analysis(CoplotError::InvalidConfig(
+            "co-plot needs at least 3 workloads".into(),
+        )));
+    }
+    let codes: Vec<&str> = req.vars.iter().map(String::as_str).collect();
+    wl_analysis::matrix::try_workload_matrix(workloads, &codes).map_err(ExecError::Analysis)
+}
+
+fn run_coplot(
+    req: &AnalysisRequest,
+    cfg: &ExecConfig,
+    workloads: &[Workload],
+) -> Result<ExecOutcome, ExecError> {
+    let data = data_matrix(req, workloads)?;
+    let engine = build_engine(req.seed, cfg);
+    let selection = match req.min_correlation {
+        Some(min_correlation) => Selection::Eliminate { min_correlation },
+        None => Selection::All,
+    };
+    let result = engine.run(&data, &selection).map_err(ExecError::Analysis)?;
+    Ok(ExecOutcome {
+        response: AnalysisResponse::Coplot(CoplotOut::from_result(&result)),
+        reports: engine.reports(),
+    })
+}
+
+fn run_hurst(
+    req: &AnalysisRequest,
+    cfg: &ExecConfig,
+    workloads: &[Workload],
+) -> Result<ExecOutcome, ExecError> {
+    let _ = req;
+    check_deadline(cfg, "hurst")?;
+    let mut columns = Vec::with_capacity(12);
+    for series in wl_swf::JobSeries::ALL {
+        for est in wl_selfsim::HurstEstimator::ALL {
+            columns.push(format!("{}{}", est.label(), series.code()));
+        }
+    }
+    let rows = wl_repro::hurst_rows(workloads, cfg.threads);
+    Ok(ExecOutcome {
+        response: AnalysisResponse::Hurst(HurstOut {
+            workloads: workloads.iter().map(|w| w.name.clone()).collect(),
+            columns,
+            rows,
+        }),
+        reports: Vec::new(),
+    })
+}
+
+fn run_subset(
+    req: &AnalysisRequest,
+    cfg: &ExecConfig,
+    workloads: &[Workload],
+) -> Result<ExecOutcome, ExecError> {
+    let data = data_matrix(req, workloads)?;
+    check_deadline(cfg, "subset")?;
+    let results = wl_analysis::subset::best_variable_subset(
+        &data,
+        req.subset_size as usize,
+        req.max_alienation,
+        req.top as usize,
+        req.seed,
+        cfg.threads,
+    )
+    .map_err(ExecError::Analysis)?;
+    Ok(ExecOutcome {
+        response: AnalysisResponse::Subset(SubsetOut {
+            results: results
+                .into_iter()
+                .map(|r| SubsetEntry {
+                    variables: r.variables,
+                    alienation: r.alienation,
+                    mean_correlation: r.mean_correlation,
+                    map_conservation_rmsd: r.map_conservation_rmsd,
+                })
+                .collect(),
+        }),
+        reports: Vec::new(),
+    })
+}
+
+/// Build the engine the paper's pipeline uses; with a deadline, each stage
+/// is wrapped in a [`Gated`] shim that refuses to *start* past it. The
+/// wrappers forward verbatim (including the dissimilarity contributions
+/// that drive the engine cache), so a gated run that completes is
+/// bit-identical to an ungated one.
+fn build_engine(seed: u64, cfg: &ExecConfig) -> CoplotEngine {
+    let builder = CoplotEngine::builder().seed(seed).threads(cfg.threads);
+    let Some(deadline) = cfg.deadline else {
+        return builder.build();
+    };
+    let mds = MdsConfig {
+        seed,
+        threads: cfg.threads,
+        ..MdsConfig::default()
+    };
+    builder
+        .normalizer(Box::new(Gated {
+            deadline,
+            stage: "normalize",
+            inner: ZScoreNormalizer {
+                imputation: Imputation::ColumnMean,
+            },
+        }))
+        .dissimilarity(Box::new(Gated {
+            deadline,
+            stage: "dissimilarity",
+            inner: MetricDissimilarity {
+                metric: Metric::CityBlock,
+            },
+        }))
+        .embedder(Box::new(Gated {
+            deadline,
+            stage: "embed",
+            inner: NonmetricMdsEmbedder { config: mds },
+        }))
+        .arrow_fitter(Box::new(Gated {
+            deadline,
+            stage: "arrows",
+            inner: OlsArrowFitter,
+        }))
+        .build()
+}
+
+/// A pipeline stage plus a deadline gate checked on entry.
+#[derive(Debug)]
+struct Gated<S> {
+    deadline: Instant,
+    stage: &'static str,
+    inner: S,
+}
+
+impl<S> Gated<S> {
+    fn check(&self) -> Result<(), CoplotError> {
+        if Instant::now() >= self.deadline {
+            return Err(CoplotError::DeadlineExceeded { stage: self.stage });
+        }
+        Ok(())
+    }
+}
+
+impl Normalizer for Gated<ZScoreNormalizer> {
+    fn normalize(&self, data: &DataMatrix) -> Result<NormalizedMatrix, CoplotError> {
+        self.check()?;
+        self.inner.normalize(data)
+    }
+}
+
+impl DissimilarityStage for Gated<MetricDissimilarity> {
+    fn compute(&self, z: &NormalizedMatrix) -> Result<DissimilarityMatrix, CoplotError> {
+        self.check()?;
+        self.inner.compute(z)
+    }
+
+    fn contributions(&self, z: &NormalizedMatrix) -> Option<PairContributions> {
+        // No gate: contributions feed the engine cache, and declining them
+        // would silently change caching behavior, not abort the request.
+        self.inner.contributions(z)
+    }
+}
+
+impl Embedder for Gated<NonmetricMdsEmbedder> {
+    fn embed(&self, diss: &DissimilarityMatrix) -> Result<MdsSolution, CoplotError> {
+        self.check()?;
+        self.inner.embed(diss)
+    }
+}
+
+impl ArrowFitter for Gated<OlsArrowFitter> {
+    fn fit(
+        &self,
+        name: &str,
+        coords: &Matrix,
+        z: &[f64],
+    ) -> Result<coplot::Arrow, CoplotError> {
+        self.check()?;
+        self.inner.fit(name, coords, z)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn models_request(op: Operation) -> AnalysisRequest {
+        let mut req = AnalysisRequest::new(op, DatasetSpec::Named("models".into()));
+        req.jobs = 150;
+        req.seed = 7;
+        req
+    }
+
+    #[test]
+    fn coplot_on_a_named_dataset_runs() {
+        let outcome = execute(&models_request(Operation::Coplot), &ExecConfig::new(2)).unwrap();
+        let AnalysisResponse::Coplot(out) = &outcome.response else {
+            panic!("wrong response op");
+        };
+        assert_eq!(out.observations.len(), 5);
+        assert_eq!(out.arrows.len(), 8);
+        assert_eq!(outcome.reports.len(), 4, "one report per stage");
+        // Re-running the same canonical request is bit-identical.
+        let again = execute(&models_request(Operation::Coplot), &ExecConfig::new(1)).unwrap();
+        assert_eq!(again.response.to_json(), outcome.response.to_json());
+    }
+
+    #[test]
+    fn hurst_mirrors_the_cli_column_layout() {
+        let outcome = execute(&models_request(Operation::Hurst), &ExecConfig::new(2)).unwrap();
+        let AnalysisResponse::Hurst(out) = &outcome.response else {
+            panic!("wrong response op");
+        };
+        assert_eq!(out.workloads.len(), 5);
+        assert_eq!(out.columns.len(), 12);
+        assert!(out.rows.iter().all(|r| r.len() == 12));
+        // Series-major, estimator-minor: the CLI's header order.
+        let first_series = wl_swf::JobSeries::ALL[0].code();
+        for (i, est) in wl_selfsim::HurstEstimator::ALL.iter().enumerate() {
+            assert_eq!(out.columns[i], format!("{}{first_series}", est.label()));
+        }
+    }
+
+    #[test]
+    fn subset_returns_ranked_entries() {
+        let mut req = models_request(Operation::Subset);
+        req.subset_size = 2;
+        req.max_alienation = 1.0;
+        req.top = 3;
+        req.vars = ["Rm", "Pm", "Im", "Ii"].map(String::from).to_vec();
+        let outcome = execute(&req, &ExecConfig::new(2)).unwrap();
+        let AnalysisResponse::Subset(out) = &outcome.response else {
+            panic!("wrong response op");
+        };
+        assert!(!out.results.is_empty());
+        assert!(out.results.len() <= 3);
+        for e in &out.results {
+            assert_eq!(e.variables.len(), 2);
+        }
+    }
+
+    #[test]
+    fn unknown_dataset_is_not_found() {
+        let req = AnalysisRequest::new(Operation::Coplot, DatasetSpec::Named("table9".into()));
+        let err = execute(&req, &ExecConfig::new(1)).unwrap_err();
+        assert!(matches!(err, ExecError::DatasetNotFound(_)), "{err:?}");
+    }
+
+    #[test]
+    fn malformed_request_is_an_api_error() {
+        let mut req = models_request(Operation::Coplot);
+        req.jobs = 0;
+        let err = execute(&req, &ExecConfig::new(1)).unwrap_err();
+        assert!(matches!(err, ExecError::Api(_)), "{err:?}");
+    }
+
+    #[test]
+    fn expired_deadline_aborts_between_stages() {
+        let cfg = ExecConfig {
+            threads: 1,
+            deadline: Some(Instant::now() - Duration::from_millis(1)),
+        };
+        let err = execute(&models_request(Operation::Coplot), &cfg).unwrap_err();
+        match err {
+            ExecError::Analysis(CoplotError::DeadlineExceeded { stage }) => {
+                assert_eq!(stage, "load");
+            }
+            other => panic!("expected deadline error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn generous_deadline_changes_nothing() {
+        let free = execute(&models_request(Operation::Coplot), &ExecConfig::new(1)).unwrap();
+        let gated = execute(
+            &models_request(Operation::Coplot),
+            &ExecConfig {
+                threads: 1,
+                deadline: Some(Instant::now() + Duration::from_secs(600)),
+            },
+        )
+        .unwrap();
+        assert_eq!(gated.response.to_json(), free.response.to_json());
+    }
+}

@@ -1,0 +1,358 @@
+//! A deliberately small HTTP/1.1 subset: enough for a JSON analysis
+//! service and its tests, with hard limits instead of configurability.
+//!
+//! Supported: one request per connection (`Connection: close` on every
+//! response), `Content-Length` bodies, CRLF line endings. Not supported
+//! (rejected, never misparsed): chunked transfer encoding, multiline
+//! headers, requests larger than the fixed caps.
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+
+/// Cap on the request line + headers.
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+/// Cap on a request body.
+pub const MAX_BODY_BYTES: usize = 4 * 1024 * 1024;
+
+/// A parsed request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// `GET`, `POST`, ... (uppercase as sent).
+    pub method: String,
+    /// The request target, e.g. `/v1/coplot`.
+    pub target: String,
+    /// Header `(name, value)` pairs in arrival order; names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// The body (empty without `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First header with this name (lowercase).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Why a request could not be read.
+#[derive(Debug)]
+pub enum HttpError {
+    /// Syntactically invalid or over a size cap — answer 400 and close.
+    Malformed(String),
+    /// The socket failed or closed mid-request.
+    Io(io::Error),
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::Malformed(m) => write!(f, "malformed request: {m}"),
+            HttpError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+fn malformed(msg: impl Into<String>) -> HttpError {
+    HttpError::Malformed(msg.into())
+}
+
+/// Read one request. `Ok(None)` means the peer closed before sending
+/// anything (a clean no-op, e.g. a port probe).
+pub fn read_request(stream: &mut dyn Read) -> Result<Option<Request>, HttpError> {
+    // Accumulate until the blank line that ends the head.
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 1024];
+    let head_end = loop {
+        if let Some(pos) = find_head_end(&buf) {
+            break pos;
+        }
+        if buf.len() > MAX_HEAD_BYTES {
+            return Err(malformed(format!("request head exceeds {MAX_HEAD_BYTES} bytes")));
+        }
+        let n = stream.read(&mut chunk).map_err(HttpError::Io)?;
+        if n == 0 {
+            if buf.is_empty() {
+                return Ok(None);
+            }
+            return Err(malformed("connection closed mid-head"));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+
+    let head = std::str::from_utf8(&buf[..head_end])
+        .map_err(|_| malformed("request head is not UTF-8"))?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split(' ');
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v), None) if !m.is_empty() && !t.is_empty() => (m, t, v),
+        _ => return Err(malformed(format!("bad request line {request_line:?}"))),
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(malformed(format!("unsupported protocol {version:?}")));
+    }
+
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| malformed(format!("bad header line {line:?}")))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let mut req = Request {
+        method: method.to_string(),
+        target: target.to_string(),
+        headers,
+        body: Vec::new(),
+    };
+    if req
+        .header("transfer-encoding")
+        .is_some_and(|v| !v.eq_ignore_ascii_case("identity"))
+    {
+        return Err(malformed("chunked transfer encoding is not supported"));
+    }
+    let content_length = match req.header("content-length") {
+        None => 0,
+        Some(v) => v
+            .parse::<usize>()
+            .map_err(|_| malformed(format!("bad content-length {v:?}")))?,
+    };
+    if content_length > MAX_BODY_BYTES {
+        return Err(malformed(format!("body exceeds {MAX_BODY_BYTES} bytes")));
+    }
+
+    // Body bytes already read past the head, then the rest from the stream.
+    let mut body = buf[head_end + 4..].to_vec();
+    while body.len() < content_length {
+        let n = stream.read(&mut chunk).map_err(HttpError::Io)?;
+        if n == 0 {
+            return Err(malformed("connection closed mid-body"));
+        }
+        body.extend_from_slice(&chunk[..n]);
+    }
+    body.truncate(content_length);
+    req.body = body;
+    Ok(Some(req))
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// A response to serialize back onto the socket.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` value.
+    pub content_type: &'static str,
+    /// The body.
+    pub body: String,
+    /// Extra headers, e.g. `Retry-After`.
+    pub extra_headers: Vec<(String, String)>,
+}
+
+impl Response {
+    /// A JSON response.
+    pub fn json(status: u16, body: impl Into<String>) -> Response {
+        Response {
+            status,
+            content_type: "application/json",
+            body: body.into(),
+            extra_headers: Vec::new(),
+        }
+    }
+
+    /// A plain-text response.
+    pub fn text(status: u16, body: impl Into<String>) -> Response {
+        Response {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            body: body.into(),
+            extra_headers: Vec::new(),
+        }
+    }
+
+    /// Attach an extra header.
+    pub fn with_header(mut self, name: &str, value: impl Into<String>) -> Response {
+        self.extra_headers.push((name.to_string(), value.into()));
+        self
+    }
+
+    /// Serialize onto `w` (always `Connection: close`).
+    pub fn write_to(&self, w: &mut dyn Write) -> io::Result<()> {
+        let mut head = format!(
+            "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: close\r\n",
+            self.status,
+            status_reason(self.status),
+            self.content_type,
+            self.body.len()
+        );
+        for (name, value) in &self.extra_headers {
+            head.push_str(&format!("{name}: {value}\r\n"));
+        }
+        head.push_str("\r\n");
+        w.write_all(head.as_bytes())?;
+        w.write_all(self.body.as_bytes())?;
+        w.flush()
+    }
+}
+
+/// The reason phrase for the status codes this service emits.
+pub fn status_reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        422 => "Unprocessable Entity",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
+        _ => "Internal Server Error",
+    }
+}
+
+/// What [`http_call`] returns: status, lowercased headers, body.
+pub type ClientResponse = (u16, Vec<(String, String)>, String);
+
+/// Minimal blocking HTTP client for tests, `wl-servectl`, and the CI smoke
+/// script: one request, read to EOF, parse status/headers/body.
+pub fn http_call(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> io::Result<ClientResponse> {
+    let mut stream = TcpStream::connect(addr)?;
+    let body = body.unwrap_or("");
+    let request = format!(
+        "{method} {path} HTTP/1.1\r\nhost: {addr}\r\ncontent-length: {}\r\nconnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(request.as_bytes())?;
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+    parse_client_response(&raw)
+        .map_err(|m| io::Error::new(io::ErrorKind::InvalidData, m))
+}
+
+fn parse_client_response(raw: &[u8]) -> Result<ClientResponse, String> {
+    let head_end = find_head_end(raw).ok_or("no header terminator in response")?;
+    let head = std::str::from_utf8(&raw[..head_end]).map_err(|_| "head is not UTF-8")?;
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next().ok_or("empty response")?;
+    let status: u16 = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("bad status line {status_line:?}"))?;
+    let mut headers = Vec::new();
+    for line in lines {
+        if let Some((n, v)) = line.split_once(':') {
+            headers.push((n.trim().to_ascii_lowercase(), v.trim().to_string()));
+        }
+    }
+    let body = String::from_utf8(raw[head_end + 4..].to_vec())
+        .map_err(|_| "body is not UTF-8".to_string())?;
+    Ok((status, headers, body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(bytes: &[u8]) -> Result<Option<Request>, HttpError> {
+        let mut cursor = bytes;
+        read_request(&mut cursor)
+    }
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let req = parse(
+            b"POST /v1/coplot HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nabcd",
+        )
+        .unwrap()
+        .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.target, "/v1/coplot");
+        assert_eq!(req.header("host"), Some("x"));
+        assert_eq!(req.body, b"abcd");
+    }
+
+    #[test]
+    fn header_names_are_case_insensitive() {
+        let req = parse(b"GET /healthz HTTP/1.1\r\nX-Thing: Value\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.header("x-thing"), Some("Value"));
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn clean_eof_is_none() {
+        assert!(parse(b"").unwrap().is_none());
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        for bad in [
+            &b"nonsense\r\n\r\n"[..],
+            b"GET /x SPDY/3\r\n\r\n",
+            b"GET /healthz HTTP/1.1\r\nbroken header line\r\n\r\n",
+            b"POST /x HTTP/1.1\r\ncontent-length: banana\r\n\r\n",
+            b"POST /x HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\n",
+            b"GET /x HTTP/1.1\r\nhalf a request",
+        ] {
+            assert!(
+                matches!(parse(bad), Err(HttpError::Malformed(_))),
+                "{:?} should be malformed",
+                String::from_utf8_lossy(bad)
+            );
+        }
+    }
+
+    #[test]
+    fn caps_oversized_bodies() {
+        let head = format!(
+            "POST /x HTTP/1.1\r\ncontent-length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        assert!(matches!(
+            parse(head.as_bytes()),
+            Err(HttpError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn response_serializes_with_connection_close() {
+        let mut out = Vec::new();
+        Response::json(503, "{}")
+            .with_header("retry-after", "1")
+            .write_to(&mut out)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"));
+        assert!(text.contains("connection: close\r\n"));
+        assert!(text.contains("retry-after: 1\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+    }
+
+    #[test]
+    fn client_parses_its_own_format() {
+        let mut out = Vec::new();
+        Response::json(200, "{\"ok\":true}").write_to(&mut out).unwrap();
+        let (status, headers, body) = parse_client_response(&out).unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body, "{\"ok\":true}");
+        assert!(headers.iter().any(|(n, v)| n == "content-type" && v == "application/json"));
+    }
+}

@@ -1,0 +1,37 @@
+//! `wl-serve`: the Co-plot analysis toolkit as a long-running service.
+//!
+//! The paper closes by offering its analysis program to other
+//! researchers; this crate is the workspace's shareable form of that
+//! offer — a dependency-free HTTP/1.1 JSON service (std `TcpListener`,
+//! hand-rolled request parsing in [`http`]) speaking the same unified
+//! [`coplot::AnalysisRequest`] / [`coplot::AnalysisResponse`] API as the
+//! `wl` CLI and the reproduction binaries:
+//!
+//! | endpoint | method | what |
+//! |---|---|---|
+//! | `/v1/coplot` | POST | Co-plot map (optionally with variable elimination) |
+//! | `/v1/hurst` | POST | Hurst estimates, 3 estimators x 4 series |
+//! | `/v1/subset` | POST | section-8 representative-variable search |
+//! | `/v1/datasets` | GET | the named datasets the server can synthesize |
+//! | `/metrics` | GET | `wl-obs` metrics as JSON lines (`trace-check` clean) |
+//! | `/healthz` | GET | liveness |
+//! | `/v1/shutdown` | POST | graceful drain |
+//!
+//! The layers, bottom up: [`exec`] executes one request (shared with the
+//! CLI — byte parity by construction), [`datasets`] names and digests the
+//! data, [`cache`] memoizes responses content-addressed by
+//! `(dataset digest, canonical request digest)`, and [`server`] wraps it
+//! all in bounded admission (full queue → 503 + `Retry-After`),
+//! per-request deadlines (aborted between engine stages → 504), and a
+//! graceful drain that lets in-flight requests finish.
+
+pub mod cache;
+pub mod datasets;
+pub mod exec;
+pub mod http;
+pub mod server;
+
+pub use cache::ResultCache;
+pub use datasets::NamedDataset;
+pub use exec::{execute, ExecConfig, ExecError, ExecOutcome};
+pub use server::{start, Drainer, ServerConfig, ServerHandle};

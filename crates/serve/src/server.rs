@@ -1,0 +1,476 @@
+//! The `wl-serve` server loop: bounded admission, worker pool, graceful
+//! drain.
+//!
+//! Architecture: one accept thread pushes connections onto a bounded
+//! queue; `workers` request threads pop and handle them, each running
+//! analyses through [`crate::exec::execute`] on `threads` engine workers.
+//! When the queue is full the accept thread answers 503 + `Retry-After`
+//! from a short-lived rejecter thread — overload never consumes worker
+//! time, and the driving client gets an explicit backpressure signal
+//! instead of a hung socket.
+//!
+//! Graceful drain: `POST /v1/shutdown` (or
+//! [`ServerHandle::initiate_drain`]) stops the accept loop; workers keep
+//! popping until the queue is empty, finish their in-flight requests, and
+//! exit. [`ServerHandle::join`] returns once everything is drained.
+//!
+//! Instrumentation (all behind the `wl-obs` registry, scraped at
+//! `GET /metrics` as the same JSON-lines format `trace-check` validates):
+//! per-endpoint latency histograms (`serve.latency_us.*`), response-status
+//! counters (`serve.http.*`), cache counters (`serve.cache.*`), and the
+//! `serve.queue.depth` / `serve.inflight` gauges.
+
+use std::io::Write;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use coplot::{AnalysisRequest, Operation};
+use wl_obs::escape_str;
+
+use crate::cache::ResultCache;
+use crate::datasets;
+use crate::exec::{self, ExecConfig, ExecError};
+use crate::http::{read_request, HttpError, Request, Response};
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Request worker threads.
+    pub workers: usize,
+    /// Admission queue capacity; a full queue answers 503.
+    pub queue_capacity: usize,
+    /// Result-cache capacity in entries (0 disables).
+    pub cache_capacity: usize,
+    /// Engine threads per request.
+    pub threads: usize,
+    /// Deadline applied to requests that do not carry their own.
+    pub default_deadline_ms: Option<u64>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:1999".into(),
+            workers: 2,
+            queue_capacity: 32,
+            cache_capacity: 128,
+            threads: wl_par::default_threads(),
+            default_deadline_ms: None,
+        }
+    }
+}
+
+/// Shared server state.
+struct Shared {
+    config: ServerConfig,
+    queue: Mutex<std::collections::VecDeque<TcpStream>>,
+    available: Condvar,
+    draining: AtomicBool,
+    inflight: AtomicI64,
+    cache: ResultCache,
+}
+
+/// A running server; dropping the handle does *not* stop it — call
+/// [`shutdown`](ServerHandle::shutdown) or [`join`](ServerHandle::join).
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept_thread: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+/// A cloneable drain trigger (for signal/stdin watchers).
+#[derive(Clone)]
+pub struct Drainer {
+    shared: Arc<Shared>,
+}
+
+impl Drainer {
+    /// Begin draining: stop accepting, let in-flight work finish.
+    pub fn initiate(&self) {
+        initiate_drain(&self.shared);
+    }
+}
+
+fn initiate_drain(shared: &Arc<Shared>) {
+    shared.draining.store(true, Ordering::SeqCst);
+    shared.available.notify_all();
+}
+
+impl ServerHandle {
+    /// The bound address (resolves ephemeral ports).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A drain trigger usable from other threads.
+    pub fn drainer(&self) -> Drainer {
+        Drainer {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Begin draining without waiting.
+    pub fn initiate_drain(&self) {
+        initiate_drain(&self.shared);
+    }
+
+    /// Wait until the server has drained (the accept loop stopped and every
+    /// admitted request finished).
+    pub fn join(mut self) {
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+
+    /// Initiate drain and wait for it to complete.
+    pub fn shutdown(self) {
+        self.initiate_drain();
+        self.join();
+    }
+}
+
+/// Bind and start the server threads, returning immediately.
+///
+/// Arms the `wl-obs` registry so `GET /metrics` has data to export; the
+/// numeric pipeline's guarantees are unaffected (instrumentation never
+/// changes results, only records them).
+///
+/// # Errors
+/// Any `bind` failure.
+pub fn start(config: ServerConfig) -> std::io::Result<ServerHandle> {
+    wl_obs::set_enabled(true);
+    let listener = TcpListener::bind(&config.addr)?;
+    let addr = listener.local_addr()?;
+    listener.set_nonblocking(true)?;
+
+    let shared = Arc::new(Shared {
+        cache: ResultCache::new(config.cache_capacity),
+        config,
+        queue: Mutex::new(std::collections::VecDeque::new()),
+        available: Condvar::new(),
+        draining: AtomicBool::new(false),
+        inflight: AtomicI64::new(0),
+    });
+
+    let workers = (0..shared.config.workers.max(1))
+        .map(|_| {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || worker_loop(&shared))
+        })
+        .collect();
+
+    let accept_shared = Arc::clone(&shared);
+    let accept_thread = std::thread::spawn(move || accept_loop(listener, &accept_shared));
+
+    Ok(ServerHandle {
+        addr,
+        shared,
+        accept_thread: Some(accept_thread),
+        workers,
+    })
+}
+
+fn accept_loop(listener: TcpListener, shared: &Arc<Shared>) {
+    while !shared.draining.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => admit(stream, shared),
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+    // Wake idle workers so they can observe the drain and exit.
+    shared.available.notify_all();
+}
+
+fn admit(stream: TcpStream, shared: &Arc<Shared>) {
+    let rejected = {
+        let mut queue = shared.queue.lock().unwrap();
+        if queue.len() >= shared.config.queue_capacity {
+            Some(stream)
+        } else {
+            queue.push_back(stream);
+            wl_obs::gauge_set!("serve.queue.depth", queue.len() as i64);
+            None
+        }
+    };
+    match rejected {
+        None => shared.available.notify_one(),
+        Some(stream) => {
+            wl_obs::counter!("serve.queue.rejected", 1);
+            // Reject off the accept thread so a slow client cannot stall
+            // admission of everyone else.
+            std::thread::spawn(move || reject_overloaded(stream));
+        }
+    }
+}
+
+fn reject_overloaded(mut stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
+    // Read (and discard) the request first so the client is not mid-write
+    // when the response lands.
+    let _ = read_request(&mut stream);
+    let response = Response::json(
+        503,
+        error_body("overloaded", "admission queue full; retry shortly"),
+    )
+    .with_header("retry-after", "1");
+    let _ = response.write_to(&mut stream);
+    record_status(503);
+}
+
+fn worker_loop(shared: &Arc<Shared>) {
+    loop {
+        let stream = {
+            let mut queue = shared.queue.lock().unwrap();
+            loop {
+                if let Some(s) = queue.pop_front() {
+                    wl_obs::gauge_set!("serve.queue.depth", queue.len() as i64);
+                    break Some(s);
+                }
+                if shared.draining.load(Ordering::SeqCst) {
+                    break None;
+                }
+                let (guard, _) = shared
+                    .available
+                    .wait_timeout(queue, Duration::from_millis(50))
+                    .unwrap();
+                queue = guard;
+            }
+        };
+        let Some(stream) = stream else { return };
+        let inflight = shared.inflight.fetch_add(1, Ordering::SeqCst) + 1;
+        wl_obs::gauge_set!("serve.inflight", inflight);
+        handle_connection(stream, shared);
+        let inflight = shared.inflight.fetch_sub(1, Ordering::SeqCst) - 1;
+        wl_obs::gauge_set!("serve.inflight", inflight);
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, shared: &Arc<Shared>) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
+    let started = Instant::now();
+    let (response, endpoint) = match read_request(&mut stream) {
+        Ok(None) => return, // port probe; nothing to answer
+        Ok(Some(request)) => route(&request, shared),
+        Err(HttpError::Malformed(m)) => {
+            (Response::json(400, error_body("bad-http", &m)), Endpoint::Other)
+        }
+        Err(HttpError::Io(_)) => return, // peer went away
+    };
+    record_status(response.status);
+    endpoint.record_latency(started.elapsed().as_micros() as u64);
+    let _ = response.write_to(&mut stream);
+    let _ = stream.flush();
+}
+
+/// Which endpoint a request hit, for the per-endpoint latency histograms.
+/// (One `hist_record!` call site per endpoint: the macro interns its metric
+/// name per site, so names must be literals.)
+#[derive(Clone, Copy)]
+enum Endpoint {
+    Health,
+    Metrics,
+    Datasets,
+    Coplot,
+    Hurst,
+    Subset,
+    Shutdown,
+    Other,
+}
+
+impl Endpoint {
+    fn record_latency(self, us: u64) {
+        match self {
+            Endpoint::Health => wl_obs::hist_record!("serve.latency_us.healthz", us),
+            Endpoint::Metrics => wl_obs::hist_record!("serve.latency_us.metrics", us),
+            Endpoint::Datasets => wl_obs::hist_record!("serve.latency_us.datasets", us),
+            Endpoint::Coplot => wl_obs::hist_record!("serve.latency_us.coplot", us),
+            Endpoint::Hurst => wl_obs::hist_record!("serve.latency_us.hurst", us),
+            Endpoint::Subset => wl_obs::hist_record!("serve.latency_us.subset", us),
+            Endpoint::Shutdown => wl_obs::hist_record!("serve.latency_us.shutdown", us),
+            Endpoint::Other => wl_obs::hist_record!("serve.latency_us.other", us),
+        }
+    }
+}
+
+fn record_status(status: u16) {
+    match status {
+        200 => wl_obs::counter!("serve.http.200", 1),
+        400 => wl_obs::counter!("serve.http.400", 1),
+        404 => wl_obs::counter!("serve.http.404", 1),
+        405 => wl_obs::counter!("serve.http.405", 1),
+        422 => wl_obs::counter!("serve.http.422", 1),
+        503 => wl_obs::counter!("serve.http.503", 1),
+        504 => wl_obs::counter!("serve.http.504", 1),
+        _ => wl_obs::counter!("serve.http.other", 1),
+    }
+}
+
+fn route(request: &Request, shared: &Arc<Shared>) -> (Response, Endpoint) {
+    match (request.method.as_str(), request.target.as_str()) {
+        ("GET", "/healthz") => (Response::text(200, "ok\n"), Endpoint::Health),
+        ("GET", "/metrics") => {
+            let snapshot = wl_obs::registry().snapshot();
+            let body = wl_obs::export_json_lines(&snapshot, &[]);
+            (
+                Response {
+                    status: 200,
+                    content_type: "application/x-ndjson",
+                    body,
+                    extra_headers: Vec::new(),
+                },
+                Endpoint::Metrics,
+            )
+        }
+        ("GET", "/v1/datasets") => (
+            Response::json(200, datasets::datasets_json()),
+            Endpoint::Datasets,
+        ),
+        ("POST", "/v1/coplot") => (
+            analysis_response(request, Operation::Coplot, shared),
+            Endpoint::Coplot,
+        ),
+        ("POST", "/v1/hurst") => (
+            analysis_response(request, Operation::Hurst, shared),
+            Endpoint::Hurst,
+        ),
+        ("POST", "/v1/subset") => (
+            analysis_response(request, Operation::Subset, shared),
+            Endpoint::Subset,
+        ),
+        ("POST", "/v1/shutdown") => {
+            initiate_drain(shared);
+            (Response::text(200, "draining\n"), Endpoint::Shutdown)
+        }
+        (_, path)
+            if matches!(
+                path,
+                "/healthz" | "/metrics" | "/v1/datasets" | "/v1/coplot" | "/v1/hurst"
+                    | "/v1/subset" | "/v1/shutdown"
+            ) =>
+        {
+            (
+                Response::json(
+                    405,
+                    error_body(
+                        "method-not-allowed",
+                        &format!("{} is not supported on {path}", request.method),
+                    ),
+                ),
+                Endpoint::Other,
+            )
+        }
+        (_, path) => (
+            Response::json(404, error_body("not-found", &format!("no route for {path}"))),
+            Endpoint::Other,
+        ),
+    }
+}
+
+/// Handle one analysis POST: parse, canonicalize, consult the cache,
+/// execute, cache, respond. Never panics a worker and never answers 500 —
+/// every failure maps to a typed 4xx/5xx.
+fn analysis_response(request: &Request, expected_op: Operation, shared: &Arc<Shared>) -> Response {
+    let Ok(body) = std::str::from_utf8(&request.body) else {
+        return Response::json(400, error_body("bad-json", "body is not UTF-8"));
+    };
+    let parsed = match AnalysisRequest::from_json(body) {
+        Ok(r) => r,
+        Err(e) => return Response::json(400, error_body(e.kind.label(), &e.message)),
+    };
+    if parsed.op != expected_op {
+        return Response::json(
+            400,
+            error_body(
+                "bad-value",
+                &format!(
+                    "request op {:?} does not match endpoint /v1/{}",
+                    parsed.op.label(),
+                    expected_op.label()
+                ),
+            ),
+        );
+    }
+    let canonical = match parsed.canonicalize() {
+        Ok(r) => r,
+        Err(e) => return Response::json(400, error_body(e.kind.label(), &e.message)),
+    };
+    // The digest cannot fail past canonicalization.
+    let request_digest = match canonical.canonical_digest() {
+        Ok(d) => d,
+        Err(e) => return Response::json(400, error_body(e.kind.label(), &e.message)),
+    };
+    let dataset_digest =
+        match datasets::dataset_digest(&canonical.dataset, canonical.jobs, canonical.seed) {
+            Ok(d) => d,
+            Err(e) => return exec_error_response(&e),
+        };
+    let key = (dataset_digest, request_digest);
+    if let Some(body) = shared.cache.get(key) {
+        return Response::json(200, body);
+    }
+    let deadline_ms = canonical.deadline_ms.or(shared.config.default_deadline_ms);
+    let cfg = ExecConfig {
+        threads: shared.config.threads,
+        deadline: deadline_ms.map(|ms| Instant::now() + Duration::from_millis(ms)),
+    };
+    match exec::execute(&canonical, &cfg) {
+        Ok(outcome) => {
+            let body = outcome.response.to_json();
+            shared.cache.put(key, body.clone());
+            Response::json(200, body)
+        }
+        Err(e) => exec_error_response(&e),
+    }
+}
+
+fn exec_error_response(e: &ExecError) -> Response {
+    match e {
+        ExecError::Api(a) => Response::json(400, error_body(a.kind.label(), &a.message)),
+        ExecError::DatasetNotFound(m) => Response::json(404, error_body("not-found", m)),
+        ExecError::Analysis(coplot::CoplotError::DeadlineExceeded { .. }) => {
+            Response::json(504, error_body("deadline", &e.to_string()))
+        }
+        ExecError::Analysis(other) => Response::json(422, error_body("analysis", &other.to_string())),
+    }
+}
+
+/// The service's uniform error body.
+fn error_body(kind: &str, message: &str) -> String {
+    format!(
+        "{{\"error\":{{\"kind\":\"{}\",\"message\":\"{}\"}}}}",
+        escape_str(kind),
+        escape_str(message)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_bodies_are_valid_json() {
+        let body = error_body("bad-json", "expected \"value\" near\nline 2");
+        let v = wl_obs::parse_json(&body).unwrap();
+        let err = v.get("error").unwrap();
+        assert_eq!(err.get("kind").and_then(|k| k.as_str()), Some("bad-json"));
+        assert!(err
+            .get("message")
+            .and_then(|m| m.as_str())
+            .unwrap()
+            .contains("line 2"));
+    }
+}

@@ -26,4 +26,47 @@ echo "== golden snapshots (threads 1 + 8, full canonical size) =="
 cargo test -q -p wl-repro --test golden
 cargo test -q -p wl-cli --test golden_trace
 
+echo "== wl-serve smoke (ephemeral port, CLI parity, metrics, drain) =="
+serve_log=$(mktemp)
+serve_fifo=$(mktemp -u)
+mkfifo "$serve_fifo"
+# Hold the write end open so the server only sees the shutdown byte we send.
+exec 9<>"$serve_fifo"
+./target/release/wl-serve --addr 127.0.0.1:0 --workers 2 --threads 2 \
+  --stdin-shutdown < "$serve_fifo" > "$serve_log" &
+serve_pid=$!
+trap 'kill "$serve_pid" 2>/dev/null || true; rm -f "$serve_log" "$serve_fifo"' EXIT
+for _ in $(seq 1 100); do
+  grep -q "listening on" "$serve_log" 2>/dev/null && break
+  sleep 0.1
+done
+serve_addr=$(sed -n 's|.*listening on http://||p' "$serve_log")
+test -n "$serve_addr" || { echo "wl-serve did not start"; exit 1; }
+
+request='{"op":"coplot","dataset":{"name":"table1"},"jobs":1024,"seed":1999}'
+req_file=$(mktemp)
+echo -n "$request" > "$req_file"
+./target/release/wl-servectl POST "http://$serve_addr/v1/coplot" "$req_file" \
+  > serve_body.json
+./target/release/wl coplot @table1 --jobs 1024 --seed 1999 --json > cli_body.json
+printf '\n' >> serve_body.json
+diff cli_body.json serve_body.json   # CLI --json == server body, byte for byte
+rm -f serve_body.json cli_body.json "$req_file"
+
+./target/release/wl-servectl GET "http://$serve_addr/metrics" \
+  | ./target/release/trace-check -
+
+printf 'q' >&9   # one stdin byte initiates graceful drain
+for _ in $(seq 1 100); do
+  kill -0 "$serve_pid" 2>/dev/null || break
+  sleep 0.1
+done
+if kill -0 "$serve_pid" 2>/dev/null; then
+  echo "wl-serve did not drain after the shutdown byte"; exit 1
+fi
+wait "$serve_pid"
+exec 9>&-
+rm -f "$serve_log" "$serve_fifo"
+trap - EXIT
+
 echo "CI green."
