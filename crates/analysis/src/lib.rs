@@ -34,6 +34,9 @@ pub mod subset;
 pub use homogeneity::{HomogeneityReport, HomogeneityVerdict};
 pub use load_alteration::{alter_load, LoadAlteration, LoadAuditRow};
 pub use matching::{match_models, ModelMatch};
-pub use matrix::{stats_matrix, try_stats_matrix, try_workload_matrix, workload_matrix};
+pub use matrix::{
+    stats_matrix, trace_matrix, try_stats_matrix, try_trace_matrix, try_workload_matrix,
+    workload_matrix,
+};
 pub use parametric::ParametricModel;
 pub use subset::{best_variable_subset, SubsetSearchResult};

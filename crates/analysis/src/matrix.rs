@@ -1,20 +1,54 @@
-//! Assemble Co-plot data matrices from workloads.
+//! Assemble Co-plot data matrices from normalized traces.
+//!
+//! The primary entry points are [`trace_matrix`] / [`try_trace_matrix`],
+//! which accept any [`NormalizedTrace`] — the canonical output of every
+//! `wl_trace::TraceSource` adapter — so SWF logs, GWF grid traces, and
+//! bucketed web access logs all feed the same Table 1 machinery. The
+//! `workload_*` names are kept as thin aliases for existing call sites
+//! (`wl_swf::Workload` *is* `NormalizedTrace`).
 
 use coplot::{CoplotError, DataMatrix};
-use wl_swf::{Variable, Workload, WorkloadStats};
+use wl_trace::{NormalizedTrace, TraceStats, Variable};
+use wl_swf::{Workload, WorkloadStats};
 
-/// Build an observations-by-variables matrix from workloads and Table 1
-/// variable codes ("Rm", "Pi", ...), applying the paper's load-imputation
-/// rule. Unknown statistics become missing cells.
+/// Build an observations-by-variables matrix from normalized traces and
+/// Table 1 variable codes ("Rm", "Pi", ...), applying the paper's
+/// load-imputation rule. Unknown statistics become missing cells.
+///
+/// # Panics
+/// Panics on an unknown variable code; use [`try_trace_matrix`] to get a
+/// [`CoplotError`] instead.
+pub fn trace_matrix(traces: &[NormalizedTrace], codes: &[&str]) -> DataMatrix {
+    try_trace_matrix(traces, codes).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Build a matrix from normalized traces, reporting unknown codes as
+/// errors.
+///
+/// # Errors
+/// [`CoplotError::InvalidConfig`] on an unknown variable code.
+pub fn try_trace_matrix(
+    traces: &[NormalizedTrace],
+    codes: &[&str],
+) -> Result<DataMatrix, CoplotError> {
+    let stats: Vec<TraceStats> = traces
+        .iter()
+        .map(|w| TraceStats::compute(w).with_load_imputation())
+        .collect();
+    try_stats_matrix(&stats, codes)
+}
+
+/// Deprecated spelling of [`trace_matrix`] (SWF-era name); the types are
+/// identical, only the name is narrower than what the function accepts.
 ///
 /// # Panics
 /// Panics on an unknown variable code; use [`try_workload_matrix`] to get
 /// a [`CoplotError`] instead.
 pub fn workload_matrix(workloads: &[Workload], codes: &[&str]) -> DataMatrix {
-    try_workload_matrix(workloads, codes).unwrap_or_else(|e| panic!("{e}"))
+    trace_matrix(workloads, codes)
 }
 
-/// Build a matrix from workloads, reporting unknown codes as errors.
+/// Deprecated spelling of [`try_trace_matrix`] (SWF-era name).
 ///
 /// # Errors
 /// [`CoplotError::InvalidConfig`] on an unknown variable code.
@@ -22,11 +56,7 @@ pub fn try_workload_matrix(
     workloads: &[Workload],
     codes: &[&str],
 ) -> Result<DataMatrix, CoplotError> {
-    let stats: Vec<WorkloadStats> = workloads
-        .iter()
-        .map(|w| WorkloadStats::compute(w).with_load_imputation())
-        .collect();
-    try_stats_matrix(&stats, codes)
+    try_trace_matrix(workloads, codes)
 }
 
 /// Build a matrix from precomputed statistics.

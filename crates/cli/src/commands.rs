@@ -11,9 +11,10 @@ use wl_models::{
 use wl_serve::exec::{execute, ExecConfig, ExecOutcome};
 use wl_stats::rng::seeded_rng;
 use wl_swf::workload::{AllocationFlexibility, MachineInfo, SchedulerFlexibility};
-use wl_swf::{parse_swf, write_swf, Variable, Workload, WorkloadStats};
+use wl_swf::{write_swf, Variable, Workload, WorkloadStats};
+use wl_trace::TraceFormat;
 
-/// Default machine when an SWF file carries no metadata header.
+/// Default machine when a trace file carries no metadata header.
 fn default_machine() -> MachineInfo {
     MachineInfo::new(
         128,
@@ -81,27 +82,38 @@ fn run_request(req: &AnalysisRequest, threads: usize) -> Result<ExecOutcome, Str
     execute(req, &ExecConfig::new(threads)).map_err(|e| e.to_string())
 }
 
-fn load_workload(path: &str) -> Result<Workload, String> {
+/// Resolve a `--format` label, or auto-detect from the path and contents.
+fn resolve_format(path: &str, text: &str, format: Option<&str>) -> Result<TraceFormat, String> {
+    match format {
+        Some(label) => TraceFormat::from_label(label)
+            .ok_or_else(|| format!("unknown format {label:?} (swf, gwf, weblog)")),
+        None => Ok(TraceFormat::detect(path, text)),
+    }
+}
+
+fn load_workload(path: &str, format: Option<&str>) -> Result<Workload, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    let doc = parse_swf(&text).map_err(|e| format!("{path}: {e}"))?;
+    let fmt = resolve_format(path, &text, format)?;
     let name = Path::new(path)
         .file_stem()
         .map(|s| s.to_string_lossy().into_owned())
         .unwrap_or_else(|| path.to_string());
-    Ok(doc.into_workload(name, default_machine()))
+    fmt.source()
+        .read(&name, &text, default_machine())
+        .map_err(|e| format!("{path}: {e}"))
 }
 
-fn load_all(paths: &[String]) -> Result<Vec<Workload>, String> {
+fn load_all(paths: &[String], format: Option<&str>) -> Result<Vec<Workload>, String> {
     if paths.is_empty() {
         return Err("no input files given".into());
     }
-    paths.iter().map(|p| load_workload(p)).collect()
+    paths.iter().map(|p| load_workload(p, format)).collect()
 }
 
 /// `wl stats` — Table-1 characteristics per file.
 pub fn stats(args: &[String]) -> Result<(), String> {
-    let (paths, _) = split_args(args)?;
-    let workloads = load_all(&paths)?;
+    let (paths, flags) = split_args(args)?;
+    let workloads = load_all(&paths, flag(&flags, "format"))?;
     print!("{:<20}", "variable");
     for w in &workloads {
         print!("{:>14}", truncate(&w.name, 13));
@@ -137,6 +149,9 @@ pub fn stats(args: &[String]) -> Result<(), String> {
 pub fn coplot(args: &[String], threads: usize) -> Result<(), String> {
     let (positional, flags) = split_args(args)?;
     let mut req = AnalysisRequest::new(Operation::Coplot, parse_dataset(&positional)?);
+    if let Some(v) = flag(&flags, "format") {
+        req.format = Some(v.to_string());
+    }
     if let Some(v) = flag(&flags, "vars") {
         req.vars = v.split(',').map(|s| s.trim().to_string()).collect();
     }
@@ -182,6 +197,9 @@ pub fn coplot(args: &[String], threads: usize) -> Result<(), String> {
 pub fn hurst(args: &[String], threads: usize) -> Result<(), String> {
     let (positional, flags) = split_args(args)?;
     let mut req = AnalysisRequest::new(Operation::Hurst, parse_dataset(&positional)?);
+    if let Some(v) = flag(&flags, "format") {
+        req.format = Some(v.to_string());
+    }
     if let Some(v) = flag(&flags, "seed") {
         req.seed = v.parse().map_err(|_| "--seed needs an integer")?;
     }
@@ -223,6 +241,9 @@ pub fn hurst(args: &[String], threads: usize) -> Result<(), String> {
 pub fn subset(args: &[String], threads: usize) -> Result<(), String> {
     let (positional, flags) = split_args(args)?;
     let mut req = AnalysisRequest::new(Operation::Subset, parse_dataset(&positional)?);
+    if let Some(v) = flag(&flags, "format") {
+        req.format = Some(v.to_string());
+    }
     if let Some(v) = flag(&flags, "vars") {
         req.vars = v.split(',').map(|s| s.trim().to_string()).collect();
     }
@@ -280,7 +301,7 @@ pub fn homogeneity(args: &[String]) -> Result<(), String> {
     if paths.len() != 1 {
         return Err("homogeneity takes exactly one file".into());
     }
-    let log = load_workload(&paths[0])?;
+    let log = load_workload(&paths[0], flag(&flags, "format"))?;
     let periods: usize = flag(&flags, "periods")
         .map(|v| v.parse().map_err(|_| "--periods needs an integer"))
         .transpose()?
@@ -340,28 +361,67 @@ pub fn generate(args: &[String]) -> Result<(), String> {
         .transpose()?
         .unwrap_or(42);
 
-    let mut rng = seeded_rng(seed);
-    let workload = match model_name.to_ascii_lowercase().as_str() {
-        "feitelson96" => Feitelson96::default().generate(jobs, &mut rng),
-        "feitelson97" => Feitelson97::default().generate(jobs, &mut rng),
-        "downey" => Downey::default().generate(jobs, &mut rng),
-        "jann" => Jann::default().generate(jobs, &mut rng),
-        "lublin" => Lublin::default().generate(jobs, &mut rng),
-        "selfsimilar" => SelfSimilarModel::default().generate(jobs, &mut rng),
-        "ctc" => MachineId::Ctc.generate(jobs, seed),
-        "kth" => MachineId::Kth.generate(jobs, seed),
-        "lanl" => MachineId::Lanl.generate(jobs, seed),
-        "llnl" => MachineId::Llnl.generate(jobs, seed),
-        "nasa" => MachineId::Nasa.generate(jobs, seed),
-        "sdsc" => MachineId::Sdsc.generate(jobs, seed),
-        other => return Err(format!("unknown model {other:?}")),
+    // The cross-domain families emit their native trace text (GWF for grid
+    // sites, Common Log Format for web servers); everything else emits SWF.
+    let family = model_name.to_ascii_lowercase();
+    let (text, summary) = match family.as_str() {
+        "grid" | "web" => {
+            let site: usize = flag(&flags, "site")
+                .map(|v| v.parse().map_err(|_| "--site needs an integer"))
+                .transpose()?
+                .unwrap_or(0);
+            if family == "grid" {
+                if site >= wl_trace::synth::GRID_SITE_COUNT {
+                    return Err(format!(
+                        "--site must be < {}",
+                        wl_trace::synth::GRID_SITE_COUNT
+                    ));
+                }
+                (
+                    wl_trace::synth::grid_site_text(site, jobs, seed),
+                    format!("{jobs} GWF jobs ({})", wl_trace::synth::grid_site_name(site)),
+                )
+            } else {
+                if site >= wl_trace::synth::WEB_SERVER_COUNT {
+                    return Err(format!(
+                        "--site must be < {}",
+                        wl_trace::synth::WEB_SERVER_COUNT
+                    ));
+                }
+                (
+                    wl_trace::synth::web_server_text(site, jobs, seed),
+                    format!(
+                        "{jobs} web sessions ({})",
+                        wl_trace::synth::web_server_name(site)
+                    ),
+                )
+            }
+        }
+        _ => {
+            let mut rng = seeded_rng(seed);
+            let workload = match family.as_str() {
+                "feitelson96" => Feitelson96::default().generate(jobs, &mut rng),
+                "feitelson97" => Feitelson97::default().generate(jobs, &mut rng),
+                "downey" => Downey::default().generate(jobs, &mut rng),
+                "jann" => Jann::default().generate(jobs, &mut rng),
+                "lublin" => Lublin::default().generate(jobs, &mut rng),
+                "selfsimilar" => SelfSimilarModel::default().generate(jobs, &mut rng),
+                "ctc" => MachineId::Ctc.generate(jobs, seed),
+                "kth" => MachineId::Kth.generate(jobs, seed),
+                "lanl" => MachineId::Lanl.generate(jobs, seed),
+                "llnl" => MachineId::Llnl.generate(jobs, seed),
+                "nasa" => MachineId::Nasa.generate(jobs, seed),
+                "sdsc" => MachineId::Sdsc.generate(jobs, seed),
+                other => return Err(format!("unknown model {other:?}")),
+            };
+            let len = workload.len();
+            (write_swf(&workload), format!("{len} jobs"))
+        }
     };
-
-    let text = write_swf(&workload);
     match flag(&flags, "out") {
         Some(path) => {
             std::fs::write(path, text).map_err(|e| format!("cannot write {path}: {e}"))?;
-            eprintln!("{} jobs written to {path}", workload.len());
+            eprintln!("{summary} written to {path}");
         }
         None => print!("{text}"),
     }
@@ -448,9 +508,46 @@ mod tests {
         .map(|s| s.to_string())
         .collect();
         generate(&args).unwrap();
-        let w = load_workload(path.to_str().unwrap()).unwrap();
+        let w = load_workload(path.to_str().unwrap(), None).unwrap();
         assert_eq!(w.len(), 200);
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn generate_grid_and_web_round_trip_through_detection() {
+        let dir = std::env::temp_dir().join("wl_cli_xdomain_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        for (family, file, jobs) in [("grid", "site.gwf", "80"), ("web", "server.log", "40")] {
+            let path = dir.join(file);
+            let args: Vec<String> = [
+                family,
+                "--jobs",
+                jobs,
+                "--seed",
+                "5",
+                "--site",
+                "1",
+                "--out",
+                path.to_str().unwrap(),
+            ]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+            generate(&args).unwrap();
+            // Auto-detection and an explicit label load the same trace.
+            let auto = load_workload(path.to_str().unwrap(), None).unwrap();
+            let label = if family == "grid" { "gwf" } else { "weblog" };
+            let explicit = load_workload(path.to_str().unwrap(), Some(label)).unwrap();
+            assert!(!auto.is_empty(), "{family}");
+            assert_eq!(auto.canonical_digest(), explicit.canonical_digest());
+            std::fs::remove_file(&path).ok();
+        }
+    }
+
+    #[test]
+    fn generate_rejects_out_of_range_site() {
+        let args: Vec<String> = ["grid".to_string(), "--site".into(), "99".into()].to_vec();
+        assert!(generate(&args).is_err());
     }
 
     #[test]

@@ -2,23 +2,25 @@
 //!
 //! The paper closes by offering "the Co-Plot program and workload analysis
 //! program" to interested researchers; this binary is that tool for this
-//! workspace. It reads standard-workload-format files and runs the full
-//! analysis toolkit over them.
+//! workspace. It reads trace files in any registered format — SWF, GWF
+//! grid traces, web access logs, auto-detected or forced with `--format` —
+//! and runs the full analysis toolkit over them.
 //!
 //! ```text
-//! wl stats <file.swf>...                      Table-1 characteristics
-//! wl coplot <file.swf>... [--vars A,B,..]     Co-plot map across files
-//!           [--svg out.svg] [--seed N]
-//! wl hurst <file.swf>... [--threads N]        Hurst estimates (3 estimators
+//! wl stats <file>...                          Table-1 characteristics
+//! wl coplot <file>... [--vars A,B,..]         Co-plot map across files
+//!           [--svg out.svg] [--seed N] [--format swf|gwf|weblog]
+//! wl hurst <file>... [--threads N]            Hurst estimates (3 estimators
 //!                                             x 4 series) per file
-//! wl homogeneity <file.swf> [--periods N]     section-6 stability test
-//! wl generate <model> [--jobs N] [--seed N]   synthesize a workload to
-//!           [--out file.swf]                  stdout or a file
+//! wl homogeneity <file> [--periods N]         section-6 stability test
+//! wl generate <model> [--jobs N] [--seed N]   synthesize a trace to stdout
+//!           [--out file] [--site N]           or a file
 //! ```
 //!
 //! Models for `generate`: `feitelson96`, `feitelson97`, `downey`, `jann`,
-//! `lublin`, `selfsimilar`, and the six production stand-ins (`ctc`, `kth`,
-//! `lanl`, `llnl`, `nasa`, `sdsc`).
+//! `lublin`, `selfsimilar`, the six production stand-ins (`ctc`, `kth`,
+//! `lanl`, `llnl`, `nasa`, `sdsc`), and the cross-domain families `grid`
+//! (GWF text, `--site 0..4`) and `web` (access-log text, `--site 0..3`).
 
 use std::process::ExitCode;
 
@@ -74,16 +76,20 @@ fn usage() -> &'static str {
     "wl — parallel workload analysis (Co-plot / IPPS'99 toolkit)
 
 USAGE:
-  wl stats <file.swf>...
-  wl coplot <dataset> [--vars Rm,Ri,Pm,Pi,Im,Ii] [--svg out.svg] [--seed N] [--min-corr X] [--timings] [--json]
-  wl hurst <dataset> [--json]
-  wl subset <dataset> [--size K] [--max-alienation X] [--top N] [--vars ..] [--json]
-  wl homogeneity <file.swf> [--periods N] [--seed N]
-  wl generate <model> [--jobs N] [--seed N] [--out file.swf]
+  wl stats <file>... [--format swf|gwf|weblog]
+  wl coplot <dataset> [--vars Rm,Ri,Pm,Pi,Im,Ii] [--svg out.svg] [--seed N] [--min-corr X] [--format F] [--timings] [--json]
+  wl hurst <dataset> [--format F] [--json]
+  wl subset <dataset> [--size K] [--max-alienation X] [--top N] [--vars ..] [--format F] [--json]
+  wl homogeneity <file> [--periods N] [--seed N] [--format F]
+  wl generate <model> [--jobs N] [--seed N] [--out file] [--site N]
 
 DATASETS (coplot/hurst/subset):
-  either SWF files (<file.swf>...) or one named synthesized suite:
-  @table1 @table2 @models @table3 (with [--jobs N] [--seed N]).
+  either trace files (<file>...) or one named synthesized suite:
+  @table1 @table2 @models @table3 @grid @web @crossdomain
+  (with [--jobs N] [--seed N]).
+  Files may be SWF logs, GWF grid traces, or web access logs; the format
+  is auto-detected from the extension and contents unless --format forces
+  one for all files.
   --json prints the analysis response exactly as wl-serve would return it.
 
 GLOBAL FLAGS (any subcommand):
@@ -97,5 +103,7 @@ untraced run.
 
 MODELS for generate:
   feitelson96 feitelson97 downey jann lublin selfsimilar
-  ctc kth lanl llnl nasa sdsc   (production-log stand-ins)"
+  ctc kth lanl llnl nasa sdsc   (production-log stand-ins)
+  grid [--site 0..4]            (synthetic grid site, GWF text)
+  web  [--site 0..3]            (synthetic web server, access-log text)"
 }

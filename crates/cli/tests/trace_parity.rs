@@ -1,0 +1,126 @@
+//! Multi-format parity pins for the `TraceSource` ingestion layer.
+//!
+//! Three guarantees from the trace-stack refactor are pinned here:
+//! 1. `GET /v1/datasets` advertises every named suite with its trace
+//!    format (golden byte-for-byte snapshot),
+//! 2. `wl coplot --format gwf --json` over GWF files prints exactly the
+//!    body `POST /v1/coplot` returns for the same `Paths` request, and
+//! 3. the cross-domain suite (`@crossdomain`: SWF + grid + web on one
+//!    embedding) is bit-identical across thread counts and across the
+//!    CLI/server boundary.
+
+use std::process::Command;
+
+use coplot::{AnalysisRequest, DatasetSpec, Operation};
+use wl_serve::http::http_call;
+use wl_serve::{start, ServerConfig, ServerHandle};
+
+fn wl_stdout(args: &[&str]) -> String {
+    let output = Command::new(env!("CARGO_BIN_EXE_wl"))
+        .args(args)
+        .output()
+        .expect("run wl");
+    assert!(
+        output.status.success(),
+        "wl {args:?} failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    String::from_utf8(output.stdout).expect("wl stdout is UTF-8")
+}
+
+fn parity_server() -> (ServerHandle, String) {
+    let server = start(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 1,
+        queue_capacity: 4,
+        cache_capacity: 4,
+        threads: 2,
+        default_deadline_ms: None,
+    })
+    .expect("bind parity server");
+    let addr = server.addr().to_string();
+    (server, addr)
+}
+
+/// The dataset listing is part of the public API surface: clients discover
+/// formats from it, so any change (new suite, renamed format, reordered
+/// fields) must be deliberate. Update this literal when one is.
+#[test]
+fn datasets_listing_is_pinned_with_formats() {
+    let (server, addr) = parity_server();
+    let (status, _, body) = http_call(&addr, "GET", "/v1/datasets", None).expect("GET");
+    assert_eq!(status, 200);
+    assert_eq!(
+        body,
+        "{\"datasets\":[\
+         {\"name\":\"table1\",\"description\":\"the ten production workloads of Table 1\",\"format\":\"swf\",\"observations\":10},\
+         {\"name\":\"table2\",\"description\":\"the eight LANL/SDSC six-month periods of Table 2\",\"format\":\"swf\",\"observations\":8},\
+         {\"name\":\"models\",\"description\":\"the five synthetic workload models\",\"format\":\"swf\",\"observations\":5},\
+         {\"name\":\"table3\",\"description\":\"Table 3's fifteen observations: production + models\",\"format\":\"swf\",\"observations\":15},\
+         {\"name\":\"grid\",\"description\":\"five synthetic grid sites ingested from GWF text\",\"format\":\"gwf\",\"observations\":5},\
+         {\"name\":\"web\",\"description\":\"four synthetic web servers ingested from access logs\",\"format\":\"weblog\",\"observations\":4},\
+         {\"name\":\"crossdomain\",\"description\":\"table3 plus the grid and web suites on one embedding\",\"format\":\"synthetic\",\"observations\":24}\
+         ]}"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn gwf_cli_json_matches_server_body() {
+    let dir = std::env::temp_dir().join("wl_trace_parity_gwf");
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let mut paths = Vec::new();
+    for site in 0..3u32 {
+        let path = dir.join(format!("site{site}.gwf"));
+        let path = path.to_str().expect("UTF-8 temp path").to_string();
+        wl_stdout(&[
+            "generate", "grid", "--site", &site.to_string(), "--jobs", "60", "--seed", "42",
+            "--out", &path,
+        ]);
+        paths.push(path);
+    }
+
+    let mut cli_args = vec!["coplot"];
+    cli_args.extend(paths.iter().map(String::as_str));
+    cli_args.extend(["--format", "gwf", "--seed", "1999", "--threads", "2", "--json"]);
+    let stdout = wl_stdout(&cli_args);
+
+    let mut req = AnalysisRequest::new(Operation::Coplot, DatasetSpec::Paths(paths));
+    req.seed = 1999;
+    req.format = Some("gwf".into());
+    let (server, addr) = parity_server();
+    let (status, _, body) =
+        http_call(&addr, "POST", "/v1/coplot", Some(&req.to_json())).expect("POST");
+    assert_eq!(status, 200, "{body}");
+    assert_eq!(
+        stdout,
+        format!("{body}\n"),
+        "CLI --format gwf --json output must be the server body plus a newline"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn crossdomain_is_thread_invariant_and_matches_server() {
+    let base = [
+        "coplot", "@crossdomain", "--jobs", "150", "--seed", "1999", "--json",
+    ];
+    let mut one = base.to_vec();
+    one.extend(["--threads", "1"]);
+    let mut eight = base.to_vec();
+    eight.extend(["--threads", "8"]);
+    let stdout_1 = wl_stdout(&one);
+    let stdout_8 = wl_stdout(&eight);
+    assert_eq!(
+        stdout_1, stdout_8,
+        "cross-domain co-plot must be bit-identical for any thread count"
+    );
+
+    let (server, addr) = parity_server();
+    let request =
+        "{\"op\":\"coplot\",\"dataset\":{\"name\":\"crossdomain\"},\"jobs\":150,\"seed\":1999}";
+    let (status, _, body) = http_call(&addr, "POST", "/v1/coplot", Some(request)).expect("POST");
+    assert_eq!(status, 200, "{body}");
+    assert_eq!(stdout_1, format!("{body}\n"));
+    server.shutdown();
+}

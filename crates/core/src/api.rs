@@ -55,6 +55,12 @@ pub const DEFAULT_TOP: u64 = 5;
 /// integer fields above this would not round-trip.
 pub const MAX_EXACT_INT: u64 = 1 << 53;
 
+/// Trace formats a `Paths` dataset may declare via the request's `format`
+/// field. The labels mirror `wl_trace::TraceFormat::label()`; the list is
+/// duplicated here because the ingestion crate sits above this one in the
+/// dependency order.
+pub const KNOWN_FORMATS: [&str; 3] = ["swf", "gwf", "weblog"];
+
 /// Which analysis an [`AnalysisRequest`] asks for.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Operation {
@@ -94,7 +100,9 @@ pub enum DatasetSpec {
     /// ...). Because synthesis is a pure function of (name, jobs, seed),
     /// the spec *is* the content; dataset digests hash exactly that.
     Named(String),
-    /// SWF log files on the executor's filesystem; digests hash the bytes.
+    /// Trace files (SWF/GWF/web logs) on the executor's filesystem;
+    /// digests hash the canonical parsed record stream, so the same jobs
+    /// digest identically regardless of the on-disk format.
     Paths(Vec<String>),
 }
 
@@ -114,6 +122,10 @@ pub struct AnalysisRequest {
     /// Variable codes for `coplot`/`subset` (empty = [`DEFAULT_VARS`];
     /// always empty after canonicalization for `hurst`).
     pub vars: Vec<String>,
+    /// Trace format of a `Paths` dataset ([`KNOWN_FORMATS`]); `None` means
+    /// auto-detect per file. Named datasets carry their own format, so
+    /// canonicalization clears this field for them.
+    pub format: Option<String>,
     /// `coplot` only: run variable elimination at this threshold.
     pub min_correlation: Option<f64>,
     /// `subset` only: subset size `k`.
@@ -139,6 +151,7 @@ impl AnalysisRequest {
             jobs: DEFAULT_JOBS,
             seed: DEFAULT_SEED,
             vars: Vec::new(),
+            format: None,
             min_correlation: None,
             subset_size: DEFAULT_SUBSET_SIZE,
             max_alienation: DEFAULT_MAX_ALIENATION,
@@ -161,11 +174,21 @@ impl AnalysisRequest {
         if r.jobs == 0 {
             return Err(ApiError::value("jobs must be positive"));
         }
+        if let Some(fmt) = &r.format {
+            if !KNOWN_FORMATS.contains(&fmt.as_str()) {
+                return Err(ApiError::value(format!(
+                    "format must be one of {KNOWN_FORMATS:?}, got {fmt:?}"
+                )));
+            }
+        }
         match &r.dataset {
             DatasetSpec::Named(name) => {
                 if name.is_empty() {
                     return Err(ApiError::value("dataset name must not be empty"));
                 }
+                // Named datasets are synthesized with a fixed per-dataset
+                // format; a stray `format` must not perturb the digest.
+                r.format = None;
             }
             DatasetSpec::Paths(paths) => {
                 if paths.is_empty() {
@@ -278,6 +301,11 @@ impl AnalysisRequest {
         s.push_str(",\"vars\":[");
         push_str_array(&mut s, &self.vars);
         s.push(']');
+        if let Some(fmt) = &self.format {
+            s.push_str(",\"format\":\"");
+            s.push_str(&escape_str(fmt));
+            s.push('"');
+        }
         if let Some(mc) = self.min_correlation {
             s.push_str(&format!(",\"min_correlation\":{mc}"));
         }
@@ -308,7 +336,7 @@ impl AnalysisRequest {
         let obj = as_object(&v, "request")?;
         for key in obj.keys() {
             match key.as_str() {
-                "op" | "dataset" | "jobs" | "seed" | "vars" | "min_correlation"
+                "op" | "dataset" | "jobs" | "seed" | "vars" | "format" | "min_correlation"
                 | "subset_size" | "max_alienation" | "top" | "deadline_ms" => {}
                 other => {
                     return Err(ApiError::schema(format!("unknown field {other:?}")));
@@ -367,6 +395,16 @@ impl AnalysisRequest {
                 r.vars.push(
                     item.as_str()
                         .ok_or_else(|| ApiError::schema("vars must hold strings"))?
+                        .to_string(),
+                );
+            }
+        }
+        match v.get("format") {
+            None | Some(JsonValue::Null) => {}
+            Some(f) => {
+                r.format = Some(
+                    f.as_str()
+                        .ok_or_else(|| ApiError::schema("format must be a string"))?
                         .to_string(),
                 );
             }
@@ -990,6 +1028,41 @@ mod tests {
     }
 
     #[test]
+    fn format_is_cleared_for_named_and_kept_for_paths() {
+        let mut named = coplot_request();
+        named.format = Some("gwf".into());
+        let canon = named.canonicalize().unwrap();
+        assert_eq!(canon.format, None);
+        // ...so a named-dataset request with a stray format digests the same.
+        assert_eq!(
+            named.canonical_digest().unwrap(),
+            coplot_request().canonical_digest().unwrap()
+        );
+        let mut paths = AnalysisRequest::new(
+            Operation::Coplot,
+            DatasetSpec::Paths(vec!["a.gwf".into(), "b.gwf".into(), "c.gwf".into()]),
+        );
+        let auto_digest = paths.canonical_digest().unwrap();
+        paths.format = Some("gwf".into());
+        let canon = paths.canonicalize().unwrap();
+        assert_eq!(canon.format.as_deref(), Some("gwf"));
+        assert_ne!(paths.canonical_digest().unwrap(), auto_digest);
+        assert!(paths.to_canonical_json().unwrap().contains("\"format\":\"gwf\""));
+        let back = AnalysisRequest::from_json(&paths.to_canonical_json().unwrap()).unwrap();
+        assert_eq!(back.format.as_deref(), Some("gwf"));
+    }
+
+    #[test]
+    fn unknown_format_is_rejected() {
+        let mut r = AnalysisRequest::new(
+            Operation::Coplot,
+            DatasetSpec::Paths(vec!["a".into()]),
+        );
+        r.format = Some("parquet".into());
+        assert_eq!(r.canonicalize().unwrap_err().kind, ApiErrorKind::Value);
+    }
+
+    #[test]
     fn rejects_bad_values() {
         let mut r = coplot_request();
         r.min_correlation = Some(f64::NAN);
@@ -1107,22 +1180,31 @@ mod tests {
             1u64..=100_000,
             0u64..MAX_EXACT_INT,
             proptest::collection::vec(arb_token(), 0..5),
+            prop_oneof![
+                Just(None),
+                Just(Some("swf".to_string())),
+                Just(Some("gwf".to_string())),
+                Just(Some("weblog".to_string())),
+            ],
             arb_opt(0.0f64..1.0),
             2u64..=8,
         );
         let tail = (0.0f64..2.0, 1u64..=50, arb_opt(1u64..=600_000));
         (fields, tail).prop_map(
-            |((op, dataset, jobs, seed, vars, mc, k), (max_a, top, deadline))| AnalysisRequest {
-                op,
-                dataset,
-                jobs,
-                seed,
-                vars,
-                min_correlation: mc,
-                subset_size: k,
-                max_alienation: max_a,
-                top,
-                deadline_ms: deadline,
+            |((op, dataset, jobs, seed, vars, format, mc, k), (max_a, top, deadline))| {
+                AnalysisRequest {
+                    op,
+                    dataset,
+                    jobs,
+                    seed,
+                    vars,
+                    format,
+                    min_correlation: mc,
+                    subset_size: k,
+                    max_alienation: max_a,
+                    top,
+                    deadline_ms: deadline,
+                }
             },
         )
     }

@@ -5,7 +5,7 @@
 //! binaries, the analysis crate) can report *which* stage rejected the data
 //! and why. Errors from the substrate crates are converted via `From`:
 //! [`wl_linalg::LinalgError`] and [`wl_stats::StatsError`] here, and
-//! `wl_swf::ParseError` from within `wl-swf` (the crate that owns that
+//! `wl_trace::ParseError` from within `wl-trace` (the crate that owns that
 //! type).
 
 use std::fmt;
@@ -13,8 +13,8 @@ use wl_linalg::LinalgError;
 use wl_stats::StatsError;
 
 /// Typed reason a data line could not be parsed; mirrored from
-/// `wl_swf::ParseErrorKind` (the orphan rule keeps the concrete type there)
-/// so callers can dispatch without string matching.
+/// `wl_trace::ParseErrorKind` (the orphan rule keeps the concrete type
+/// there) so callers can dispatch without string matching.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ParseKind {
     /// Wrong number of whitespace-separated fields (truncated or padded
@@ -26,6 +26,12 @@ pub enum ParseKind {
     NegativeId,
     /// A field parsed to NaN or an infinity.
     NonFinite,
+    /// A timestamp field did not parse (web access logs carry calendar
+    /// timestamps rather than relative seconds).
+    BadTimestamp,
+    /// A request field was structurally malformed (e.g. the quoted
+    /// `"METHOD path protocol"` group of an access log).
+    BadRequest,
     /// Any other malformation.
     Other,
 }
@@ -38,6 +44,8 @@ impl ParseKind {
             ParseKind::NotNumeric => "not-numeric",
             ParseKind::NegativeId => "negative-id",
             ParseKind::NonFinite => "non-finite",
+            ParseKind::BadTimestamp => "bad-timestamp",
+            ParseKind::BadRequest => "bad-request",
             ParseKind::Other => "other",
         }
     }
@@ -87,7 +95,7 @@ pub enum CoplotError {
     /// A caller-supplied knob was out of range (subset size, period count,
     /// unknown variable code...).
     InvalidConfig(String),
-    /// Input data could not be parsed (`wl-swf` converts its `ParseError`
+    /// Input data could not be parsed (`wl-trace` converts its `ParseError`
     /// into this; the fields mirror it so no dependency cycle is needed).
     Parse {
         /// 1-based line number of the offending line.

@@ -1,16 +1,21 @@
 //! The named-dataset registry and content addressing.
 //!
-//! Named datasets are the paper's observation suites, synthesized
-//! deterministically by `wl-repro` from `(name, jobs, seed)` — so the spec
-//! *is* the content and the dataset digest hashes exactly that triple.
-//! Path datasets are SWF files on the server's filesystem; their digests
-//! hash the file bytes, making the result cache content-addressed: editing
-//! a log invalidates every cached result computed from it.
+//! Named datasets are observation suites synthesized deterministically
+//! from `(name, jobs, seed)` — so the spec *is* the content and the
+//! dataset digest hashes exactly that triple. Path datasets are trace
+//! files on the server's filesystem in any registered format (SWF, GWF,
+//! web access logs); their digests hash the *canonical record stream*
+//! after parsing, making the result cache content-addressed **and**
+//! format-independent: the same jobs served as SWF or GWF hit the same
+//! cache entry, while editing a log invalidates every cached result
+//! computed from it.
 
 use crate::exec::ExecError;
 use coplot::api::fnv1a;
 use coplot::DatasetSpec;
+use wl_swf::workload::{AllocationFlexibility, MachineInfo, SchedulerFlexibility};
 use wl_swf::Workload;
+use wl_trace::TraceFormat;
 
 /// One named dataset the service can synthesize on demand.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -23,15 +28,25 @@ pub enum NamedDataset {
     Models,
     /// Table 3's fifteen observations: production + models.
     Table3,
+    /// Five synthetic grid sites, parsed from generated GWF text.
+    Grid,
+    /// Four synthetic web servers, parsed from generated access logs.
+    Web,
+    /// Table 3's fifteen observations plus the grid and web suites: one
+    /// embedding across all three domains.
+    CrossDomain,
 }
 
 impl NamedDataset {
     /// Every dataset, in listing order.
-    pub const ALL: [NamedDataset; 4] = [
+    pub const ALL: [NamedDataset; 7] = [
         NamedDataset::Table1,
         NamedDataset::Table2,
         NamedDataset::Models,
         NamedDataset::Table3,
+        NamedDataset::Grid,
+        NamedDataset::Web,
+        NamedDataset::CrossDomain,
     ];
 
     /// The wire name.
@@ -41,6 +56,9 @@ impl NamedDataset {
             NamedDataset::Table2 => "table2",
             NamedDataset::Models => "models",
             NamedDataset::Table3 => "table3",
+            NamedDataset::Grid => "grid",
+            NamedDataset::Web => "web",
+            NamedDataset::CrossDomain => "crossdomain",
         }
     }
 
@@ -51,6 +69,26 @@ impl NamedDataset {
             NamedDataset::Table2 => "the eight LANL/SDSC six-month periods of Table 2",
             NamedDataset::Models => "the five synthetic workload models",
             NamedDataset::Table3 => "Table 3's fifteen observations: production + models",
+            NamedDataset::Grid => "five synthetic grid sites ingested from GWF text",
+            NamedDataset::Web => "four synthetic web servers ingested from access logs",
+            NamedDataset::CrossDomain => {
+                "table3 plus the grid and web suites on one embedding"
+            }
+        }
+    }
+
+    /// Trace format the dataset's observations are ingested from:
+    /// `"swf"`, `"gwf"`, `"weblog"`, or `"synthetic"` for mixed-domain
+    /// suites.
+    pub fn format(&self) -> &'static str {
+        match self {
+            NamedDataset::Table1
+            | NamedDataset::Table2
+            | NamedDataset::Models
+            | NamedDataset::Table3 => "swf",
+            NamedDataset::Grid => "gwf",
+            NamedDataset::Web => "weblog",
+            NamedDataset::CrossDomain => "synthetic",
         }
     }
 
@@ -61,6 +99,11 @@ impl NamedDataset {
             NamedDataset::Table2 => 8,
             NamedDataset::Models => 5,
             NamedDataset::Table3 => 15,
+            NamedDataset::Grid => wl_trace::synth::GRID_SITE_COUNT,
+            NamedDataset::Web => wl_trace::synth::WEB_SERVER_COUNT,
+            NamedDataset::CrossDomain => {
+                15 + wl_trace::synth::GRID_SITE_COUNT + wl_trace::synth::WEB_SERVER_COUNT
+            }
         }
     }
 
@@ -71,7 +114,9 @@ impl NamedDataset {
 
     /// Synthesize the suite. Pure function of `(self, jobs, seed)`; the
     /// per-workload synthesis fans out over `threads` workers with
-    /// bit-identical results for any count.
+    /// bit-identical results for any count. The grid and web suites go the
+    /// long way around — generate trace text, parse it back through the
+    /// format's `TraceSource` — so the ingestion path itself is exercised.
     pub fn synthesize(&self, jobs: usize, seed: u64, threads: usize) -> Vec<Workload> {
         let opts = wl_repro::Options {
             paper_data: false,
@@ -89,16 +134,71 @@ impl NamedDataset {
                 out.extend(wl_repro::model_suite(&opts));
                 out
             }
+            NamedDataset::Grid => wl_trace::synth::grid_suite(jobs, seed, threads),
+            NamedDataset::Web => wl_trace::synth::web_suite(jobs, seed, threads),
+            NamedDataset::CrossDomain => {
+                let mut out = wl_repro::production_suite(&opts);
+                out.extend(wl_repro::model_suite(&opts));
+                out.extend(wl_trace::synth::grid_suite(jobs, seed, threads));
+                out.extend(wl_trace::synth::web_suite(jobs, seed, threads));
+                out
+            }
         }
     }
 }
 
-/// The dataset half of the result-cache key.
+/// Default machine when a trace file carries no metadata header (matches
+/// the `wl` CLI's historical behavior).
+pub(crate) fn default_machine() -> MachineInfo {
+    MachineInfo::new(
+        128,
+        SchedulerFlexibility::Backfilling,
+        AllocationFlexibility::Unlimited,
+    )
+}
+
+/// Read and parse one trace file, honoring an explicit format label or
+/// auto-detecting from the path and contents. This is the single loading
+/// path shared by the digest and the executor, so the cache key and the
+/// computed result always see the same records.
+///
+/// # Errors
+/// [`ExecError::DatasetNotFound`] for an unreadable path,
+/// [`ExecError::Analysis`] for unparseable contents.
+pub(crate) fn read_trace(path: &str, format: Option<&str>) -> Result<Workload, ExecError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| ExecError::DatasetNotFound(format!("cannot read {path}: {e}")))?;
+    let fmt = match format {
+        Some(label) => TraceFormat::from_label(label).ok_or_else(|| {
+            ExecError::Analysis(coplot::CoplotError::InvalidConfig(format!(
+                "unknown trace format {label:?}"
+            )))
+        })?,
+        None => TraceFormat::detect(path, &text),
+    };
+    let name = std::path::Path::new(path)
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| path.to_string());
+    fmt.source()
+        .read(&name, &text, default_machine())
+        .map_err(|e| {
+            ExecError::Analysis(coplot::CoplotError::InvalidConfig(format!("{path}: {e}")))
+        })
+}
+
+/// The dataset half of the result-cache key. `format` is the request's
+/// explicit trace format for `Paths` datasets (`None` = auto-detect).
 ///
 /// # Errors
 /// [`ExecError::DatasetNotFound`] for an unknown name or an unreadable
-/// path.
-pub fn dataset_digest(spec: &DatasetSpec, jobs: u64, seed: u64) -> Result<u64, ExecError> {
+/// path; [`ExecError::Analysis`] for an unparseable path dataset.
+pub fn dataset_digest(
+    spec: &DatasetSpec,
+    jobs: u64,
+    seed: u64,
+    format: Option<&str>,
+) -> Result<u64, ExecError> {
     match spec {
         DatasetSpec::Named(name) => {
             let dataset = NamedDataset::from_name(name).ok_or_else(|| unknown_dataset(name))?;
@@ -108,15 +208,14 @@ pub fn dataset_digest(spec: &DatasetSpec, jobs: u64, seed: u64) -> Result<u64, E
             ))
         }
         DatasetSpec::Paths(paths) => {
-            let mut buf: Vec<u8> = b"paths".to_vec();
+            // Hash the canonical record stream, not the file bytes: two
+            // files with the same jobs in different formats digest
+            // identically, so the cache is format-independent.
+            let mut buf: Vec<u8> = b"records".to_vec();
             for path in paths {
-                let bytes = std::fs::read(path).map_err(|e| {
-                    ExecError::DatasetNotFound(format!("cannot read {path}: {e}"))
-                })?;
-                // Length-prefix each file so concatenations cannot collide.
+                let trace = read_trace(path, format)?;
                 buf.push(0);
-                buf.extend_from_slice(&(bytes.len() as u64).to_le_bytes());
-                buf.extend_from_slice(&bytes);
+                buf.extend_from_slice(&trace.canonical_digest().to_le_bytes());
             }
             Ok(fnv1a(&buf))
         }
@@ -140,9 +239,10 @@ pub fn datasets_json() -> String {
             s.push(',');
         }
         s.push_str(&format!(
-            "{{\"name\":\"{}\",\"description\":\"{}\",\"observations\":{}}}",
+            "{{\"name\":\"{}\",\"description\":\"{}\",\"format\":\"{}\",\"observations\":{}}}",
             d.name(),
             d.description(),
+            d.format(),
             d.observations()
         ));
     }
@@ -165,19 +265,20 @@ mod tests {
     #[test]
     fn named_digest_tracks_spec() {
         let spec = DatasetSpec::Named("table1".into());
-        let base = dataset_digest(&spec, 512, 1999).unwrap();
-        assert_eq!(dataset_digest(&spec, 512, 1999).unwrap(), base);
-        assert_ne!(dataset_digest(&spec, 513, 1999).unwrap(), base);
-        assert_ne!(dataset_digest(&spec, 512, 2000).unwrap(), base);
+        let base = dataset_digest(&spec, 512, 1999, None).unwrap();
+        assert_eq!(dataset_digest(&spec, 512, 1999, None).unwrap(), base);
+        assert_ne!(dataset_digest(&spec, 513, 1999, None).unwrap(), base);
+        assert_ne!(dataset_digest(&spec, 512, 2000, None).unwrap(), base);
         assert_ne!(
-            dataset_digest(&DatasetSpec::Named("table2".into()), 512, 1999).unwrap(),
+            dataset_digest(&DatasetSpec::Named("table2".into()), 512, 1999, None).unwrap(),
             base
         );
     }
 
     #[test]
     fn unknown_name_is_not_found() {
-        let err = dataset_digest(&DatasetSpec::Named("nope".into()), 512, 1999).unwrap_err();
+        let err =
+            dataset_digest(&DatasetSpec::Named("nope".into()), 512, 1999, None).unwrap_err();
         assert!(matches!(err, ExecError::DatasetNotFound(_)), "{err:?}");
         assert!(err.to_string().contains("table1"), "{err}");
     }
@@ -188,31 +289,73 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let a = dir.join("a.swf");
         let b = dir.join("b.swf");
-        std::fs::write(&a, "; one\n").unwrap();
-        std::fs::write(&b, "; two\n").unwrap();
+        let job = |id: u64, submit: u64| {
+            format!("{id} {submit} 5 100 4 90 -1 4 200 -1 1 3 1 7 1 -1 -1 -1\n")
+        };
+        std::fs::write(&a, format!("; MaxNodes: 64\n{}", job(1, 0))).unwrap();
+        std::fs::write(&b, format!("; MaxNodes: 64\n{}", job(1, 30))).unwrap();
         let spec = DatasetSpec::Paths(vec![
             a.to_str().unwrap().into(),
             b.to_str().unwrap().into(),
         ]);
         // jobs/seed do not enter a path digest: the files are the content.
-        let d1 = dataset_digest(&spec, 1, 1).unwrap();
-        assert_eq!(dataset_digest(&spec, 2, 2).unwrap(), d1);
-        std::fs::write(&b, "; two changed\n").unwrap();
-        assert_ne!(dataset_digest(&spec, 1, 1).unwrap(), d1);
+        let d1 = dataset_digest(&spec, 1, 1, None).unwrap();
+        assert_eq!(dataset_digest(&spec, 2, 2, None).unwrap(), d1);
+        std::fs::write(&b, format!("; MaxNodes: 64\n{}", job(2, 30))).unwrap();
+        assert_ne!(dataset_digest(&spec, 1, 1, None).unwrap(), d1);
         let missing = DatasetSpec::Paths(vec![dir.join("missing.swf").to_str().unwrap().into()]);
         assert!(matches!(
-            dataset_digest(&missing, 1, 1),
+            dataset_digest(&missing, 1, 1, None),
             Err(ExecError::DatasetNotFound(_))
         ));
     }
 
     #[test]
+    fn path_digest_is_format_independent() {
+        // The same jobs written as SWF and as GWF digest identically: the
+        // digest hashes the canonical record stream, not the bytes.
+        let dir = std::env::temp_dir().join("wl-serve-xformat-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace = wl_trace::synth::grid_suite(40, 11, 1).remove(0);
+        let trace = wl_trace::NormalizedTrace::new("site", trace.machine, trace.jobs().to_vec());
+        let swf = dir.join("site.swf");
+        let gwf = dir.join("site.gwf");
+        std::fs::write(&swf, wl_trace::write_swf(&trace)).unwrap();
+        std::fs::write(&gwf, wl_trace::write_gwf(&trace)).unwrap();
+        let d_swf = dataset_digest(
+            &DatasetSpec::Paths(vec![swf.to_str().unwrap().into()]),
+            1,
+            1,
+            None,
+        )
+        .unwrap();
+        let d_gwf = dataset_digest(
+            &DatasetSpec::Paths(vec![gwf.to_str().unwrap().into()]),
+            1,
+            1,
+            None,
+        )
+        .unwrap();
+        assert_eq!(d_swf, d_gwf);
+        // An explicit matching format label changes nothing.
+        let d_explicit = dataset_digest(
+            &DatasetSpec::Paths(vec![gwf.to_str().unwrap().into()]),
+            1,
+            1,
+            Some("gwf"),
+        )
+        .unwrap();
+        assert_eq!(d_explicit, d_gwf);
+    }
+
+    #[test]
     fn synthesized_suites_have_the_advertised_sizes() {
-        // Only the cheapest suite: the others multiply synthesis cost
-        // (table1 = 10 machines, table3 = 15 workloads) for the same check.
-        let d = NamedDataset::Models;
-        let ws = d.synthesize(120, 7, 2);
-        assert_eq!(ws.len(), d.observations(), "{}", d.name());
+        // Only the cheap suites: the big ones multiply synthesis cost for
+        // the same check.
+        for d in [NamedDataset::Models, NamedDataset::Grid, NamedDataset::Web] {
+            let ws = d.synthesize(120, 7, 2);
+            assert_eq!(ws.len(), d.observations(), "{}", d.name());
+        }
     }
 
     #[test]
@@ -226,6 +369,10 @@ mod tests {
         assert_eq!(list.len(), NamedDataset::ALL.len());
         for d in NamedDataset::ALL {
             assert!(body.contains(d.name()));
+        }
+        for entry in list {
+            let fmt = entry.get("format").and_then(|f| f.as_str()).unwrap();
+            assert!(["swf", "gwf", "weblog", "synthetic"].contains(&fmt), "{fmt}");
         }
     }
 }

@@ -27,8 +27,7 @@ use coplot::{
     Metric, NormalizedMatrix, Operation, Selection, StageReport, SubsetEntry, SubsetOut,
 };
 use wl_linalg::Matrix;
-use wl_swf::workload::{AllocationFlexibility, MachineInfo, SchedulerFlexibility};
-use wl_swf::{parse_swf, Workload};
+use wl_swf::Workload;
 
 use crate::datasets::NamedDataset;
 
@@ -112,16 +111,6 @@ fn check_deadline(cfg: &ExecConfig, stage: &'static str) -> Result<(), ExecError
     }
 }
 
-/// Default machine when an SWF file carries no metadata header (matches
-/// the `wl` CLI's historical behavior).
-fn default_machine() -> MachineInfo {
-    MachineInfo::new(
-        128,
-        SchedulerFlexibility::Backfilling,
-        AllocationFlexibility::Unlimited,
-    )
-}
-
 fn load_dataset(req: &AnalysisRequest, cfg: &ExecConfig) -> Result<Vec<Workload>, ExecError> {
     match &req.dataset {
         DatasetSpec::Named(name) => {
@@ -131,19 +120,7 @@ fn load_dataset(req: &AnalysisRequest, cfg: &ExecConfig) -> Result<Vec<Workload>
         }
         DatasetSpec::Paths(paths) => paths
             .iter()
-            .map(|path| {
-                let text = std::fs::read_to_string(path).map_err(|e| {
-                    ExecError::DatasetNotFound(format!("cannot read {path}: {e}"))
-                })?;
-                let doc = parse_swf(&text).map_err(|e| {
-                    ExecError::Analysis(CoplotError::InvalidConfig(format!("{path}: {e}")))
-                })?;
-                let name = std::path::Path::new(path)
-                    .file_stem()
-                    .map(|s| s.to_string_lossy().into_owned())
-                    .unwrap_or_else(|| path.to_string());
-                Ok(doc.into_workload(name, default_machine()))
-            })
+            .map(|path| crate::datasets::read_trace(path, req.format.as_deref()))
             .collect(),
     }
 }

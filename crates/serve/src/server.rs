@@ -413,11 +413,15 @@ fn analysis_response(request: &Request, expected_op: Operation, shared: &Arc<Sha
         Ok(d) => d,
         Err(e) => return Response::json(400, error_body(e.kind.label(), &e.message)),
     };
-    let dataset_digest =
-        match datasets::dataset_digest(&canonical.dataset, canonical.jobs, canonical.seed) {
-            Ok(d) => d,
-            Err(e) => return exec_error_response(&e),
-        };
+    let dataset_digest = match datasets::dataset_digest(
+        &canonical.dataset,
+        canonical.jobs,
+        canonical.seed,
+        canonical.format.as_deref(),
+    ) {
+        Ok(d) => d,
+        Err(e) => return exec_error_response(&e),
+    };
     let key = (dataset_digest, request_digest);
     if let Some(body) = shared.cache.get(key) {
         return Response::json(200, body);

@@ -70,7 +70,18 @@ fn healthz_and_datasets() {
         .iter()
         .map(|d| d.get("name").and_then(|n| n.as_str()).unwrap().to_string())
         .collect();
-    assert_eq!(names, ["table1", "table2", "models", "table3"]);
+    assert_eq!(
+        names,
+        ["table1", "table2", "models", "table3", "grid", "web", "crossdomain"]
+    );
+    let formats: Vec<String> = entries
+        .iter()
+        .map(|d| d.get("format").and_then(|n| n.as_str()).unwrap().to_string())
+        .collect();
+    assert_eq!(
+        formats,
+        ["swf", "swf", "swf", "swf", "gwf", "weblog", "synthetic"]
+    );
     server.shutdown();
 }
 

@@ -1,648 +1,79 @@
-//! SWF text format reader and writer.
+//! SWF reader and writer — now a facade over `wl-trace`.
 //!
-//! An SWF file is line-oriented: header lines start with `;` and carry
-//! `; Key: value` metadata; every other non-empty line is one job with 18
-//! whitespace-separated numeric fields, `-1` marking unknown values.
+//! The parser moved to [`wl_trace::swf`] when ingestion became pluggable:
+//! it is the SWF adapter of the [`wl_trace::TraceSource`] trait, sharing
+//! the lenient line loop, the typed [`ParseErrorKind`] taxonomy, and the
+//! per-format parse counters with the GWF and web-log adapters. Everything
+//! re-exported here is the same type the adapter uses, so existing call
+//! sites compile unchanged.
+//!
+//! Prefer the trait path for new code:
+//! `wl_trace::TraceFormat::Swf.source().read(name, text, default)`.
 
-use std::collections::BTreeMap;
-use std::fmt;
-
-use crate::job::{Job, JobStatus};
-use crate::workload::{AllocationFlexibility, MachineInfo, SchedulerFlexibility, Workload};
-
-/// Typed reason a job line was rejected.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
-pub enum ParseErrorKind {
-    /// Wrong number of whitespace-separated fields (truncated or padded
-    /// line).
-    FieldCount,
-    /// A field was not numeric.
-    NotNumeric,
-    /// The job id was negative.
-    NegativeId,
-    /// A field parsed to NaN or an infinity.
-    NonFinite,
-}
-
-impl ParseErrorKind {
-    /// Short kebab-case label, stable for metrics and error messages.
-    pub fn label(&self) -> &'static str {
-        match self {
-            ParseErrorKind::FieldCount => "field-count",
-            ParseErrorKind::NotNumeric => "not-numeric",
-            ParseErrorKind::NegativeId => "negative-id",
-            ParseErrorKind::NonFinite => "non-finite",
-        }
-    }
-
-    /// Skip-counter name incremented when a lenient parse drops a line of
-    /// this kind.
-    fn counter_name(&self) -> &'static str {
-        match self {
-            ParseErrorKind::FieldCount => "swf.skip.field_count",
-            ParseErrorKind::NotNumeric => "swf.skip.not_numeric",
-            ParseErrorKind::NegativeId => "swf.skip.negative_id",
-            ParseErrorKind::NonFinite => "swf.skip.non_finite",
-        }
-    }
-}
-
-/// Error from parsing an SWF document.
-#[derive(Debug, Clone, PartialEq)]
-pub struct ParseError {
-    /// 1-based line number of the offending line.
-    pub line: usize,
-    /// Typed malformation kind.
-    pub kind: ParseErrorKind,
-    /// Human-readable description.
-    pub message: String,
-}
-
-impl fmt::Display for ParseError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "SWF parse error at line {} ({}): {}",
-            self.line,
-            self.kind.label(),
-            self.message
-        )
-    }
-}
-
-impl std::error::Error for ParseError {}
-
-// The conversion lives here (not in `coplot`) because of the orphan rule:
-// `coplot` cannot name `ParseError` without a dependency cycle, so its
-// `CoplotError::Parse` variant mirrors the fields instead.
-impl From<ParseError> for coplot::CoplotError {
-    fn from(e: ParseError) -> coplot::CoplotError {
-        coplot::CoplotError::Parse {
-            line: e.line,
-            kind: match e.kind {
-                ParseErrorKind::FieldCount => coplot::ParseKind::FieldCount,
-                ParseErrorKind::NotNumeric => coplot::ParseKind::NotNumeric,
-                ParseErrorKind::NegativeId => coplot::ParseKind::NegativeId,
-                ParseErrorKind::NonFinite => coplot::ParseKind::NonFinite,
-            },
-            message: e.message,
-        }
-    }
-}
-
-/// Parsed SWF document: header metadata plus jobs.
-#[derive(Debug, Clone, PartialEq)]
-pub struct SwfDocument {
-    /// Header key/value pairs from `; Key: value` comment lines.
-    pub header: BTreeMap<String, String>,
-    /// Jobs in file order.
-    pub jobs: Vec<Job>,
-}
-
-impl SwfDocument {
-    /// Turn the document into a [`Workload`], reading what machine metadata
-    /// it can from the header (`MaxNodes`, plus this workspace's
-    /// `SchedulerRank` / `AllocationRank` extension keys) and falling back
-    /// to the supplied defaults.
-    pub fn into_workload(self, name: impl Into<String>, default: MachineInfo) -> Workload {
-        let procs = self
-            .header
-            .get("MaxNodes")
-            .or_else(|| self.header.get("MaxProcs"))
-            .and_then(|v| v.trim().parse::<u64>().ok())
-            .filter(|&v| v > 0)
-            .unwrap_or(default.processors);
-        let sched = self
-            .header
-            .get("SchedulerRank")
-            .and_then(|v| v.trim().parse::<u8>().ok())
-            .and_then(|r| match r {
-                1 => Some(SchedulerFlexibility::BatchQueue),
-                2 => Some(SchedulerFlexibility::Backfilling),
-                3 => Some(SchedulerFlexibility::Gang),
-                _ => None,
-            })
-            .unwrap_or(default.scheduler);
-        let alloc = self
-            .header
-            .get("AllocationRank")
-            .and_then(|v| v.trim().parse::<u8>().ok())
-            .and_then(|r| match r {
-                1 => Some(AllocationFlexibility::PowerOfTwoPartitions),
-                2 => Some(AllocationFlexibility::Limited),
-                3 => Some(AllocationFlexibility::Unlimited),
-                _ => None,
-            })
-            .unwrap_or(default.allocation);
-        Workload::new(
-            name,
-            MachineInfo::new(procs, sched, alloc),
-            self.jobs,
-        )
-    }
-}
-
-/// Per-line accounting of one parse, mirrored into the `swf.*` metrics when
-/// the `wl-obs` registry is armed.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
-pub struct ParseReport {
-    /// Lines read, including blanks and comments.
-    pub lines: usize,
-    /// `; Key: value` header lines absorbed.
-    pub header_lines: usize,
-    /// Blank or non-metadata comment lines skipped.
-    pub ignored_lines: usize,
-    /// Job lines parsed successfully.
-    pub jobs: usize,
-    /// Malformed job lines dropped, with location and typed reason
-    /// (lenient parse only; the strict parse errors on the first).
-    pub skipped: Vec<(usize, ParseErrorKind)>,
-}
-
-impl ParseReport {
-    /// Number of dropped lines of one kind.
-    pub fn skipped_of(&self, kind: ParseErrorKind) -> usize {
-        self.skipped.iter().filter(|(_, k)| *k == kind).count()
-    }
-
-    fn record_metrics(&self) {
-        wl_obs::counter!("swf.lines", self.lines as u64);
-        wl_obs::counter!("swf.header_lines", self.header_lines as u64);
-        wl_obs::counter!("swf.jobs_parsed", self.jobs as u64);
-        if wl_obs::enabled() {
-            for (_, kind) in &self.skipped {
-                wl_obs::registry().counter(kind.counter_name()).add(1);
-            }
-        }
-    }
-}
-
-/// Parse SWF text into a document, erroring on the first malformed job line.
-pub fn parse_swf(text: &str) -> Result<SwfDocument, ParseError> {
-    let _span = wl_obs::span!("swf.parse");
-    let (doc, report, first_err) = parse_inner(text, true);
-    report.record_metrics();
-    match first_err {
-        Some(e) => Err(e),
-        None => Ok(doc),
-    }
-}
-
-/// Parse SWF text, skipping malformed job lines instead of failing.
-///
-/// Every dropped line is recorded in the [`ParseReport`] with its typed
-/// [`ParseErrorKind`], and the matching `swf.skip.*` counter is incremented
-/// when observability is armed. Never panics on any input.
-pub fn parse_swf_lenient(text: &str) -> (SwfDocument, ParseReport) {
-    let _span = wl_obs::span!("swf.parse");
-    let (doc, report, _) = parse_inner(text, false);
-    report.record_metrics();
-    (doc, report)
-}
-
-fn parse_inner(text: &str, strict: bool) -> (SwfDocument, ParseReport, Option<ParseError>) {
-    let mut header = BTreeMap::new();
-    let mut jobs = Vec::new();
-    let mut report = ParseReport::default();
-
-    for (lineno, raw) in text.lines().enumerate() {
-        report.lines += 1;
-        let line = raw.trim();
-        if line.is_empty() {
-            report.ignored_lines += 1;
-            continue;
-        }
-        if let Some(comment) = line.strip_prefix(';') {
-            if let Some((key, value)) = comment.split_once(':') {
-                header.insert(key.trim().to_string(), value.trim().to_string());
-                report.header_lines += 1;
-            } else {
-                report.ignored_lines += 1;
-            }
-            continue;
-        }
-        match parse_job_line(line, lineno + 1) {
-            Ok(job) => {
-                jobs.push(job);
-                report.jobs += 1;
-            }
-            Err(e) => {
-                report.skipped.push((e.line, e.kind));
-                if strict {
-                    return (SwfDocument { header, jobs }, report, Some(e));
-                }
-            }
-        }
-    }
-    (SwfDocument { header, jobs }, report, None)
-}
-
-fn parse_job_line(line: &str, lineno: usize) -> Result<Job, ParseError> {
-    let fields: Vec<&str> = line.split_whitespace().collect();
-    if fields.len() != 18 {
-        return Err(ParseError {
-            line: lineno,
-            kind: ParseErrorKind::FieldCount,
-            message: format!("expected 18 fields, found {}", fields.len()),
-        });
-    }
-    let f = |i: usize| -> Result<f64, ParseError> {
-        let v = fields[i].parse::<f64>().map_err(|_| ParseError {
-            line: lineno,
-            kind: ParseErrorKind::NotNumeric,
-            message: format!("field {} is not numeric: {:?}", i + 1, fields[i]),
-        })?;
-        if v.is_finite() {
-            Ok(v)
-        } else {
-            Err(ParseError {
-                line: lineno,
-                kind: ParseErrorKind::NonFinite,
-                message: format!("field {} is not finite: {:?}", i + 1, fields[i]),
-            })
-        }
-    };
-    let int = |i: usize| -> Result<i64, ParseError> {
-        // Accept "4" and "4.0" alike; SWF files in the wild mix both.
-        let v = f(i)?;
-        Ok(v as i64)
-    };
-    let id = int(0)?;
-    if id < 0 {
-        return Err(ParseError {
-            line: lineno,
-            kind: ParseErrorKind::NegativeId,
-            message: format!("job id must be non-negative, found {id}"),
-        });
-    }
-    Ok(Job {
-        id: id as u64,
-        submit_time: f(1)?,
-        wait_time: f(2)?,
-        run_time: f(3)?,
-        used_procs: int(4)?,
-        avg_cpu_time: f(5)?,
-        used_memory: f(6)?,
-        requested_procs: int(7)?,
-        requested_time: f(8)?,
-        requested_memory: f(9)?,
-        status: JobStatus::from_code(int(10)?),
-        user_id: int(11)?,
-        group_id: int(12)?,
-        executable_id: int(13)?,
-        queue: int(14)?,
-        partition: int(15)?,
-        preceding_job: int(16)?,
-        think_time: f(17)?,
-    })
-}
-
-/// Serialize a workload back to SWF text, including a header describing the
-/// machine so a later [`parse_swf`] + [`SwfDocument::into_workload`] round
-/// trip preserves it.
-pub fn write_swf(workload: &Workload) -> String {
-    let mut out = String::new();
-    out.push_str(&format!("; Computer: {}\n", workload.name));
-    out.push_str(&format!("; MaxNodes: {}\n", workload.machine.processors));
-    out.push_str(&format!(
-        "; SchedulerRank: {}\n",
-        workload.machine.scheduler.rank()
-    ));
-    out.push_str(&format!(
-        "; AllocationRank: {}\n",
-        workload.machine.allocation.rank()
-    ));
-    out.push_str(&format!("; MaxJobs: {}\n", workload.len()));
-    for j in workload.jobs() {
-        out.push_str(&format_job_line(j));
-        out.push('\n');
-    }
-    out
-}
-
-fn fmt_f(v: f64) -> String {
-    // Keep integers compact; SWF consumers expect "-1" not "-1.0".
-    if v == v.trunc() && v.abs() < 1e15 {
-        format!("{}", v as i64)
-    } else {
-        format!("{v}")
-    }
-}
-
-fn format_job_line(j: &Job) -> String {
-    [
-        j.id.to_string(),
-        fmt_f(j.submit_time),
-        fmt_f(j.wait_time),
-        fmt_f(j.run_time),
-        j.used_procs.to_string(),
-        fmt_f(j.avg_cpu_time),
-        fmt_f(j.used_memory),
-        j.requested_procs.to_string(),
-        fmt_f(j.requested_time),
-        fmt_f(j.requested_memory),
-        j.status.code().to_string(),
-        j.user_id.to_string(),
-        j.group_id.to_string(),
-        j.executable_id.to_string(),
-        j.queue.to_string(),
-        j.partition.to_string(),
-        j.preceding_job.to_string(),
-        fmt_f(j.think_time),
-    ]
-    .join(" ")
-}
+pub use wl_trace::swf::{parse_swf, parse_swf_lenient, write_swf, SwfDocument, SwfSource};
+pub use wl_trace::{ParseError, ParseErrorKind, ParseReport};
 
 #[cfg(test)]
 mod tests {
-    use super::*;
+    use wl_trace::{TraceFormat, TraceMeta};
 
-    fn machine() -> MachineInfo {
+    use crate::workload::{AllocationFlexibility, MachineInfo, SchedulerFlexibility};
+
+    const SAMPLE: &str = "\
+; Computer: Equivalence Rig
+; MaxNodes: 64
+1 0 5 100 4 90 -1 4 200 -1 1 3 1 7 1 -1 -1 -1
+2 30 2 50 8 45 -1 8 100 -1 1 4 1 7 2 -1 -1 -1
+3 90 0 25 16 -1 -1 16 30 -1 0 5 2 8 1 -1 -1 -1
+";
+
+    fn default_meta() -> MachineInfo {
         MachineInfo::new(
             64,
-            SchedulerFlexibility::BatchQueue,
-            AllocationFlexibility::Limited,
+            SchedulerFlexibility::Backfilling,
+            AllocationFlexibility::Unlimited,
         )
     }
 
+    /// The deprecated free-function entry point and the `TraceSource` path
+    /// must agree bit for bit — the facade is a wrapper, not a fork.
     #[test]
-    fn parses_minimal_file() {
-        let text = "\
-; Computer: Test
-; MaxNodes: 64
-1 0 5 100 4 90 -1 4 200 -1 1 3 1 7 1 -1 -1 -1
-2 60 -1 50 2 -1 -1 -1 -1 -1 0 4 1 8 2 -1 -1 -1
-";
-        let doc = parse_swf(text).unwrap();
-        assert_eq!(doc.header["Computer"], "Test");
-        assert_eq!(doc.jobs.len(), 2);
-        assert_eq!(doc.jobs[0].id, 1);
-        assert_eq!(doc.jobs[0].run_time, 100.0);
-        assert_eq!(doc.jobs[0].used_procs, 4);
-        assert_eq!(doc.jobs[0].status, JobStatus::Completed);
-        assert_eq!(doc.jobs[1].status, JobStatus::Failed);
-        assert_eq!(doc.jobs[1].run_time_opt(), Some(50.0));
-        assert_eq!(doc.jobs[1].avg_cpu_time_opt(), None);
-    }
-
-    #[test]
-    fn wrong_field_count_is_error() {
-        let err = parse_swf("1 2 3\n").unwrap_err();
-        assert_eq!(err.line, 1);
-        assert_eq!(err.kind, ParseErrorKind::FieldCount);
-        assert!(err.message.contains("18 fields"));
-        // The conversion into the pipeline's error type keeps location and
-        // kind.
-        let converted: coplot::CoplotError = err.into();
-        assert!(matches!(
-            converted,
-            coplot::CoplotError::Parse {
-                line: 1,
-                kind: coplot::ParseKind::FieldCount,
-                ..
-            }
-        ));
-    }
-
-    #[test]
-    fn non_numeric_field_is_error() {
-        let text = "1 0 5 abc 4 90 -1 4 200 -1 1 3 1 7 1 -1 -1 -1\n";
-        let err = parse_swf(text).unwrap_err();
-        assert_eq!(err.kind, ParseErrorKind::NotNumeric);
-        assert!(err.message.contains("not numeric"));
-    }
-
-    #[test]
-    fn negative_id_is_error() {
-        let text = "-1 0 5 1 4 90 -1 4 200 -1 1 3 1 7 1 -1 -1 -1\n";
-        let err = parse_swf(text).unwrap_err();
-        assert_eq!(err.kind, ParseErrorKind::NegativeId);
-    }
-
-    #[test]
-    fn non_finite_field_is_error() {
-        for bad in ["inf", "-inf", "NaN", "1e999"] {
-            let text = format!("1 0 5 {bad} 4 90 -1 4 200 -1 1 3 1 7 1 -1 -1 -1\n");
-            let err = parse_swf(&text).unwrap_err();
-            assert_eq!(err.kind, ParseErrorKind::NonFinite, "{bad}");
-        }
-    }
-
-    /// A fixture mixing every malformation between good jobs: the strict
-    /// parse reports the first bad line, the lenient parse keeps all good
-    /// jobs and types every drop.
-    const MIXED_FIXTURE: &str = "\
-; Computer: Mixed
-; MaxNodes: 64
-1 0 5 100 4 90 -1 4 200 -1 1 3 1 7 1 -1 -1 -1
-2 0 5
--3 0 5 1 4 90 -1 4 200 -1 1 3 1 7 1 -1 -1 -1
-4 0 5 abc 4 90 -1 4 200 -1 1 3 1 7 1 -1 -1 -1
-5 0 5 inf 4 90 -1 4 200 -1 1 3 1 7 1 -1 -1 -1
-6 60 1 50 2 -1 -1 -1 -1 -1 0 4 1 8 2 -1 -1 -1
-";
-
-    #[test]
-    fn lenient_parse_skips_and_types_every_malformation() {
-        let (doc, report) = parse_swf_lenient(MIXED_FIXTURE);
-        assert_eq!(doc.jobs.len(), 2);
-        assert_eq!(doc.jobs[0].id, 1);
-        assert_eq!(doc.jobs[1].id, 6);
-        assert_eq!(doc.header["Computer"], "Mixed");
-        assert_eq!(report.jobs, 2);
-        assert_eq!(report.header_lines, 2);
+    fn facade_matches_trace_source_strict() {
+        let via_facade = super::parse_swf(SAMPLE)
+            .unwrap()
+            .into_workload("rig", default_meta());
+        let via_source: wl_trace::NormalizedTrace = TraceFormat::Swf
+            .source()
+            .read("rig", SAMPLE, default_meta())
+            .unwrap();
+        assert_eq!(via_facade.name, via_source.name);
+        assert_eq!(via_facade.machine, via_source.machine);
+        assert_eq!(via_facade.jobs(), via_source.jobs());
         assert_eq!(
-            report.skipped,
-            vec![
-                (4, ParseErrorKind::FieldCount),
-                (5, ParseErrorKind::NegativeId),
-                (6, ParseErrorKind::NotNumeric),
-                (7, ParseErrorKind::NonFinite),
-            ]
-        );
-        assert_eq!(report.skipped_of(ParseErrorKind::FieldCount), 1);
-    }
-
-    #[test]
-    fn strict_parse_stops_at_first_bad_line_of_fixture() {
-        let err = parse_swf(MIXED_FIXTURE).unwrap_err();
-        assert_eq!(err.line, 4);
-        assert_eq!(err.kind, ParseErrorKind::FieldCount);
-    }
-
-    #[test]
-    fn lenient_parse_increments_skip_counters() {
-        wl_obs::set_enabled(true);
-        let snap = wl_obs::registry().snapshot();
-        let before: Vec<u64> = [
-            "swf.skip.field_count",
-            "swf.skip.negative_id",
-            "swf.skip.not_numeric",
-            "swf.skip.non_finite",
-            "swf.jobs_parsed",
-        ]
-        .iter()
-        .map(|n| snap.counter(n))
-        .collect();
-        parse_swf_lenient(MIXED_FIXTURE);
-        let snap = wl_obs::registry().snapshot();
-        assert!(snap.counter("swf.skip.field_count") > before[0]);
-        assert!(snap.counter("swf.skip.negative_id") > before[1]);
-        assert!(snap.counter("swf.skip.not_numeric") > before[2]);
-        assert!(snap.counter("swf.skip.non_finite") > before[3]);
-        assert!(snap.counter("swf.jobs_parsed") >= before[4] + 2);
-    }
-
-    #[test]
-    fn truncated_file_mid_line_never_panics() {
-        // Cut a valid document at every byte boundary; both parsers must
-        // return (not panic) on each prefix.
-        let text = "; MaxNodes: 8\n1 0 5 100 4 90 -1 4 200 -1 1 3 1 7 1 -1 -1 -1\n";
-        for cut in 0..=text.len() {
-            if !text.is_char_boundary(cut) {
-                continue;
-            }
-            let prefix = &text[..cut];
-            let _ = parse_swf(prefix);
-            let (_, report) = parse_swf_lenient(prefix);
-            assert!(report.jobs <= 1);
-        }
-    }
-
-    #[test]
-    fn round_trip_preserves_workload() {
-        let mut j1 = Job::new(1, 0.0);
-        j1.run_time = 123.5;
-        j1.used_procs = 8;
-        j1.user_id = 3;
-        j1.status = JobStatus::Completed;
-        let mut j2 = Job::new(2, 17.25);
-        j2.run_time = 4.0;
-        j2.used_procs = 1;
-        j2.queue = 1;
-        let w = Workload::new("RT", machine(), vec![j1, j2]);
-
-        let text = write_swf(&w);
-        let doc = parse_swf(&text).unwrap();
-        let w2 = doc.into_workload("RT", machine());
-        assert_eq!(w, w2);
-    }
-
-    #[test]
-    fn header_machine_metadata_round_trips() {
-        let w = Workload::new(
-            "M",
-            MachineInfo::new(
-                1024,
-                SchedulerFlexibility::Gang,
-                AllocationFlexibility::PowerOfTwoPartitions,
-            ),
-            vec![],
-        );
-        let text = write_swf(&w);
-        let doc = parse_swf(&text).unwrap();
-        // Defaults differ from the header; header must win.
-        let w2 = doc.into_workload("M", machine());
-        assert_eq!(w2.machine.processors, 1024);
-        assert_eq!(w2.machine.scheduler, SchedulerFlexibility::Gang);
-        assert_eq!(
-            w2.machine.allocation,
-            AllocationFlexibility::PowerOfTwoPartitions
+            via_facade.canonical_digest(),
+            via_source.canonical_digest()
         );
     }
 
     #[test]
-    fn blank_lines_and_plain_comments_ignored() {
-        let text = "\n; just a note without colon-value\n\n";
-        let doc = parse_swf(text).unwrap();
-        assert!(doc.jobs.is_empty());
-        assert!(doc.header.is_empty());
+    fn facade_matches_trace_source_lenient() {
+        let broken = format!("{SAMPLE}not a job line\n");
+        let (doc, report_a) = super::parse_swf_lenient(&broken);
+        let via_facade = doc.into_workload("rig", default_meta());
+        let (via_source, report_b) =
+            TraceFormat::Swf
+                .source()
+                .read_lenient("rig", &broken, default_meta());
+        assert_eq!(via_facade.jobs(), via_source.jobs());
+        assert_eq!(report_a, report_b);
+        assert_eq!(report_a.jobs, 3);
+        assert_eq!(report_a.skipped.len(), 1);
     }
 
+    /// `TraceMeta` is the same type as `MachineInfo`, not a lookalike.
     #[test]
-    fn fractional_and_integer_fields_both_accepted() {
-        let text = "1 0.5 5.0 100.25 4 90 -1 4 200 -1 1 3 1 7 1 -1 -1 -1\n";
-        let doc = parse_swf(text).unwrap();
-        assert_eq!(doc.jobs[0].submit_time, 0.5);
-        assert_eq!(doc.jobs[0].run_time, 100.25);
-    }
-
-    mod fuzz {
-        use super::super::*;
-        use proptest::prelude::*;
-
-        proptest! {
-            /// Neither parser panics on arbitrary text, and the lenient one
-            /// accounts for every line (parsed + skipped + header + ignored
-            /// = lines).
-            #[test]
-            fn parsers_never_panic_on_arbitrary_text(text in "\\PC*") {
-                let _ = parse_swf(&text);
-                let (doc, report) = parse_swf_lenient(&text);
-                prop_assert_eq!(doc.jobs.len(), report.jobs);
-                prop_assert_eq!(
-                    report.jobs + report.skipped.len() + report.header_lines
-                        + report.ignored_lines,
-                    report.lines
-                );
-            }
-
-            /// Corrupting one field of a valid job line yields a typed error
-            /// (or a valid parse if the mutation happens to stay numeric) —
-            /// never a panic.
-            #[test]
-            fn corrupted_field_gives_typed_error(
-                field in 0usize..18,
-                garbage in "\\PC*",
-            ) {
-                let mut fields: Vec<String> =
-                    "1 0 5 100 4 90 -1 4 200 -1 1 3 1 7 1 -1 -1 -1"
-                        .split_whitespace()
-                        .map(str::to_string)
-                        .collect();
-                fields[field] = garbage;
-                let line = fields.join(" ");
-                // The garbage may itself contain newlines, splitting the
-                // document into several lines — any typed error (or a clean
-                // parse of whatever survives) is acceptable; a panic is not.
-                match parse_swf(&line) {
-                    Ok(doc) => prop_assert!(doc.jobs.len() <= 2),
-                    Err(e) => {
-                        prop_assert!(e.line >= 1);
-                        // Kind is one of the typed reasons; the label is
-                        // total so this cannot panic.
-                        let _ = e.kind.label();
-                    }
-                }
-            }
-
-            /// Lenient parsing of a document with malformed lines injected
-            /// between valid ones keeps exactly the valid jobs.
-            #[test]
-            fn lenient_keeps_exactly_the_valid_jobs(
-                n_good in 0usize..6,
-                n_bad in 0usize..6,
-            ) {
-                let mut text = String::new();
-                for i in 0..n_good.max(n_bad) {
-                    if i < n_good {
-                        text.push_str(&format!(
-                            "{} 0 5 100 4 90 -1 4 200 -1 1 3 1 7 1 -1 -1 -1\n",
-                            i + 1
-                        ));
-                    }
-                    if i < n_bad {
-                        text.push_str("truncated line\n");
-                    }
-                }
-                let (doc, report) = parse_swf_lenient(&text);
-                prop_assert_eq!(doc.jobs.len(), n_good);
-                prop_assert_eq!(report.skipped.len(), n_bad);
-                prop_assert!(report
-                    .skipped
-                    .iter()
-                    .all(|(_, k)| *k == ParseErrorKind::FieldCount));
-            }
-        }
+    fn meta_alias_is_identical_type() {
+        let m: TraceMeta = default_meta();
+        assert_eq!(m.processors, 64);
     }
 }

@@ -1,0 +1,287 @@
+//! The canonical normalized job record every trace adapter yields.
+//!
+//! Field meanings follow the standard workload format: 18 numeric fields
+//! with `-1` denoting "unknown / not collected". Non-SWF adapters (GWF,
+//! web access logs, the synthetic families) normalize into exactly this
+//! shape, so everything downstream — the derived-variable engine, the
+//! self-similarity kernels, the Co-plot pipeline — is format-agnostic.
+//! This module stores the raw sentinel representation (so parse/write is a
+//! faithful round trip) and layers `Option`-returning accessors on top for
+//! analysis code.
+
+/// Sentinel for a missing numeric field, as in SWF files.
+pub const MISSING: f64 = -1.0;
+
+/// Job completion status (SWF field 11).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobStatus {
+    /// 0 — job failed.
+    Failed,
+    /// 1 — job completed normally.
+    Completed,
+    /// 2 — partial execution, to be continued.
+    PartialToBeContinued,
+    /// 3 — final partial execution.
+    PartialLast,
+    /// 4 — job was cancelled.
+    Cancelled,
+    /// -1 — status unknown.
+    Unknown,
+}
+
+impl JobStatus {
+    /// Decode the SWF integer code (any unknown code maps to `Unknown`).
+    pub fn from_code(code: i64) -> JobStatus {
+        match code {
+            0 => JobStatus::Failed,
+            1 => JobStatus::Completed,
+            2 => JobStatus::PartialToBeContinued,
+            3 => JobStatus::PartialLast,
+            4 => JobStatus::Cancelled,
+            _ => JobStatus::Unknown,
+        }
+    }
+
+    /// Encode back to the SWF integer code.
+    pub fn code(&self) -> i64 {
+        match self {
+            JobStatus::Failed => 0,
+            JobStatus::Completed => 1,
+            JobStatus::PartialToBeContinued => 2,
+            JobStatus::PartialLast => 3,
+            JobStatus::Cancelled => 4,
+            JobStatus::Unknown => -1,
+        }
+    }
+}
+
+/// A single normalized job record (the standard-workload-format field set).
+///
+/// Times are in seconds. Identifier fields use `-1` for "unknown"; the
+/// `*_opt` accessors translate sentinels into `Option`s.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobRecord {
+    /// 1. Job number, counting from 1.
+    pub id: u64,
+    /// 2. Submit time in seconds from the start of the log.
+    pub submit_time: f64,
+    /// 3. Wait time in the queue, seconds (`-1` unknown).
+    pub wait_time: f64,
+    /// 4. Run time, seconds (`-1` unknown).
+    pub run_time: f64,
+    /// 5. Number of allocated processors (`-1` unknown).
+    pub used_procs: i64,
+    /// 6. Average CPU time used per processor, seconds (`-1` unknown).
+    pub avg_cpu_time: f64,
+    /// 7. Used memory per node, KB (`-1` unknown).
+    pub used_memory: f64,
+    /// 8. Requested number of processors (`-1` unknown).
+    pub requested_procs: i64,
+    /// 9. Requested runtime limit, seconds (`-1` unknown).
+    pub requested_time: f64,
+    /// 10. Requested memory per node, KB (`-1` unknown).
+    pub requested_memory: f64,
+    /// 11. Completion status.
+    pub status: JobStatus,
+    /// 12. User id (`-1` unknown).
+    pub user_id: i64,
+    /// 13. Group id (`-1` unknown).
+    pub group_id: i64,
+    /// 14. Executable (application) id (`-1` unknown).
+    pub executable_id: i64,
+    /// 15. Queue number (`-1` unknown). This workspace's convention, used
+    ///     by the log synthesizers: queue 1 = interactive, queue 2 = batch.
+    pub queue: i64,
+    /// 16. Partition number (`-1` unknown).
+    pub partition: i64,
+    /// 17. Preceding job id (`-1` none).
+    pub preceding_job: i64,
+    /// 18. Think time from preceding job, seconds (`-1` none).
+    pub think_time: f64,
+}
+
+/// Queue code for interactive jobs (workspace convention).
+pub const QUEUE_INTERACTIVE: i64 = 1;
+/// Queue code for batch jobs (workspace convention).
+pub const QUEUE_BATCH: i64 = 2;
+
+impl JobRecord {
+    /// A record with every optional field missing — the base for builders.
+    pub fn new(id: u64, submit_time: f64) -> JobRecord {
+        JobRecord {
+            id,
+            submit_time,
+            wait_time: MISSING,
+            run_time: MISSING,
+            used_procs: -1,
+            avg_cpu_time: MISSING,
+            used_memory: MISSING,
+            requested_procs: -1,
+            requested_time: MISSING,
+            requested_memory: MISSING,
+            status: JobStatus::Unknown,
+            user_id: -1,
+            group_id: -1,
+            executable_id: -1,
+            queue: -1,
+            partition: -1,
+            preceding_job: -1,
+            think_time: MISSING,
+        }
+    }
+
+    /// Run time if known.
+    pub fn run_time_opt(&self) -> Option<f64> {
+        if self.run_time < 0.0 {
+            None
+        } else {
+            Some(self.run_time)
+        }
+    }
+
+    /// Allocated processors if known.
+    pub fn used_procs_opt(&self) -> Option<u64> {
+        if self.used_procs < 0 {
+            None
+        } else {
+            Some(self.used_procs as u64)
+        }
+    }
+
+    /// Average per-processor CPU time if known.
+    pub fn avg_cpu_time_opt(&self) -> Option<f64> {
+        if self.avg_cpu_time < 0.0 {
+            None
+        } else {
+            Some(self.avg_cpu_time)
+        }
+    }
+
+    /// User id if known.
+    pub fn user_id_opt(&self) -> Option<u64> {
+        if self.user_id < 0 {
+            None
+        } else {
+            Some(self.user_id as u64)
+        }
+    }
+
+    /// Executable id if known.
+    pub fn executable_id_opt(&self) -> Option<u64> {
+        if self.executable_id < 0 {
+            None
+        } else {
+            Some(self.executable_id as u64)
+        }
+    }
+
+    /// Total CPU work across all processors: CPU time per processor times
+    /// processors when CPU time is known, otherwise runtime times
+    /// processors (the paper's NASA approximation), otherwise `None`.
+    pub fn total_cpu_work(&self) -> Option<f64> {
+        let procs = self.used_procs_opt()? as f64;
+        if let Some(cpu) = self.avg_cpu_time_opt() {
+            Some(cpu * procs)
+        } else {
+            self.run_time_opt().map(|rt| rt * procs)
+        }
+    }
+
+    /// Node-seconds actually occupied: runtime times processors.
+    pub fn node_seconds(&self) -> Option<f64> {
+        Some(self.run_time_opt()? * self.used_procs_opt()? as f64)
+    }
+
+    /// The moment the job started running (submit + wait), if wait is known;
+    /// otherwise the submit time (the paper's fallback for logs without
+    /// submit records).
+    pub fn start_time(&self) -> f64 {
+        if self.wait_time >= 0.0 {
+            self.submit_time + self.wait_time
+        } else {
+            self.submit_time
+        }
+    }
+
+    /// The moment the job finished (start + runtime), when runtime is known.
+    pub fn end_time(&self) -> Option<f64> {
+        self.run_time_opt().map(|rt| self.start_time() + rt)
+    }
+
+    /// True when this job is marked interactive under the workspace's queue
+    /// convention.
+    pub fn is_interactive(&self) -> bool {
+        self.queue == QUEUE_INTERACTIVE
+    }
+
+    /// True when this job is marked batch under the workspace's queue
+    /// convention.
+    pub fn is_batch(&self) -> bool {
+        self.queue == QUEUE_BATCH
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn status_codes_round_trip() {
+        for code in [-1, 0, 1, 2, 3, 4] {
+            assert_eq!(JobStatus::from_code(code).code(), code);
+        }
+        assert_eq!(JobStatus::from_code(99), JobStatus::Unknown);
+    }
+
+    #[test]
+    fn fresh_record_is_all_missing() {
+        let j = JobRecord::new(1, 100.0);
+        assert_eq!(j.run_time_opt(), None);
+        assert_eq!(j.used_procs_opt(), None);
+        assert_eq!(j.total_cpu_work(), None);
+        assert_eq!(j.user_id_opt(), None);
+        assert_eq!(j.start_time(), 100.0);
+        assert_eq!(j.end_time(), None);
+    }
+
+    #[test]
+    fn total_cpu_work_prefers_cpu_time() {
+        let mut j = JobRecord::new(1, 0.0);
+        j.used_procs = 4;
+        j.run_time = 100.0;
+        j.avg_cpu_time = 80.0;
+        assert_eq!(j.total_cpu_work(), Some(320.0));
+        // Without CPU time, falls back to runtime * procs.
+        j.avg_cpu_time = MISSING;
+        assert_eq!(j.total_cpu_work(), Some(400.0));
+    }
+
+    #[test]
+    fn node_seconds() {
+        let mut j = JobRecord::new(1, 0.0);
+        j.used_procs = 8;
+        j.run_time = 50.0;
+        assert_eq!(j.node_seconds(), Some(400.0));
+        j.run_time = MISSING;
+        assert_eq!(j.node_seconds(), None);
+    }
+
+    #[test]
+    fn start_and_end_times() {
+        let mut j = JobRecord::new(1, 100.0);
+        j.wait_time = 20.0;
+        j.run_time = 30.0;
+        assert_eq!(j.start_time(), 120.0);
+        assert_eq!(j.end_time(), Some(150.0));
+    }
+
+    #[test]
+    fn queue_classes() {
+        let mut j = JobRecord::new(1, 0.0);
+        assert!(!j.is_interactive() && !j.is_batch());
+        j.queue = QUEUE_INTERACTIVE;
+        assert!(j.is_interactive());
+        j.queue = QUEUE_BATCH;
+        assert!(j.is_batch());
+    }
+}

@@ -1,0 +1,528 @@
+//! SWF (Standard Workload Format) reader and writer — the first adapter.
+//!
+//! An SWF file is line-oriented: header lines start with `;` and carry
+//! `; Key: value` metadata; every other non-empty line is one job with 18
+//! whitespace-separated numeric fields, `-1` marking unknown values.
+
+use std::collections::BTreeMap;
+
+use crate::record::{JobRecord, JobStatus};
+use crate::report::{meta_from_header, parse_lines, ParseError, ParseErrorKind, ParseReport};
+use crate::trace::{NormalizedTrace, TraceMeta};
+use crate::{TraceFormat, TraceSource};
+
+/// Parsed SWF document: header metadata plus jobs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SwfDocument {
+    /// Header key/value pairs from `; Key: value` comment lines.
+    pub header: BTreeMap<String, String>,
+    /// Jobs in file order.
+    pub jobs: Vec<JobRecord>,
+}
+
+impl SwfDocument {
+    /// Turn the document into a [`NormalizedTrace`], reading what machine
+    /// metadata it can from the header (`MaxNodes`, plus this workspace's
+    /// `SchedulerRank` / `AllocationRank` extension keys) and falling back
+    /// to the supplied defaults.
+    pub fn into_trace(self, name: impl Into<String>, default: TraceMeta) -> NormalizedTrace {
+        let machine = meta_from_header(&self.header, default);
+        NormalizedTrace::new(name, machine, self.jobs)
+    }
+
+    /// Compatibility name for [`SwfDocument::into_trace`], kept so the
+    /// pre-`TraceSource` call sites (which knew this type as producing a
+    /// `Workload`) keep compiling unchanged.
+    pub fn into_workload(self, name: impl Into<String>, default: TraceMeta) -> NormalizedTrace {
+        self.into_trace(name, default)
+    }
+}
+
+/// Parse SWF text into a document, erroring on the first malformed job line.
+pub fn parse_swf(text: &str) -> Result<SwfDocument, ParseError> {
+    let _span = wl_obs::span!("swf.parse");
+    let (header, jobs, report, first_err) =
+        parse_lines(TraceFormat::Swf, ';', true, text, parse_job_line);
+    report.record_metrics();
+    match first_err {
+        Some(e) => Err(e),
+        None => Ok(SwfDocument { header, jobs }),
+    }
+}
+
+/// Parse SWF text, skipping malformed job lines instead of failing.
+///
+/// Every dropped line is recorded in the [`ParseReport`] with its typed
+/// [`ParseErrorKind`], and the matching `swf.skip.*` counter is incremented
+/// when observability is armed. Never panics on any input.
+pub fn parse_swf_lenient(text: &str) -> (SwfDocument, ParseReport) {
+    let _span = wl_obs::span!("swf.parse");
+    let (header, jobs, report, _) =
+        parse_lines(TraceFormat::Swf, ';', false, text, parse_job_line);
+    report.record_metrics();
+    (SwfDocument { header, jobs }, report)
+}
+
+fn parse_job_line(line: &str, lineno: usize) -> Result<JobRecord, ParseError> {
+    let fields: Vec<&str> = line.split_whitespace().collect();
+    if fields.len() != 18 {
+        return Err(ParseError {
+            line: lineno,
+            kind: ParseErrorKind::FieldCount,
+            message: format!("expected 18 fields, found {}", fields.len()),
+        });
+    }
+    let f = |i: usize| numeric_field(&fields, i, lineno);
+    let int = |i: usize| integer_field(&fields, i, lineno);
+    let id = int(0)?;
+    if id < 0 {
+        return Err(ParseError {
+            line: lineno,
+            kind: ParseErrorKind::NegativeId,
+            message: format!("job id must be non-negative, found {id}"),
+        });
+    }
+    Ok(JobRecord {
+        id: id as u64,
+        submit_time: f(1)?,
+        wait_time: f(2)?,
+        run_time: f(3)?,
+        used_procs: int(4)?,
+        avg_cpu_time: f(5)?,
+        used_memory: f(6)?,
+        requested_procs: int(7)?,
+        requested_time: f(8)?,
+        requested_memory: f(9)?,
+        status: JobStatus::from_code(int(10)?),
+        user_id: int(11)?,
+        group_id: int(12)?,
+        executable_id: int(13)?,
+        queue: int(14)?,
+        partition: int(15)?,
+        preceding_job: int(16)?,
+        think_time: f(17)?,
+    })
+}
+
+/// Parse one whitespace-split field as a finite f64 (shared with the GWF
+/// adapter, whose first 16 data fields mirror SWF's).
+pub(crate) fn numeric_field(fields: &[&str], i: usize, lineno: usize) -> Result<f64, ParseError> {
+    let v = fields[i].parse::<f64>().map_err(|_| ParseError {
+        line: lineno,
+        kind: ParseErrorKind::NotNumeric,
+        message: format!("field {} is not numeric: {:?}", i + 1, fields[i]),
+    })?;
+    if v.is_finite() {
+        Ok(v)
+    } else {
+        Err(ParseError {
+            line: lineno,
+            kind: ParseErrorKind::NonFinite,
+            message: format!("field {} is not finite: {:?}", i + 1, fields[i]),
+        })
+    }
+}
+
+/// Parse one field as an integer, accepting "4" and "4.0" alike; trace files
+/// in the wild mix both.
+pub(crate) fn integer_field(fields: &[&str], i: usize, lineno: usize) -> Result<i64, ParseError> {
+    let v = numeric_field(fields, i, lineno)?;
+    Ok(v as i64)
+}
+
+/// Serialize a trace back to SWF text, including a header describing the
+/// machine so a later [`parse_swf`] + [`SwfDocument::into_trace`] round
+/// trip preserves it.
+pub fn write_swf(workload: &NormalizedTrace) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("; Computer: {}\n", workload.name));
+    out.push_str(&format!("; MaxNodes: {}\n", workload.machine.processors));
+    out.push_str(&format!(
+        "; SchedulerRank: {}\n",
+        workload.machine.scheduler.rank()
+    ));
+    out.push_str(&format!(
+        "; AllocationRank: {}\n",
+        workload.machine.allocation.rank()
+    ));
+    out.push_str(&format!("; MaxJobs: {}\n", workload.len()));
+    for j in workload.jobs() {
+        out.push_str(&format_job_line(j));
+        out.push('\n');
+    }
+    out
+}
+
+pub(crate) fn fmt_f(v: f64) -> String {
+    // Keep integers compact; SWF consumers expect "-1" not "-1.0".
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+fn format_job_line(j: &JobRecord) -> String {
+    [
+        j.id.to_string(),
+        fmt_f(j.submit_time),
+        fmt_f(j.wait_time),
+        fmt_f(j.run_time),
+        j.used_procs.to_string(),
+        fmt_f(j.avg_cpu_time),
+        fmt_f(j.used_memory),
+        j.requested_procs.to_string(),
+        fmt_f(j.requested_time),
+        fmt_f(j.requested_memory),
+        j.status.code().to_string(),
+        j.user_id.to_string(),
+        j.group_id.to_string(),
+        j.executable_id.to_string(),
+        j.queue.to_string(),
+        j.partition.to_string(),
+        j.preceding_job.to_string(),
+        fmt_f(j.think_time),
+    ]
+    .join(" ")
+}
+
+/// The SWF adapter.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SwfSource;
+
+impl TraceSource for SwfSource {
+    fn format(&self) -> TraceFormat {
+        TraceFormat::Swf
+    }
+
+    fn read(
+        &self,
+        name: &str,
+        text: &str,
+        default: TraceMeta,
+    ) -> Result<NormalizedTrace, ParseError> {
+        parse_swf(text).map(|doc| doc.into_trace(name, default))
+    }
+
+    fn read_lenient(
+        &self,
+        name: &str,
+        text: &str,
+        default: TraceMeta,
+    ) -> (NormalizedTrace, ParseReport) {
+        let (doc, report) = parse_swf_lenient(text);
+        (doc.into_trace(name, default), report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{AllocationFlexibility, SchedulerFlexibility};
+
+    fn machine() -> TraceMeta {
+        TraceMeta::new(
+            64,
+            SchedulerFlexibility::BatchQueue,
+            AllocationFlexibility::Limited,
+        )
+    }
+
+    #[test]
+    fn parses_minimal_file() {
+        let text = "\
+; Computer: Test
+; MaxNodes: 64
+1 0 5 100 4 90 -1 4 200 -1 1 3 1 7 1 -1 -1 -1
+2 60 -1 50 2 -1 -1 -1 -1 -1 0 4 1 8 2 -1 -1 -1
+";
+        let doc = parse_swf(text).unwrap();
+        assert_eq!(doc.header["Computer"], "Test");
+        assert_eq!(doc.jobs.len(), 2);
+        assert_eq!(doc.jobs[0].id, 1);
+        assert_eq!(doc.jobs[0].run_time, 100.0);
+        assert_eq!(doc.jobs[0].used_procs, 4);
+        assert_eq!(doc.jobs[0].status, JobStatus::Completed);
+        assert_eq!(doc.jobs[1].status, JobStatus::Failed);
+        assert_eq!(doc.jobs[1].run_time_opt(), Some(50.0));
+        assert_eq!(doc.jobs[1].avg_cpu_time_opt(), None);
+    }
+
+    #[test]
+    fn wrong_field_count_is_error() {
+        let err = parse_swf("1 2 3\n").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert_eq!(err.kind, ParseErrorKind::FieldCount);
+        assert!(err.message.contains("18 fields"));
+        // The conversion into the pipeline's error type keeps location and
+        // kind.
+        let converted: coplot::CoplotError = err.into();
+        assert!(matches!(
+            converted,
+            coplot::CoplotError::Parse {
+                line: 1,
+                kind: coplot::ParseKind::FieldCount,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn non_numeric_field_is_error() {
+        let text = "1 0 5 abc 4 90 -1 4 200 -1 1 3 1 7 1 -1 -1 -1\n";
+        let err = parse_swf(text).unwrap_err();
+        assert_eq!(err.kind, ParseErrorKind::NotNumeric);
+        assert!(err.message.contains("not numeric"));
+    }
+
+    #[test]
+    fn negative_id_is_error() {
+        let text = "-1 0 5 1 4 90 -1 4 200 -1 1 3 1 7 1 -1 -1 -1\n";
+        let err = parse_swf(text).unwrap_err();
+        assert_eq!(err.kind, ParseErrorKind::NegativeId);
+    }
+
+    #[test]
+    fn non_finite_field_is_error() {
+        for bad in ["inf", "-inf", "NaN", "1e999"] {
+            let text = format!("1 0 5 {bad} 4 90 -1 4 200 -1 1 3 1 7 1 -1 -1 -1\n");
+            let err = parse_swf(&text).unwrap_err();
+            assert_eq!(err.kind, ParseErrorKind::NonFinite, "{bad}");
+        }
+    }
+
+    /// A fixture mixing every malformation between good jobs: the strict
+    /// parse reports the first bad line, the lenient parse keeps all good
+    /// jobs and types every drop.
+    const MIXED_FIXTURE: &str = "\
+; Computer: Mixed
+; MaxNodes: 64
+1 0 5 100 4 90 -1 4 200 -1 1 3 1 7 1 -1 -1 -1
+2 0 5
+-3 0 5 1 4 90 -1 4 200 -1 1 3 1 7 1 -1 -1 -1
+4 0 5 abc 4 90 -1 4 200 -1 1 3 1 7 1 -1 -1 -1
+5 0 5 inf 4 90 -1 4 200 -1 1 3 1 7 1 -1 -1 -1
+6 60 1 50 2 -1 -1 -1 -1 -1 0 4 1 8 2 -1 -1 -1
+";
+
+    #[test]
+    fn lenient_parse_skips_and_types_every_malformation() {
+        let (doc, report) = parse_swf_lenient(MIXED_FIXTURE);
+        assert_eq!(doc.jobs.len(), 2);
+        assert_eq!(doc.jobs[0].id, 1);
+        assert_eq!(doc.jobs[1].id, 6);
+        assert_eq!(doc.header["Computer"], "Mixed");
+        assert_eq!(report.format, TraceFormat::Swf);
+        assert_eq!(report.jobs, 2);
+        assert_eq!(report.header_lines, 2);
+        assert_eq!(
+            report.skipped,
+            vec![
+                (4, ParseErrorKind::FieldCount),
+                (5, ParseErrorKind::NegativeId),
+                (6, ParseErrorKind::NotNumeric),
+                (7, ParseErrorKind::NonFinite),
+            ]
+        );
+        assert_eq!(report.skipped_of(ParseErrorKind::FieldCount), 1);
+    }
+
+    #[test]
+    fn strict_parse_stops_at_first_bad_line_of_fixture() {
+        let err = parse_swf(MIXED_FIXTURE).unwrap_err();
+        assert_eq!(err.line, 4);
+        assert_eq!(err.kind, ParseErrorKind::FieldCount);
+    }
+
+    #[test]
+    fn lenient_parse_increments_skip_counters() {
+        wl_obs::set_enabled(true);
+        let snap = wl_obs::registry().snapshot();
+        let before: Vec<u64> = [
+            "swf.skip.field_count",
+            "swf.skip.negative_id",
+            "swf.skip.not_numeric",
+            "swf.skip.non_finite",
+            "swf.jobs_parsed",
+        ]
+        .iter()
+        .map(|n| snap.counter(n))
+        .collect();
+        parse_swf_lenient(MIXED_FIXTURE);
+        let snap = wl_obs::registry().snapshot();
+        assert!(snap.counter("swf.skip.field_count") > before[0]);
+        assert!(snap.counter("swf.skip.negative_id") > before[1]);
+        assert!(snap.counter("swf.skip.not_numeric") > before[2]);
+        assert!(snap.counter("swf.skip.non_finite") > before[3]);
+        assert!(snap.counter("swf.jobs_parsed") >= before[4] + 2);
+    }
+
+    #[test]
+    fn truncated_file_mid_line_never_panics() {
+        // Cut a valid document at every byte boundary; both parsers must
+        // return (not panic) on each prefix.
+        let text = "; MaxNodes: 8\n1 0 5 100 4 90 -1 4 200 -1 1 3 1 7 1 -1 -1 -1\n";
+        for cut in 0..=text.len() {
+            if !text.is_char_boundary(cut) {
+                continue;
+            }
+            let prefix = &text[..cut];
+            let _ = parse_swf(prefix);
+            let (_, report) = parse_swf_lenient(prefix);
+            assert!(report.jobs <= 1);
+        }
+    }
+
+    #[test]
+    fn round_trip_preserves_trace() {
+        let mut j1 = JobRecord::new(1, 0.0);
+        j1.run_time = 123.5;
+        j1.used_procs = 8;
+        j1.user_id = 3;
+        j1.status = JobStatus::Completed;
+        let mut j2 = JobRecord::new(2, 17.25);
+        j2.run_time = 4.0;
+        j2.used_procs = 1;
+        j2.queue = 1;
+        let w = NormalizedTrace::new("RT", machine(), vec![j1, j2]);
+
+        let text = write_swf(&w);
+        let doc = parse_swf(&text).unwrap();
+        let w2 = doc.into_trace("RT", machine());
+        assert_eq!(w, w2);
+    }
+
+    #[test]
+    fn header_machine_metadata_round_trips() {
+        let w = NormalizedTrace::new(
+            "M",
+            TraceMeta::new(
+                1024,
+                SchedulerFlexibility::Gang,
+                AllocationFlexibility::PowerOfTwoPartitions,
+            ),
+            vec![],
+        );
+        let text = write_swf(&w);
+        let doc = parse_swf(&text).unwrap();
+        // Defaults differ from the header; header must win.
+        let w2 = doc.into_trace("M", machine());
+        assert_eq!(w2.machine.processors, 1024);
+        assert_eq!(w2.machine.scheduler, SchedulerFlexibility::Gang);
+        assert_eq!(
+            w2.machine.allocation,
+            AllocationFlexibility::PowerOfTwoPartitions
+        );
+    }
+
+    #[test]
+    fn blank_lines_and_plain_comments_ignored() {
+        let text = "\n; just a note without colon-value\n\n";
+        let doc = parse_swf(text).unwrap();
+        assert!(doc.jobs.is_empty());
+        assert!(doc.header.is_empty());
+    }
+
+    #[test]
+    fn fractional_and_integer_fields_both_accepted() {
+        let text = "1 0.5 5.0 100.25 4 90 -1 4 200 -1 1 3 1 7 1 -1 -1 -1\n";
+        let doc = parse_swf(text).unwrap();
+        assert_eq!(doc.jobs[0].submit_time, 0.5);
+        assert_eq!(doc.jobs[0].run_time, 100.25);
+    }
+
+    #[test]
+    fn source_read_matches_manual_parse() {
+        let text = "\
+; MaxNodes: 32
+1 0 5 100 4 90 -1 4 200 -1 1 3 1 7 1 -1 -1 -1
+";
+        let via_source = SwfSource.read("t", text, machine()).unwrap();
+        let manual = parse_swf(text).unwrap().into_trace("t", machine());
+        assert_eq!(via_source, manual);
+        assert_eq!(
+            via_source.canonical_digest(),
+            manual.canonical_digest()
+        );
+        assert_eq!(SwfSource.format(), TraceFormat::Swf);
+    }
+
+    mod fuzz {
+        use super::super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Neither parser panics on arbitrary text, and the lenient one
+            /// accounts for every line (parsed + skipped + header + ignored
+            /// = lines).
+            #[test]
+            fn parsers_never_panic_on_arbitrary_text(text in "\\PC*") {
+                let _ = parse_swf(&text);
+                let (doc, report) = parse_swf_lenient(&text);
+                prop_assert_eq!(doc.jobs.len(), report.jobs);
+                prop_assert_eq!(
+                    report.jobs + report.skipped.len() + report.header_lines
+                        + report.ignored_lines,
+                    report.lines
+                );
+            }
+
+            /// Corrupting one field of a valid job line yields a typed error
+            /// (or a valid parse if the mutation happens to stay numeric) —
+            /// never a panic.
+            #[test]
+            fn corrupted_field_gives_typed_error(
+                field in 0usize..18,
+                garbage in "\\PC*",
+            ) {
+                let mut fields: Vec<String> =
+                    "1 0 5 100 4 90 -1 4 200 -1 1 3 1 7 1 -1 -1 -1"
+                        .split_whitespace()
+                        .map(str::to_string)
+                        .collect();
+                fields[field] = garbage;
+                let line = fields.join(" ");
+                // The garbage may itself contain newlines, splitting the
+                // document into several lines — any typed error (or a clean
+                // parse of whatever survives) is acceptable; a panic is not.
+                match parse_swf(&line) {
+                    Ok(doc) => prop_assert!(doc.jobs.len() <= 2),
+                    Err(e) => {
+                        prop_assert!(e.line >= 1);
+                        // Kind is one of the typed reasons; the label is
+                        // total so this cannot panic.
+                        let _ = e.kind.label();
+                    }
+                }
+            }
+
+            /// Lenient parsing of a document with malformed lines injected
+            /// between valid ones keeps exactly the valid jobs.
+            #[test]
+            fn lenient_keeps_exactly_the_valid_jobs(
+                n_good in 0usize..6,
+                n_bad in 0usize..6,
+            ) {
+                let mut text = String::new();
+                for i in 0..n_good.max(n_bad) {
+                    if i < n_good {
+                        text.push_str(&format!(
+                            "{} 0 5 100 4 90 -1 4 200 -1 1 3 1 7 1 -1 -1 -1\n",
+                            i + 1
+                        ));
+                    }
+                    if i < n_bad {
+                        text.push_str("truncated line\n");
+                    }
+                }
+                let (doc, report) = parse_swf_lenient(&text);
+                prop_assert_eq!(doc.jobs.len(), n_good);
+                prop_assert_eq!(report.skipped.len(), n_bad);
+                prop_assert!(report
+                    .skipped
+                    .iter()
+                    .all(|(_, k)| *k == ParseErrorKind::FieldCount));
+            }
+        }
+    }
+}

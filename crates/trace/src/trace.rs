@@ -1,0 +1,400 @@
+//! Normalized trace container and the machine metadata the paper ranks.
+//!
+//! A [`NormalizedTrace`] is what every [`crate::TraceSource`] adapter
+//! produces: a named, submit-time-ordered stream of [`JobRecord`]s plus
+//! [`TraceMeta`] describing the system that produced them. Downstream code
+//! (derived variables, Co-plot, self-similarity) consumes only this shape,
+//! never a concrete file format.
+
+use crate::record::JobRecord;
+
+/// Scheduler flexibility rank (paper section 3, variable 2): the three
+/// scheduler families in the sample, ranked by increasing flexibility.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SchedulerFlexibility {
+    /// NQS-style batch queueing (rank 1).
+    BatchQueue = 1,
+    /// EASY backfilling (rank 2).
+    Backfilling = 2,
+    /// Gang scheduling (rank 3).
+    Gang = 3,
+}
+
+impl SchedulerFlexibility {
+    /// The paper's 1..=3 rank.
+    pub fn rank(&self) -> u8 {
+        *self as u8
+    }
+}
+
+/// Processor-allocation flexibility rank (paper section 3, variable 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum AllocationFlexibility {
+    /// Static power-of-two partitions only (rank 1).
+    PowerOfTwoPartitions = 1,
+    /// Limited allocation, e.g. mesh shapes (rank 2).
+    Limited = 2,
+    /// Any subset of nodes (rank 3).
+    Unlimited = 3,
+}
+
+impl AllocationFlexibility {
+    /// The paper's 1..=3 rank.
+    pub fn rank(&self) -> u8 {
+        *self as u8
+    }
+}
+
+/// Static description of the system behind a trace. For supercomputer and
+/// grid traces this is the machine; for web traces the "processors" are the
+/// server's peak concurrent sessions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceMeta {
+    /// Number of processors in the system.
+    pub processors: u64,
+    /// Scheduler flexibility rank.
+    pub scheduler: SchedulerFlexibility,
+    /// Processor-allocation flexibility rank.
+    pub allocation: AllocationFlexibility,
+}
+
+impl TraceMeta {
+    /// Convenience constructor.
+    pub fn new(
+        processors: u64,
+        scheduler: SchedulerFlexibility,
+        allocation: AllocationFlexibility,
+    ) -> Self {
+        assert!(processors > 0, "machine must have processors");
+        TraceMeta {
+            processors,
+            scheduler,
+            allocation,
+        }
+    }
+}
+
+/// A named collection of job records plus the system they ran on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NormalizedTrace {
+    /// Short display name ("CTC", "LANLi", "S3", ...).
+    pub name: String,
+    /// Machine metadata.
+    pub machine: TraceMeta,
+    /// Records, in ascending submit-time order (enforced by
+    /// [`NormalizedTrace::new`]).
+    jobs: Vec<JobRecord>,
+}
+
+impl NormalizedTrace {
+    /// Build a trace, sorting records by submit time.
+    pub fn new(name: impl Into<String>, machine: TraceMeta, mut jobs: Vec<JobRecord>) -> Self {
+        // total_cmp: NaN submit times sort last instead of panicking.
+        jobs.sort_by(|a, b| a.submit_time.total_cmp(&b.submit_time));
+        NormalizedTrace {
+            name: name.into(),
+            machine,
+            jobs,
+        }
+    }
+
+    /// The records, ascending by submit time.
+    pub fn jobs(&self) -> &[JobRecord] {
+        &self.jobs
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// True when the trace has no records.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// Log duration: last job end (or submit, where runtime is unknown)
+    /// minus first submit. Zero for empty/single-instant logs.
+    pub fn duration(&self) -> f64 {
+        if self.jobs.is_empty() {
+            return 0.0;
+        }
+        // Non-empty: the early return above handles the empty case.
+        let start = self.jobs.first().unwrap().submit_time;
+        let end = self
+            .jobs
+            .iter()
+            .map(|j| j.end_time().unwrap_or(j.submit_time))
+            .fold(f64::NEG_INFINITY, f64::max);
+        (end - start).max(0.0)
+    }
+
+    /// A sub-trace containing only the records satisfying `pred`, renamed.
+    pub fn filtered(
+        &self,
+        name: impl Into<String>,
+        pred: impl Fn(&JobRecord) -> bool,
+    ) -> NormalizedTrace {
+        NormalizedTrace {
+            name: name.into(),
+            machine: self.machine,
+            jobs: self.jobs.iter().filter(|j| pred(j)).cloned().collect(),
+        }
+    }
+
+    /// Interactive jobs only (queue convention; see [`crate::record`]).
+    /// Named `<name>i` as in the paper's tables.
+    pub fn interactive_only(&self) -> NormalizedTrace {
+        self.filtered(format!("{}i", self.name), |j| j.is_interactive())
+    }
+
+    /// Batch jobs only. Named `<name>b` as in the paper's tables.
+    pub fn batch_only(&self) -> NormalizedTrace {
+        self.filtered(format!("{}b", self.name), |j| j.is_batch())
+    }
+
+    /// Split into `n` equal-duration consecutive periods by submit time
+    /// (the paper's six-month splits of LANL and SDSC, section 6). Period
+    /// `k` is named `<prefix><k+1>`. Periods partition the jobs: every job
+    /// lands in exactly one.
+    ///
+    /// # Panics
+    /// Panics when `n == 0`.
+    pub fn split_periods(&self, n: usize, prefix: &str) -> Vec<NormalizedTrace> {
+        assert!(n > 0, "need at least one period");
+        if self.jobs.is_empty() {
+            return (0..n)
+                .map(|k| NormalizedTrace {
+                    name: format!("{prefix}{}", k + 1),
+                    machine: self.machine,
+                    jobs: Vec::new(),
+                })
+                .collect();
+        }
+        // Non-empty: the early return above handles the empty case.
+        let t0 = self.jobs.first().unwrap().submit_time;
+        let t1 = self.jobs.last().unwrap().submit_time;
+        let span = (t1 - t0).max(f64::MIN_POSITIVE);
+        let mut buckets: Vec<Vec<JobRecord>> = vec![Vec::new(); n];
+        for j in &self.jobs {
+            let k = (((j.submit_time - t0) / span) * n as f64) as usize;
+            buckets[k.min(n - 1)].push(j.clone());
+        }
+        buckets
+            .into_iter()
+            .enumerate()
+            .map(|(k, jobs)| NormalizedTrace {
+                name: format!("{prefix}{}", k + 1),
+                machine: self.machine,
+                jobs,
+            })
+            .collect()
+    }
+
+    /// Number of distinct known users.
+    pub fn distinct_users(&self) -> usize {
+        let mut ids: Vec<u64> = self.jobs.iter().filter_map(|j| j.user_id_opt()).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids.len()
+    }
+
+    /// Number of distinct known executables.
+    pub fn distinct_executables(&self) -> usize {
+        let mut ids: Vec<u64> = self
+            .jobs
+            .iter()
+            .filter_map(|j| j.executable_id_opt())
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids.len()
+    }
+
+    /// FNV-1a digest over the canonical record stream: name, machine facts,
+    /// then every field of every record in fixed order with f64s encoded as
+    /// IEEE-754 bit patterns. Two traces digest equally iff they normalize
+    /// to the same name, metadata, and record stream — regardless of which
+    /// on-disk format (SWF, GWF, web log) they came from. Serve's result
+    /// cache keys on this, which is what makes the cache format-independent.
+    pub fn canonical_digest(&self) -> u64 {
+        let mut buf: Vec<u8> = Vec::with_capacity(64 + self.jobs.len() * 18 * 8);
+        buf.extend_from_slice(self.name.as_bytes());
+        buf.push(0);
+        buf.extend_from_slice(&self.machine.processors.to_le_bytes());
+        buf.push(self.machine.scheduler.rank());
+        buf.push(self.machine.allocation.rank());
+        buf.extend_from_slice(&(self.jobs.len() as u64).to_le_bytes());
+        for j in &self.jobs {
+            buf.extend_from_slice(&j.id.to_le_bytes());
+            for f in [
+                j.submit_time,
+                j.wait_time,
+                j.run_time,
+                j.avg_cpu_time,
+                j.used_memory,
+                j.requested_time,
+                j.requested_memory,
+                j.think_time,
+            ] {
+                buf.extend_from_slice(&f.to_bits().to_le_bytes());
+            }
+            for i in [
+                j.used_procs,
+                j.requested_procs,
+                j.status.code(),
+                j.user_id,
+                j.group_id,
+                j.executable_id,
+                j.queue,
+                j.partition,
+                j.preceding_job,
+            ] {
+                buf.extend_from_slice(&i.to_le_bytes());
+            }
+        }
+        coplot::api::fnv1a(&buf)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{QUEUE_BATCH, QUEUE_INTERACTIVE};
+
+    fn machine() -> TraceMeta {
+        TraceMeta::new(
+            128,
+            SchedulerFlexibility::Backfilling,
+            AllocationFlexibility::Unlimited,
+        )
+    }
+
+    fn job(id: u64, submit: f64, run: f64, procs: i64, queue: i64) -> JobRecord {
+        let mut j = JobRecord::new(id, submit);
+        j.run_time = run;
+        j.used_procs = procs;
+        j.queue = queue;
+        j.wait_time = 0.0;
+        j
+    }
+
+    #[test]
+    fn jobs_sorted_on_construction() {
+        let w = NormalizedTrace::new(
+            "t",
+            machine(),
+            vec![job(2, 50.0, 1.0, 1, -1), job(1, 10.0, 1.0, 1, -1)],
+        );
+        assert_eq!(w.jobs()[0].id, 1);
+        assert_eq!(w.jobs()[1].id, 2);
+    }
+
+    #[test]
+    fn duration_spans_submit_to_last_end() {
+        let w = NormalizedTrace::new(
+            "t",
+            machine(),
+            vec![job(1, 0.0, 100.0, 1, -1), job(2, 50.0, 10.0, 1, -1)],
+        );
+        assert_eq!(w.duration(), 100.0);
+    }
+
+    #[test]
+    fn empty_duration_zero() {
+        let w = NormalizedTrace::new("t", machine(), vec![]);
+        assert_eq!(w.duration(), 0.0);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn interactive_batch_split() {
+        let w = NormalizedTrace::new(
+            "LANL",
+            machine(),
+            vec![
+                job(1, 0.0, 1.0, 1, QUEUE_INTERACTIVE),
+                job(2, 1.0, 1.0, 1, QUEUE_BATCH),
+                job(3, 2.0, 1.0, 1, QUEUE_BATCH),
+            ],
+        );
+        let i = w.interactive_only();
+        let b = w.batch_only();
+        assert_eq!(i.name, "LANLi");
+        assert_eq!(b.name, "LANLb");
+        assert_eq!(i.len(), 1);
+        assert_eq!(b.len(), 2);
+        assert_eq!(i.len() + b.len(), w.len());
+    }
+
+    #[test]
+    fn period_split_partitions_jobs() {
+        let jobs: Vec<JobRecord> = (0..100)
+            .map(|i| job(i as u64, i as f64, 1.0, 1, -1))
+            .collect();
+        let w = NormalizedTrace::new("LANL", machine(), jobs);
+        let parts = w.split_periods(4, "L");
+        assert_eq!(parts.len(), 4);
+        assert_eq!(parts.iter().map(|p| p.len()).sum::<usize>(), 100);
+        assert_eq!(parts[0].name, "L1");
+        assert_eq!(parts[3].name, "L4");
+        // Periods are time-ordered and disjoint.
+        assert!(parts[0].jobs().iter().all(|j| j.submit_time < 25.0));
+        assert!(parts[3].jobs().iter().all(|j| j.submit_time >= 74.0));
+    }
+
+    #[test]
+    fn split_singleton_time_goes_to_last_bucket_safely() {
+        let w = NormalizedTrace::new("x", machine(), vec![job(1, 5.0, 1.0, 1, -1)]);
+        let parts = w.split_periods(3, "p");
+        assert_eq!(parts.iter().map(|p| p.len()).sum::<usize>(), 1);
+    }
+
+    #[test]
+    fn distinct_counters() {
+        let mut j1 = job(1, 0.0, 1.0, 1, -1);
+        j1.user_id = 10;
+        j1.executable_id = 5;
+        let mut j2 = job(2, 1.0, 1.0, 1, -1);
+        j2.user_id = 10;
+        j2.executable_id = 6;
+        let mut j3 = job(3, 2.0, 1.0, 1, -1);
+        j3.user_id = 11; // executable unknown
+        let w = NormalizedTrace::new("t", machine(), vec![j1, j2, j3]);
+        assert_eq!(w.distinct_users(), 2);
+        assert_eq!(w.distinct_executables(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "machine must have processors")]
+    fn zero_processor_machine_rejected() {
+        TraceMeta::new(0, SchedulerFlexibility::Gang, AllocationFlexibility::Limited);
+    }
+
+    #[test]
+    fn digest_tracks_content() {
+        let w1 = NormalizedTrace::new("t", machine(), vec![job(1, 0.0, 1.0, 1, -1)]);
+        let w2 = NormalizedTrace::new("t", machine(), vec![job(1, 0.0, 1.0, 1, -1)]);
+        let w3 = NormalizedTrace::new("t", machine(), vec![job(1, 0.0, 2.0, 1, -1)]);
+        assert_eq!(w1.canonical_digest(), w2.canonical_digest());
+        assert_ne!(w1.canonical_digest(), w3.canonical_digest());
+    }
+
+    #[test]
+    fn digest_tracks_name_and_machine() {
+        let jobs = vec![job(1, 0.0, 1.0, 1, -1)];
+        let base = NormalizedTrace::new("t", machine(), jobs.clone());
+        let renamed = NormalizedTrace::new("u", machine(), jobs.clone());
+        let resized = NormalizedTrace::new(
+            "t",
+            TraceMeta::new(
+                64,
+                SchedulerFlexibility::Backfilling,
+                AllocationFlexibility::Unlimited,
+            ),
+            jobs,
+        );
+        assert_ne!(base.canonical_digest(), renamed.canonical_digest());
+        assert_ne!(base.canonical_digest(), resized.canonical_digest());
+    }
+}

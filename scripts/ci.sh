@@ -69,4 +69,30 @@ exec 9>&-
 rm -f "$serve_log" "$serve_fifo"
 trap - EXIT
 
+echo "== multi-format smoke (generate GWF + web logs, coplot, parse counters) =="
+fmt_dir=$(mktemp -d)
+trap 'rm -rf "$fmt_dir"' EXIT
+for site in 0 1 2; do
+  ./target/release/wl generate grid --site "$site" --jobs 200 --seed 1999 \
+    --out "$fmt_dir/site$site.gwf"
+  ./target/release/wl generate web --site "$site" --jobs 150 --seed 1999 \
+    --out "$fmt_dir/server$site.log"
+done
+./target/release/wl coplot "$fmt_dir"/site*.gwf --format gwf --threads 2 > /dev/null
+./target/release/wl coplot "$fmt_dir"/server*.log --threads 2 > /dev/null  # auto-detect
+# Traced runs must carry the per-format parse counters and satisfy the
+# trace invariants trace-check enforces.
+gwf_trace=$(./target/release/wl coplot "$fmt_dir"/site*.gwf --format gwf \
+  --threads 2 --trace json 2>&1 >/dev/null)
+echo "$gwf_trace" | ./target/release/trace-check -
+echo "$gwf_trace" | grep -q '"gwf.jobs_parsed"' \
+  || { echo "missing gwf.jobs_parsed counter"; exit 1; }
+web_trace=$(./target/release/wl coplot "$fmt_dir"/server*.log \
+  --threads 2 --trace json 2>&1 >/dev/null)
+echo "$web_trace" | ./target/release/trace-check -
+echo "$web_trace" | grep -q '"weblog.jobs_parsed"' \
+  || { echo "missing weblog.jobs_parsed counter"; exit 1; }
+rm -rf "$fmt_dir"
+trap - EXIT
+
 echo "CI green."
