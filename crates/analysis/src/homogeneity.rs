@@ -15,7 +15,7 @@
 use coplot::{Coplot, CoplotError, CoplotResult};
 use wl_swf::Workload;
 
-use crate::matrix::workload_matrix;
+use crate::matrix::trace_matrix;
 
 /// Verdict for one period.
 #[derive(Debug, Clone, PartialEq)]
@@ -104,7 +104,7 @@ pub fn test_homogeneity(
     all.extend(parts.iter().cloned());
     all.extend(references.iter().cloned());
 
-    let data = workload_matrix(&all, codes);
+    let data = trace_matrix(&all, codes);
     let result = Coplot::new().seed(config.seed).analyze(&data)?;
 
     let mut distances: Vec<(String, f64)> = parts

@@ -23,20 +23,27 @@
 //!   module builds it.
 //! * [`subset`] — section 8's representative-variable search: find a small
 //!   variable subset that conserves the map with maximal correlations.
+//! * [`stream`] — the incremental generalization of the homogeneity test:
+//!   rolling windows over a live record stream, warm-started MDS frames
+//!   aligned with Procrustes, and per-window drift metrics.
 
 pub mod homogeneity;
 pub mod load_alteration;
 pub mod matching;
 pub mod matrix;
 pub mod parametric;
+pub mod stream;
 pub mod subset;
 
 pub use homogeneity::{HomogeneityReport, HomogeneityVerdict};
 pub use load_alteration::{alter_load, LoadAlteration, LoadAuditRow};
 pub use matching::{match_models, ModelMatch};
-pub use matrix::{
-    stats_matrix, trace_matrix, try_stats_matrix, try_trace_matrix, try_workload_matrix,
-    workload_matrix,
-};
+pub use matrix::{stats_matrix, trace_matrix, try_stats_matrix, try_trace_matrix};
+#[allow(deprecated)]
+pub use matrix::{try_workload_matrix, workload_matrix};
 pub use parametric::ParametricModel;
+pub use stream::{
+    run_stream, ArrowDelta, Drift, Frame, OrderPolicy, StreamConfig, WindowEvent, WindowedCoplot,
+    MIN_FRAME_WINDOWS,
+};
 pub use subset::{best_variable_subset, SubsetSearchResult};

@@ -9,7 +9,7 @@
 use coplot::{Coplot, CoplotError, CoplotResult};
 use wl_swf::Workload;
 
-use crate::matrix::{workload_matrix, JOB_STREAM_VARIABLES};
+use crate::matrix::{trace_matrix, JOB_STREAM_VARIABLES};
 
 /// The verdict for one candidate model.
 #[derive(Debug, Clone, PartialEq)]
@@ -60,7 +60,7 @@ pub fn match_models(
     let mut all: Vec<Workload> = logs.to_vec();
     all.extend(models.iter().cloned());
 
-    let data = workload_matrix(&all, &JOB_STREAM_VARIABLES);
+    let data = trace_matrix(&all, &JOB_STREAM_VARIABLES);
     let result = Coplot::new().seed(seed).analyze(&data)?;
 
     let matches = models

@@ -44,6 +44,7 @@ pub fn try_trace_matrix(
 /// # Panics
 /// Panics on an unknown variable code; use [`try_workload_matrix`] to get
 /// a [`CoplotError`] instead.
+#[deprecated(note = "use trace_matrix: Workload is an alias of NormalizedTrace")]
 pub fn workload_matrix(workloads: &[Workload], codes: &[&str]) -> DataMatrix {
     trace_matrix(workloads, codes)
 }
@@ -52,6 +53,7 @@ pub fn workload_matrix(workloads: &[Workload], codes: &[&str]) -> DataMatrix {
 ///
 /// # Errors
 /// [`CoplotError::InvalidConfig`] on an unknown variable code.
+#[deprecated(note = "use try_trace_matrix: Workload is an alias of NormalizedTrace")]
 pub fn try_workload_matrix(
     workloads: &[Workload],
     codes: &[&str],
@@ -112,7 +114,7 @@ mod tests {
             MachineId::Nasa.generate(500, 1),
             MachineId::Kth.generate(500, 1),
         ];
-        let m = workload_matrix(&ws, &["Rm", "Pm", "Im"]);
+        let m = trace_matrix(&ws, &["Rm", "Pm", "Im"]);
         assert_eq!(m.n_observations(), 3);
         assert_eq!(m.n_variables(), 3);
         assert_eq!(m.observations()[0], "CTC");
@@ -123,13 +125,37 @@ mod tests {
     #[should_panic(expected = "unknown variable code")]
     fn unknown_code_panics() {
         let ws = [MachineId::Ctc.generate(100, 1)];
-        workload_matrix(&ws, &["nope"]);
+        trace_matrix(&ws, &["nope"]);
     }
 
     #[test]
     fn unknown_code_is_an_error_in_try_variant() {
         let ws = [MachineId::Ctc.generate(100, 1)];
-        let err = try_workload_matrix(&ws, &["nope"]).unwrap_err();
+        let err = try_trace_matrix(&ws, &["nope"]).unwrap_err();
         assert!(matches!(err, CoplotError::InvalidConfig(_)), "{err}");
+    }
+
+    /// Compat: the deprecated SWF-era spellings stay bit-identical to the
+    /// canonical names until they are removed.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_match_canonical_names() {
+        let ws = [
+            MachineId::Ctc.generate(200, 1),
+            MachineId::Nasa.generate(200, 1),
+        ];
+        let codes = ["Rm", "Im"];
+        let old = workload_matrix(&ws, &codes);
+        let new = trace_matrix(&ws, &codes);
+        assert_eq!(old.observations(), new.observations());
+        for i in 0..old.n_observations() {
+            for v in 0..old.n_variables() {
+                assert_eq!(
+                    old.get(i, v).map(f64::to_bits),
+                    new.get(i, v).map(f64::to_bits)
+                );
+            }
+        }
+        assert!(try_workload_matrix(&ws, &["nope"]).is_err());
     }
 }

@@ -27,7 +27,7 @@ fn default_machine() -> MachineInfo {
 type ParsedArgs = (Vec<String>, Vec<(String, String)>);
 
 /// Boolean flags (no value follows them); everything else is `--flag value`.
-const BOOLEAN_FLAGS: [&str; 2] = ["timings", "json"];
+const BOOLEAN_FLAGS: [&str; 3] = ["timings", "json", "no-hurst"];
 
 /// Split positional arguments from `--flag value` / `--switch` options.
 fn split_args(args: &[String]) -> Result<ParsedArgs, String> {
@@ -292,6 +292,66 @@ pub fn subset(args: &[String], threads: usize) -> Result<(), String> {
             e.map_conservation_rmsd
         );
     }
+    Ok(())
+}
+
+/// `wl stream` — replay a trace through the streaming windowed Co-plot
+/// driver, printing the same JSON lines `POST /v1/stream` would answer
+/// for the same trace and options (both run
+/// [`wl_serve::run_stream_text`], so the bytes agree by construction).
+pub fn stream(args: &[String], threads: usize) -> Result<(), String> {
+    let (paths, flags) = split_args(args)?;
+    if paths.len() != 1 {
+        return Err("stream takes exactly one trace file".into());
+    }
+    let path = &paths[0];
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let mut options = wl_serve::StreamOptions {
+        name: Path::new(path)
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| path.to_string()),
+        // Resolve the format here so extension-based detection sees the
+        // real path (the server only sees the display name).
+        format: Some(resolve_format(path, &text, flag(&flags, "format"))?),
+        ..wl_serve::StreamOptions::default()
+    };
+    if let Some(v) = flag(&flags, "window") {
+        options.config.jobs_per_window = v
+            .parse()
+            .ok()
+            .filter(|&n: &usize| n > 0)
+            .ok_or("--window needs a positive integer")?;
+    }
+    if let Some(v) = flag(&flags, "max-windows") {
+        options.config.max_windows = v
+            .parse()
+            .ok()
+            .filter(|&n: &usize| n > 0)
+            .ok_or("--max-windows needs a positive integer")?;
+    }
+    if let Some(v) = flag(&flags, "vars") {
+        options.config.variables = v.split(',').map(|s| s.trim().to_string()).collect();
+    }
+    if let Some(v) = flag(&flags, "seed") {
+        options.config.mds.seed = v.parse().map_err(|_| "--seed needs an integer")?;
+    }
+    if let Some(v) = flag(&flags, "tolerance") {
+        let t: f64 = v.parse().map_err(|_| "--tolerance needs a number")?;
+        if !t.is_finite() || t < 0.0 {
+            return Err("--tolerance must be finite and non-negative".into());
+        }
+        options.config.regression_tolerance = t;
+    }
+    if let Some(v) = flag(&flags, "order") {
+        options.config.order_policy = wl_analysis::stream::OrderPolicy::from_label(v)
+            .ok_or_else(|| format!("unknown order policy {v:?} (sort, reject)"))?;
+    }
+    if flag(&flags, "no-hurst").is_some() {
+        options.config.hurst = false;
+    }
+    let lines = wl_serve::run_stream_text(&text, &options, threads).map_err(|e| e.to_string())?;
+    print!("{lines}");
     Ok(())
 }
 

@@ -13,6 +13,8 @@
 //! wl hurst <file>... [--threads N]            Hurst estimates (3 estimators
 //!                                             x 4 series) per file
 //! wl homogeneity <file> [--periods N]         section-6 stability test
+//! wl stream <file> [--window N]               streaming windowed co-plot
+//!           [--max-windows N] [--order sort|reject]   (JSON lines + drift)
 //! wl generate <model> [--jobs N] [--seed N]   synthesize a trace to stdout
 //!           [--out file] [--site N]           or a file
 //! ```
@@ -55,6 +57,7 @@ fn main() -> ExitCode {
         "hurst" => commands::hurst(rest, rt.threads),
         "subset" => commands::subset(rest, rt.threads),
         "homogeneity" => commands::homogeneity(rest),
+        "stream" => commands::stream(rest, rt.threads),
         "generate" => commands::generate(rest),
         "help" | "--help" | "-h" => {
             println!("{}", usage());
@@ -81,6 +84,7 @@ USAGE:
   wl hurst <dataset> [--format F] [--json]
   wl subset <dataset> [--size K] [--max-alienation X] [--top N] [--vars ..] [--format F] [--json]
   wl homogeneity <file> [--periods N] [--seed N] [--format F]
+  wl stream <file> [--window N] [--max-windows N] [--vars ..] [--seed N] [--tolerance X] [--order sort|reject] [--no-hurst] [--format F]
   wl generate <model> [--jobs N] [--seed N] [--out file] [--site N]
 
 DATASETS (coplot/hurst/subset):

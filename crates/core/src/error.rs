@@ -112,6 +112,14 @@ pub enum CoplotError {
         /// The stage that would have run next.
         stage: &'static str,
     },
+    /// A streaming consumer configured with the `reject` out-of-order policy
+    /// received job records whose submit timestamps were not already sorted
+    /// ascending. `inversions` counts the adjacent descending pairs seen in
+    /// the original record order.
+    UnsortedInput {
+        /// Adjacent submit-time inversions in arrival order.
+        inversions: usize,
+    },
     /// A linear-algebra kernel rejected its input.
     Linalg(LinalgError),
     /// A statistics kernel rejected its input.
@@ -145,6 +153,11 @@ impl fmt::Display for CoplotError {
             CoplotError::DeadlineExceeded { stage } => {
                 write!(f, "deadline exceeded before stage {stage}")
             }
+            CoplotError::UnsortedInput { inversions } => write!(
+                f,
+                "job records are not sorted by submit time \
+                 ({inversions} adjacent inversions; use the sort policy to accept them)"
+            ),
             CoplotError::Parse { line, kind, message } => {
                 write!(f, "parse error at line {line} ({}): {message}", kind.label())
             }
@@ -215,5 +228,7 @@ mod tests {
         let e = CoplotError::DeadlineExceeded { stage: "embedding" };
         assert!(e.to_string().contains("deadline"));
         assert!(e.to_string().contains("embedding"));
+        let e = CoplotError::UnsortedInput { inversions: 4 };
+        assert!(e.to_string().contains("4 adjacent inversions"));
     }
 }

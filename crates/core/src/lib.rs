@@ -77,6 +77,6 @@ pub use engine::{
     CoplotEngine, CoplotEngineBuilder, Selection, Stage, StageReport, StageReportTable,
 };
 pub use error::{CoplotError, ParseKind};
-pub use mds::{nonmetric_mds, restart_seed, MdsConfig, MdsSolution};
+pub use mds::{nonmetric_mds, nonmetric_mds_warm, restart_seed, MdsConfig, MdsSolution};
 pub use pipeline::{Coplot, CoplotResult};
 pub use runtime::Runtime;

@@ -196,6 +196,103 @@ pub fn nonmetric_mds(
     })
 }
 
+/// Run nonmetric MDS refinement from a caller-supplied initial
+/// configuration (a **warm start**).
+///
+/// Unlike [`nonmetric_mds`], this runs a *single* majorization descent from
+/// `init` — no classical-scaling start, no random restarts, no RNG at all —
+/// so it is thread-invariant by construction and typically converges in a
+/// small fraction of the iterations a cold multi-start run spends. The
+/// streaming window driver uses it with the previous window's aligned
+/// embedding as `init`; callers are expected to compare the returned
+/// alienation against their previous frame and fall back to a cold
+/// [`nonmetric_mds`] run when the warm solution regresses (the init may sit
+/// in the wrong basin after a drift event).
+///
+/// The output is normalized exactly like [`nonmetric_mds`] (centered, unit
+/// RMS radius) and a collapsed configuration scores `alienation = +inf` so
+/// the caller's regression check rejects it.
+///
+/// # Errors
+/// Same input validation as [`nonmetric_mds`], plus
+/// [`CoplotError::DimensionMismatch`] when `init` is not `n x dims` and
+/// [`CoplotError::NonFinite`] when `init` contains NaN or infinite
+/// coordinates.
+pub fn nonmetric_mds_warm(
+    diss: &DissimilarityMatrix,
+    config: &MdsConfig,
+    init: &Matrix,
+) -> Result<MdsSolution, CoplotError> {
+    let n = diss.n();
+    if n < 3 {
+        return Err(CoplotError::TooFewObservations { n, min: 3 });
+    }
+    let dims = config.dims;
+    if !(1..n).contains(&dims) {
+        return Err(CoplotError::DimensionMismatch {
+            context: format!("nonmetric_mds_warm: embedding dims must be in 1..{n}"),
+            expected: n - 1,
+            got: dims,
+        });
+    }
+    if init.rows() != n {
+        return Err(CoplotError::DimensionMismatch {
+            context: "nonmetric_mds_warm: init rows must match observations".into(),
+            expected: n,
+            got: init.rows(),
+        });
+    }
+    if init.cols() != dims {
+        return Err(CoplotError::DimensionMismatch {
+            context: "nonmetric_mds_warm: init columns must match dims".into(),
+            expected: dims,
+            got: init.cols(),
+        });
+    }
+    if diss.pairs().iter().any(|d| !d.is_finite()) {
+        return Err(CoplotError::NonFinite(
+            "dissimilarity matrix contains NaN or infinite entries".into(),
+        ));
+    }
+    if init.as_slice().iter().any(|x| !x.is_finite()) {
+        return Err(CoplotError::NonFinite(
+            "warm-start configuration contains NaN or infinite coordinates".into(),
+        ));
+    }
+    let deltas = diss.pairs().to_vec();
+    let pair_idx: Vec<(usize, usize)> = (0..n)
+        .flat_map(|i| ((i + 1)..n).map(move |k| (i, k)))
+        .collect();
+
+    let _span = wl_obs::span!("mds.warm_start");
+    wl_obs::counter!("mds.warm_starts", 1u64);
+    let mut coords = init.clone();
+    let (stress, iterations) = refine(&mut coords, &deltas, &pair_idx, n, config);
+    wl_obs::hist_record!("mds.iterations_per_start", iterations as u64);
+
+    let dists = pair_distances(&coords, &pair_idx);
+    let spread = dists.iter().cloned().fold(0.0, f64::max);
+    let max_delta = deltas.iter().cloned().fold(0.0, f64::max);
+    let collapsed = spread <= 1e-9 && max_delta > 0.0;
+    let theta = if collapsed {
+        wl_obs::counter!("mds.collapsed_starts", 1u64);
+        f64::INFINITY
+    } else {
+        coefficient_of_alienation(&deltas, &dists)
+    };
+    if iterations >= config.max_iterations {
+        wl_obs::counter!("mds.unconverged_starts", 1u64);
+    }
+    normalize_config(&mut coords);
+    Ok(MdsSolution {
+        coords,
+        alienation: theta,
+        stress,
+        iterations,
+        theta_per_restart: vec![theta],
+    })
+}
+
 /// Run one start (classical scaling for start 0, a seeded random
 /// configuration otherwise) through the refinement loop and score it.
 fn run_start(
@@ -673,6 +770,94 @@ mod tests {
         assert_eq!(dedup.len(), seeds.len());
         assert_eq!(restart_seed(7, 3), restart_seed(7, 3));
         assert_ne!(restart_seed(7, 3), restart_seed(8, 3));
+    }
+
+    #[test]
+    fn warm_start_from_converged_solution_is_cheap_and_good() {
+        let pts = [
+            (0.0, 0.0),
+            (1.0, 0.0),
+            (2.0, 0.3),
+            (0.5, 1.5),
+            (1.7, 1.2),
+            (0.1, 2.4),
+        ];
+        let diss = planted(&pts);
+        let config = MdsConfig::default();
+        let cold = nonmetric_mds(&diss, &config).unwrap();
+        let warm = nonmetric_mds_warm(&diss, &config, &cold.coords).unwrap();
+        // Restarting from the converged config must not lose quality and
+        // must spend far fewer iterations than the multi-start run.
+        assert!(warm.alienation <= cold.alienation + 1e-9);
+        assert!(
+            warm.iterations < cold.iterations,
+            "warm {} vs cold {}",
+            warm.iterations,
+            cold.iterations
+        );
+        assert_eq!(warm.theta_per_restart.len(), 1);
+    }
+
+    #[test]
+    fn warm_start_is_deterministic() {
+        let pts = [(0.0, 0.0), (1.0, 0.2), (0.3, 1.0), (1.5, 1.5)];
+        let diss = planted(&pts);
+        let config = MdsConfig::default();
+        let init = nonmetric_mds(&diss, &config).unwrap().coords;
+        let a = nonmetric_mds_warm(&diss, &config, &init).unwrap();
+        let b = nonmetric_mds_warm(&diss, &config, &init).unwrap();
+        assert_eq!(a.coords.as_slice(), b.coords.as_slice());
+        assert_eq!(a.alienation.to_bits(), b.alienation.to_bits());
+        // Thread count lives in MdsConfig but the warm path never fans out;
+        // any value must reproduce the same bits.
+        let c = nonmetric_mds_warm(&diss, &MdsConfig { threads: 8, ..config }, &init).unwrap();
+        assert_eq!(a.coords.as_slice(), c.coords.as_slice());
+    }
+
+    #[test]
+    fn warm_start_output_is_normalized() {
+        let pts = [(0.0, 0.0), (5.0, 0.0), (0.0, 7.0), (4.0, 4.0)];
+        let diss = planted(&pts);
+        let init = nonmetric_mds(&diss, &MdsConfig::default()).unwrap().coords;
+        let sol = nonmetric_mds_warm(&diss, &MdsConfig::default(), &init).unwrap();
+        let n = sol.coords.rows();
+        let (mut cx, mut cy, mut r2) = (0.0, 0.0, 0.0);
+        for i in 0..n {
+            cx += sol.coords[(i, 0)];
+            cy += sol.coords[(i, 1)];
+            r2 += sol.coords[(i, 0)].powi(2) + sol.coords[(i, 1)].powi(2);
+        }
+        assert!(cx.abs() < 1e-9 && cy.abs() < 1e-9);
+        assert!((r2 / n as f64 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn warm_start_rejects_bad_init() {
+        let pts = [(0.0, 0.0), (1.0, 0.2), (0.3, 1.0), (1.5, 1.5)];
+        let diss = planted(&pts);
+        let config = MdsConfig::default();
+        // Wrong row count.
+        let err = nonmetric_mds_warm(&diss, &config, &Matrix::zeros(3, 2)).unwrap_err();
+        assert!(matches!(err, CoplotError::DimensionMismatch { got: 3, .. }), "{err}");
+        // Wrong column count.
+        let err = nonmetric_mds_warm(&diss, &config, &Matrix::zeros(4, 3)).unwrap_err();
+        assert!(matches!(err, CoplotError::DimensionMismatch { got: 3, .. }), "{err}");
+        // Non-finite coordinates.
+        let mut init = Matrix::zeros(4, 2);
+        init[(1, 0)] = f64::NAN;
+        let err = nonmetric_mds_warm(&diss, &config, &init).unwrap_err();
+        assert!(matches!(err, CoplotError::NonFinite(_)), "{err}");
+    }
+
+    #[test]
+    fn warm_start_from_collapsed_init_reports_infinite_theta() {
+        // An all-zeros init stays collapsed under the Guttman transform
+        // (every pair distance is 0, every ratio is 0), so the warm path
+        // must flag it rather than report a vacuous perfect fit.
+        let pts = [(0.0, 0.0), (1.0, 0.2), (0.3, 1.0), (1.5, 1.5)];
+        let diss = planted(&pts);
+        let sol = nonmetric_mds_warm(&diss, &MdsConfig::default(), &Matrix::zeros(4, 2)).unwrap();
+        assert!(sol.alienation.is_infinite());
     }
 
     fn dist(m: &Matrix, i: usize, k: usize) -> f64 {

@@ -30,5 +30,5 @@ pub use center::double_center;
 pub use eigen::{jacobi_eigen, Eigen};
 pub use error::LinalgError;
 pub use matrix::Matrix;
-pub use procrustes::{procrustes_align, ProcrustesFit};
+pub use procrustes::{procrustes_align, procrustes_transform, ProcrustesFit, ProcrustesTransform};
 pub use solve::{cholesky, solve_gauss, solve2};

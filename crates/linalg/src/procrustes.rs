@@ -18,7 +18,74 @@ pub struct ProcrustesFit {
     pub reflected: bool,
 }
 
-/// Align `b` onto `a` with translation + uniform scale + rotation/reflection.
+/// The similarity transform (translation + uniform scale + rotation, with
+/// optional reflection) fitted by [`procrustes_transform`].
+///
+/// Unlike [`procrustes_align`], which only returns the aligned copy of the
+/// points it was fitted on, the transform itself can be [applied]
+/// (ProcrustesTransform::apply) to *any* `n x 2` configuration in the source
+/// frame — e.g. fit on the observations two embeddings share, then map the
+/// full new embedding (shared and fresh points alike) into the old frame.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProcrustesTransform {
+    /// Centroid of the source configuration (subtracted first).
+    pub source_centroid: [f64; 2],
+    /// Centroid of the target configuration (added last).
+    pub target_centroid: [f64; 2],
+    /// Cosine of the rotation angle.
+    pub cos: f64,
+    /// Sine of the rotation angle.
+    pub sin: f64,
+    /// Uniform scale factor.
+    pub scale: f64,
+    /// Whether the source y axis is flipped before rotating.
+    pub reflected: bool,
+}
+
+impl ProcrustesTransform {
+    /// The identity transform (useful as a first-frame placeholder).
+    pub fn identity() -> Self {
+        ProcrustesTransform {
+            source_centroid: [0.0, 0.0],
+            target_centroid: [0.0, 0.0],
+            cos: 1.0,
+            sin: 0.0,
+            scale: 1.0,
+            reflected: false,
+        }
+    }
+
+    /// Map a single source-frame point into the target frame.
+    pub fn apply_point(&self, x: f64, y: f64) -> [f64; 2] {
+        let px = x - self.source_centroid[0];
+        let mut py = y - self.source_centroid[1];
+        if self.reflected {
+            py = -py;
+        }
+        [
+            self.scale * (self.cos * px - self.sin * py) + self.target_centroid[0],
+            self.scale * (self.sin * px + self.cos * py) + self.target_centroid[1],
+        ]
+    }
+
+    /// Map every row of an `n x 2` configuration into the target frame.
+    ///
+    /// # Panics
+    /// Panics if `m` is not 2-column.
+    pub fn apply(&self, m: &Matrix) -> Matrix {
+        assert_eq!(m.cols(), 2, "ProcrustesTransform::apply expects n x 2 input");
+        let mut out = Matrix::zeros(m.rows(), 2);
+        for i in 0..m.rows() {
+            let [x, y] = self.apply_point(m[(i, 0)], m[(i, 1)]);
+            out[(i, 0)] = x;
+            out[(i, 1)] = y;
+        }
+        out
+    }
+}
+
+/// Fit the similarity transform taking source configuration `b` onto target
+/// configuration `a` (least-squares over the paired rows).
 ///
 /// Both matrices must be `n x 2` with the same `n >= 1`. Uses the closed-form
 /// 2-D solution: the optimal rotation comes from the cross-covariance of the
@@ -26,9 +93,9 @@ pub struct ProcrustesFit {
 ///
 /// # Panics
 /// Panics on shape mismatch or non-2-D input.
-pub fn procrustes_align(a: &Matrix, b: &Matrix) -> ProcrustesFit {
-    assert_eq!(a.cols(), 2, "procrustes_align expects n x 2 input");
-    assert_eq!(b.cols(), 2, "procrustes_align expects n x 2 input");
+pub fn procrustes_transform(a: &Matrix, b: &Matrix) -> ProcrustesTransform {
+    assert_eq!(a.cols(), 2, "procrustes_transform expects n x 2 input");
+    assert_eq!(b.cols(), 2, "procrustes_transform expects n x 2 input");
     assert_eq!(a.rows(), b.rows(), "configurations must match in size");
     let n = a.rows();
     assert!(n >= 1, "cannot align empty configurations");
@@ -48,8 +115,7 @@ pub fn procrustes_align(a: &Matrix, b: &Matrix) -> ProcrustesFit {
     by /= nf;
 
     // Cross-covariance terms of centered configs and b's total variance.
-    let (mut sxx, mut sxy, mut syx, mut syy, mut bvar, mut avar) =
-        (0.0, 0.0, 0.0, 0.0, 0.0, 0.0);
+    let (mut sxx, mut sxy, mut syx, mut syy, mut bvar) = (0.0, 0.0, 0.0, 0.0, 0.0);
     for i in 0..n {
         let (pax, pay) = (a[(i, 0)] - ax, a[(i, 1)] - ay);
         let (pbx, pby) = (b[(i, 0)] - bx, b[(i, 1)] - by);
@@ -58,7 +124,6 @@ pub fn procrustes_align(a: &Matrix, b: &Matrix) -> ProcrustesFit {
         syx += pby * pax;
         syy += pby * pay;
         bvar += pbx * pbx + pby * pby;
-        avar += pax * pax + pay * pay;
     }
 
     // Optimal rotation angle without reflection: maximize
@@ -78,27 +143,34 @@ pub fn procrustes_align(a: &Matrix, b: &Matrix) -> ProcrustesFit {
     // Optimal uniform scale.
     let scale = if bvar > 0.0 { gain / bvar } else { 0.0 };
 
-    // Apply: center b, (reflect), rotate, scale, translate to a's centroid.
-    let mut aligned = Matrix::zeros(n, 2);
+    ProcrustesTransform {
+        source_centroid: [bx, by],
+        target_centroid: [ax, ay],
+        cos: c,
+        sin: s,
+        scale,
+        reflected,
+    }
+}
+
+/// Align `b` onto `a` with translation + uniform scale + rotation/reflection.
+///
+/// Fits the transform with [`procrustes_transform`] and applies it to `b`,
+/// reporting the residual RMSD against `a`. See that function for the
+/// algorithm and panic conditions.
+pub fn procrustes_align(a: &Matrix, b: &Matrix) -> ProcrustesFit {
+    let t = procrustes_transform(a, b);
+    let aligned = t.apply(b);
+    let n = a.rows();
     let mut ss = 0.0;
     for i in 0..n {
-        let px = b[(i, 0)] - bx;
-        let mut py = b[(i, 1)] - by;
-        if reflected {
-            py = -py;
-        }
-        let rx = scale * (c * px - s * py) + ax;
-        let ry = scale * (s * px + c * py) + ay;
-        aligned[(i, 0)] = rx;
-        aligned[(i, 1)] = ry;
-        let (dx, dy) = (rx - a[(i, 0)], ry - a[(i, 1)]);
+        let (dx, dy) = (aligned[(i, 0)] - a[(i, 0)], aligned[(i, 1)] - a[(i, 1)]);
         ss += dx * dx + dy * dy;
     }
-    let _ = avar; // kept for symmetry; useful when normalizing rmsd externally
     ProcrustesFit {
         aligned,
-        rmsd: (ss / nf).sqrt(),
-        reflected,
+        rmsd: (ss / n as f64).sqrt(),
+        reflected: t.reflected,
     }
 }
 
@@ -167,6 +239,50 @@ mod tests {
         let fit = procrustes_align(&a, &b);
         assert!(fit.rmsd > 0.0);
         assert!(fit.rmsd < 0.1);
+    }
+
+    #[test]
+    fn transform_extends_to_unfitted_points() {
+        // Fit on three shared points, then map a fourth point that was not
+        // part of the fit: it must land where the generating transform put it.
+        let a_full = square();
+        let b_full = transform(&a_full, -0.9, 1.7, 3.0, 5.5, true);
+        let shared = [0usize, 1, 2];
+        let take = |m: &Matrix| {
+            Matrix::from_rows(&shared.iter().map(|&i| vec![m[(i, 0)], m[(i, 1)]]).collect::<Vec<_>>())
+        };
+        let t = procrustes_transform(&take(&a_full), &take(&b_full));
+        let mapped = t.apply(&b_full);
+        for i in 0..4 {
+            assert!((mapped[(i, 0)] - a_full[(i, 0)]).abs() < 1e-10);
+            assert!((mapped[(i, 1)] - a_full[(i, 1)]).abs() < 1e-10);
+        }
+        let [px, py] = t.apply_point(b_full[(3, 0)], b_full[(3, 1)]);
+        assert!((px - a_full[(3, 0)]).abs() < 1e-10);
+        assert!((py - a_full[(3, 1)]).abs() < 1e-10);
+    }
+
+    #[test]
+    fn identity_transform_is_a_noop() {
+        let a = square();
+        let mapped = ProcrustesTransform::identity().apply(&a);
+        for i in 0..a.rows() {
+            assert_eq!(mapped[(i, 0)], a[(i, 0)]);
+            assert_eq!(mapped[(i, 1)], a[(i, 1)]);
+        }
+    }
+
+    #[test]
+    fn align_matches_transform_apply() {
+        let a = square();
+        let b = transform(&a, 0.4, 0.8, -1.0, 2.0, false);
+        let fit = procrustes_align(&a, &b);
+        let t = procrustes_transform(&a, &b);
+        let applied = t.apply(&b);
+        for i in 0..a.rows() {
+            assert_eq!(fit.aligned[(i, 0)], applied[(i, 0)]);
+            assert_eq!(fit.aligned[(i, 1)], applied[(i, 1)]);
+        }
     }
 
     #[test]

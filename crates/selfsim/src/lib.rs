@@ -32,6 +32,7 @@ pub mod aggregate;
 pub mod fft;
 pub mod fgn;
 pub mod hurst;
+pub mod online;
 pub mod periodogram;
 pub mod rs;
 pub mod vartime;
@@ -39,6 +40,7 @@ pub mod vartime;
 pub use aggregate::{aggregate_series, autocorrelation};
 pub use fgn::{FgnDaviesHarte, FgnHosking};
 pub use hurst::{HurstEstimate, HurstEstimator};
+pub use online::OnlineHurst;
 pub use periodogram::periodogram_hurst;
-pub use rs::rs_hurst;
+pub use rs::{pox_plot_with_prefix, rs_hurst};
 pub use vartime::variance_time_hurst;

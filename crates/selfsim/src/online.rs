@@ -1,0 +1,190 @@
+//! Online Hurst re-estimation for streaming windows.
+//!
+//! The streaming co-plot driver re-estimates the Hurst parameter of a
+//! growing series (e.g. the cumulative inter-arrival series) after every
+//! sealed window. Re-running [`crate::rs::rs_hurst`] from scratch rebuilds
+//! the prefix sums its pox plot needs in O(total series) per window;
+//! [`OnlineHurst`] instead owns those prefix arrays and extends them in
+//! O(new values) per window, handing them to
+//! [`crate::rs::pox_plot_with_prefix`]. The appends perform the exact
+//! left-to-right accumulation the batch pass does, so every estimate is
+//! bit-identical to the batch estimator on the same series (pinned by
+//! `online_matches_batch_bit_exact`).
+//!
+//! The variance-time and periodogram estimators have no reusable prefix
+//! structure, but the periodogram's FFT goes through the workspace-wide
+//! plan cache (`wl-selfsim::fft`), so repeated re-estimation at recurring
+//! (padded) lengths reuses bit-reversal/twiddle tables across windows.
+
+use crate::hurst::{HurstEstimate, HurstEstimator};
+use crate::rs::{pox_plot_with_prefix, PoxPoint, DEFAULT_MIN_BLOCK, DEFAULT_POINTS};
+use wl_stats::linear_fit;
+
+/// Incrementally maintained series state for repeated Hurst estimation.
+#[derive(Debug, Clone, Default)]
+pub struct OnlineHurst {
+    series: Vec<f64>,
+    /// `p[i]` = sum of `series[..i]`; always one longer than `series`.
+    p: Vec<f64>,
+    /// `q[i]` = sum of squares of `series[..i]`.
+    q: Vec<f64>,
+}
+
+impl OnlineHurst {
+    /// An empty series.
+    pub fn new() -> Self {
+        OnlineHurst {
+            series: Vec::new(),
+            p: vec![0.0],
+            q: vec![0.0],
+        }
+    }
+
+    /// Append one window's values, extending the prefix sums in place.
+    pub fn extend(&mut self, values: &[f64]) {
+        self.series.reserve(values.len());
+        self.p.reserve(values.len());
+        self.q.reserve(values.len());
+        // Safe unwraps: construction seeds both arrays with a leading zero.
+        let mut ps = *self.p.last().unwrap();
+        let mut qs = *self.q.last().unwrap();
+        for &v in values {
+            ps += v;
+            qs += v * v;
+            self.series.push(v);
+            self.p.push(ps);
+            self.q.push(qs);
+        }
+        wl_obs::counter!("selfsim.online.appended", values.len() as u64);
+    }
+
+    /// Values accumulated so far.
+    pub fn len(&self) -> usize {
+        self.series.len()
+    }
+
+    /// True when nothing has been appended yet.
+    pub fn is_empty(&self) -> bool {
+        self.series.is_empty()
+    }
+
+    /// The accumulated series.
+    pub fn series(&self) -> &[f64] {
+        &self.series
+    }
+
+    /// The R/S pox plot over the current series, computed from the
+    /// maintained prefix sums (no per-call prefix rebuild).
+    pub fn pox_plot(&self, min_block: usize, points: usize) -> Vec<PoxPoint> {
+        pox_plot_with_prefix(&self.p, &self.q, min_block, points)
+    }
+
+    /// R/S Hurst estimate over the current series; bit-identical to
+    /// [`crate::rs::rs_hurst`] on [`Self::series`]. `None` while the series
+    /// is too short or degenerate.
+    pub fn rs_hurst(&self) -> Option<f64> {
+        let points = self.pox_plot(DEFAULT_MIN_BLOCK, DEFAULT_POINTS);
+        if points.len() < 3 {
+            return None;
+        }
+        let logs_n: Vec<f64> = points.iter().map(|p| (p.block_size as f64).ln()).collect();
+        let logs_rs: Vec<f64> = points.iter().map(|p| p.mean_rs.ln()).collect();
+        linear_fit(&logs_n, &logs_rs).map(|f| f.slope)
+    }
+
+    /// Run one estimator over the current series. R/S goes through the
+    /// prefix-sum fast path; the others delegate to the batch estimator
+    /// (the periodogram still benefits from the shared FFT plan cache).
+    pub fn estimate(&self, estimator: HurstEstimator) -> Option<f64> {
+        match estimator {
+            HurstEstimator::RsAnalysis => self.rs_hurst(),
+            other => other.estimate(&self.series),
+        }
+    }
+
+    /// Run all three estimators, as [`crate::hurst::estimate_all`] does.
+    pub fn estimate_all(&self) -> Vec<HurstEstimate> {
+        HurstEstimator::ALL
+            .iter()
+            .filter_map(|&e| self.estimate(e).map(|h| HurstEstimate { estimator: e, h }))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hurst::estimate_all;
+    use crate::rs::rs_hurst;
+    use wl_stats::rng::seeded_rng;
+    use rand::Rng;
+
+    fn noise(n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = seeded_rng(seed);
+        (0..n)
+            .map(|_| (0..12).map(|_| rng.gen::<f64>()).sum::<f64>() - 6.0)
+            .collect()
+    }
+
+    #[test]
+    fn online_matches_batch_bit_exact() {
+        // Feed the series in irregular window-sized slices; after every
+        // append the online estimate must match the batch estimator on the
+        // accumulated prefix bit for bit.
+        let x = noise(4096, 7);
+        let mut online = OnlineHurst::new();
+        let mut fed = 0usize;
+        for (i, chunk_len) in [130usize, 64, 257, 512, 1000, 2048].iter().enumerate() {
+            let hi = (fed + chunk_len).min(x.len());
+            online.extend(&x[fed..hi]);
+            fed = hi;
+            let batch = rs_hurst(&x[..fed]);
+            let got = online.rs_hurst();
+            match (got, batch) {
+                (Some(a), Some(b)) => assert_eq!(a.to_bits(), b.to_bits(), "append {i}"),
+                (a, b) => assert_eq!(a, b, "append {i}"),
+            }
+        }
+        assert_eq!(online.len(), fed);
+    }
+
+    #[test]
+    fn all_estimators_agree_with_batch() {
+        let x = noise(2048, 11);
+        let mut online = OnlineHurst::new();
+        online.extend(&x);
+        let batch = estimate_all(&x);
+        let streamed = online.estimate_all();
+        assert_eq!(batch.len(), streamed.len());
+        for (b, s) in batch.iter().zip(&streamed) {
+            assert_eq!(b.estimator, s.estimator);
+            assert_eq!(b.h.to_bits(), s.h.to_bits());
+        }
+    }
+
+    #[test]
+    fn short_series_yields_none() {
+        let mut online = OnlineHurst::new();
+        assert!(online.is_empty());
+        assert_eq!(online.rs_hurst(), None);
+        online.extend(&[1.0, 2.0, 3.0]);
+        assert_eq!(online.rs_hurst(), None);
+        assert!(online.estimate_all().is_empty());
+    }
+
+    #[test]
+    fn extend_in_pieces_equals_extend_at_once() {
+        let x = noise(1024, 3);
+        let mut a = OnlineHurst::new();
+        a.extend(&x);
+        let mut b = OnlineHurst::new();
+        for chunk in x.chunks(100) {
+            b.extend(chunk);
+        }
+        assert_eq!(a.series(), b.series());
+        assert_eq!(
+            a.rs_hurst().map(f64::to_bits),
+            b.rs_hurst().map(f64::to_bits)
+        );
+    }
+}

@@ -63,13 +63,6 @@ pub fn rescaled_range(block: &[f64]) -> Option<f64> {
 /// loop-carried accumulation.
 pub fn pox_plot(x: &[f64], min_block: usize, points: usize) -> Vec<PoxPoint> {
     let n = x.len();
-    let min_block = min_block.max(4);
-    let max_block = n / 2;
-    if max_block < min_block || points == 0 {
-        return Vec::new();
-    }
-    let ratio = (max_block as f64 / min_block as f64).powf(1.0 / (points.max(2) - 1) as f64);
-
     // p[i] = sum of x[..i], q[i] = sum of squares of x[..i].
     let mut p = Vec::with_capacity(n + 1);
     let mut q = Vec::with_capacity(n + 1);
@@ -82,6 +75,37 @@ pub fn pox_plot(x: &[f64], min_block: usize, points: usize) -> Vec<PoxPoint> {
         p.push(ps);
         q.push(qs);
     }
+    pox_plot_with_prefix(&p, &q, min_block, points)
+}
+
+/// [`pox_plot`] over caller-maintained prefix sums: `p[i]` is the sum of
+/// the first `i` series values and `q[i]` the sum of their squares (so
+/// `p[0] == q[0] == 0.0` and both arrays have `series length + 1` entries).
+///
+/// This is the streaming entry point: a consumer re-estimating H after
+/// every window appends the new window's values to its prefix arrays in
+/// O(new values) and re-plots without touching the earlier series — the
+/// append performs the same left-to-right accumulation [`pox_plot`]'s
+/// upfront pass does, so the result is bit-identical to handing the whole
+/// series to [`pox_plot`] (see `online::OnlineHurst`).
+///
+/// # Panics
+/// Panics when the arrays disagree in length or are empty.
+pub fn pox_plot_with_prefix(
+    p: &[f64],
+    q: &[f64],
+    min_block: usize,
+    points: usize,
+) -> Vec<PoxPoint> {
+    assert_eq!(p.len(), q.len(), "prefix arrays must agree in length");
+    assert!(!p.is_empty(), "prefix arrays carry a leading zero entry");
+    let n = p.len() - 1;
+    let min_block = min_block.max(4);
+    let max_block = n / 2;
+    if max_block < min_block || points == 0 {
+        return Vec::new();
+    }
+    let ratio = (max_block as f64 / min_block as f64).powf(1.0 / (points.max(2) - 1) as f64);
 
     let mut out: Vec<PoxPoint> = Vec::new();
     let mut size_f = min_block as f64;

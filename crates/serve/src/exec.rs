@@ -132,7 +132,7 @@ fn data_matrix(req: &AnalysisRequest, workloads: &[Workload]) -> Result<DataMatr
         )));
     }
     let codes: Vec<&str> = req.vars.iter().map(String::as_str).collect();
-    wl_analysis::matrix::try_workload_matrix(workloads, &codes).map_err(ExecError::Analysis)
+    wl_analysis::matrix::try_trace_matrix(workloads, &codes).map_err(ExecError::Analysis)
 }
 
 fn run_coplot(

@@ -12,6 +12,7 @@
 //! | `/v1/coplot` | POST | Co-plot map (optionally with variable elimination) |
 //! | `/v1/hurst` | POST | Hurst estimates, 3 estimators x 4 series |
 //! | `/v1/subset` | POST | section-8 representative-variable search |
+//! | `/v1/stream` | POST | streaming windowed Co-plot session (JSON lines) |
 //! | `/v1/datasets` | GET | the named datasets the server can synthesize |
 //! | `/metrics` | GET | `wl-obs` metrics as JSON lines (`trace-check` clean) |
 //! | `/healthz` | GET | liveness |
@@ -30,8 +31,10 @@ pub mod datasets;
 pub mod exec;
 pub mod http;
 pub mod server;
+pub mod stream;
 
 pub use cache::ResultCache;
 pub use datasets::NamedDataset;
 pub use exec::{execute, ExecConfig, ExecError, ExecOutcome};
 pub use server::{start, Drainer, ServerConfig, ServerHandle};
+pub use stream::{event_json, parse_stream_request, run_stream_text, StreamOptions};

@@ -287,6 +287,7 @@ enum Endpoint {
     Coplot,
     Hurst,
     Subset,
+    Stream,
     Shutdown,
     Other,
 }
@@ -300,6 +301,7 @@ impl Endpoint {
             Endpoint::Coplot => wl_obs::hist_record!("serve.latency_us.coplot", us),
             Endpoint::Hurst => wl_obs::hist_record!("serve.latency_us.hurst", us),
             Endpoint::Subset => wl_obs::hist_record!("serve.latency_us.subset", us),
+            Endpoint::Stream => wl_obs::hist_record!("serve.latency_us.stream", us),
             Endpoint::Shutdown => wl_obs::hist_record!("serve.latency_us.shutdown", us),
             Endpoint::Other => wl_obs::hist_record!("serve.latency_us.other", us),
         }
@@ -351,6 +353,7 @@ fn route(request: &Request, shared: &Arc<Shared>) -> (Response, Endpoint) {
             analysis_response(request, Operation::Subset, shared),
             Endpoint::Subset,
         ),
+        ("POST", "/v1/stream") => (stream_response(request, shared), Endpoint::Stream),
         ("POST", "/v1/shutdown") => {
             initiate_drain(shared);
             (Response::text(200, "draining\n"), Endpoint::Shutdown)
@@ -359,7 +362,7 @@ fn route(request: &Request, shared: &Arc<Shared>) -> (Response, Endpoint) {
             if matches!(
                 path,
                 "/healthz" | "/metrics" | "/v1/datasets" | "/v1/coplot" | "/v1/hurst"
-                    | "/v1/subset" | "/v1/shutdown"
+                    | "/v1/subset" | "/v1/stream" | "/v1/shutdown"
             ) =>
         {
             (
@@ -437,6 +440,29 @@ fn analysis_response(request: &Request, expected_op: Operation, shared: &Arc<Sha
             shared.cache.put(key, body.clone());
             Response::json(200, body)
         }
+        Err(e) => exec_error_response(&e),
+    }
+}
+
+/// Handle one `/v1/stream` POST: split the body into the JSON header line
+/// and the trace text, run the windowed session, answer JSON lines.
+/// Sessions are not cached: the response is large relative to analysis
+/// responses and the body (an entire trace) would dominate the key.
+fn stream_response(request: &Request, shared: &Arc<Shared>) -> Response {
+    let Ok(body) = std::str::from_utf8(&request.body) else {
+        return Response::json(400, error_body("bad-json", "body is not UTF-8"));
+    };
+    let (options, text) = match crate::stream::parse_stream_request(body) {
+        Ok(parts) => parts,
+        Err(e) => return Response::json(400, error_body(e.kind.label(), &e.message)),
+    };
+    match crate::stream::run_stream_text(text, &options, shared.config.threads) {
+        Ok(lines) => Response {
+            status: 200,
+            content_type: "application/x-ndjson",
+            body: lines,
+            extra_headers: Vec::new(),
+        },
         Err(e) => exec_error_response(&e),
     }
 }

@@ -75,7 +75,7 @@ impl TraceMeta {
 }
 
 /// A named collection of job records plus the system they ran on.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct NormalizedTrace {
     /// Short display name ("CTC", "LANLi", "S3", ...).
     pub name: String,
@@ -84,23 +84,50 @@ pub struct NormalizedTrace {
     /// Records, in ascending submit-time order (enforced by
     /// [`NormalizedTrace::new`]).
     jobs: Vec<JobRecord>,
+    /// Adjacent submit-time inversions counted in the order the records
+    /// were handed to [`NormalizedTrace::new`], before sorting. Zero means
+    /// the source stream was already sorted. Not part of equality: two
+    /// traces with the same sorted records are the same trace.
+    presort_inversions: usize,
+}
+
+impl PartialEq for NormalizedTrace {
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name && self.machine == other.machine && self.jobs == other.jobs
+    }
 }
 
 impl NormalizedTrace {
     /// Build a trace, sorting records by submit time.
     pub fn new(name: impl Into<String>, machine: TraceMeta, mut jobs: Vec<JobRecord>) -> Self {
+        // Streaming consumers need to know whether the source stream was
+        // already time-ordered (the `reject` out-of-order policy); count
+        // adjacent descending pairs before the sort erases the evidence.
+        let presort_inversions = jobs
+            .windows(2)
+            .filter(|w| w[1].submit_time.total_cmp(&w[0].submit_time).is_lt())
+            .count();
         // total_cmp: NaN submit times sort last instead of panicking.
         jobs.sort_by(|a, b| a.submit_time.total_cmp(&b.submit_time));
         NormalizedTrace {
             name: name.into(),
             machine,
             jobs,
+            presort_inversions,
         }
     }
 
     /// The records, ascending by submit time.
     pub fn jobs(&self) -> &[JobRecord] {
         &self.jobs
+    }
+
+    /// Adjacent submit-time inversions seen in the record order handed to
+    /// [`NormalizedTrace::new`], before sorting. Zero iff the source stream
+    /// was already ascending by submit time (derived sub-traces built from
+    /// already-sorted records report zero).
+    pub fn presort_inversions(&self) -> usize {
+        self.presort_inversions
     }
 
     /// Number of records.
@@ -139,6 +166,7 @@ impl NormalizedTrace {
             name: name.into(),
             machine: self.machine,
             jobs: self.jobs.iter().filter(|j| pred(j)).cloned().collect(),
+            presort_inversions: 0,
         }
     }
 
@@ -168,6 +196,7 @@ impl NormalizedTrace {
                     name: format!("{prefix}{}", k + 1),
                     machine: self.machine,
                     jobs: Vec::new(),
+                    presort_inversions: 0,
                 })
                 .collect();
         }
@@ -187,6 +216,7 @@ impl NormalizedTrace {
                 name: format!("{prefix}{}", k + 1),
                 machine: self.machine,
                 jobs,
+                presort_inversions: 0,
             })
             .collect()
     }
@@ -288,6 +318,32 @@ mod tests {
         );
         assert_eq!(w.jobs()[0].id, 1);
         assert_eq!(w.jobs()[1].id, 2);
+    }
+
+    #[test]
+    fn presort_inversions_counted_before_sorting() {
+        let sorted = NormalizedTrace::new(
+            "t",
+            machine(),
+            vec![job(1, 10.0, 1.0, 1, -1), job(2, 50.0, 1.0, 1, -1)],
+        );
+        assert_eq!(sorted.presort_inversions(), 0);
+        let unsorted = NormalizedTrace::new(
+            "t",
+            machine(),
+            vec![
+                job(3, 90.0, 1.0, 1, -1),
+                job(1, 10.0, 1.0, 1, -1),
+                job(2, 50.0, 1.0, 1, -1),
+                job(4, 20.0, 1.0, 1, -1),
+            ],
+        );
+        assert_eq!(unsorted.presort_inversions(), 2);
+        // Inversions describe ingestion order, never equality: the same
+        // sorted records are the same trace.
+        assert_eq!(sorted, sorted.clone());
+        // Derived sub-traces are built from already-sorted records.
+        assert_eq!(unsorted.filtered("f", |_| true).presort_inversions(), 0);
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! ```
 
 use coplot::Coplot;
-use wl_analysis::workload_matrix as build_matrix;
+use wl_analysis::trace_matrix as build_matrix;
 use wl_logsynth::machines::production_workloads;
 use wl_models::{all_models, Jann, WorkloadModel};
 use wl_stats::rng::seeded_rng;

@@ -56,6 +56,33 @@ rm -f serve_body.json cli_body.json "$req_file"
 ./target/release/wl-servectl GET "http://$serve_addr/metrics" \
   | ./target/release/trace-check -
 
+echo "== stream smoke (/v1/stream vs wl stream, drift JSON lines) =="
+stream_dir=$(mktemp -d)
+./target/release/wl generate grid --site 0 --jobs 150 --seed 42 \
+  --out "$stream_dir/site0.gwf"
+# /v1/stream body: one JSON header line, then the raw trace text.
+printf '%s\n' '{"name":"site0","format":"gwf","jobs_per_window":30,"seed":1999}' \
+  > "$stream_dir/request"
+cat "$stream_dir/site0.gwf" >> "$stream_dir/request"
+./target/release/wl-servectl POST "http://$serve_addr/v1/stream" \
+  "$stream_dir/request" > "$stream_dir/serve_stream.jsonl"
+./target/release/wl stream "$stream_dir/site0.gwf" --window 30 --seed 1999 \
+  --threads 2 > "$stream_dir/cli_stream.jsonl"
+# CLI stream == server stream, byte for byte.
+diff "$stream_dir/cli_stream.jsonl" "$stream_dir/serve_stream.jsonl"
+grep -q '"type":"frame"' "$stream_dir/cli_stream.jsonl" \
+  || { echo "stream produced no frames"; exit 1; }
+# A traced stream run must carry the stream.* counters and satisfy the
+# trace invariants trace-check enforces.
+stream_trace=$(./target/release/wl stream "$stream_dir/site0.gwf" --window 30 \
+  --seed 1999 --threads 2 --trace json 2>&1 >/dev/null)
+echo "$stream_trace" | ./target/release/trace-check -
+echo "$stream_trace" | grep -q '"stream.windows_sealed"' \
+  || { echo "missing stream.windows_sealed counter"; exit 1; }
+echo "$stream_trace" | grep -q '"mds.warm_starts"' \
+  || { echo "missing mds.warm_starts counter"; exit 1; }
+rm -rf "$stream_dir"
+
 printf 'q' >&9   # one stdin byte initiates graceful drain
 for _ in $(seq 1 100); do
   kill -0 "$serve_pid" 2>/dev/null || break
