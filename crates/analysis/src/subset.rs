@@ -35,8 +35,13 @@ pub struct SubsetSearchResult {
 /// k <= 4; guard rails reject larger searches. All subsets share one
 /// [`CoplotEngine`], so the data is normalized and its dissimilarity
 /// contributions computed exactly once; the subsets only re-embed, spread
-/// over `threads` workers. Each subset's map depends only on the cached
-/// intermediates and the engine seed, so the ranking is identical for any
+/// over `threads` workers. Each worker walks a contiguous run of the
+/// lexicographic combination order through one
+/// [`coplot::SharedSubsetSession`], whose incremental combiner reuses the
+/// dissimilarity prefix shared by consecutive combos instead of recombining
+/// every variable from scratch. Each subset's map depends only on the
+/// cached intermediates and the engine seed — never on which combos a
+/// worker scored before it — so the ranking is bit-identical for any
 /// thread count.
 ///
 /// # Errors
@@ -81,10 +86,7 @@ pub fn best_variable_subset(
             break;
         }
     }
-    let scored = wl_par::par_map(threads, &combos, |combo| {
-        let r = engine
-            .run(data, &Selection::SubsetShared(combo.clone()))
-            .ok()?;
+    let score = |r: coplot::CoplotResult| {
         if r.alienation > max_alienation {
             return None;
         }
@@ -95,8 +97,34 @@ pub fn best_variable_subset(
             mean_correlation: r.mean_arrow_correlation(),
             map_conservation_rmsd: fit.rmsd,
         })
+    };
+    // Contiguous chunks keep lexicographic neighbours (which share long
+    // variable prefixes) on the same worker's incremental session; a few
+    // chunks per worker smooths load imbalance without shrinking the runs.
+    let chunk = combos.len().div_ceil(threads.max(1) * 4).max(1);
+    let starts: Vec<usize> = (0..combos.len()).step_by(chunk).collect();
+    let scored = wl_par::par_map(threads, &starts, |&start| {
+        let run = &combos[start..combos.len().min(start + chunk)];
+        match engine.shared_session(data) {
+            Ok(mut session) => run
+                .iter()
+                .map(|combo| session.run_subset(combo).ok().and_then(&score))
+                .collect::<Vec<_>>(),
+            // Unreachable in practice (the full run above primed the
+            // cache), but fall back to uncached scoring rather than panic.
+            Err(_) => run
+                .iter()
+                .map(|combo| {
+                    engine
+                        .run(data, &Selection::SubsetShared(combo.clone()))
+                        .ok()
+                        .and_then(&score)
+                })
+                .collect::<Vec<_>>(),
+        }
     });
-    let mut results: Vec<SubsetSearchResult> = scored.into_iter().flatten().collect();
+    let mut results: Vec<SubsetSearchResult> =
+        scored.into_iter().flatten().flatten().collect();
     wl_obs::counter!("subset.kept", results.len() as u64);
 
     // Rank: conserve the map first (low RMSD), then high correlation.

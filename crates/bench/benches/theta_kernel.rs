@@ -1,0 +1,118 @@
+//! Benchmarks of the alienation and subset-scoring kernels.
+//!
+//! `theta_mu` pits the O(P log P) Fenwick-sweep `mu_statistic` against a
+//! local copy of the naive O(P^2) pairs-of-pairs loop it replaced (the
+//! in-crate naive oracle is `#[cfg(test)]`-gated, so the bench carries its
+//! own). `subset_combine` compares incremental prefix-reuse combining over
+//! a lexicographic combination walk against recombining every subset from
+//! scratch — the access pattern `best_variable_subset` actually issues.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use coplot::{mu_statistic, Imputation, Metric, PairContributions, SubsetCombiner};
+use wl_bench::synthetic_matrix;
+
+/// Deterministic pseudo-random pair vectors of length `pairs`, loosely
+/// monotone with noise so the sweep sees realistic rank structure.
+fn pair_vectors(pairs: usize) -> (Vec<f64>, Vec<f64>) {
+    let mut s = Vec::with_capacity(pairs);
+    let mut d = Vec::with_capacity(pairs);
+    for i in 0..pairs {
+        let x = (i as f64 * 0.7311).sin() * 50.0 + i as f64 * 0.05;
+        s.push(x);
+        d.push(x * 0.8 + (i as f64 * 1.93).cos() * 20.0);
+    }
+    (s, d)
+}
+
+/// The pre-optimization O(P^2) Guttman mu, kept verbatim for comparison.
+fn mu_statistic_naive(s: &[f64], d: &[f64]) -> f64 {
+    assert_eq!(s.len(), d.len());
+    let p = s.len();
+    if p < 2 {
+        return 1.0;
+    }
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for a in 0..p {
+        for b in (a + 1)..p {
+            let ds = s[a] - s[b];
+            let dd = d[a] - d[b];
+            num += ds * dd;
+            den += ds.abs() * dd.abs();
+        }
+    }
+    if den == 0.0 {
+        1.0
+    } else {
+        num / den
+    }
+}
+
+fn bench_theta_mu(c: &mut Criterion) {
+    let mut group = c.benchmark_group("theta_mu");
+    for n in [10usize, 20, 40, 64] {
+        let pairs = n * (n - 1) / 2;
+        let (s, d) = pair_vectors(pairs);
+        group.bench_with_input(BenchmarkId::new("fast", n), &pairs, |b, _| {
+            b.iter(|| mu_statistic(black_box(&s), black_box(&d)))
+        });
+        group.bench_with_input(BenchmarkId::new("naive", n), &pairs, |b, _| {
+            b.iter(|| mu_statistic_naive(black_box(&s), black_box(&d)))
+        });
+    }
+    group.finish();
+}
+
+/// Every k-combination of `0..p`, lexicographic — mirrors the subset
+/// search's enumeration so consecutive combos share long prefixes.
+fn combinations(p: usize, k: usize) -> Vec<Vec<usize>> {
+    let mut combos = Vec::new();
+    let mut idx: Vec<usize> = (0..k).collect();
+    loop {
+        combos.push(idx.clone());
+        let mut i = k;
+        loop {
+            if i == 0 {
+                return combos;
+            }
+            i -= 1;
+            if idx[i] < p - (k - i) {
+                idx[i] += 1;
+                for j in (i + 1)..k {
+                    idx[j] = idx[j - 1] + 1;
+                }
+                break;
+            }
+        }
+    }
+}
+
+fn bench_subset_combine(c: &mut Criterion) {
+    let z = synthetic_matrix(20, 12)
+        .normalize(Imputation::Forbid)
+        .unwrap();
+    let contribs = PairContributions::compute(&z, Metric::CityBlock);
+    let combos = combinations(12, 3); // C(12,3) = 220 subsets
+    let mut group = c.benchmark_group("subset_combine");
+    group.bench_function("fresh", |b| {
+        b.iter(|| {
+            for keep in &combos {
+                black_box(contribs.combine(black_box(keep)));
+            }
+        })
+    });
+    group.bench_function("incremental", |b| {
+        b.iter(|| {
+            let mut combiner = SubsetCombiner::new();
+            for keep in &combos {
+                black_box(combiner.combine(black_box(&contribs), black_box(keep)));
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_theta_mu, bench_subset_combine);
+criterion_main!(benches);

@@ -1,0 +1,92 @@
+//! Scratch profiling harness for the alienation kernels. Not a Criterion
+//! bench: prints per-component timings so the `SWEEP_MIN_PAIRS` crossover
+//! and the sweep's constant factors can be placed empirically.
+
+use std::time::Instant;
+
+fn pair_vectors(pairs: usize) -> (Vec<f64>, Vec<f64>) {
+    let mut s = Vec::with_capacity(pairs);
+    let mut d = Vec::with_capacity(pairs);
+    for i in 0..pairs {
+        let x = (i as f64 * 0.7311).sin() * 50.0 + i as f64 * 0.05;
+        s.push(x);
+        d.push(x * 0.8 + (i as f64 * 1.93).cos() * 20.0);
+    }
+    (s, d)
+}
+
+#[inline]
+fn enc_key(x: f64) -> u64 {
+    let b = x.to_bits();
+    if b >> 63 == 1 {
+        !b
+    } else {
+        b ^ (1 << 63)
+    }
+}
+
+fn main() {
+    for p in [45usize, 100, 153, 190, 300, 400, 780] {
+        let (s, d) = pair_vectors(p);
+        let iters = (2_000_000 / p).max(200);
+
+        // component: key build + primary sort
+        let t = Instant::now();
+        let mut sink = 0u128;
+        for _ in 0..iters {
+            let mut keys: Vec<u128> = (0..p)
+                .map(|i| ((enc_key(s[i]) as u128) << 64) | enc_key(d[i]) as u128)
+                .collect();
+            keys.sort_unstable();
+            sink ^= keys[p / 2];
+        }
+        let sort1 = t.elapsed().as_nanos() as f64 / iters as f64;
+
+        // component: secondary (d, pos) sort + rank walk
+        let t = Instant::now();
+        for _ in 0..iters {
+            let mut dpos: Vec<u128> = (0..p)
+                .map(|i| ((enc_key(d[i]) as u128) << 32) | i as u128)
+                .collect();
+            dpos.sort_unstable();
+            let mut rank = vec![0u32; p];
+            let mut r = 0u32;
+            let mut prev = dpos[0] >> 32;
+            for &kp in &dpos {
+                let k = kp >> 32;
+                if k != prev {
+                    r += 1;
+                    prev = k;
+                }
+                rank[(kp & 0xffff_ffff) as usize] = r;
+            }
+            sink ^= rank[p / 2] as u128;
+        }
+        let sort2 = t.elapsed().as_nanos() as f64 / iters as f64;
+
+        let t = Instant::now();
+        let mut acc = 0.0;
+        for _ in 0..iters {
+            acc += coplot::alienation::mu_sweep(&s, &d);
+        }
+        let sweep = t.elapsed().as_nanos() as f64 / iters as f64;
+
+        let t = Instant::now();
+        let mut acc2 = 0.0;
+        for _ in 0..iters {
+            acc2 += coplot::alienation::mu_quadratic(&s, &d);
+        }
+        let quad = t.elapsed().as_nanos() as f64 / iters as f64;
+
+        println!(
+            "P={p}: quad {:7.2} us | sweep {:7.2} us  [sort1 {:5.2} sort2+rank {:5.2} fenwick-loop {:5.2}]  (acc {:.1}/{:.1}, sink {sink})",
+            quad / 1000.0,
+            sweep / 1000.0,
+            sort1 / 1000.0,
+            sort2 / 1000.0,
+            (sweep - sort1 - sort2) / 1000.0,
+            acc,
+            acc2,
+        );
+    }
+}

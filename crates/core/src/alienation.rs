@@ -10,18 +10,460 @@
 //! ```
 //!
 //! `mu = 1` (theta = 0) means perfect weak monotonicity; the paper treats
-//! `theta < 0.15` as a good fit. Both statistics are computed exactly: with
-//! `P = n(n-1)/2` pairs the double sum has `P^2` terms, trivially cheap for
-//! the paper's `n <= 20`.
+//! `theta < 0.15` as a good fit.
+//!
+//! # Fast kernel
+//!
+//! The textbook form is a double sum over all pairs of pairs — `P^2` terms
+//! for `P = n(n-1)/2` pairs, i.e. `O(n^4)` in observations. That sat on the
+//! hot path of every MDS restart, every elimination round, every candidate
+//! in a `C(p,k)` subset search, and every sealed streaming window. The
+//! public [`mu_statistic`] now dispatches on `P`:
+//!
+//! * Below [`SWEEP_MIN_PAIRS`] the textbook double sum is kept but run
+//!   through [`QUAD_LANES`] independent accumulator lanes over contiguous
+//!   tails (`mu_quadratic`), vectorized explicitly (AVX-512/AVX2 with a
+//!   scalar-lane fallback, all bit-identical). Each lane owns a fixed
+//!   subset of terms, so the result is deterministic, and since `|t|` is
+//!   accumulated through the same lanes as `t`, perfectly concordant
+//!   (discordant) inputs give `mu` exactly `1.0` (`-1.0`) bit for bit,
+//!   like the scalar loop.
+//! * From [`SWEEP_MIN_PAIRS`] up, a Kendall-style `O(P log P)` sweep
+//!   (`mu_sweep`): sort the pairs by `(s, d)` — as order-preserving
+//!   `u128` bit keys, so the sort is a branch-cheap integer sort — then
+//!   for each pair `b` in ascending-`s` order split the already-seen
+//!   pairs `a` (those with `s_a < s_b` strictly; equal-`s` groups are
+//!   batched so ties contribute exactly zero) by `d`-rank using two
+//!   Fenwick trees holding `(count, sum s, sum d, sum s*d)`:
+//!
+//!   ```text
+//!   C  = sum over seen a with d_a < d_b of (s_b - s_a)(d_b - d_a)   # concordant
+//!   D' = sum over seen a with d_a > d_b of (s_b - s_a)(d_a - d_b)   # discordant
+//!   ```
+//!
+//!   Both expand into the four Fenwick partial sums. Every concordant and
+//!   discordant product enters with its *true* sign, so
+//!
+//!   ```text
+//!   num += C - D'      den += C + D'
+//!   ```
+//!
+//!   reproduces Eq. 3 — and for perfectly concordant (or discordant)
+//!   inputs `num` and `den` accumulate the *identical* float sequence, so
+//!   `mu` is exactly `1.0` (or `-1.0`) bit for bit as well.
+//!
+//! The naive version is retained as the `#[cfg(test)]` oracle
+//! (`mu_statistic_naive`) with a proptest equivalence bound of 1e-9
+//! against both paths.
+
+/// Fenwick (binary indexed) tree over compressed `d`-ranks. Each inserted
+/// pair contributes `(1, s, d, s*d)`; prefix queries return the four sums
+/// over all inserted pairs with rank below a bound. Accumulation order is a
+/// pure function of insertion order, so results are deterministic.
+struct Fenwick {
+    tree: Vec<[f64; 4]>,
+}
+
+impl Fenwick {
+    fn new(ranks: usize) -> Fenwick {
+        Fenwick {
+            tree: vec![[0.0; 4]; ranks + 1],
+        }
+    }
+
+    fn add(&mut self, rank: usize, s: f64, d: f64) {
+        let mut i = rank + 1;
+        while i < self.tree.len() {
+            let cell = &mut self.tree[i];
+            cell[0] += 1.0;
+            cell[1] += s;
+            cell[2] += d;
+            cell[3] += s * d;
+            i += i & i.wrapping_neg();
+        }
+    }
+
+    /// Sums over inserted pairs with rank in `0..below`. An empty range is
+    /// exactly `[0.0; 4]` — no subtraction residue.
+    fn prefix(&self, below: usize) -> [f64; 4] {
+        let mut acc = [0.0; 4];
+        let mut i = below;
+        while i > 0 {
+            let cell = &self.tree[i];
+            acc[0] += cell[0];
+            acc[1] += cell[1];
+            acc[2] += cell[2];
+            acc[3] += cell[3];
+            i -= i & i.wrapping_neg();
+        }
+        acc
+    }
+}
+
+/// Pair counts below this run the lane-blocked quadratic kernel; the sweep's
+/// sort + Fenwick constant amortizes past roughly this many pairs. Measured
+/// break-even on the dev machine is P around 150-200 (`n` around 18-20
+/// observations) — see the `theta_kernel` bench and the `theta_profile`
+/// example used to place it.
+const SWEEP_MIN_PAIRS: usize = 160;
+
+/// Map `f64` bits to `u64` such that unsigned integer order equals
+/// `f64::total_cmp` order (flip the sign bit for positives, all bits for
+/// negatives). Bijective, so the value is recoverable via [`dec_key`].
+#[inline]
+fn enc_key(x: f64) -> u64 {
+    let b = x.to_bits();
+    if b >> 63 == 1 {
+        !b
+    } else {
+        b ^ (1 << 63)
+    }
+}
+
+#[inline]
+fn dec_key(k: u64) -> f64 {
+    if k >> 63 == 1 {
+        f64::from_bits(k ^ (1 << 63))
+    } else {
+        f64::from_bits(!k)
+    }
+}
 
 /// The mu statistic of Eq. 3 for matched slices of dissimilarities `s` and
 /// map distances `d` (same pair order). Returns 1.0 for degenerate inputs
 /// (fewer than two pairs or all-equal values), matching the convention that
 /// nothing contradicts monotonicity there.
 ///
+/// Dispatches between a lane-blocked quadratic kernel (small `P`) and an
+/// `O(P log P)` sweep; see the module docs for both constructions and their
+/// exactness guarantees at `mu = ±1`.
+///
 /// # Panics
 /// Panics on a length mismatch.
 pub fn mu_statistic(s: &[f64], d: &[f64]) -> f64 {
+    assert_eq!(s.len(), d.len(), "pair count mismatch");
+    let p = s.len();
+    if p < 2 {
+        return 1.0;
+    }
+    wl_obs::counter!("alienation.fast_mu", 1u64);
+    if p < SWEEP_MIN_PAIRS {
+        mu_quadratic(s, d)
+    } else {
+        mu_sweep(s, d)
+    }
+}
+
+/// Accumulator lanes for the quadratic kernel. 16 gives the vectorizer
+/// four 256-bit (or two 512-bit) independent accumulation chains, enough
+/// to hide floating-point add latency. The lane count is FIXED — never
+/// CPU-dependent — so results are bit-identical on every machine.
+const QUAD_LANES: usize = 16;
+
+/// The textbook double sum, restructured into [`QUAD_LANES`] independent
+/// accumulator lanes over the contiguous tail `a+1..` so the compiler can
+/// vectorize it. Lane `j` always owns tail offsets `j mod QUAD_LANES` (the
+/// remainder loop keeps the same assignment), so the accumulation order is
+/// a pure function of the input length — deterministic, and bit-identical
+/// from run to run.
+#[inline(always)]
+fn mu_quadratic_lanes(s: &[f64], d: &[f64]) -> f64 {
+    let p = s.len();
+    let mut num = [0.0f64; QUAD_LANES];
+    let mut den = [0.0f64; QUAD_LANES];
+    for a in 0..p {
+        let sa = s[a];
+        let da = d[a];
+        let ts = &s[a + 1..];
+        let td = &d[a + 1..];
+        let mut k = 0;
+        while k + QUAD_LANES <= ts.len() {
+            for j in 0..QUAD_LANES {
+                let t = (sa - ts[k + j]) * (da - td[k + j]);
+                num[j] += t;
+                den[j] += t.abs();
+            }
+            k += QUAD_LANES;
+        }
+        for j in 0..ts.len() - k {
+            let t = (sa - ts[k + j]) * (da - td[k + j]);
+            num[j] += t;
+            den[j] += t.abs();
+        }
+    }
+    // Fixed pairwise reduction tree; for all-concordant input every lane
+    // has num[j] == den[j] bitwise (t == |t|), so mu is exactly 1.0 (and
+    // by the symmetry of IEEE negation, exactly -1.0 for all-discordant).
+    let mut rn = num;
+    let mut rd = den;
+    let mut width = QUAD_LANES / 2;
+    while width >= 1 {
+        for j in 0..width {
+            rn[j] += rn[j + width];
+            rd[j] += rd[j + width];
+        }
+        width /= 2;
+    }
+    if rd[0] == 0.0 {
+        1.0
+    } else {
+        rn[0] / rd[0]
+    }
+}
+
+/// AVX-512 version of [`mu_quadratic_lanes`]: two 8-wide accumulator
+/// vectors per sum hold the same 16 lanes with the same lane-to-term
+/// mapping, the tail is handled with zero-masked loads and a zero-masked
+/// multiply (adding an exact `+0.0` to the untouched lanes, which is a
+/// bitwise no-op on these accumulators), and the final reduction performs
+/// the identical pairwise tree — so the result matches the scalar kernel
+/// bit for bit on every input.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+unsafe fn mu_quadratic_avx512(s: &[f64], d: &[f64]) -> f64 {
+    use core::arch::x86_64::*;
+    let p = s.len();
+    let abs_mask = _mm512_castsi512_pd(_mm512_set1_epi64(i64::MAX));
+    let mut num = [_mm512_setzero_pd(); 2];
+    let mut den = [_mm512_setzero_pd(); 2];
+    for a in 0..p {
+        let sa = _mm512_set1_pd(s[a]);
+        let da = _mm512_set1_pd(d[a]);
+        let ts = &s[a + 1..];
+        let td = &d[a + 1..];
+        let n = ts.len();
+        let mut k = 0usize;
+        while k + QUAD_LANES <= n {
+            for v in 0..2 {
+                let xs = _mm512_loadu_pd(ts.as_ptr().add(k + 8 * v));
+                let xd = _mm512_loadu_pd(td.as_ptr().add(k + 8 * v));
+                let t = _mm512_mul_pd(_mm512_sub_pd(sa, xs), _mm512_sub_pd(da, xd));
+                num[v] = _mm512_add_pd(num[v], t);
+                den[v] = _mm512_add_pd(den[v], _mm512_and_pd(t, abs_mask));
+            }
+            k += QUAD_LANES;
+        }
+        let rem = n - k;
+        for v in 0..2 {
+            let lanes = rem.saturating_sub(8 * v).min(8);
+            if lanes == 0 {
+                break;
+            }
+            let m = ((1u16 << lanes) - 1) as __mmask8;
+            let xs = _mm512_maskz_loadu_pd(m, ts.as_ptr().add(k + 8 * v));
+            let xd = _mm512_maskz_loadu_pd(m, td.as_ptr().add(k + 8 * v));
+            let t = _mm512_maskz_mul_pd(m, _mm512_sub_pd(sa, xs), _mm512_sub_pd(da, xd));
+            num[v] = _mm512_add_pd(num[v], t);
+            den[v] = _mm512_add_pd(den[v], _mm512_and_pd(t, abs_mask));
+        }
+    }
+    // Pairwise tree in the exact order of the scalar reduction:
+    // width 8 (acc0 + acc1), 4 (low half + high half), 2, then 1.
+    let n8 = _mm512_add_pd(num[0], num[1]);
+    let d8 = _mm512_add_pd(den[0], den[1]);
+    let n4 = _mm256_add_pd(_mm512_castpd512_pd256(n8), _mm512_extractf64x4_pd(n8, 1));
+    let d4 = _mm256_add_pd(_mm512_castpd512_pd256(d8), _mm512_extractf64x4_pd(d8, 1));
+    let n2 = _mm_add_pd(_mm256_castpd256_pd128(n4), _mm256_extractf128_pd(n4, 1));
+    let d2 = _mm_add_pd(_mm256_castpd256_pd128(d4), _mm256_extractf128_pd(d4, 1));
+    let num = _mm_cvtsd_f64(n2) + _mm_cvtsd_f64(_mm_unpackhi_pd(n2, n2));
+    let den = _mm_cvtsd_f64(d2) + _mm_cvtsd_f64(_mm_unpackhi_pd(d2, d2));
+    if den == 0.0 {
+        1.0
+    } else {
+        num / den
+    }
+}
+
+/// Per-lane load/zero masks for the AVX2 tail: entry `r` activates the
+/// first `r` lanes (all-ones doubles double as both the maskload control,
+/// which keys on the sign bit, and the product AND mask).
+#[cfg(target_arch = "x86_64")]
+const AVX2_TAIL_MASKS: [[i64; 4]; 5] = [
+    [0, 0, 0, 0],
+    [-1, 0, 0, 0],
+    [-1, -1, 0, 0],
+    [-1, -1, -1, 0],
+    [-1, -1, -1, -1],
+];
+
+/// AVX2 version of [`mu_quadratic_lanes`]: four 4-wide accumulator vectors
+/// per sum, same lane mapping, masked-load tail with the product ANDed to
+/// an exact `+0.0` in inactive lanes, identical pairwise reduction — bit
+/// for bit the scalar result.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn mu_quadratic_avx2(s: &[f64], d: &[f64]) -> f64 {
+    use core::arch::x86_64::*;
+    let p = s.len();
+    let abs_mask = _mm256_castsi256_pd(_mm256_set1_epi64x(i64::MAX));
+    let mut num = [_mm256_setzero_pd(); 4];
+    let mut den = [_mm256_setzero_pd(); 4];
+    for a in 0..p {
+        let sa = _mm256_set1_pd(s[a]);
+        let da = _mm256_set1_pd(d[a]);
+        let ts = &s[a + 1..];
+        let td = &d[a + 1..];
+        let n = ts.len();
+        let mut k = 0usize;
+        while k + QUAD_LANES <= n {
+            for v in 0..4 {
+                let xs = _mm256_loadu_pd(ts.as_ptr().add(k + 4 * v));
+                let xd = _mm256_loadu_pd(td.as_ptr().add(k + 4 * v));
+                let t = _mm256_mul_pd(_mm256_sub_pd(sa, xs), _mm256_sub_pd(da, xd));
+                num[v] = _mm256_add_pd(num[v], t);
+                den[v] = _mm256_add_pd(den[v], _mm256_and_pd(t, abs_mask));
+            }
+            k += QUAD_LANES;
+        }
+        let rem = n - k;
+        for v in 0..4 {
+            let lanes = rem.saturating_sub(4 * v).min(4);
+            if lanes == 0 {
+                break;
+            }
+            let mask_i = _mm256_loadu_si256(AVX2_TAIL_MASKS[lanes].as_ptr().cast());
+            let lane_mask = _mm256_castsi256_pd(mask_i);
+            let xs = _mm256_maskload_pd(ts.as_ptr().add(k + 4 * v), mask_i);
+            let xd = _mm256_maskload_pd(td.as_ptr().add(k + 4 * v), mask_i);
+            let t = _mm256_and_pd(
+                _mm256_mul_pd(_mm256_sub_pd(sa, xs), _mm256_sub_pd(da, xd)),
+                lane_mask,
+            );
+            num[v] = _mm256_add_pd(num[v], t);
+            den[v] = _mm256_add_pd(den[v], _mm256_and_pd(t, abs_mask));
+        }
+    }
+    // Same pairwise tree: width 8 pairs acc v with acc v+2, width 4 merges
+    // the two survivors, then halves within the vector.
+    let n4a = _mm256_add_pd(num[0], num[2]);
+    let n4b = _mm256_add_pd(num[1], num[3]);
+    let d4a = _mm256_add_pd(den[0], den[2]);
+    let d4b = _mm256_add_pd(den[1], den[3]);
+    let n4 = _mm256_add_pd(n4a, n4b);
+    let d4 = _mm256_add_pd(d4a, d4b);
+    let n2 = _mm_add_pd(_mm256_castpd256_pd128(n4), _mm256_extractf128_pd(n4, 1));
+    let d2 = _mm_add_pd(_mm256_castpd256_pd128(d4), _mm256_extractf128_pd(d4, 1));
+    let num = _mm_cvtsd_f64(n2) + _mm_cvtsd_f64(_mm_unpackhi_pd(n2, n2));
+    let den = _mm_cvtsd_f64(d2) + _mm_cvtsd_f64(_mm_unpackhi_pd(d2, d2));
+    if den == 0.0 {
+        1.0
+    } else {
+        num / den
+    }
+}
+
+/// Quadratic-kernel entry with CPU-feature dispatch. Exposed (doc-hidden)
+/// so the `theta_kernel` bench can pit the kernels against each other; use
+/// [`mu_statistic`] everywhere else.
+#[doc(hidden)]
+pub fn mu_quadratic(s: &[f64], d: &[f64]) -> f64 {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx512f") {
+            // SAFETY: guarded by runtime detection of the enabled feature.
+            return unsafe { mu_quadratic_avx512(s, d) };
+        }
+        if std::arch::is_x86_feature_detected!("avx2") {
+            // SAFETY: guarded by runtime detection of the enabled feature.
+            return unsafe { mu_quadratic_avx2(s, d) };
+        }
+    }
+    mu_quadratic_lanes(s, d)
+}
+
+/// The `O(P log P)` Kendall-style sweep over `(s, d)` sorted as `u128` bit
+/// keys. See the module docs for the per-item concordant/discordant split.
+/// Doc-hidden for the `theta_kernel` bench; use [`mu_statistic`].
+#[doc(hidden)]
+pub fn mu_sweep(s: &[f64], d: &[f64]) -> f64 {
+    let p = s.len();
+
+    // One integer sort gives the sweep order: ascending s, ties broken by
+    // ascending d. Identical (s, d) pairs are interchangeable, so no index
+    // tiebreak is needed for determinism.
+    let mut keys: Vec<u128> = s
+        .iter()
+        .zip(d)
+        .map(|(&sv, &dv)| ((enc_key(sv) as u128) << 64) | enc_key(dv) as u128)
+        .collect();
+    keys.sort_unstable();
+
+    // Compress d to ranks with a second integer sort of (d key, sweep
+    // position); walking the sorted array assigns dense ranks and records
+    // each sweep position's rank in one O(P) pass.
+    let mut dpos: Vec<u128> = keys
+        .iter()
+        .enumerate()
+        .map(|(i, &k)| ((k as u64 as u128) << 32) | i as u128)
+        .collect();
+    dpos.sort_unstable();
+    let mut rank = vec![0u32; p];
+    let mut r = 0u32;
+    let mut prev = dpos[0] >> 32;
+    for &kp in &dpos {
+        let dk = kp >> 32;
+        if dk != prev {
+            r += 1;
+            prev = dk;
+        }
+        rank[kp as u32 as usize] = r;
+    }
+    let ranks = (r + 1) as usize;
+
+    // `lo` answers "seen pairs with d strictly below d_b"; `hi` is the same
+    // tree over *reversed* ranks so "strictly above" is also a genuine
+    // prefix query (an empty set yields exact zeros, never a
+    // total-minus-prefix rounding residue).
+    let mut lo = Fenwick::new(ranks);
+    let mut hi = Fenwick::new(ranks);
+    let mut num = 0.0;
+    let mut den = 0.0;
+
+    let mut g0 = 0;
+    while g0 < p {
+        // Equal-s tie group [g0, g1): query every member against the pairs
+        // inserted so far (all strictly smaller s), then insert the whole
+        // group. Within-group pairs (delta s = 0) thus contribute exactly
+        // nothing, as in the naive sum.
+        let s0 = keys[g0] >> 64;
+        let mut g1 = g0 + 1;
+        while g1 < p && keys[g1] >> 64 == s0 {
+            g1 += 1;
+        }
+        for i in g0..g1 {
+            let sb = dec_key((keys[i] >> 64) as u64);
+            let db = dec_key(keys[i] as u64);
+            let r = rank[i] as usize;
+            let below = lo.prefix(r);
+            let above = hi.prefix(ranks - 1 - r);
+            // C = sum (s_b - s_a)(d_b - d_a) over seen a with d_a < d_b.
+            let c = sb * db * below[0] - sb * below[2] - db * below[1] + below[3];
+            // D' = sum (s_b - s_a)(d_a - d_b) over seen a with d_a > d_b.
+            let dp = sb * above[2] - sb * db * above[0] - above[3] + db * above[1];
+            num += c - dp;
+            den += c + dp;
+        }
+        for i in g0..g1 {
+            let sb = dec_key((keys[i] >> 64) as u64);
+            let db = dec_key(keys[i] as u64);
+            let r = rank[i] as usize;
+            lo.add(r, sb, db);
+            hi.add(ranks - 1 - r, sb, db);
+        }
+        g0 = g1;
+    }
+
+    if den == 0.0 {
+        1.0
+    } else {
+        num / den
+    }
+}
+
+/// The naive O(P^2) pairs-of-pairs sum of Eq. 3, retained as the oracle the
+/// fast sweep is tested against (and copied by the `theta_kernel` bench).
+#[cfg(test)]
+pub(crate) fn mu_statistic_naive(s: &[f64], d: &[f64]) -> f64 {
     assert_eq!(s.len(), d.len(), "pair count mismatch");
     let p = s.len();
     if p < 2 {
@@ -46,16 +488,27 @@ pub fn mu_statistic(s: &[f64], d: &[f64]) -> f64 {
 
 /// The coefficient of alienation `theta = sqrt(1 - mu^2)` of Eq. 4.
 ///
+/// Degenerate-input convention, fixed at this public boundary: empty,
+/// single-pair, and all-tied inputs have `mu = 1` (nothing contradicts
+/// monotonicity), and any `|mu| = 1` — including the bitwise-exact ±1 the
+/// fast kernel produces for perfect weak monotonicity — returns exactly
+/// `0.0` without ever entering a sqrt that could round or (for `|mu| > 1`
+/// after accumulation noise, pre-empted by the clamp) go NaN.
+///
 /// # Panics
 /// Panics on a length mismatch.
 pub fn coefficient_of_alienation(s: &[f64], d: &[f64]) -> f64 {
     let mu = mu_statistic(s, d).clamp(-1.0, 1.0);
+    if mu == 1.0 || mu == -1.0 {
+        return 0.0;
+    }
     (1.0 - mu * mu).sqrt()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
 
     #[test]
     fn perfect_monotone_gives_zero_theta() {
@@ -110,6 +563,88 @@ mod tests {
     }
 
     #[test]
+    fn degenerate_inputs_give_exact_zero_theta() {
+        // The documented public convention: all-tied / empty inputs are
+        // theta = 0.0 exactly, not a sqrt round-trip.
+        for (s, d) in [
+            (vec![], vec![]),
+            (vec![3.0], vec![7.0]),
+            (vec![2.0, 2.0, 2.0], vec![1.0, 5.0, 9.0]),
+            (vec![1.0, 5.0, 9.0], vec![2.0, 2.0, 2.0]),
+            (vec![4.0; 6], vec![4.0; 6]),
+        ] {
+            let theta = coefficient_of_alienation(&s, &d);
+            assert_eq!(theta.to_bits(), 0.0f64.to_bits(), "s={s:?} d={d:?}");
+        }
+    }
+
+    #[test]
+    fn perfect_concordance_is_bitwise_one() {
+        // Both kernels accumulate num and den through the identical float
+        // sequence when every pair-of-pairs is concordant, so mu is 1.0
+        // exactly — the property the pinned `"theta":0` stream golden
+        // relies on.
+        let s: Vec<f64> = (0..40).map(|i| 0.1 + 0.37 * i as f64).collect();
+        let d: Vec<f64> = s.iter().map(|x| x * x + 1.0).collect();
+        let rev: Vec<f64> = d.iter().map(|x| -x).collect();
+        for mu in [mu_quadratic, mu_sweep] {
+            assert_eq!(mu(&s, &d).to_bits(), 1.0f64.to_bits());
+            assert_eq!(mu(&s, &rev).to_bits(), (-1.0f64).to_bits());
+        }
+    }
+
+    #[test]
+    #[cfg(target_arch = "x86_64")]
+    fn simd_paths_match_scalar_lanes_bitwise() {
+        // The intrinsic kernels perform the identical IEEE op sequence as
+        // the 16-lane scalar kernel, so every path must agree bit for bit
+        // across sizes that exercise full blocks and every tail length.
+        for p in [2usize, 5, 15, 16, 17, 31, 33, 190, 200] {
+            let s: Vec<f64> = (0..p).map(|i| (i as f64 * 0.917).sin() * 30.0).collect();
+            let d: Vec<f64> = (0..p)
+                .map(|i| (i as f64 * 2.13).cos() * 12.0 + s[i] * 0.4)
+                .collect();
+            let scalar = mu_quadratic_lanes(&s, &d);
+            if std::arch::is_x86_feature_detected!("avx2") {
+                let v = unsafe { mu_quadratic_avx2(&s, &d) };
+                assert_eq!(v.to_bits(), scalar.to_bits(), "avx2 p={p}");
+            }
+            if std::arch::is_x86_feature_detected!("avx512f") {
+                let v = unsafe { mu_quadratic_avx512(&s, &d) };
+                assert_eq!(v.to_bits(), scalar.to_bits(), "avx512 p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn key_encoding_round_trips_and_orders() {
+        let values = [
+            -1e300, -3.5, -0.0, 0.0, 1e-12, 2.0, 7.25, 1e300,
+        ];
+        for w in values.windows(2) {
+            assert!(enc_key(w[0]) <= enc_key(w[1]), "{} vs {}", w[0], w[1]);
+        }
+        for v in values {
+            assert_eq!(dec_key(enc_key(v)).to_bits(), v.to_bits());
+        }
+    }
+
+    #[test]
+    fn dispatcher_uses_sweep_past_the_crossover() {
+        // One case big enough to cross SWEEP_MIN_PAIRS through the public
+        // entry point, checked against the naive oracle.
+        let p = SWEEP_MIN_PAIRS + 37;
+        let s: Vec<f64> = (0..p).map(|i| (i as f64 * 0.613).sin() * 40.0).collect();
+        let d: Vec<f64> = (0..p)
+            .map(|i| (i as f64 * 1.77).cos() * 25.0 + s[i] * 0.3)
+            .collect();
+        let fast = mu_statistic(&s, &d);
+        assert_eq!(fast.to_bits(), mu_sweep(&s, &d).to_bits());
+        let naive = mu_statistic_naive(&s, &d);
+        assert!((fast - naive).abs() <= 1e-9, "fast={fast} naive={naive}");
+    }
+
+    #[test]
     fn random_orders_give_middling_theta() {
         // A scrambled assignment should score clearly worse than monotone.
         let s: Vec<f64> = (0..20).map(|i| i as f64).collect();
@@ -124,5 +659,115 @@ mod tests {
         let d = [2.0, 1.0, 9.0, 4.0, 4.5];
         let theta = coefficient_of_alienation(&s, &d);
         assert!((0.0..=1.0).contains(&theta));
+    }
+
+    #[test]
+    fn fast_matches_naive_on_fixed_cases() {
+        let cases: [(&[f64], &[f64]); 5] = [
+            (&[1.0, 5.0, 2.0, 8.0, 3.0], &[2.0, 1.0, 9.0, 4.0, 4.5]),
+            (&[1.0, 1.0, 2.0, 2.0], &[4.0, 3.0, 2.0, 1.0]),
+            (&[0.0, 0.0, 0.0, 1.0], &[5.0, 5.0, 5.0, 5.0]),
+            (&[1.0, 2.0], &[2.0, 1.0]),
+            (&[-3.0, 0.5, -3.0, 7.0], &[1.0, 1.0, 2.0, 0.0]),
+        ];
+        for (s, d) in cases {
+            let naive = mu_statistic_naive(s, d);
+            for (name, mu) in [("quadratic", mu_quadratic as fn(&[f64], &[f64]) -> f64), ("sweep", mu_sweep)] {
+                let fast = mu(s, d);
+                assert!(
+                    (fast - naive).abs() <= 1e-9,
+                    "{name}={fast} naive={naive} s={s:?} d={d:?}"
+                );
+            }
+        }
+    }
+
+    /// Pair vectors with heavy ties: values drawn from a small integer pool.
+    fn tied_pairs() -> impl Strategy<Value = (Vec<f64>, Vec<f64>)> {
+        (2usize..60).prop_flat_map(|p| {
+            (
+                proptest::collection::vec((0u8..5).prop_map(f64::from), p),
+                proptest::collection::vec((0u8..5).prop_map(f64::from), p),
+            )
+        })
+    }
+
+    fn random_pairs() -> impl Strategy<Value = (Vec<f64>, Vec<f64>)> {
+        (1usize..120).prop_flat_map(|p| {
+            (
+                proptest::collection::vec(-1e3..1e3f64, p),
+                proptest::collection::vec(-1e3..1e3f64, p),
+            )
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn fast_mu_matches_naive_oracle_random(sd in random_pairs()) {
+            let (s, d) = sd;
+            let naive = mu_statistic_naive(&s, &d);
+            for mu in [mu_quadratic, mu_sweep] {
+                let fast = mu(&s, &d);
+                prop_assert!((fast - naive).abs() <= 1e-9,
+                    "fast={fast} naive={naive}");
+            }
+        }
+
+        #[test]
+        fn fast_mu_matches_naive_oracle_tied(sd in tied_pairs()) {
+            let (s, d) = sd;
+            let naive = mu_statistic_naive(&s, &d);
+            for mu in [mu_quadratic, mu_sweep] {
+                let fast = mu(&s, &d);
+                prop_assert!((fast - naive).abs() <= 1e-9,
+                    "fast={fast} naive={naive}");
+            }
+        }
+
+        #[test]
+        fn fast_mu_matches_naive_with_duplicated_pair_values(
+            base in proptest::collection::vec(-50.0..50.0f64, 2..20),
+            dups in 1usize..4,
+        ) {
+            // Duplicate the whole pair vector: every value appears `dups+1`
+            // times in both s and d, stressing rank compression.
+            let s: Vec<f64> = base.iter().copied().cycle()
+                .take(base.len() * (dups + 1)).collect();
+            let d: Vec<f64> = base.iter().map(|x| x * 2.0 + 1.0).cycle()
+                .take(base.len() * (dups + 1)).collect();
+            let naive = mu_statistic_naive(&s, &d);
+            for mu in [mu_quadratic, mu_sweep] {
+                let fast = mu(&s, &d);
+                prop_assert!((fast - naive).abs() <= 1e-9,
+                    "fast={fast} naive={naive}");
+            }
+        }
+
+        #[test]
+        fn fast_mu_matches_naive_constant_column(
+            c in -10.0..10.0f64,
+            d in proptest::collection::vec(-10.0..10.0f64, 1..30),
+        ) {
+            // Constant s (an all-tied column surviving into the pair
+            // vector): both must take the den == 0 branch and agree.
+            let s = vec![c; d.len()];
+            prop_assert_eq!(mu_quadratic(&s, &d), mu_statistic_naive(&s, &d));
+            prop_assert_eq!(mu_sweep(&s, &d), mu_statistic_naive(&s, &d));
+        }
+
+        #[test]
+        fn fast_mu_matches_naive_tiny_shapes(
+            s in proptest::collection::vec(-5.0..5.0f64, 1..4),
+            d in proptest::collection::vec(-5.0..5.0f64, 1..4),
+        ) {
+            // n in {2, 3} observations gives P in {1, 3} pairs.
+            let p = s.len().min(d.len());
+            let naive = mu_statistic_naive(&s[..p], &d[..p]);
+            for mu in [mu_quadratic, mu_sweep] {
+                let fast = mu(&s[..p], &d[..p]);
+                prop_assert!((fast - naive).abs() <= 1e-9,
+                    "fast={fast} naive={naive}");
+            }
+        }
     }
 }

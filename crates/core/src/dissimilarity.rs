@@ -31,6 +31,17 @@ impl Metric {
         }
     }
 
+    /// Distances from `a` to four rows at once, one lane per row. Each lane
+    /// is bit-identical to the matching [`Metric::distance`] call; see
+    /// `wl_linalg::vecops` for the lane contract.
+    fn distance4(&self, a: &[f64], b: [&[f64]; 4]) -> [f64; 4] {
+        match self {
+            Metric::CityBlock => vecops::cityblock_distance4(a, b),
+            Metric::Euclidean => vecops::euclidean_distance4(a, b),
+            Metric::Minkowski(p) => vecops::minkowski_distance4(a, b, *p),
+        }
+    }
+
     /// The Minkowski order `p` of this metric. All three metrics are
     /// `(sum_v |a_v - b_v|^p)^(1/p)`, which is what lets the engine cache
     /// per-variable contributions `|a_v - b_v|^p` and rebuild distances for
@@ -55,12 +66,28 @@ pub struct DissimilarityMatrix {
 
 impl DissimilarityMatrix {
     /// Compute all pairwise dissimilarities of a normalized matrix.
+    ///
+    /// Row `i`'s partners are processed four at a time through the lane
+    /// kernels in `wl_linalg::vecops` (scalar remainder), which keeps each
+    /// pair's accumulation chain — and therefore every stored value —
+    /// bit-identical to the plain per-pair loop while the four chains
+    /// pipeline. That bitwise guarantee is what lets the engine's
+    /// per-variable contribution cache (`engine::PairContributions`)
+    /// reproduce this matrix exactly.
     pub fn compute(z: &NormalizedMatrix, metric: Metric) -> DissimilarityMatrix {
         let n = z.n_observations();
         let mut upper = Vec::with_capacity(n * (n - 1) / 2);
         for i in 0..n {
-            for k in (i + 1)..n {
-                upper.push(metric.distance(z.row(i), z.row(k)));
+            let a = z.row(i);
+            let mut k = i + 1;
+            while k + 4 <= n {
+                let block = metric.distance4(a, [z.row(k), z.row(k + 1), z.row(k + 2), z.row(k + 3)]);
+                upper.extend_from_slice(&block);
+                k += 4;
+            }
+            while k < n {
+                upper.push(metric.distance(a, z.row(k)));
+                k += 1;
             }
         }
         DissimilarityMatrix { n, upper }
@@ -245,6 +272,46 @@ mod tests {
             let v3 = l3.get(i, k);
             assert!(v1 >= v2 - 1e-12);
             assert!(v2 >= v3 - 1e-12);
+        }
+    }
+
+    #[test]
+    fn blocked_compute_is_bitwise_equal_to_scalar_loop() {
+        // Cover every remainder shape of the 4-lane blocking (n mod 4 in
+        // {0,1,2,3}) and all three metrics.
+        for n in 3..=11usize {
+            let rows: Vec<Vec<f64>> = (0..n)
+                .map(|i| {
+                    (0..5)
+                        .map(|v| ((i * 31 + v * 17 + 3) % 23) as f64 * 0.37 - 2.0)
+                        .collect()
+                })
+                .collect();
+            let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+            let z = DataMatrix::from_rows(
+                (0..n).map(|i| format!("o{i}")).collect(),
+                (0..5).map(|v| format!("v{v}")).collect(),
+                &refs,
+            )
+            .normalize(Imputation::Forbid)
+            .unwrap();
+            for metric in [Metric::CityBlock, Metric::Euclidean, Metric::Minkowski(3.0)] {
+                let fast = DissimilarityMatrix::compute(&z, metric);
+                let mut scalar = Vec::new();
+                for i in 0..n {
+                    for k in (i + 1)..n {
+                        scalar.push(metric.distance(z.row(i), z.row(k)));
+                    }
+                }
+                assert_eq!(fast.pairs().len(), scalar.len());
+                for (pair, (f, s)) in fast.pairs().iter().zip(&scalar).enumerate() {
+                    assert_eq!(
+                        f.to_bits(),
+                        s.to_bits(),
+                        "n={n} metric={metric:?} pair={pair}"
+                    );
+                }
+            }
         }
     }
 

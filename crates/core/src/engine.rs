@@ -163,20 +163,34 @@ impl PairContributions {
         let p = z.n_variables();
         let order = metric.order();
         let n_pairs = n * (n - 1) / 2;
-        let mut per_variable = vec![Vec::with_capacity(n_pairs); p];
+        // Flat preallocated rows (one per variable) with the metric match
+        // hoisted out of the per-cell loop.
+        let mut per_variable = vec![vec![0.0f64; n_pairs]; p];
+        let mut pair = 0usize;
         for i in 0..n {
             for k in (i + 1)..n {
                 let (a, b) = (z.row(i), z.row(k));
-                for (v, contribs) in per_variable.iter_mut().enumerate() {
-                    let d = a[v] - b[v];
-                    // Match vecops' per-term expressions exactly so summing
-                    // contributions is bit-identical to a direct distance.
-                    contribs.push(match metric {
-                        Metric::CityBlock => d.abs(),
-                        Metric::Euclidean => d * d,
-                        Metric::Minkowski(p) => d.abs().powf(p),
-                    });
+                // Match vecops' per-term expressions exactly so summing
+                // contributions is bit-identical to a direct distance.
+                match metric {
+                    Metric::CityBlock => {
+                        for (v, contribs) in per_variable.iter_mut().enumerate() {
+                            contribs[pair] = (a[v] - b[v]).abs();
+                        }
+                    }
+                    Metric::Euclidean => {
+                        for (v, contribs) in per_variable.iter_mut().enumerate() {
+                            let d = a[v] - b[v];
+                            contribs[pair] = d * d;
+                        }
+                    }
+                    Metric::Minkowski(p) => {
+                        for (v, contribs) in per_variable.iter_mut().enumerate() {
+                            contribs[pair] = (a[v] - b[v]).abs().powf(p);
+                        }
+                    }
                 }
+                pair += 1;
             }
         }
         PairContributions {
@@ -191,6 +205,11 @@ impl PairContributions {
         self.per_variable.len()
     }
 
+    /// Number of observation pairs per variable row.
+    pub fn n_pairs(&self) -> usize {
+        self.n * (self.n - 1) / 2
+    }
+
     /// Dissimilarities over the variable subset `keep`.
     ///
     /// `keep` must be ascending for bit-identity with a direct computation
@@ -199,13 +218,19 @@ impl PairContributions {
     /// # Panics
     /// Panics on an out-of-range variable index — a caller bug.
     pub fn combine(&self, keep: &[usize]) -> DissimilarityMatrix {
-        let n_pairs = self.n * (self.n - 1) / 2;
-        let mut sums = vec![0.0; n_pairs];
+        let mut sums = vec![0.0; self.n_pairs()];
         for &v in keep {
             for (s, &c) in sums.iter_mut().zip(&self.per_variable[v]) {
                 *s += c;
             }
         }
+        self.apply_root(sums)
+    }
+
+    /// Apply the metric's outer root to summed contributions and wrap them
+    /// as a matrix — the shared tail of [`combine`](Self::combine) and
+    /// [`SubsetCombiner::combine`].
+    fn apply_root(&self, mut sums: Vec<f64>) -> DissimilarityMatrix {
         if self.order == 2.0 {
             // `.sqrt()` rather than `.powf(0.5)`: same choice as vecops.
             for s in &mut sums {
@@ -217,6 +242,95 @@ impl PairContributions {
             }
         }
         DissimilarityMatrix::from_pairs(self.n, sums)
+    }
+}
+
+/// Incrementally recombines dissimilarities across a *sequence* of variable
+/// subsets, reusing the partial sums of the longest shared ascending prefix
+/// between consecutive subsets.
+///
+/// `prefix[j]` caches the element-wise contribution sum of `keep[..=j]`.
+/// Because [`PairContributions::combine`] adds variables in ascending order
+/// starting from zeros — and `0.0 + x == x` bitwise for the non-negative
+/// contributions — extending a cached prefix performs the *same* additions
+/// in the same order as a fresh combine, so every result is bit-identical
+/// to `contribs.combine(keep)` regardless of what the combiner saw before.
+/// Lexicographic subset enumeration and elimination rounds share long
+/// prefixes, turning the O(k·n²) fresh combine into O(changed-levels·n²).
+///
+/// A combiner must only ever be fed one `PairContributions` value; the
+/// engine's [`SharedSubsetSession`] and elimination loop each own one for
+/// exactly that reason.
+#[derive(Debug, Default)]
+pub struct SubsetCombiner {
+    keep: Vec<usize>,
+    prefix: Vec<Vec<f64>>,
+}
+
+impl SubsetCombiner {
+    /// An empty combiner (no cached levels).
+    pub fn new() -> SubsetCombiner {
+        SubsetCombiner::default()
+    }
+
+    /// Dissimilarities over `keep` (ascending), bit-identical to
+    /// `contribs.combine(keep)`.
+    ///
+    /// # Panics
+    /// Panics on an out-of-range variable index or an empty `keep` — caller
+    /// bugs, like [`PairContributions::combine`].
+    pub fn combine(&mut self, contribs: &PairContributions, keep: &[usize]) -> DissimilarityMatrix {
+        assert!(!keep.is_empty(), "SubsetCombiner: empty variable subset");
+        // Defensive: a contributions value of a different shape invalidates
+        // every cached level (the documented contract is one combiner per
+        // PairContributions; this catches the shape-changing misuse).
+        if self
+            .prefix
+            .first()
+            .is_some_and(|row| row.len() != contribs.n_pairs())
+        {
+            self.keep.clear();
+            self.prefix.clear();
+        }
+        let shared = self
+            .keep
+            .iter()
+            .zip(keep)
+            .take_while(|(a, b)| a == b)
+            .count();
+        if shared > 0 {
+            wl_obs::counter!("engine.subset.incremental.hits", 1u64);
+            wl_obs::counter!("engine.subset.incremental.levels_reused", shared as u64);
+        } else {
+            wl_obs::counter!("engine.subset.incremental.misses", 1u64);
+        }
+        wl_obs::counter!(
+            "engine.subset.incremental.levels_computed",
+            (keep.len() - shared) as u64
+        );
+        self.keep.truncate(shared);
+        self.prefix.truncate(shared);
+        for &v in &keep[shared..] {
+            let next = match self.prefix.last() {
+                // Extending: prev already equals the fresh sum over
+                // keep[..j], so prev + contribs[v] is the fresh combine's
+                // next addition verbatim.
+                Some(prev) => {
+                    let mut sums = prev.clone();
+                    for (s, &c) in sums.iter_mut().zip(&contribs.per_variable[v]) {
+                        *s += c;
+                    }
+                    sums
+                }
+                // First level: 0.0 + c == c bitwise for the non-negative
+                // contributions, so the plain copy matches a fresh combine.
+                None => contribs.per_variable[v].clone(),
+            };
+            self.keep.push(v);
+            self.prefix.push(next);
+        }
+        let sums = self.prefix.last().expect("non-empty keep").clone();
+        contribs.apply_root(sums)
     }
 }
 
@@ -291,6 +405,13 @@ pub struct StageReport {
     pub iterations: usize,
     /// Per-start coefficients of alienation (embedding stage only).
     pub theta_per_restart: Vec<f64>,
+    /// Wall time inside the MDS majorization descent (embedding stage only;
+    /// zero elsewhere).
+    pub majorization_time: Duration,
+    /// Wall time scoring configurations with the Θ kernel — map distances
+    /// plus coefficient of alienation (embedding stage only; zero
+    /// elsewhere).
+    pub theta_time: Duration,
     /// Whether the stage reused a cached intermediate instead of computing
     /// from the raw input.
     pub cache_hit: bool,
@@ -304,8 +425,8 @@ impl fmt::Display for StageReportTable<'_> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "{:<14} {:>12} {:>6} {:>6}  theta per start",
-            "stage", "wall", "iters", "cache"
+            "{:<14} {:>12} {:>6} {:>6} {:>12} {:>12}  theta per start",
+            "stage", "wall", "iters", "cache", "major", "theta"
         )?;
         for r in self.0 {
             let micros = r.wall_time.as_secs_f64() * 1e6;
@@ -324,13 +445,24 @@ impl fmt::Display for StageReportTable<'_> {
                     .collect::<Vec<_>>()
                     .join(" ")
             };
+            // The majorization / theta-evaluation split only exists for the
+            // embedding stage; other rows print "-".
+            let split = |d: Duration| {
+                if r.stage == Stage::Embedding {
+                    format!("{:.1} us", d.as_secs_f64() * 1e6)
+                } else {
+                    "-".to_string()
+                }
+            };
             writeln!(
                 f,
-                "{:<14} {:>9.1} us {:>6} {:>6}  {}",
+                "{:<14} {:>9.1} us {:>6} {:>6} {:>12} {:>12}  {}",
                 r.stage.name(),
                 micros,
                 r.iterations,
                 if r.cache_hit { "hit" } else { "miss" },
+                split(r.majorization_time),
+                split(r.theta_time),
                 thetas
             )?;
         }
@@ -472,7 +604,7 @@ impl CoplotEngine {
                     })?;
                 validate_keep(cache.z.n_variables(), keep, "Selection::SubsetShared")?;
                 wl_obs::counter!("engine.shared_selections", 1u64);
-                self.compute_selection(cache, keep).map(|(r, _)| r)
+                self.compute_selection(cache, keep, None).map(|(r, _)| r)
             }
             Selection::Eliminate { min_correlation } => {
                 self.with_cache(data, fp, |this, cache, info| {
@@ -534,6 +666,41 @@ impl CoplotEngine {
     /// Drop the cached intermediates (the next run recomputes everything).
     pub fn clear_cache(&self) {
         *self.cache.write().expect("engine cache lock") = None;
+    }
+
+    /// Open a batch of cache-only subset analyses against this engine.
+    ///
+    /// Each [`SharedSubsetSession::run_subset`] call is bit-identical to
+    /// `run(data, &Selection::SubsetShared(keep))`, but the session holds
+    /// the cache read-lock once for its whole lifetime and threads a
+    /// [`SubsetCombiner`] through the calls, so consecutive subsets that
+    /// share an ascending keep-prefix (lexicographic subset enumeration,
+    /// elimination-style nested subsets) only recombine the changed
+    /// levels. Reports are never touched, so any number of sessions can
+    /// proceed concurrently against one engine.
+    ///
+    /// Note the session keeps the engine's cache read-locked: reported runs
+    /// on *new* data (which must write the cache) block until every open
+    /// session drops.
+    ///
+    /// # Errors
+    /// [`CoplotError::InvalidConfig`] when the cache does not hold this
+    /// data's intermediates (run [`Selection::All`] first).
+    pub fn shared_session(&self, data: &DataMatrix) -> Result<SharedSubsetSession<'_>, CoplotError> {
+        let fp = fingerprint(data);
+        let guard = self.cache.read().expect("engine cache lock");
+        if guard.as_ref().filter(|c| c.fingerprint == fp).is_none() {
+            return Err(CoplotError::InvalidConfig(
+                "shared_session: engine cache does not hold this data's \
+                 intermediates; run Selection::All on it first"
+                    .into(),
+            ));
+        }
+        Ok(SharedSubsetSession {
+            engine: self,
+            guard,
+            combiner: SubsetCombiner::new(),
+        })
     }
 
     /// Run `f` against a cache guaranteed to hold `data`'s intermediates.
@@ -611,24 +778,30 @@ impl CoplotEngine {
         info: PrepareInfo,
     ) -> Result<CoplotResult, CoplotError> {
         self.reports.lock().expect("engine reports lock").clear();
-        self.run_selection(cache, keep, info)
+        self.run_selection(cache, keep, info, None)
     }
 
     /// Run stages 1'–4 for one variable selection against the cache, timing
-    /// each stage and appending its report.
+    /// each stage and appending its report. `pre` optionally supplies an
+    /// already-combined dissimilarity matrix (the elimination loop's
+    /// incremental combiner); it must be bit-identical to what the cache
+    /// would produce for `keep`.
     fn run_selection(
         &self,
         cache: &EngineCache,
         keep: &[usize],
         info: PrepareInfo,
+        pre: Option<PreDiss>,
     ) -> Result<CoplotResult, CoplotError> {
-        let (result, t) = self.compute_selection(cache, keep)?;
+        let (result, t) = self.compute_selection(cache, keep, pre)?;
         let mut reports = self.reports.lock().expect("engine reports lock");
         reports.push(StageReport {
             stage: Stage::Normalize,
             wall_time: info.normalize_time + t.select,
             iterations: 0,
             theta_per_restart: Vec::new(),
+            majorization_time: Duration::ZERO,
+            theta_time: Duration::ZERO,
             cache_hit: info.cache_hit,
         });
         reports.push(StageReport {
@@ -636,6 +809,8 @@ impl CoplotEngine {
             wall_time: info.contrib_time + t.diss,
             iterations: 0,
             theta_per_restart: Vec::new(),
+            majorization_time: Duration::ZERO,
+            theta_time: Duration::ZERO,
             cache_hit: t.diss_cacheable && info.cache_hit,
         });
         reports.push(StageReport {
@@ -643,6 +818,8 @@ impl CoplotEngine {
             wall_time: t.embed,
             iterations: t.iterations,
             theta_per_restart: t.theta_per_restart,
+            majorization_time: t.majorization_time,
+            theta_time: t.theta_time,
             cache_hit: false,
         });
         reports.push(StageReport {
@@ -650,6 +827,8 @@ impl CoplotEngine {
             wall_time: t.arrows,
             iterations: 0,
             theta_per_restart: Vec::new(),
+            majorization_time: Duration::ZERO,
+            theta_time: Duration::ZERO,
             cache_hit: false,
         });
         Ok(result)
@@ -673,8 +852,20 @@ impl CoplotEngine {
         let mut info = info;
         let mut keep: Vec<usize> = (0..cache.z.n_variables()).collect();
         let mut removed = Vec::new();
+        // Successive rounds differ by one removed variable, so an
+        // incremental combiner reuses every contribution level below the
+        // removal point instead of re-summing the whole keep set.
+        let mut combiner = SubsetCombiner::new();
         loop {
-            let mut result = self.run_selection(cache, &keep, info)?;
+            let pre = cache.contributions.as_ref().map(|c| {
+                let t = Instant::now();
+                let diss = combiner.combine(c, &keep);
+                PreDiss {
+                    diss,
+                    combine_time: t.elapsed(),
+                }
+            });
+            let mut result = self.run_selection(cache, &keep, info, pre)?;
             info = PrepareInfo::cached();
             if keep.len() <= 2 {
                 result.removed = removed;
@@ -712,6 +903,7 @@ impl CoplotEngine {
         &self,
         cache: &EngineCache,
         keep: &[usize],
+        pre: Option<PreDiss>,
     ) -> Result<(CoplotResult, SelectionTimings), CoplotError> {
         let _span = wl_obs::span!("engine.selection");
         wl_obs::counter!("engine.selections", 1u64);
@@ -727,20 +919,29 @@ impl CoplotEngine {
         let select = t.elapsed();
 
         let t = Instant::now();
-        let (diss, diss_cacheable) = {
+        let (diss, diss_cacheable, pre_time) = {
             let _span = wl_obs::span!("engine.dissimilarity");
-            match &cache.contributions {
-                Some(c) => {
+            match pre {
+                // An incremental combiner already produced this subset's
+                // matrix (bit-identical to the cache path by the combiner's
+                // contract); only fold its measured time in.
+                Some(p) => {
                     wl_obs::counter!("engine.selection.diss.cached", 1u64);
-                    (c.combine(keep), true)
+                    (p.diss, true, p.combine_time)
                 }
-                None => {
-                    wl_obs::counter!("engine.selection.diss.direct", 1u64);
-                    (self.dissimilarity.compute(&z)?, false)
-                }
+                None => match &cache.contributions {
+                    Some(c) => {
+                        wl_obs::counter!("engine.selection.diss.cached", 1u64);
+                        (c.combine(keep), true, Duration::ZERO)
+                    }
+                    None => {
+                        wl_obs::counter!("engine.selection.diss.direct", 1u64);
+                        (self.dissimilarity.compute(&z)?, false, Duration::ZERO)
+                    }
+                },
             }
         };
-        let diss_time = t.elapsed();
+        let diss_time = t.elapsed() + pre_time;
 
         let t = Instant::now();
         let sol = {
@@ -768,6 +969,8 @@ impl CoplotEngine {
             arrows: arrows_time,
             iterations: sol.iterations,
             theta_per_restart: sol.theta_per_restart,
+            majorization_time: sol.majorization_time,
+            theta_time: sol.theta_time,
         };
         Ok((
             CoplotResult {
@@ -811,6 +1014,57 @@ struct SelectionTimings {
     arrows: Duration,
     iterations: usize,
     theta_per_restart: Vec<f64>,
+    majorization_time: Duration,
+    theta_time: Duration,
+}
+
+/// A dissimilarity matrix combined ahead of the selection core (by an
+/// incremental [`SubsetCombiner`]), plus the wall time the combine took so
+/// the dissimilarity stage report stays honest.
+struct PreDiss {
+    diss: DissimilarityMatrix,
+    combine_time: Duration,
+}
+
+/// A batch of cache-only subset analyses against one engine (see
+/// [`CoplotEngine::shared_session`]). Holds the engine's cache read-lock
+/// for its lifetime and an incremental [`SubsetCombiner`] keyed to the
+/// cached contributions.
+pub struct SharedSubsetSession<'e> {
+    engine: &'e CoplotEngine,
+    guard: std::sync::RwLockReadGuard<'e, Option<EngineCache>>,
+    combiner: SubsetCombiner,
+}
+
+impl SharedSubsetSession<'_> {
+    /// Analyze one ascending variable subset from the session's cache.
+    ///
+    /// Bit-identical to `Selection::SubsetShared(keep)` — the dissimilarity
+    /// matrix comes from the incremental combiner, whose output matches
+    /// `PairContributions::combine` exactly, and everything downstream is
+    /// the same selection core.
+    ///
+    /// # Errors
+    /// Any stage's [`CoplotError`], plus the usual invalid-subset errors.
+    pub fn run_subset(&mut self, keep: &[usize]) -> Result<CoplotResult, CoplotError> {
+        let cache = self
+            .guard
+            .as_ref()
+            .expect("session cache validated at construction");
+        validate_keep(cache.z.n_variables(), keep, "SharedSubsetSession")?;
+        wl_obs::counter!("engine.shared_selections", 1u64);
+        let pre = cache.contributions.as_ref().map(|c| {
+            let t = Instant::now();
+            let diss = self.combiner.combine(c, keep);
+            PreDiss {
+                diss,
+                combine_time: t.elapsed(),
+            }
+        });
+        self.engine
+            .compute_selection(cache, keep, pre)
+            .map(|(r, _)| r)
+    }
 }
 
 /// Builder for [`CoplotEngine`]; defaults match the paper (city-block
@@ -1020,6 +1274,94 @@ mod tests {
             let combined_sub = contribs.combine(&keep);
             assert_eq!(direct_sub, combined_sub, "{metric:?} subset");
         }
+    }
+
+    #[test]
+    fn subset_combiner_is_bit_identical_to_fresh_combine() {
+        let data = structured_data();
+        let z = data.normalize(Imputation::ColumnMean).unwrap();
+        for metric in [Metric::CityBlock, Metric::Euclidean, Metric::Minkowski(3.0)] {
+            let contribs = PairContributions::compute(&z, metric);
+            let mut combiner = SubsetCombiner::new();
+            // A history of overlapping, shrinking, and disjoint ascending
+            // subsets: every result must equal the fresh combine bitwise,
+            // no matter what the combiner cached before.
+            let history: [&[usize]; 8] = [
+                &[0, 1, 2, 3],
+                &[0, 1, 2],
+                &[0, 1, 3],
+                &[0, 1, 3], // identical to previous: full prefix reuse
+                &[2, 3],
+                &[0],
+                &[1, 2, 3],
+                &[0, 1, 2, 3],
+            ];
+            for keep in history {
+                let incremental = combiner.combine(&contribs, keep);
+                let fresh = contribs.combine(keep);
+                assert_eq!(incremental, fresh, "{metric:?} keep={keep:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn shared_session_matches_subset_shared_runs() {
+        let data = structured_data();
+        let engine = CoplotEngine::builder().seed(14).build();
+        engine.run(&data, &Selection::All).unwrap();
+        let subsets: [&[usize]; 4] = [&[0, 1, 2], &[0, 1, 3], &[0, 2, 3], &[1, 3]];
+        let mut via_session = Vec::new();
+        {
+            let mut session = engine.shared_session(&data).unwrap();
+            for keep in subsets {
+                via_session.push(session.run_subset(keep).unwrap());
+            }
+        }
+        for (keep, from_session) in subsets.iter().zip(&via_session) {
+            let direct = engine
+                .run(&data, &Selection::SubsetShared(keep.to_vec()))
+                .unwrap();
+            assert_eq!(
+                from_session.coords.as_slice(),
+                direct.coords.as_slice(),
+                "keep={keep:?}"
+            );
+            assert_eq!(
+                from_session.alienation.to_bits(),
+                direct.alienation.to_bits()
+            );
+            assert_eq!(from_session.arrows, direct.arrows);
+        }
+    }
+
+    #[test]
+    fn shared_session_requires_populated_cache() {
+        let engine = CoplotEngine::builder().seed(14).build();
+        match engine.shared_session(&structured_data()) {
+            Err(CoplotError::InvalidConfig(msg)) => {
+                assert!(msg.contains("Selection::All"), "{msg}")
+            }
+            Err(other) => panic!("unexpected error: {other}"),
+            Ok(_) => panic!("session opened without a populated cache"),
+        };
+    }
+
+    #[test]
+    fn incremental_counters_record_prefix_reuse() {
+        wl_obs::set_enabled(true);
+        let before = wl_obs::registry().snapshot();
+        let data = structured_data();
+        let engine = CoplotEngine::builder().seed(33).build();
+        engine.run(&data, &Selection::All).unwrap();
+        let mut session = engine.shared_session(&data).unwrap();
+        session.run_subset(&[0, 1, 2]).unwrap();
+        session.run_subset(&[0, 1, 3]).unwrap(); // shares the [0, 1] prefix
+        drop(session);
+        let after = wl_obs::registry().snapshot();
+        let delta = |name: &str| after.counter(name) - before.counter(name);
+        assert!(delta("engine.subset.incremental.hits") >= 1);
+        assert!(delta("engine.subset.incremental.levels_reused") >= 2);
+        assert!(delta("engine.subset.incremental.levels_computed") >= 4);
     }
 
     #[test]

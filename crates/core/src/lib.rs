@@ -74,7 +74,8 @@ pub use arrows::{fit_arrow, try_fit_arrow, Arrow};
 pub use data::{DataMatrix, Imputation, NormalizedMatrix};
 pub use dissimilarity::{DissimilarityMatrix, Metric};
 pub use engine::{
-    CoplotEngine, CoplotEngineBuilder, Selection, Stage, StageReport, StageReportTable,
+    CoplotEngine, CoplotEngineBuilder, PairContributions, Selection, SharedSubsetSession, Stage,
+    StageReport, StageReportTable, SubsetCombiner,
 };
 pub use error::{CoplotError, ParseKind};
 pub use mds::{nonmetric_mds, nonmetric_mds_warm, restart_seed, MdsConfig, MdsSolution};

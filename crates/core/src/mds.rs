@@ -37,6 +37,8 @@
 use crate::alienation::coefficient_of_alienation;
 use crate::dissimilarity::DissimilarityMatrix;
 use crate::error::CoplotError;
+use std::time::{Duration, Instant};
+
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha12Rng;
 use wl_linalg::{double_center, jacobi_eigen, Matrix};
@@ -93,6 +95,12 @@ pub struct MdsSolution {
     /// (index 0 is the classical-scaling start). Collapsed configurations
     /// score infinity.
     pub theta_per_restart: Vec<f64>,
+    /// Wall time spent inside the majorization descent (monotone regression
+    /// + Guttman transforms), summed across all starts.
+    pub majorization_time: Duration,
+    /// Wall time spent scoring configurations with the Θ kernel (map
+    /// distances + coefficient of alienation), summed across all starts.
+    pub theta_time: Duration,
 }
 
 /// The seed for one restart's private generator.
@@ -111,6 +119,8 @@ struct StartOutcome {
     stress: f64,
     iterations: usize,
     theta: f64,
+    majorization_time: Duration,
+    theta_time: Duration,
 }
 
 /// Run nonmetric MDS on a dissimilarity matrix.
@@ -163,10 +173,14 @@ pub fn nonmetric_mds(
     // start order, keep a strictly better theta (ties keep the earliest).
     let mut best: Option<StartOutcome> = None;
     let mut total_iters = 0;
+    let mut majorization_time = Duration::ZERO;
+    let mut theta_time = Duration::ZERO;
     let mut theta_per_restart = Vec::with_capacity(n_starts);
     for outcome in outcomes {
         let outcome = outcome?;
         total_iters += outcome.iterations;
+        majorization_time += outcome.majorization_time;
+        theta_time += outcome.theta_time;
         wl_obs::hist_record!("mds.iterations_per_start", outcome.iterations as u64);
         if outcome.theta.is_infinite() {
             wl_obs::counter!("mds.collapsed_starts", 1u64);
@@ -193,6 +207,8 @@ pub fn nonmetric_mds(
         stress: best.stress,
         iterations: total_iters,
         theta_per_restart,
+        majorization_time,
+        theta_time,
     })
 }
 
@@ -267,9 +283,12 @@ pub fn nonmetric_mds_warm(
     let _span = wl_obs::span!("mds.warm_start");
     wl_obs::counter!("mds.warm_starts", 1u64);
     let mut coords = init.clone();
+    let major_started = Instant::now();
     let (stress, iterations) = refine(&mut coords, &deltas, &pair_idx, n, config);
+    let majorization_time = major_started.elapsed();
     wl_obs::hist_record!("mds.iterations_per_start", iterations as u64);
 
+    let theta_started = Instant::now();
     let dists = pair_distances(&coords, &pair_idx);
     let spread = dists.iter().cloned().fold(0.0, f64::max);
     let max_delta = deltas.iter().cloned().fold(0.0, f64::max);
@@ -280,6 +299,7 @@ pub fn nonmetric_mds_warm(
     } else {
         coefficient_of_alienation(&deltas, &dists)
     };
+    let theta_time = theta_started.elapsed();
     if iterations >= config.max_iterations {
         wl_obs::counter!("mds.unconverged_starts", 1u64);
     }
@@ -290,6 +310,8 @@ pub fn nonmetric_mds_warm(
         stress,
         iterations,
         theta_per_restart: vec![theta],
+        majorization_time,
+        theta_time,
     })
 }
 
@@ -317,8 +339,11 @@ fn run_start(
         m
     };
 
+    let major_started = Instant::now();
     let (stress, iterations) = refine(&mut coords, deltas, pair_idx, n, config);
+    let majorization_time = major_started.elapsed();
 
+    let theta_started = Instant::now();
     let dists = pair_distances(&coords, pair_idx);
     // A collapsed configuration (all points coincident) has all-equal
     // distances, which scores a vacuous theta of zero; never prefer it
@@ -331,11 +356,14 @@ fn run_start(
     } else {
         coefficient_of_alienation(deltas, &dists)
     };
+    let theta_time = theta_started.elapsed();
     Ok(StartOutcome {
         coords,
         stress,
         iterations,
         theta,
+        majorization_time,
+        theta_time,
     })
 }
 
@@ -364,6 +392,14 @@ fn classical_init(diss: &DissimilarityMatrix, dims: usize) -> Result<Matrix, Cop
 
 /// Alternate monotone regression and Guttman-transform updates until the
 /// stress stops improving. Returns (final stress-1, iterations used).
+///
+/// The loop body performs exactly the same float operations, in the same
+/// order, as the original allocate-per-iteration version — every buffer is
+/// hoisted out of the loop and refilled, never reassociated — so the
+/// refined configuration is bit-identical while the allocator disappears
+/// from the profile. The per-iteration sort is also incremental: pairs are
+/// sorted by dissimilarity once up front, and only ties (groups with equal
+/// delta) need re-ranking by the fresh distances each iteration.
 fn refine(
     coords: &mut Matrix,
     deltas: &[f64],
@@ -376,24 +412,57 @@ fn refine(
     let mut last_stress = f64::INFINITY;
     let mut iters = 0;
 
+    // Kruskal's primary approach orders pairs by (delta, distance) so tied
+    // dissimilarities don't constrain each other. The delta component never
+    // changes across iterations: sort by it once (stably, so tied deltas
+    // stay index-ascending) and remember the tie groups. Re-sorting a
+    // group by (distance, index) each iteration reproduces the full stable
+    // (delta, distance) sort exactly; distinct deltas cost nothing.
+    // Deltas are validated finite at the entry point and distances of a
+    // finite configuration are finite, so the comparisons are total.
+    let mut order: Vec<usize> = (0..p).collect();
+    order.sort_by(|&a, &b| {
+        deltas[a]
+            .partial_cmp(&deltas[b])
+            .expect("finite dissimilarities")
+    });
+    let mut tie_groups: Vec<(usize, usize)> = Vec::new();
+    let mut g0 = 0;
+    while g0 < p {
+        let mut g1 = g0 + 1;
+        while g1 < p && deltas[order[g1]] == deltas[order[g0]] {
+            g1 += 1;
+        }
+        if g1 - g0 > 1 {
+            tie_groups.push((g0, g1));
+        }
+        g0 = g1;
+    }
+
+    let mut dists = Vec::with_capacity(p);
+    let mut sorted_d = vec![0.0; p];
+    let mut disparities = vec![0.0; p];
+    let mut ratios = vec![0.0; p];
+    let mut row_ratio_sum = vec![0.0; n];
+    let mut cross = Matrix::zeros(n, dims);
+    let mut updated = Matrix::zeros(n, dims);
+
     for it in 0..config.max_iterations {
         iters = it + 1;
-        let dists = pair_distances(coords, pair_idx);
+        pair_distances_into(coords, pair_idx, &mut dists);
 
-        // Kruskal's primary approach: order pairs by (delta, distance) so
-        // tied dissimilarities don't constrain each other.
-        // Deltas are validated finite at the entry point and distances of a
-        // finite configuration are finite, so the comparisons are total.
-        let mut order: Vec<usize> = (0..p).collect();
-        order.sort_by(|&a, &b| {
-            deltas[a]
-                .partial_cmp(&deltas[b])
-                .expect("finite dissimilarities")
-                .then(dists[a].partial_cmp(&dists[b]).expect("finite distances"))
-        });
-        let sorted_d: Vec<f64> = order.iter().map(|&i| dists[i]).collect();
+        for &(g0, g1) in &tie_groups {
+            order[g0..g1].sort_unstable_by(|&a, &b| {
+                dists[a]
+                    .partial_cmp(&dists[b])
+                    .expect("finite distances")
+                    .then(a.cmp(&b))
+            });
+        }
+        for (pos, &i) in order.iter().enumerate() {
+            sorted_d[pos] = dists[i];
+        }
         let fitted = isotonic_regression(&sorted_d, None);
-        let mut disparities = vec![0.0; p];
         for (pos, &i) in order.iter().enumerate() {
             disparities[i] = fitted[pos];
         }
@@ -415,13 +484,17 @@ fn refine(
 
         // Guttman transform: X <- (1/n) B(X) X where B has off-diagonal
         // entries b_ik = -dhat_ik / d_ik and diagonal b_ii = sum_k dhat/d.
-        // Accumulate sum_k ratio_ik (into `row_ratio_sum`) and
-        // sum_k ratio_ik * x_k (into `cross`), then apply per row.
-        let mut row_ratio_sum = vec![0.0; n];
-        let mut cross = Matrix::zeros(n, dims);
+        // The ratios are independent per pair, so compute them in one flat
+        // pass before the scatter; then accumulate sum_k ratio_ik (into
+        // `row_ratio_sum`) and sum_k ratio_ik * x_k (into `cross`), and
+        // apply per row.
+        for (r, (&d, &dh)) in ratios.iter_mut().zip(dists.iter().zip(&disparities)) {
+            *r = if d > 1e-12 { dh / d } else { 0.0 };
+        }
+        row_ratio_sum.fill(0.0);
+        cross.as_mut_slice().fill(0.0);
         for (pidx, &(i, k)) in pair_idx.iter().enumerate() {
-            let d = dists[pidx];
-            let ratio = if d > 1e-12 { disparities[pidx] / d } else { 0.0 };
+            let ratio = ratios[pidx];
             row_ratio_sum[i] += ratio;
             row_ratio_sum[k] += ratio;
             for c in 0..dims {
@@ -429,32 +502,60 @@ fn refine(
                 cross[(k, c)] += ratio * coords[(i, c)];
             }
         }
-        let mut updated = Matrix::zeros(n, dims);
         for i in 0..n {
             for c in 0..dims {
                 updated[(i, c)] =
                     (row_ratio_sum[i] * coords[(i, c)] - cross[(i, c)]) / n as f64;
             }
         }
-        *coords = updated;
+        // `updated` is fully overwritten next iteration, so the old coords
+        // it now holds are just scratch.
+        std::mem::swap(coords, &mut updated);
     }
     (last_stress, iters)
 }
 
 /// Euclidean distances for every pair in `pair_idx` order.
 fn pair_distances(coords: &Matrix, pair_idx: &[(usize, usize)]) -> Vec<f64> {
+    let mut dists = Vec::with_capacity(pair_idx.len());
+    pair_distances_into(coords, pair_idx, &mut dists);
+    dists
+}
+
+/// [`pair_distances`] into a reused buffer. The planar (dims == 2) case —
+/// the Co-plot pipeline's only case — runs four pairs per step with
+/// independent accumulation chains; `0.0 + x == x` for the non-negative
+/// squares, so each distance is bit-identical to the generic loop.
+fn pair_distances_into(coords: &Matrix, pair_idx: &[(usize, usize)], out: &mut Vec<f64>) {
     let dims = coords.cols();
-    pair_idx
-        .iter()
-        .map(|&(i, k)| {
-            let mut s = 0.0;
-            for c in 0..dims {
-                let d = coords[(i, c)] - coords[(k, c)];
-                s += d * d;
+    out.clear();
+    if dims == 2 {
+        let xs = coords.as_slice();
+        let mut chunks = pair_idx.chunks_exact(4);
+        for quad in &mut chunks {
+            let mut block = [0.0f64; 4];
+            for (b, &(i, k)) in block.iter_mut().zip(quad) {
+                let dx = xs[2 * i] - xs[2 * k];
+                let dy = xs[2 * i + 1] - xs[2 * k + 1];
+                *b = (dx * dx + dy * dy).sqrt();
             }
-            s.sqrt()
-        })
-        .collect()
+            out.extend_from_slice(&block);
+        }
+        for &(i, k) in chunks.remainder() {
+            let dx = xs[2 * i] - xs[2 * k];
+            let dy = xs[2 * i + 1] - xs[2 * k + 1];
+            out.push((dx * dx + dy * dy).sqrt());
+        }
+        return;
+    }
+    out.extend(pair_idx.iter().map(|&(i, k)| {
+        let mut s = 0.0;
+        for c in 0..dims {
+            let d = coords[(i, c)] - coords[(k, c)];
+            s += d * d;
+        }
+        s.sqrt()
+    }));
 }
 
 /// Center at the origin and scale to unit RMS radius.

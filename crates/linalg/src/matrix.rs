@@ -94,6 +94,12 @@ impl Matrix {
         &self.data
     }
 
+    /// Mutable view of the backing storage, row-major. Lets kernels reuse a
+    /// matrix as a scratch buffer (`fill(0.0)`) instead of reallocating.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
     /// Borrow one row as a slice.
     #[inline]
     pub fn row(&self, r: usize) -> &[f64] {

@@ -132,26 +132,8 @@ pub fn pox_plot_with_prefix(
                 // max/min dependency; merging them at the end is exact, so
                 // the result matches a single-lane scan bit for bit.
                 // W_0 = 0 participates in both extrema via the lane seeds.
-                let mut max_w = [0.0f64; 4];
-                let mut min_w = [0.0f64; 4];
-                let chunks = win.chunks_exact(4);
-                let rem = chunks.remainder();
-                let mut k0 = 0usize;
-                for c in chunks {
-                    for j in 0..4 {
-                        let w = c[j] - base - (k0 + j + 1) as f64 * mean;
-                        max_w[j] = max_w[j].max(w);
-                        min_w[j] = min_w[j].min(w);
-                    }
-                    k0 += 4;
-                }
-                for (j, &pk) in rem.iter().enumerate() {
-                    let w = pk - base - (k0 + j + 1) as f64 * mean;
-                    max_w[0] = max_w[0].max(w);
-                    min_w[0] = min_w[0].min(w);
-                }
-                let r = max_w[0].max(max_w[1]).max(max_w[2]).max(max_w[3])
-                    - min_w[0].min(min_w[1]).min(min_w[2]).min(min_w[3]);
+                let (max_w, min_w) = wl_linalg::vecops::affine_extrema4(win, base, mean);
+                let r = max_w - min_w;
                 sum += r / sdev;
                 count += 1;
             }

@@ -22,6 +22,19 @@ echo "== trace smoke run (--trace json | trace-check) =="
 ./target/release/table3 --jobs 512 --threads 8 --trace json 2>&1 >/dev/null \
   | ./target/release/trace-check -
 
+echo "== kernel smoke (traced wl subset: fast-theta + incremental counters) =="
+subset_trace=$(./target/release/wl subset @table1 --size 3 --threads 2 \
+  --trace json 2>&1 >/dev/null)
+echo "$subset_trace" | ./target/release/trace-check -
+echo "$subset_trace" | grep -q '"alienation.fast_mu"' \
+  || { echo "missing alienation.fast_mu counter"; exit 1; }
+# The lexicographic walk must actually reuse dissimilarity prefixes.
+hits=$(echo "$subset_trace" \
+  | sed -n 's/.*"engine.subset.incremental.hits","value":\([0-9]*\).*/\1/p' \
+  | head -1)
+test -n "$hits" && test "$hits" -gt 0 \
+  || { echo "incremental subset scoring recorded no cache hits"; exit 1; }
+
 echo "== golden snapshots (threads 1 + 8, full canonical size) =="
 cargo test -q -p wl-repro --test golden
 cargo test -q -p wl-cli --test golden_trace
