@@ -32,6 +32,7 @@ fn cli_json_output_matches_server_responses() {
         cache_capacity: 4,
         threads: 2,
         default_deadline_ms: None,
+        ..ServerConfig::default()
     })
     .expect("bind parity server");
     let addr = server.addr().to_string();

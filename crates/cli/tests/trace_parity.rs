@@ -36,6 +36,7 @@ fn parity_server() -> (ServerHandle, String) {
         cache_capacity: 4,
         threads: 2,
         default_deadline_ms: None,
+        ..ServerConfig::default()
     })
     .expect("bind parity server");
     let addr = server.addr().to_string();

@@ -1,0 +1,63 @@
+//! End-to-end: wl-loadgen driving a live event-model wl-serve.
+
+use std::time::Duration;
+
+use wl_loadgen::{run_load, ArrivalProcess, LoadOptions};
+use wl_serve::{start, ServerConfig};
+
+fn test_server() -> wl_serve::ServerHandle {
+    start(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        queue_capacity: 64,
+        cache_capacity: 64,
+        threads: 2,
+        ..ServerConfig::default()
+    })
+    .expect("bind test server")
+}
+
+fn burst_options(process: ArrivalProcess) -> LoadOptions {
+    LoadOptions {
+        requests: 40,
+        connections: 4,
+        process,
+        // Well above service rate: the cache absorbs repeats (distinct=2),
+        // so the run finishes quickly while still overlapping requests.
+        rate_per_sec: 200.0,
+        seed: 5,
+        distinct: 2,
+        timeout: Duration::from_secs(120),
+        ..LoadOptions::default()
+    }
+}
+
+#[test]
+fn poisson_burst_completes_with_zero_errors() {
+    let server = test_server();
+    let report = run_load(&server.addr().to_string(), &burst_options(ArrivalProcess::Poisson))
+        .expect("load run");
+    assert_eq!(report.ok, report.sent, "every request answered 200");
+    assert_eq!(report.server_errors, 0);
+    assert_eq!(report.transport_errors, 0);
+    assert_eq!(report.latencies.len(), report.sent);
+    let (p50, p99, p999) = report.percentiles();
+    assert!(p50 <= p99 && p99 <= p999, "percentiles are ordered");
+    let rendered = report.render();
+    assert!(rendered.contains("p99"), "report renders percentiles");
+    server.shutdown();
+}
+
+#[test]
+fn fgn_burst_completes_with_zero_errors() {
+    let server = test_server();
+    let report = run_load(
+        &server.addr().to_string(),
+        &burst_options(ArrivalProcess::Fgn { hurst: 0.8 }),
+    )
+    .expect("load run");
+    assert_eq!(report.ok, report.sent, "every request answered 200");
+    assert_eq!(report.server_errors, 0);
+    assert_eq!(report.transport_errors, 0);
+    server.shutdown();
+}

@@ -49,6 +49,11 @@
 use std::cell::UnsafeCell;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
+#[cfg(unix)]
+pub mod poll;
+#[cfg(unix)]
+pub use poll::{waker, PollSet, Readiness, WakeReceiver, Waker};
+
 /// The workspace-wide default thread count: `WL_THREADS` when set to a
 /// positive integer, else [`std::thread::available_parallelism`], else 1.
 pub fn default_threads() -> usize {

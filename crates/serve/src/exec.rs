@@ -15,6 +15,7 @@
 //! has started always runs to completion, so a request that finishes
 //! returns exactly what it would have returned without a deadline.
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use coplot::engine::{
@@ -29,6 +30,7 @@ use coplot::{
 use wl_linalg::Matrix;
 use wl_swf::Workload;
 
+use crate::batch::{BatchMemo, VarsMemo};
 use crate::datasets::NamedDataset;
 
 /// How to run a request: worker threads and an optional deadline.
@@ -92,13 +94,35 @@ pub struct ExecOutcome {
 /// # Errors
 /// See [`ExecError`].
 pub fn execute(request: &AnalysisRequest, cfg: &ExecConfig) -> Result<ExecOutcome, ExecError> {
+    execute_with_memo(request, cfg, None)
+}
+
+/// Execute one request, optionally against a batch memo of shared
+/// intermediates (see [`crate::batch`]): the dataset load and the engine's
+/// stage-1/stage-2 outputs are taken from (or stored into) the memo, while
+/// the per-request stages — MDS restarts, arrow fits, subset search — run
+/// as usual on the `wl-par` pool. A memo hit returns a clone of a value a
+/// deterministic stage produced for the same inputs, so the response is
+/// byte-identical to an unbatched run.
+///
+/// # Errors
+/// See [`ExecError`].
+pub fn execute_with_memo(
+    request: &AnalysisRequest,
+    cfg: &ExecConfig,
+    memo: Option<&BatchMemo>,
+) -> Result<ExecOutcome, ExecError> {
     let req = request.canonicalize().map_err(ExecError::Api)?;
     check_deadline(cfg, "load")?;
-    let workloads = load_dataset(&req, cfg)?;
+    let workloads = match memo {
+        Some(m) => m.workloads.get_or_try(|| load_dataset(&req, cfg))?,
+        None => load_dataset(&req, cfg)?,
+    };
+    let vars_memo = memo.map(|m| m.vars(&req.vars));
     match req.op {
-        Operation::Coplot => run_coplot(&req, cfg, &workloads),
+        Operation::Coplot => run_coplot(&req, cfg, &workloads, vars_memo),
         Operation::Hurst => run_hurst(&req, cfg, &workloads),
-        Operation::Subset => run_subset(&req, cfg, &workloads),
+        Operation::Subset => run_subset(&req, cfg, &workloads, vars_memo),
     }
 }
 
@@ -125,23 +149,34 @@ fn load_dataset(req: &AnalysisRequest, cfg: &ExecConfig) -> Result<Vec<Workload>
     }
 }
 
-fn data_matrix(req: &AnalysisRequest, workloads: &[Workload]) -> Result<DataMatrix, ExecError> {
-    if workloads.len() < 3 {
-        return Err(ExecError::Analysis(CoplotError::InvalidConfig(
-            "co-plot needs at least 3 workloads".into(),
-        )));
+fn data_matrix(
+    req: &AnalysisRequest,
+    workloads: &[Workload],
+    memo: Option<&Arc<VarsMemo>>,
+) -> Result<DataMatrix, ExecError> {
+    let build = || {
+        if workloads.len() < 3 {
+            return Err(ExecError::Analysis(CoplotError::InvalidConfig(
+                "co-plot needs at least 3 workloads".into(),
+            )));
+        }
+        let codes: Vec<&str> = req.vars.iter().map(String::as_str).collect();
+        wl_analysis::matrix::try_trace_matrix(workloads, &codes).map_err(ExecError::Analysis)
+    };
+    match memo {
+        Some(m) => m.matrix.get_or_try(build),
+        None => build(),
     }
-    let codes: Vec<&str> = req.vars.iter().map(String::as_str).collect();
-    wl_analysis::matrix::try_trace_matrix(workloads, &codes).map_err(ExecError::Analysis)
 }
 
 fn run_coplot(
     req: &AnalysisRequest,
     cfg: &ExecConfig,
     workloads: &[Workload],
+    memo: Option<Arc<VarsMemo>>,
 ) -> Result<ExecOutcome, ExecError> {
-    let data = data_matrix(req, workloads)?;
-    let engine = build_engine(req.seed, cfg);
+    let data = data_matrix(req, workloads, memo.as_ref())?;
+    let engine = build_engine(req.seed, cfg, memo);
     let selection = match req.min_correlation {
         Some(min_correlation) => Selection::Eliminate { min_correlation },
         None => Selection::All,
@@ -181,8 +216,9 @@ fn run_subset(
     req: &AnalysisRequest,
     cfg: &ExecConfig,
     workloads: &[Workload],
+    memo: Option<Arc<VarsMemo>>,
 ) -> Result<ExecOutcome, ExecError> {
-    let data = data_matrix(req, workloads)?;
+    let data = data_matrix(req, workloads, memo.as_ref())?;
     check_deadline(cfg, "subset")?;
     let results = wl_analysis::subset::best_variable_subset(
         &data,
@@ -209,46 +245,75 @@ fn run_subset(
     })
 }
 
-/// Build the engine the paper's pipeline uses; with a deadline, each stage
-/// is wrapped in a [`Gated`] shim that refuses to *start* past it. The
-/// wrappers forward verbatim (including the dissimilarity contributions
-/// that drive the engine cache), so a gated run that completes is
-/// bit-identical to an ungated one.
-fn build_engine(seed: u64, cfg: &ExecConfig) -> CoplotEngine {
+/// Build the engine the paper's pipeline uses. Two optional wrapper layers
+/// compose around the standard stages, innermost first:
+///
+/// * with a batch memo, [`Memoized`] shims share stage-1 normalization and
+///   stage-2 contributions across the batch (the engine only ever calls
+///   those on the *full* matrix — per-selection dissimilarities are
+///   combined from the contributions — so an unkeyed write-once memo is
+///   sound; `compute` is deliberately left unmemoized because the engine
+///   may call it on *reduced* matrices when contributions are absent);
+/// * with a deadline, [`Gated`] shims refuse to *start* a stage past it.
+///
+/// Every wrapper forwards verbatim, so a wrapped run that completes is
+/// bit-identical to a bare one.
+fn build_engine(seed: u64, cfg: &ExecConfig, memo: Option<Arc<VarsMemo>>) -> CoplotEngine {
     let builder = CoplotEngine::builder().seed(seed).threads(cfg.threads);
-    let Some(deadline) = cfg.deadline else {
+    if cfg.deadline.is_none() && memo.is_none() {
         return builder.build();
-    };
+    }
     let mds = MdsConfig {
         seed,
         threads: cfg.threads,
         ..MdsConfig::default()
     };
-    builder
-        .normalizer(Box::new(Gated {
+    let mut normalizer: Box<dyn Normalizer> = Box::new(ZScoreNormalizer {
+        imputation: Imputation::ColumnMean,
+    });
+    let mut dissimilarity: Box<dyn DissimilarityStage> = Box::new(MetricDissimilarity {
+        metric: Metric::CityBlock,
+    });
+    let mut embedder: Box<dyn Embedder> = Box::new(NonmetricMdsEmbedder { config: mds });
+    let mut arrow_fitter: Box<dyn ArrowFitter> = Box::new(OlsArrowFitter);
+
+    if let Some(memo) = memo {
+        normalizer = Box::new(Memoized {
+            memo: Arc::clone(&memo),
+            inner: normalizer,
+        });
+        dissimilarity = Box::new(Memoized {
+            memo,
+            inner: dissimilarity,
+        });
+    }
+    if let Some(deadline) = cfg.deadline {
+        normalizer = Box::new(Gated {
             deadline,
             stage: "normalize",
-            inner: ZScoreNormalizer {
-                imputation: Imputation::ColumnMean,
-            },
-        }))
-        .dissimilarity(Box::new(Gated {
+            inner: normalizer,
+        });
+        dissimilarity = Box::new(Gated {
             deadline,
             stage: "dissimilarity",
-            inner: MetricDissimilarity {
-                metric: Metric::CityBlock,
-            },
-        }))
-        .embedder(Box::new(Gated {
+            inner: dissimilarity,
+        });
+        embedder = Box::new(Gated {
             deadline,
             stage: "embed",
-            inner: NonmetricMdsEmbedder { config: mds },
-        }))
-        .arrow_fitter(Box::new(Gated {
+            inner: embedder,
+        });
+        arrow_fitter = Box::new(Gated {
             deadline,
             stage: "arrows",
-            inner: OlsArrowFitter,
-        }))
+            inner: arrow_fitter,
+        });
+    }
+    builder
+        .normalizer(normalizer)
+        .dissimilarity(dissimilarity)
+        .embedder(embedder)
+        .arrow_fitter(arrow_fitter)
         .build()
 }
 
@@ -269,14 +334,14 @@ impl<S> Gated<S> {
     }
 }
 
-impl Normalizer for Gated<ZScoreNormalizer> {
+impl Normalizer for Gated<Box<dyn Normalizer>> {
     fn normalize(&self, data: &DataMatrix) -> Result<NormalizedMatrix, CoplotError> {
         self.check()?;
         self.inner.normalize(data)
     }
 }
 
-impl DissimilarityStage for Gated<MetricDissimilarity> {
+impl DissimilarityStage for Gated<Box<dyn DissimilarityStage>> {
     fn compute(&self, z: &NormalizedMatrix) -> Result<DissimilarityMatrix, CoplotError> {
         self.check()?;
         self.inner.compute(z)
@@ -289,14 +354,14 @@ impl DissimilarityStage for Gated<MetricDissimilarity> {
     }
 }
 
-impl Embedder for Gated<NonmetricMdsEmbedder> {
+impl Embedder for Gated<Box<dyn Embedder>> {
     fn embed(&self, diss: &DissimilarityMatrix) -> Result<MdsSolution, CoplotError> {
         self.check()?;
         self.inner.embed(diss)
     }
 }
 
-impl ArrowFitter for Gated<OlsArrowFitter> {
+impl ArrowFitter for Gated<Box<dyn ArrowFitter>> {
     fn fit(
         &self,
         name: &str,
@@ -305,6 +370,36 @@ impl ArrowFitter for Gated<OlsArrowFitter> {
     ) -> Result<coplot::Arrow, CoplotError> {
         self.check()?;
         self.inner.fit(name, coords, z)
+    }
+}
+
+/// A stage sharing its output through a batch memo (see [`crate::batch`]).
+#[derive(Debug)]
+struct Memoized<S> {
+    memo: Arc<VarsMemo>,
+    inner: S,
+}
+
+impl Normalizer for Memoized<Box<dyn Normalizer>> {
+    fn normalize(&self, data: &DataMatrix) -> Result<NormalizedMatrix, CoplotError> {
+        // Sound without keying: the engine only calls this on the full
+        // matrix, which is equal across the batch members sharing this memo.
+        self.memo.normalized.get_or_try(|| self.inner.normalize(data))
+    }
+}
+
+impl DissimilarityStage for Memoized<Box<dyn DissimilarityStage>> {
+    fn compute(&self, z: &NormalizedMatrix) -> Result<DissimilarityMatrix, CoplotError> {
+        // NOT memoized: with contributions absent the engine calls this per
+        // variable selection, with different (reduced) matrices.
+        self.inner.compute(z)
+    }
+
+    fn contributions(&self, z: &NormalizedMatrix) -> Option<PairContributions> {
+        self.memo
+            .contributions
+            .get_or_try(|| Ok::<_, std::convert::Infallible>(self.inner.contributions(z)))
+            .expect("infallible")
     }
 }
 
@@ -396,6 +491,50 @@ mod tests {
             }
             other => panic!("expected deadline error, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn batched_execution_is_byte_identical_to_unbatched() {
+        // Three requests over the same dataset digest, differing only in
+        // seed / elimination / operation — what a real batch looks like.
+        let mut eliminate = models_request(Operation::Coplot);
+        eliminate.min_correlation = Some(0.5);
+        let mut subset = models_request(Operation::Subset);
+        subset.subset_size = 2;
+        subset.max_alienation = 1.0;
+        subset.top = 3;
+        subset.vars = ["Rm", "Pm", "Im", "Ii"].map(String::from).to_vec();
+        let requests = [models_request(Operation::Coplot), eliminate, subset];
+
+        for threads in [1usize, 8] {
+            let cfg = ExecConfig::new(threads);
+            let memo = BatchMemo::new();
+            for req in &requests {
+                let batched = execute_with_memo(req, &cfg, Some(&memo)).unwrap();
+                let solo = execute(req, &cfg).unwrap();
+                assert_eq!(
+                    batched.response.to_json(),
+                    solo.response.to_json(),
+                    "batched != unbatched at threads={threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn memo_shares_the_dataset_load_across_a_batch() {
+        let memo = BatchMemo::new();
+        let cfg = ExecConfig::new(1);
+        execute_with_memo(&models_request(Operation::Coplot), &cfg, Some(&memo)).unwrap();
+        // The second request finds the workloads (and stage outputs) ready.
+        let mut calls = 0;
+        memo.workloads
+            .get_or_try::<()>(|| {
+                calls += 1;
+                Ok(Vec::new())
+            })
+            .unwrap();
+        assert_eq!(calls, 0, "workloads were memoized by the first request");
     }
 
     #[test]

@@ -1,10 +1,14 @@
 //! A deliberately small HTTP/1.1 subset: enough for a JSON analysis
 //! service and its tests, with hard limits instead of configurability.
 //!
-//! Supported: one request per connection (`Connection: close` on every
-//! response), `Content-Length` bodies, CRLF line endings. Not supported
-//! (rejected, never misparsed): chunked transfer encoding, multiline
-//! headers, requests larger than the fixed caps.
+//! Supported: `Content-Length` bodies, CRLF line endings, and — through
+//! [`try_parse`] — incremental parsing for the event-driven connection
+//! layer, which multiplexes keep-alive connections and pipelined
+//! requests. The blocking [`read_request`] path (one request per
+//! connection, `Connection: close` on every response) is a thin loop over
+//! the same parser, so both server models accept exactly the same
+//! grammar. Not supported (rejected, never misparsed): chunked transfer
+//! encoding, multiline headers, requests larger than the fixed caps.
 
 use std::io::{self, Read, Write};
 use std::net::TcpStream;
@@ -25,6 +29,8 @@ pub struct Request {
     pub headers: Vec<(String, String)>,
     /// The body (empty without `Content-Length`).
     pub body: Vec<u8>,
+    /// Whether the request line said `HTTP/1.1` (vs `HTTP/1.0`).
+    pub http11: bool,
 }
 
 impl Request {
@@ -34,6 +40,17 @@ impl Request {
             .iter()
             .find(|(n, _)| n == name)
             .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the client asked to keep the connection open: an explicit
+    /// `Connection` header wins, else HTTP/1.1 defaults to keep-alive and
+    /// HTTP/1.0 to close.
+    pub fn wants_keep_alive(&self) -> bool {
+        match self.header("connection") {
+            Some(v) if v.eq_ignore_ascii_case("close") => false,
+            Some(v) if v.eq_ignore_ascii_case("keep-alive") => true,
+            _ => self.http11,
+        }
     }
 }
 
@@ -61,28 +78,48 @@ fn malformed(msg: impl Into<String>) -> HttpError {
     HttpError::Malformed(msg.into())
 }
 
-/// Read one request. `Ok(None)` means the peer closed before sending
-/// anything (a clean no-op, e.g. a port probe).
-pub fn read_request(stream: &mut dyn Read) -> Result<Option<Request>, HttpError> {
-    // Accumulate until the blank line that ends the head.
-    let mut buf: Vec<u8> = Vec::with_capacity(1024);
-    let mut chunk = [0u8; 1024];
-    let head_end = loop {
-        if let Some(pos) = find_head_end(&buf) {
-            break pos;
-        }
+/// Outcome of an incremental parse attempt over a receive buffer.
+#[derive(Debug)]
+pub enum ParseStatus {
+    /// More bytes are needed; nothing was consumed.
+    Incomplete,
+    /// One full request was parsed from `buf[..consumed]`; the caller
+    /// should drain those bytes (later bytes belong to the next pipelined
+    /// request).
+    Complete {
+        /// The parsed request.
+        request: Request,
+        /// Bytes of the buffer the request occupied (head + body).
+        consumed: usize,
+    },
+}
+
+/// Try to parse one request from the front of `buf` without blocking.
+///
+/// This is the single grammar both server models speak: the event loop
+/// calls it directly on each connection's receive buffer (pipelining works
+/// because `consumed` marks where the next request starts), and
+/// [`read_request`] wraps it in a blocking read loop. Size caps are
+/// enforced *incrementally* — an over-long head or an announced over-cap
+/// body fails as soon as it is detectable, not after the client finishes
+/// sending.
+///
+/// # Errors
+/// [`HttpError::Malformed`] for syntax errors and cap violations.
+pub fn try_parse(buf: &[u8]) -> Result<ParseStatus, HttpError> {
+    let Some(head_end) = find_head_end(buf) else {
         if buf.len() > MAX_HEAD_BYTES {
-            return Err(malformed(format!("request head exceeds {MAX_HEAD_BYTES} bytes")));
+            return Err(malformed(format!(
+                "request head exceeds {MAX_HEAD_BYTES} bytes"
+            )));
         }
-        let n = stream.read(&mut chunk).map_err(HttpError::Io)?;
-        if n == 0 {
-            if buf.is_empty() {
-                return Ok(None);
-            }
-            return Err(malformed("connection closed mid-head"));
-        }
-        buf.extend_from_slice(&chunk[..n]);
+        return Ok(ParseStatus::Incomplete);
     };
+    if head_end > MAX_HEAD_BYTES {
+        return Err(malformed(format!(
+            "request head exceeds {MAX_HEAD_BYTES} bytes"
+        )));
+    }
 
     let head = std::str::from_utf8(&buf[..head_end])
         .map_err(|_| malformed("request head is not UTF-8"))?;
@@ -113,6 +150,7 @@ pub fn read_request(stream: &mut dyn Read) -> Result<Option<Request>, HttpError>
         target: target.to_string(),
         headers,
         body: Vec::new(),
+        http11: version == "HTTP/1.1",
     };
     if req
         .header("transfer-encoding")
@@ -130,18 +168,42 @@ pub fn read_request(stream: &mut dyn Read) -> Result<Option<Request>, HttpError>
         return Err(malformed(format!("body exceeds {MAX_BODY_BYTES} bytes")));
     }
 
-    // Body bytes already read past the head, then the rest from the stream.
-    let mut body = buf[head_end + 4..].to_vec();
-    while body.len() < content_length {
+    let body_start = head_end + 4;
+    if buf.len() < body_start + content_length {
+        return Ok(ParseStatus::Incomplete);
+    }
+    req.body = buf[body_start..body_start + content_length].to_vec();
+    Ok(ParseStatus::Complete {
+        request: req,
+        consumed: body_start + content_length,
+    })
+}
+
+/// Read one request, blocking. `Ok(None)` means the peer closed before
+/// sending anything (a clean no-op, e.g. a port probe). Bytes past the
+/// request's own length are discarded — this path serves the
+/// one-request-per-connection model, which does not pipeline.
+pub fn read_request(stream: &mut dyn Read) -> Result<Option<Request>, HttpError> {
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 1024];
+    loop {
+        match try_parse(&buf)? {
+            ParseStatus::Complete { request, .. } => return Ok(Some(request)),
+            ParseStatus::Incomplete => {}
+        }
         let n = stream.read(&mut chunk).map_err(HttpError::Io)?;
         if n == 0 {
-            return Err(malformed("connection closed mid-body"));
+            if buf.is_empty() {
+                return Ok(None);
+            }
+            return Err(if find_head_end(&buf).is_none() {
+                malformed("connection closed mid-head")
+            } else {
+                malformed("connection closed mid-body")
+            });
         }
-        body.extend_from_slice(&chunk[..n]);
+        buf.extend_from_slice(&chunk[..n]);
     }
-    body.truncate(content_length);
-    req.body = body;
-    Ok(Some(req))
 }
 
 fn find_head_end(buf: &[u8]) -> Option<usize> {
@@ -188,21 +250,30 @@ impl Response {
         self
     }
 
-    /// Serialize onto `w` (always `Connection: close`).
-    pub fn write_to(&self, w: &mut dyn Write) -> io::Result<()> {
+    /// Serialize to wire bytes. `keep_alive` selects the `Connection`
+    /// header; the body always travels with an exact `Content-Length`, so
+    /// keep-alive clients know where it ends.
+    pub fn to_bytes(&self, keep_alive: bool) -> Vec<u8> {
         let mut head = format!(
-            "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: close\r\n",
+            "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: {}\r\n",
             self.status,
             status_reason(self.status),
             self.content_type,
-            self.body.len()
+            self.body.len(),
+            if keep_alive { "keep-alive" } else { "close" }
         );
         for (name, value) in &self.extra_headers {
             head.push_str(&format!("{name}: {value}\r\n"));
         }
         head.push_str("\r\n");
-        w.write_all(head.as_bytes())?;
-        w.write_all(self.body.as_bytes())?;
+        let mut out = head.into_bytes();
+        out.extend_from_slice(self.body.as_bytes());
+        out
+    }
+
+    /// Serialize onto `w` (always `Connection: close`).
+    pub fn write_to(&self, w: &mut dyn Write) -> io::Result<()> {
+        w.write_all(&self.to_bytes(false))?;
         w.flush()
     }
 }
@@ -214,6 +285,7 @@ pub fn status_reason(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        408 => "Request Timeout",
         422 => "Unprocessable Entity",
         503 => "Service Unavailable",
         504 => "Gateway Timeout",
@@ -243,6 +315,122 @@ pub fn http_call(
     stream.read_to_end(&mut raw)?;
     parse_client_response(&raw)
         .map_err(|m| io::Error::new(io::ErrorKind::InvalidData, m))
+}
+
+/// A blocking keep-alive client: many sequential requests over one
+/// connection, each response read by its `Content-Length` (not to EOF).
+/// Used by the conformance tests and `wl-loadgen`, where reconnecting per
+/// request would dominate the measured latency.
+#[derive(Debug)]
+pub struct HttpClient {
+    stream: TcpStream,
+    /// Read-side carry: bytes of the next response already pulled from the
+    /// socket while scanning for the current one's head terminator.
+    carry: Vec<u8>,
+}
+
+impl HttpClient {
+    /// Connect to `addr`.
+    ///
+    /// # Errors
+    /// Connection failure.
+    pub fn connect(addr: &str) -> io::Result<HttpClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(HttpClient {
+            stream,
+            carry: Vec::new(),
+        })
+    }
+
+    /// Apply a read timeout to all subsequent calls.
+    ///
+    /// # Errors
+    /// Socket option failure.
+    pub fn set_timeout(&mut self, timeout: Option<std::time::Duration>) -> io::Result<()> {
+        self.stream.set_read_timeout(timeout)?;
+        self.stream.set_write_timeout(timeout)
+    }
+
+    /// Send one request and read its response, leaving the connection open
+    /// for the next call.
+    ///
+    /// # Errors
+    /// Socket failure, or a response that cannot be parsed.
+    pub fn call(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> io::Result<ClientResponse> {
+        let body = body.unwrap_or("");
+        let request = format!(
+            "{method} {path} HTTP/1.1\r\nhost: wl\r\ncontent-length: {}\r\n\r\n{body}",
+            body.len()
+        );
+        self.stream.write_all(request.as_bytes())?;
+        self.read_response()
+    }
+
+    fn read_response(&mut self) -> io::Result<ClientResponse> {
+        let bad = |m: &str| io::Error::new(io::ErrorKind::InvalidData, m.to_string());
+        let mut raw = std::mem::take(&mut self.carry);
+        let mut chunk = [0u8; 4096];
+        let head_end = loop {
+            if let Some(pos) = find_head_end(&raw) {
+                break pos;
+            }
+            let n = self.stream.read(&mut chunk)?;
+            if n == 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed before a full response head",
+                ));
+            }
+            raw.extend_from_slice(&chunk[..n]);
+        };
+        let (status, headers) = {
+            let head = std::str::from_utf8(&raw[..head_end])
+                .map_err(|_| bad("response head is not UTF-8"))?;
+            let mut lines = head.split("\r\n");
+            let status_line = lines.next().unwrap_or("");
+            let status: u16 = status_line
+                .split(' ')
+                .nth(1)
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| bad(&format!("bad status line {status_line:?}")))?;
+            let mut headers = Vec::new();
+            for line in lines {
+                if let Some((n, v)) = line.split_once(':') {
+                    headers.push((n.trim().to_ascii_lowercase(), v.trim().to_string()));
+                }
+            }
+            (status, headers)
+        };
+        let content_length: usize = headers
+            .iter()
+            .find(|(n, _)| n == "content-length")
+            .ok_or_else(|| bad("response has no content-length"))?
+            .1
+            .parse()
+            .map_err(|_| bad("bad content-length"))?;
+        let body_start = head_end + 4;
+        while raw.len() < body_start + content_length {
+            let n = self.stream.read(&mut chunk)?;
+            if n == 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-response-body",
+                ));
+            }
+            raw.extend_from_slice(&chunk[..n]);
+        }
+        // Anything past the body belongs to the next pipelined response.
+        self.carry = raw.split_off(body_start + content_length);
+        let body = String::from_utf8(raw[body_start..].to_vec())
+            .map_err(|_| bad("response body is not UTF-8"))?;
+        Ok((status, headers, body))
+    }
 }
 
 fn parse_client_response(raw: &[u8]) -> Result<ClientResponse, String> {
@@ -344,6 +532,91 @@ mod tests {
         assert!(text.contains("connection: close\r\n"));
         assert!(text.contains("retry-after: 1\r\n"));
         assert!(text.ends_with("\r\n\r\n{}"));
+    }
+
+    #[test]
+    fn try_parse_is_incremental_and_pipelines() {
+        let full = b"POST /v1/x HTTP/1.1\r\ncontent-length: 3\r\n\r\nabcGET /healthz HTTP/1.1\r\n\r\n";
+        // Every proper prefix short of the first request is Incomplete.
+        for cut in [0, 5, 20, 38, 40] {
+            assert!(
+                matches!(try_parse(&full[..cut]), Ok(ParseStatus::Incomplete)),
+                "cut at {cut}"
+            );
+        }
+        let ParseStatus::Complete { request, consumed } = try_parse(full).unwrap() else {
+            panic!("first request should parse");
+        };
+        assert_eq!(request.method, "POST");
+        assert_eq!(request.body, b"abc");
+        let ParseStatus::Complete { request, consumed: c2 } =
+            try_parse(&full[consumed..]).unwrap()
+        else {
+            panic!("pipelined second request should parse");
+        };
+        assert_eq!(request.method, "GET");
+        assert_eq!(request.target, "/healthz");
+        assert_eq!(consumed + c2, full.len());
+    }
+
+    #[test]
+    fn oversized_head_fails_before_the_terminator_arrives() {
+        let mut buf = b"GET /x HTTP/1.1\r\nx-pad: ".to_vec();
+        buf.resize(MAX_HEAD_BYTES + 1, b'a');
+        assert!(matches!(try_parse(&buf), Err(HttpError::Malformed(_))));
+    }
+
+    #[test]
+    fn keep_alive_negotiation_follows_http_defaults() {
+        let keep = |bytes: &[u8]| {
+            let ParseStatus::Complete { request, .. } = try_parse(bytes).unwrap() else {
+                panic!("request should parse");
+            };
+            request.wants_keep_alive()
+        };
+        assert!(keep(b"GET / HTTP/1.1\r\n\r\n"), "1.1 defaults to keep-alive");
+        assert!(!keep(b"GET / HTTP/1.0\r\n\r\n"), "1.0 defaults to close");
+        assert!(!keep(b"GET / HTTP/1.1\r\nconnection: close\r\n\r\n"));
+        assert!(keep(b"GET / HTTP/1.0\r\nConnection: Keep-Alive\r\n\r\n"));
+    }
+
+    #[test]
+    fn response_serializes_keep_alive_on_request() {
+        let bytes = Response::json(200, "{}").to_bytes(true);
+        let text = String::from_utf8(bytes).unwrap();
+        assert!(text.contains("connection: keep-alive\r\n"));
+        assert!(text.contains("content-length: 2\r\n"));
+    }
+
+    #[test]
+    fn keep_alive_client_reads_consecutive_responses() {
+        use std::net::TcpListener;
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (mut conn, _) = listener.accept().unwrap();
+            // Answer two requests on the one connection, back to back.
+            for body in ["first", "second"] {
+                let mut buf = Vec::new();
+                let mut chunk = [0u8; 1024];
+                loop {
+                    if matches!(try_parse(&buf), Ok(ParseStatus::Complete { .. })) {
+                        break;
+                    }
+                    let n = conn.read(&mut chunk).unwrap();
+                    assert!(n > 0, "client closed early");
+                    buf.extend_from_slice(&chunk[..n]);
+                }
+                conn.write_all(&Response::text(200, body).to_bytes(true))
+                    .unwrap();
+            }
+        });
+        let mut client = HttpClient::connect(&addr.to_string()).unwrap();
+        let (status, _, body) = client.call("GET", "/a", None).unwrap();
+        assert_eq!((status, body.as_str()), (200, "first"));
+        let (status, _, body) = client.call("GET", "/b", None).unwrap();
+        assert_eq!((status, body.as_str()), (200, "second"));
+        server.join().unwrap();
     }
 
     #[test]

@@ -26,15 +26,18 @@
 //! per-request deadlines (aborted between engine stages → 504), and a
 //! graceful drain that lets in-flight requests finish.
 
+pub mod batch;
 pub mod cache;
 pub mod datasets;
+pub mod event;
 pub mod exec;
 pub mod http;
 pub mod server;
 pub mod stream;
 
+pub use batch::{BatchKey, BatchMemo};
 pub use cache::ResultCache;
 pub use datasets::NamedDataset;
-pub use exec::{execute, ExecConfig, ExecError, ExecOutcome};
-pub use server::{start, Drainer, ServerConfig, ServerHandle};
+pub use exec::{execute, execute_with_memo, ExecConfig, ExecError, ExecOutcome};
+pub use server::{start, ConnModel, Drainer, ServerConfig, ServerHandle};
 pub use stream::{event_json, parse_stream_request, run_stream_text, StreamOptions};

@@ -35,6 +35,32 @@ use crate::datasets;
 use crate::exec::{self, ExecConfig, ExecError};
 use crate::http::{read_request, HttpError, Request, Response};
 
+/// How the server multiplexes connections.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConnModel {
+    /// One worker thread per admitted connection, blocking I/O — the
+    /// original model. A slow client occupies a worker for its whole
+    /// request; concurrency is capped at `workers`.
+    Threaded,
+    /// One reactor thread drives every socket non-blocking through
+    /// `poll(2)` ([`wl_par::poll`]); workers only ever see fully-parsed
+    /// requests and batch the ones sharing a dataset digest (see
+    /// [`crate::batch`]). Keep-alive, pipelining, idle eviction and
+    /// slow clients cost a connection-table slot, not a thread.
+    Event,
+}
+
+impl ConnModel {
+    /// Parse a `--conn-model` flag value.
+    pub fn from_name(name: &str) -> Option<ConnModel> {
+        match name {
+            "threaded" => Some(ConnModel::Threaded),
+            "event" => Some(ConnModel::Event),
+            _ => None,
+        }
+    }
+}
+
 /// Server tuning knobs.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
@@ -50,6 +76,13 @@ pub struct ServerConfig {
     pub threads: usize,
     /// Deadline applied to requests that do not carry their own.
     pub default_deadline_ms: Option<u64>,
+    /// Connection model (default [`ConnModel::Event`]).
+    pub conn_model: ConnModel,
+    /// Event model: evict connections idle this long. Mid-request idlers
+    /// (slowloris) get a 408; idle keep-alive connections close silently.
+    pub idle_timeout_ms: u64,
+    /// Event model: most requests coalesced into one batch.
+    pub batch_max: usize,
 }
 
 impl Default for ServerConfig {
@@ -61,6 +94,9 @@ impl Default for ServerConfig {
             cache_capacity: 128,
             threads: wl_par::default_threads(),
             default_deadline_ms: None,
+            conn_model: ConnModel::Event,
+            idle_timeout_ms: 10_000,
+            batch_max: 8,
         }
     }
 }
@@ -79,21 +115,37 @@ struct Shared {
 /// [`shutdown`](ServerHandle::shutdown) or [`join`](ServerHandle::join).
 pub struct ServerHandle {
     addr: SocketAddr,
-    shared: Arc<Shared>,
-    accept_thread: Option<JoinHandle<()>>,
-    workers: Vec<JoinHandle<()>>,
+    inner: HandleInner,
+}
+
+enum HandleInner {
+    Threaded {
+        shared: Arc<Shared>,
+        accept_thread: Option<JoinHandle<()>>,
+        workers: Vec<JoinHandle<()>>,
+    },
+    Event(crate::event::EventHandle),
 }
 
 /// A cloneable drain trigger (for signal/stdin watchers).
 #[derive(Clone)]
 pub struct Drainer {
-    shared: Arc<Shared>,
+    inner: DrainerInner,
+}
+
+#[derive(Clone)]
+enum DrainerInner {
+    Threaded(Arc<Shared>),
+    Event(crate::event::EventDrainer),
 }
 
 impl Drainer {
     /// Begin draining: stop accepting, let in-flight work finish.
     pub fn initiate(&self) {
-        initiate_drain(&self.shared);
+        match &self.inner {
+            DrainerInner::Threaded(shared) => initiate_drain(shared),
+            DrainerInner::Event(d) => d.initiate(),
+        }
     }
 }
 
@@ -111,23 +163,37 @@ impl ServerHandle {
     /// A drain trigger usable from other threads.
     pub fn drainer(&self) -> Drainer {
         Drainer {
-            shared: Arc::clone(&self.shared),
+            inner: match &self.inner {
+                HandleInner::Threaded { shared, .. } => {
+                    DrainerInner::Threaded(Arc::clone(shared))
+                }
+                HandleInner::Event(h) => DrainerInner::Event(h.drainer()),
+            },
         }
     }
 
     /// Begin draining without waiting.
     pub fn initiate_drain(&self) {
-        initiate_drain(&self.shared);
+        self.drainer().initiate();
     }
 
     /// Wait until the server has drained (the accept loop stopped and every
     /// admitted request finished).
-    pub fn join(mut self) {
-        if let Some(t) = self.accept_thread.take() {
-            let _ = t.join();
-        }
-        for w in self.workers.drain(..) {
-            let _ = w.join();
+    pub fn join(self) {
+        match self.inner {
+            HandleInner::Threaded {
+                mut accept_thread,
+                mut workers,
+                ..
+            } => {
+                if let Some(t) = accept_thread.take() {
+                    let _ = t.join();
+                }
+                for w in workers.drain(..) {
+                    let _ = w.join();
+                }
+            }
+            HandleInner::Event(h) => h.join(),
         }
     }
 
@@ -152,6 +218,14 @@ pub fn start(config: ServerConfig) -> std::io::Result<ServerHandle> {
     let addr = listener.local_addr()?;
     listener.set_nonblocking(true)?;
 
+    if config.conn_model == ConnModel::Event {
+        let handle = crate::event::start(listener, config)?;
+        return Ok(ServerHandle {
+            addr,
+            inner: HandleInner::Event(handle),
+        });
+    }
+
     let shared = Arc::new(Shared {
         cache: ResultCache::new(config.cache_capacity),
         config,
@@ -173,9 +247,11 @@ pub fn start(config: ServerConfig) -> std::io::Result<ServerHandle> {
 
     Ok(ServerHandle {
         addr,
-        shared,
-        accept_thread: Some(accept_thread),
-        workers,
+        inner: HandleInner::Threaded {
+            shared,
+            accept_thread: Some(accept_thread),
+            workers,
+        },
     })
 }
 
@@ -280,7 +356,7 @@ fn handle_connection(mut stream: TcpStream, shared: &Arc<Shared>) {
 /// (One `hist_record!` call site per endpoint: the macro interns its metric
 /// name per site, so names must be literals.)
 #[derive(Clone, Copy)]
-enum Endpoint {
+pub(crate) enum Endpoint {
     Health,
     Metrics,
     Datasets,
@@ -293,7 +369,7 @@ enum Endpoint {
 }
 
 impl Endpoint {
-    fn record_latency(self, us: u64) {
+    pub(crate) fn record_latency(self, us: u64) {
         match self {
             Endpoint::Health => wl_obs::hist_record!("serve.latency_us.healthz", us),
             Endpoint::Metrics => wl_obs::hist_record!("serve.latency_us.metrics", us),
@@ -308,12 +384,13 @@ impl Endpoint {
     }
 }
 
-fn record_status(status: u16) {
+pub(crate) fn record_status(status: u16) {
     match status {
         200 => wl_obs::counter!("serve.http.200", 1),
         400 => wl_obs::counter!("serve.http.400", 1),
         404 => wl_obs::counter!("serve.http.404", 1),
         405 => wl_obs::counter!("serve.http.405", 1),
+        408 => wl_obs::counter!("serve.http.408", 1),
         422 => wl_obs::counter!("serve.http.422", 1),
         503 => wl_obs::counter!("serve.http.503", 1),
         504 => wl_obs::counter!("serve.http.504", 1),
@@ -321,13 +398,28 @@ fn record_status(status: u16) {
     }
 }
 
-fn route(request: &Request, shared: &Arc<Shared>) -> (Response, Endpoint) {
+/// Where a request goes, decided from the request line alone. Both
+/// connection models share this table; they differ only in *where* the
+/// work runs (inline on the handling thread vs. dispatched to the worker
+/// pool).
+pub(crate) enum Routed {
+    /// Answerable immediately (health, metrics, datasets, 404/405).
+    Inline(Response, Endpoint),
+    /// Drain trigger: the caller initiates its model's drain and answers.
+    Shutdown,
+    /// An analysis POST bound for the executor.
+    Analysis(Operation, Endpoint),
+    /// A `/v1/stream` session bound for the executor.
+    Stream,
+}
+
+pub(crate) fn classify(request: &Request) -> Routed {
     match (request.method.as_str(), request.target.as_str()) {
-        ("GET", "/healthz") => (Response::text(200, "ok\n"), Endpoint::Health),
+        ("GET", "/healthz") => Routed::Inline(Response::text(200, "ok\n"), Endpoint::Health),
         ("GET", "/metrics") => {
             let snapshot = wl_obs::registry().snapshot();
             let body = wl_obs::export_json_lines(&snapshot, &[]);
-            (
+            Routed::Inline(
                 Response {
                     status: 200,
                     content_type: "application/x-ndjson",
@@ -337,27 +429,15 @@ fn route(request: &Request, shared: &Arc<Shared>) -> (Response, Endpoint) {
                 Endpoint::Metrics,
             )
         }
-        ("GET", "/v1/datasets") => (
+        ("GET", "/v1/datasets") => Routed::Inline(
             Response::json(200, datasets::datasets_json()),
             Endpoint::Datasets,
         ),
-        ("POST", "/v1/coplot") => (
-            analysis_response(request, Operation::Coplot, shared),
-            Endpoint::Coplot,
-        ),
-        ("POST", "/v1/hurst") => (
-            analysis_response(request, Operation::Hurst, shared),
-            Endpoint::Hurst,
-        ),
-        ("POST", "/v1/subset") => (
-            analysis_response(request, Operation::Subset, shared),
-            Endpoint::Subset,
-        ),
-        ("POST", "/v1/stream") => (stream_response(request, shared), Endpoint::Stream),
-        ("POST", "/v1/shutdown") => {
-            initiate_drain(shared);
-            (Response::text(200, "draining\n"), Endpoint::Shutdown)
-        }
+        ("POST", "/v1/coplot") => Routed::Analysis(Operation::Coplot, Endpoint::Coplot),
+        ("POST", "/v1/hurst") => Routed::Analysis(Operation::Hurst, Endpoint::Hurst),
+        ("POST", "/v1/subset") => Routed::Analysis(Operation::Subset, Endpoint::Subset),
+        ("POST", "/v1/stream") => Routed::Stream,
+        ("POST", "/v1/shutdown") => Routed::Shutdown,
         (_, path)
             if matches!(
                 path,
@@ -365,7 +445,7 @@ fn route(request: &Request, shared: &Arc<Shared>) -> (Response, Endpoint) {
                     | "/v1/subset" | "/v1/stream" | "/v1/shutdown"
             ) =>
         {
-            (
+            Routed::Inline(
                 Response::json(
                     405,
                     error_body(
@@ -376,26 +456,84 @@ fn route(request: &Request, shared: &Arc<Shared>) -> (Response, Endpoint) {
                 Endpoint::Other,
             )
         }
-        (_, path) => (
+        (_, path) => Routed::Inline(
             Response::json(404, error_body("not-found", &format!("no route for {path}"))),
             Endpoint::Other,
         ),
     }
 }
 
-/// Handle one analysis POST: parse, canonicalize, consult the cache,
-/// execute, cache, respond. Never panics a worker and never answers 500 —
-/// every failure maps to a typed 4xx/5xx.
-fn analysis_response(request: &Request, expected_op: Operation, shared: &Arc<Shared>) -> Response {
+fn route(request: &Request, shared: &Arc<Shared>) -> (Response, Endpoint) {
+    match classify(request) {
+        Routed::Inline(response, endpoint) => (response, endpoint),
+        Routed::Shutdown => {
+            initiate_drain(shared);
+            (Response::text(200, "draining\n"), Endpoint::Shutdown)
+        }
+        Routed::Analysis(op, endpoint) => (
+            match prepare_analysis(request, op) {
+                Ok(prepared) => {
+                    execute_prepared(&prepared, &shared.config, &shared.cache, None)
+                }
+                Err(response) => response,
+            },
+            endpoint,
+        ),
+        Routed::Stream => (
+            stream_response(request, shared.config.threads),
+            Endpoint::Stream,
+        ),
+    }
+}
+
+/// A validated analysis request, ready to execute: the cheap, pure part of
+/// request handling (parse, op check, canonicalize, digest) split out so
+/// the event reactor can run it inline — answering 400s without spending a
+/// worker — and hand workers only well-formed jobs.
+pub(crate) struct Prepared {
+    pub canonical: AnalysisRequest,
+    pub request_digest: u64,
+}
+
+impl Prepared {
+    /// How this request may batch: named datasets digest without I/O, so
+    /// the digest doubles as the batch key; path datasets would need file
+    /// reads to digest and stay solo.
+    pub(crate) fn batch_key(&self) -> crate::batch::BatchKey {
+        if !matches!(self.canonical.dataset, coplot::DatasetSpec::Named(_)) {
+            // Digesting a path dataset reads files — too slow for the
+            // reactor thread, and path requests rarely repeat anyway.
+            return crate::batch::BatchKey::Solo;
+        }
+        match datasets::dataset_digest(
+            &self.canonical.dataset,
+            self.canonical.jobs,
+            self.canonical.seed,
+            self.canonical.format.as_deref(),
+        ) {
+            Ok(d) => crate::batch::BatchKey::Shared(d),
+            Err(_) => crate::batch::BatchKey::Solo,
+        }
+    }
+}
+
+/// Parse and validate one analysis POST down to its canonical request.
+///
+/// # Errors
+/// The ready-to-send 400 response.
+pub(crate) fn prepare_analysis(
+    request: &Request,
+    expected_op: Operation,
+) -> Result<Prepared, Response> {
     let Ok(body) = std::str::from_utf8(&request.body) else {
-        return Response::json(400, error_body("bad-json", "body is not UTF-8"));
+        return Err(Response::json(400, error_body("bad-json", "body is not UTF-8")));
     };
     let parsed = match AnalysisRequest::from_json(body) {
         Ok(r) => r,
-        Err(e) => return Response::json(400, error_body(e.kind.label(), &e.message)),
+        Err(e) => return Err(Response::json(400, error_body(e.kind.label(), &e.message))),
     };
     if parsed.op != expected_op {
-        return Response::json(
+        return Err(Response::json(
             400,
             error_body(
                 "bad-value",
@@ -405,17 +543,34 @@ fn analysis_response(request: &Request, expected_op: Operation, shared: &Arc<Sha
                     expected_op.label()
                 ),
             ),
-        );
+        ));
     }
     let canonical = match parsed.canonicalize() {
         Ok(r) => r,
-        Err(e) => return Response::json(400, error_body(e.kind.label(), &e.message)),
+        Err(e) => return Err(Response::json(400, error_body(e.kind.label(), &e.message))),
     };
     // The digest cannot fail past canonicalization.
     let request_digest = match canonical.canonical_digest() {
         Ok(d) => d,
-        Err(e) => return Response::json(400, error_body(e.kind.label(), &e.message)),
+        Err(e) => return Err(Response::json(400, error_body(e.kind.label(), &e.message))),
     };
+    Ok(Prepared {
+        canonical,
+        request_digest,
+    })
+}
+
+/// Execute a prepared analysis request: digest the dataset, consult the
+/// result cache, run (optionally against a batch memo), cache, respond.
+/// Never panics a worker and never answers 500 — every failure maps to a
+/// typed 4xx/5xx.
+pub(crate) fn execute_prepared(
+    prepared: &Prepared,
+    config: &ServerConfig,
+    cache: &ResultCache,
+    memo: Option<&crate::batch::BatchMemo>,
+) -> Response {
+    let canonical = &prepared.canonical;
     let dataset_digest = match datasets::dataset_digest(
         &canonical.dataset,
         canonical.jobs,
@@ -425,19 +580,19 @@ fn analysis_response(request: &Request, expected_op: Operation, shared: &Arc<Sha
         Ok(d) => d,
         Err(e) => return exec_error_response(&e),
     };
-    let key = (dataset_digest, request_digest);
-    if let Some(body) = shared.cache.get(key) {
+    let key = (dataset_digest, prepared.request_digest);
+    if let Some(body) = cache.get(key) {
         return Response::json(200, body);
     }
-    let deadline_ms = canonical.deadline_ms.or(shared.config.default_deadline_ms);
+    let deadline_ms = canonical.deadline_ms.or(config.default_deadline_ms);
     let cfg = ExecConfig {
-        threads: shared.config.threads,
+        threads: config.threads,
         deadline: deadline_ms.map(|ms| Instant::now() + Duration::from_millis(ms)),
     };
-    match exec::execute(&canonical, &cfg) {
+    match exec::execute_with_memo(canonical, &cfg, memo) {
         Ok(outcome) => {
             let body = outcome.response.to_json();
-            shared.cache.put(key, body.clone());
+            cache.put(key, body.clone());
             Response::json(200, body)
         }
         Err(e) => exec_error_response(&e),
@@ -448,7 +603,7 @@ fn analysis_response(request: &Request, expected_op: Operation, shared: &Arc<Sha
 /// and the trace text, run the windowed session, answer JSON lines.
 /// Sessions are not cached: the response is large relative to analysis
 /// responses and the body (an entire trace) would dominate the key.
-fn stream_response(request: &Request, shared: &Arc<Shared>) -> Response {
+pub(crate) fn stream_response(request: &Request, threads: usize) -> Response {
     let Ok(body) = std::str::from_utf8(&request.body) else {
         return Response::json(400, error_body("bad-json", "body is not UTF-8"));
     };
@@ -456,7 +611,7 @@ fn stream_response(request: &Request, shared: &Arc<Shared>) -> Response {
         Ok(parts) => parts,
         Err(e) => return Response::json(400, error_body(e.kind.label(), &e.message)),
     };
-    match crate::stream::run_stream_text(text, &options, shared.config.threads) {
+    match crate::stream::run_stream_text(text, &options, threads) {
         Ok(lines) => Response {
             status: 200,
             content_type: "application/x-ndjson",
@@ -479,7 +634,7 @@ fn exec_error_response(e: &ExecError) -> Response {
 }
 
 /// The service's uniform error body.
-fn error_body(kind: &str, message: &str) -> String {
+pub(crate) fn error_body(kind: &str, message: &str) -> String {
     format!(
         "{{\"error\":{{\"kind\":\"{}\",\"message\":\"{}\"}}}}",
         escape_str(kind),

@@ -35,6 +35,9 @@ hits=$(echo "$subset_trace" \
 test -n "$hits" && test "$hits" -gt 0 \
   || { echo "incremental subset scoring recorded no cache hits"; exit 1; }
 
+echo "== protocol conformance (event connection model) =="
+cargo test -q -p wl-serve --test conformance
+
 echo "== golden snapshots (threads 1 + 8, full canonical size) =="
 cargo test -q -p wl-repro --test golden
 cargo test -q -p wl-cli --test golden_trace
@@ -95,6 +98,13 @@ echo "$stream_trace" | grep -q '"stream.windows_sealed"' \
 echo "$stream_trace" | grep -q '"mds.warm_starts"' \
   || { echo "missing mds.warm_starts counter"; exit 1; }
 rm -rf "$stream_dir"
+
+echo "== wl-loadgen smoke (Poisson + fGn bursts: zero 5xx, bounded p99) =="
+./target/release/wl-loadgen --addr "$serve_addr" --requests 60 --connections 4 \
+  --process poisson --rate 300 --seed 7 --distinct 2 \
+  --expect-no-5xx --max-p99-ms 2000
+./target/release/wl-loadgen --addr "$serve_addr" --requests 30 --connections 2 \
+  --process fgn:0.8 --rate 300 --seed 7 --distinct 2 --expect-no-5xx
 
 printf 'q' >&9   # one stdin byte initiates graceful drain
 for _ in $(seq 1 100); do
