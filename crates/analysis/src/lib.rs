@@ -46,4 +46,7 @@ pub use stream::{
     run_stream, ArrowDelta, Drift, Frame, OrderPolicy, StreamConfig, WindowEvent, WindowedCoplot,
     MIN_FRAME_WINDOWS,
 };
-pub use subset::{best_variable_subset, SubsetSearchResult};
+pub use subset::{
+    best_variable_subset, rank_subset_results, score_combination_range, subset_space_size,
+    SubsetSearchResult,
+};

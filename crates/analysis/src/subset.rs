@@ -56,6 +56,34 @@ pub fn best_variable_subset(
     seed: u64,
     threads: usize,
 ) -> Result<Vec<SubsetSearchResult>, CoplotError> {
+    let mut results = score_combination_range(data, k, max_alienation, seed, threads, None)?;
+    rank_subset_results(&mut results, top);
+    Ok(results)
+}
+
+/// Score the lexicographic combination window `[lo, hi)` (or all `C(p, k)`
+/// combinations when `range` is `None`), returning the surviving subsets
+/// **in combination order, unranked**.
+///
+/// This is the distribution primitive behind [`best_variable_subset`]:
+/// each combination's score depends only on the engine seed and cached
+/// intermediates — never on which other combinations were scored alongside
+/// it — so concatenating the results of contiguous windows covering
+/// `0..C(p, k)` reproduces the full enumeration exactly, and one
+/// [`rank_subset_results`] pass over the concatenation yields the same
+/// ranking bytes as a single-node run.
+///
+/// # Errors
+/// [`CoplotError::InvalidConfig`] for the same guard rails as
+/// [`best_variable_subset`], plus an out-of-bounds or empty `range`.
+pub fn score_combination_range(
+    data: &coplot::DataMatrix,
+    k: usize,
+    max_alienation: f64,
+    seed: u64,
+    threads: usize,
+    range: Option<(usize, usize)>,
+) -> Result<Vec<SubsetSearchResult>, CoplotError> {
     let p = data.n_variables();
     if k < 2 || k > p {
         return Err(CoplotError::InvalidConfig(format!(
@@ -68,8 +96,19 @@ pub fn best_variable_subset(
             "search space too large: C({p},{k}) = {n_subsets}"
         )));
     }
+    let (win_lo, win_hi) = match range {
+        None => (0, n_subsets),
+        Some((lo, hi)) => {
+            if lo >= hi || hi > n_subsets {
+                return Err(CoplotError::InvalidConfig(format!(
+                    "combination range [{lo}, {hi}) must be a non-empty window of 0..{n_subsets}"
+                )));
+            }
+            (lo, hi)
+        }
+    };
     let _span = wl_obs::span!("subset.search");
-    wl_obs::counter!("subset.candidates", n_subsets as u64);
+    wl_obs::counter!("subset.candidates", (win_hi - win_lo) as u64);
 
     // Reference map from all variables; this also fills the engine's
     // normalization/contribution caches for all the subset runs below.
@@ -77,7 +116,7 @@ pub fn best_variable_subset(
     let full = engine.run(data, &Selection::All)?;
 
     // Enumerate every combination up front (lexicographic), then score
-    // them concurrently against the shared read-only engine cache.
+    // the window concurrently against the shared read-only engine cache.
     let mut combos: Vec<Vec<usize>> = Vec::with_capacity(n_subsets);
     let mut indices: Vec<usize> = (0..k).collect();
     loop {
@@ -86,6 +125,7 @@ pub fn best_variable_subset(
             break;
         }
     }
+    let combos = &combos[win_lo..win_hi];
     let score = |r: coplot::CoplotResult| {
         if r.alienation > max_alienation {
             return None;
@@ -123,11 +163,17 @@ pub fn best_variable_subset(
                 .collect::<Vec<_>>(),
         }
     });
-    let mut results: Vec<SubsetSearchResult> =
-        scored.into_iter().flatten().flatten().collect();
+    let results: Vec<SubsetSearchResult> = scored.into_iter().flatten().flatten().collect();
     wl_obs::counter!("subset.kept", results.len() as u64);
+    Ok(results)
+}
 
-    // Rank: conserve the map first (low RMSD), then high correlation.
+/// Rank scored subsets in place and keep the best `top`: conserve the map
+/// first (low RMSD), then high correlation. Both passes are stable sorts,
+/// so equal keys keep combination order — which is what lets a coordinator
+/// apply this to the concatenation of shard windows and reproduce a
+/// single-node ranking byte for byte.
+pub fn rank_subset_results(results: &mut Vec<SubsetSearchResult>, top: usize) {
     results.sort_by(|a, b| {
         (a.map_conservation_rmsd - b.mean_correlation)
             .partial_cmp(&(b.map_conservation_rmsd - b.mean_correlation))
@@ -139,7 +185,6 @@ pub fn best_variable_subset(
         score_a.partial_cmp(&score_b).unwrap_or(std::cmp::Ordering::Equal)
     });
     results.truncate(top);
-    Ok(results)
 }
 
 /// Advance `indices` to the next k-combination of `0..p` (lexicographic).
@@ -158,6 +203,16 @@ fn next_combination(indices: &mut [usize], p: usize) -> bool {
         }
     }
     false
+}
+
+/// The size of the subset search space: `C(p, k)` lexicographic
+/// combinations, the index domain that [`score_combination_range`] windows
+/// over. Returns 0 when `k > p`.
+pub fn subset_space_size(p: usize, k: usize) -> usize {
+    if k > p {
+        return 0;
+    }
+    binomial(p, k)
 }
 
 fn binomial(n: usize, k: usize) -> usize {
@@ -212,6 +267,33 @@ mod tests {
         for threads in [2, 3, 8] {
             let par = best_variable_subset(&data, 2, 1.0, 10, 1999, threads).unwrap();
             assert_eq!(par, reference, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn combination_windows_reassemble_to_the_full_search() {
+        let data = redundant_data();
+        let reference = best_variable_subset(&data, 2, 1.0, 10, 1999, 1).unwrap();
+        // C(4,2) = 6 combinations, partitioned several ways.
+        for parts in [&[(0, 6)][..], &[(0, 3), (3, 6)], &[(0, 1), (1, 4), (4, 6)]] {
+            let mut merged = Vec::new();
+            for &(lo, hi) in parts {
+                merged.extend(
+                    score_combination_range(&data, 2, 1.0, 1999, 2, Some((lo, hi))).unwrap(),
+                );
+            }
+            rank_subset_results(&mut merged, 10);
+            assert_eq!(merged, reference, "partition {parts:?}");
+        }
+    }
+
+    #[test]
+    fn bad_combination_window_is_an_error() {
+        let data = redundant_data();
+        for range in [(3, 3), (5, 2), (0, 7), (6, 9)] {
+            let err =
+                score_combination_range(&data, 2, 1.0, 5, 1, Some(range)).unwrap_err();
+            assert!(matches!(err, CoplotError::InvalidConfig(_)), "{range:?}: {err}");
         }
     }
 

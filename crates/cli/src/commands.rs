@@ -77,9 +77,17 @@ fn parse_dataset(positional: &[String]) -> Result<DatasetSpec, String> {
 
 /// Run a request through the shared executor — the same code path
 /// `wl-serve` uses, so `--json` output is byte-identical to a server
-/// response for the same canonical request.
+/// response for the same canonical request. The request makes a round
+/// trip through the versioned v2 [`coplot::Envelope`] first, so the CLI
+/// exercises the exact wire encoding a `/v2/analyze` client would send
+/// (and any envelope regression breaks the CLI tests, not just the
+/// server's).
 fn run_request(req: &AnalysisRequest, threads: usize) -> Result<ExecOutcome, String> {
-    execute(req, &ExecConfig::new(threads)).map_err(|e| e.to_string())
+    let envelope = coplot::Envelope::v2(req.clone());
+    let req = coplot::Envelope::from_json(&envelope.to_json())
+        .and_then(coplot::Envelope::into_analysis)
+        .map_err(|e| e.to_string())?;
+    execute(&req, &ExecConfig::new(threads)).map_err(|e| e.to_string())
 }
 
 /// Resolve a `--format` label, or auto-detect from the path and contents.

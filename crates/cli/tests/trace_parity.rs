@@ -61,7 +61,7 @@ fn datasets_listing_is_pinned_with_formats() {
          {\"name\":\"grid\",\"description\":\"five synthetic grid sites ingested from GWF text\",\"format\":\"gwf\",\"observations\":5},\
          {\"name\":\"web\",\"description\":\"four synthetic web servers ingested from access logs\",\"format\":\"weblog\",\"observations\":4},\
          {\"name\":\"crossdomain\",\"description\":\"table3 plus the grid and web suites on one embedding\",\"format\":\"synthetic\",\"observations\":24}\
-         ]}"
+         ],\"api_versions\":[1,2]}"
     );
     server.shutdown();
 }

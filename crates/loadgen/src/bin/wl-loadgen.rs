@@ -13,7 +13,7 @@
 use std::process::ExitCode;
 use std::time::Duration;
 
-use wl_loadgen::{run_load, ArrivalProcess, LoadOptions};
+use wl_loadgen::{run_load, v2_envelope_template, ArrivalProcess, LoadOptions};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -21,6 +21,8 @@ fn main() -> ExitCode {
     let mut opts = LoadOptions::default();
     let mut expect_no_5xx = false;
     let mut max_p99_ms: Option<u64> = None;
+    let mut api_v2 = false;
+    let mut explicit_path = false;
 
     let mut i = 0;
     while i < args.len() {
@@ -36,7 +38,7 @@ fn main() -> ExitCode {
                 continue;
             }
             "--addr" | "--requests" | "--connections" | "--process" | "--rate" | "--seed"
-            | "--path" | "--body" | "--distinct" | "--timeout-ms" | "--max-p99-ms" => {}
+            | "--path" | "--body" | "--distinct" | "--timeout-ms" | "--max-p99-ms" | "--api" => {}
             other => return fail(&format!("unknown flag {other:?}\n{USAGE}")),
         }
         let Some(value) = args.get(i + 1) else {
@@ -64,7 +66,15 @@ fn main() -> ExitCode {
                 Ok(s) => opts.seed = s,
                 Err(_) => return fail("--seed needs an integer"),
             },
-            "--path" => opts.path = value.clone(),
+            "--path" => {
+                opts.path = value.clone();
+                explicit_path = true;
+            }
+            "--api" => match value.as_str() {
+                "v1" => api_v2 = false,
+                "v2" => api_v2 = true,
+                _ => return fail("--api must be `v1` or `v2`"),
+            },
             "--body" => opts.body = value.clone(),
             "--distinct" => match value.parse() {
                 Ok(n) if n > 0 => opts.distinct = n,
@@ -86,6 +96,17 @@ fn main() -> ExitCode {
     let Some(addr) = addr else {
         return fail(&format!("--addr is required\n{USAGE}"));
     };
+    if api_v2 {
+        // Wrap the (possibly `{seed}`-templated) v1 body in the versioned
+        // envelope and aim at the dispatch endpoint unless --path overrode it.
+        match v2_envelope_template(&opts.body) {
+            Some(wrapped) => opts.body = wrapped,
+            None => return fail("--api v2 needs a body template with an \"op\" field"),
+        }
+        if !explicit_path {
+            opts.path = "/v2/analyze".into();
+        }
+    }
     let report = match run_load(&addr, &opts) {
         Ok(r) => r,
         Err(e) => return fail(&format!("cannot reach {addr}: {e}")),
@@ -131,7 +152,7 @@ const USAGE: &str = "wl-loadgen — arrival-process load generator for wl-serve
 USAGE:
   wl-loadgen --addr HOST:PORT [--requests N] [--connections N]
              [--process poisson|fgn:H] [--rate R] [--seed N]
-             [--path /v1/coplot] [--body JSON] [--distinct N]
+             [--path /v1/coplot] [--body JSON] [--distinct N] [--api v1|v2]
              [--timeout-ms N] [--expect-no-5xx] [--max-p99-ms N]
 
   --addr HOST:PORT  target server (required)
@@ -147,6 +168,9 @@ USAGE:
                     models-dataset coplot request)
   --distinct N      distinct `{seed}` values; 1 = maximal coalescing
                     (default 1)
+  --api v1|v2       v2 wraps the body template in the versioned envelope
+                    and targets POST /v2/analyze (default v1; an explicit
+                    --path still wins)
   --timeout-ms N    per-call socket timeout (default 60000)
   --expect-no-5xx   exit 1 on any 5xx or transport error
   --max-p99-ms N    exit 1 when p99 latency exceeds N ms";

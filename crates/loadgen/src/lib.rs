@@ -107,6 +107,25 @@ pub fn schedule(
         .collect()
 }
 
+/// Wrap a v1 body *template* in the versioned v2 envelope
+/// (`{"api_version":2,"op":...,"body":...}`) targeted at `/v2/analyze`.
+/// Works on templates, not parsed JSON, because templates may contain the
+/// `{seed}` placeholder; the envelope's `op` is lifted from the first
+/// `"op":"..."` in the template. `None` when no op can be found.
+pub fn v2_envelope_template(template: &str) -> Option<String> {
+    let at = template.find("\"op\"")?;
+    let rest = template[at + 4..].trim_start().strip_prefix(':')?.trim_start();
+    let label = rest.strip_prefix('"')?;
+    let end = label.find('"')?;
+    let op = &label[..end];
+    if op.is_empty() {
+        return None;
+    }
+    Some(format!(
+        "{{\"api_version\":2,\"op\":\"{op}\",\"body\":{template}}}"
+    ))
+}
+
 /// Nearest-rank percentile of an unsorted latency sample (q in [0, 100]).
 /// Empty input reports zero.
 pub fn percentile_duration(samples: &[Duration], q: f64) -> Duration {
@@ -425,6 +444,22 @@ mod tests {
         );
         assert_eq!(ArrivalProcess::from_flag("fgn:1.5"), None);
         assert_eq!(ArrivalProcess::from_flag("uniform"), None);
+    }
+
+    #[test]
+    fn v2_envelope_template_wraps_and_lifts_the_op() {
+        let template = LoadOptions::default().body;
+        let wrapped = v2_envelope_template(&template).unwrap();
+        assert!(wrapped.starts_with("{\"api_version\":2,\"op\":\"coplot\",\"body\":{"));
+        assert!(wrapped.contains("{seed}"), "placeholder survives wrapping");
+        // Substituted, the wrapped template is a valid v2 envelope that
+        // parses back to the same analysis request as the flat v1 body.
+        let flat = template.replace("{seed}", "3");
+        let v2 = wrapped.replace("{seed}", "3");
+        let from_v1 = coplot::Envelope::from_json(&flat).unwrap().into_analysis().unwrap();
+        let from_v2 = coplot::Envelope::from_json(&v2).unwrap().into_analysis().unwrap();
+        assert_eq!(from_v1, from_v2);
+        assert_eq!(v2_envelope_template("{\"dataset\":{}}"), None);
     }
 
     #[test]

@@ -14,7 +14,9 @@
 
 use std::io::{Read, Write};
 use std::process::ExitCode;
+use std::time::Duration;
 
+use wl_serve::dist::CoordinatorConfig;
 use wl_serve::server::{start, ConnModel, ServerConfig};
 
 fn main() -> ExitCode {
@@ -33,6 +35,10 @@ fn main() -> ExitCode {
         ..ServerConfig::default()
     };
     let mut stdin_shutdown = false;
+    let mut coordinator = false;
+    let mut fleet_workers: Vec<String> = Vec::new();
+    let mut probe_interval_ms: u64 = CoordinatorConfig::default().probe_interval_ms;
+    let mut register_with: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         let flag = args[i].as_str();
@@ -42,12 +48,18 @@ fn main() -> ExitCode {
                 i += 1;
                 continue;
             }
+            "--coordinator" => {
+                coordinator = true;
+                i += 1;
+                continue;
+            }
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return ExitCode::SUCCESS;
             }
             "--addr" | "--workers" | "--queue" | "--cache" | "--deadline-ms"
-            | "--conn-model" | "--idle-timeout-ms" | "--batch-max" => {}
+            | "--conn-model" | "--idle-timeout-ms" | "--batch-max" | "--worker"
+            | "--probe-interval-ms" | "--register" => {}
             other => return fail(&format!("unknown flag {other:?}\n{USAGE}")),
         }
         let Some(value) = args.get(i + 1) else {
@@ -55,6 +67,12 @@ fn main() -> ExitCode {
         };
         match flag {
             "--addr" => config.addr = value.clone(),
+            "--worker" => fleet_workers.push(value.clone()),
+            "--probe-interval-ms" => match value.parse() {
+                Ok(n) if n > 0 => probe_interval_ms = n,
+                _ => return fail("--probe-interval-ms needs a positive integer"),
+            },
+            "--register" => register_with = Some(value.clone()),
             "--workers" => match value.parse() {
                 Ok(n) if n > 0 => config.workers = n,
                 _ => return fail("--workers needs a positive integer"),
@@ -88,12 +106,36 @@ fn main() -> ExitCode {
         i += 2;
     }
 
+    if coordinator {
+        config.coordinator = Some(CoordinatorConfig {
+            workers: fleet_workers,
+            probe_interval_ms,
+        });
+    } else if !fleet_workers.is_empty() {
+        return fail("--worker requires --coordinator");
+    }
+
     let handle = match start(config) {
         Ok(h) => h,
         Err(e) => return fail(&format!("cannot bind: {e}")),
     };
     println!("wl-serve listening on http://{}", handle.addr());
     let _ = std::io::stdout().flush();
+
+    if let Some(coordinator_addr) = register_with {
+        // Announce this worker to its coordinator in the background,
+        // retrying while the coordinator is still coming up.
+        let self_addr = handle.addr().to_string();
+        std::thread::spawn(move || {
+            for _ in 0..20 {
+                if wl_serve::dist::wire::register_with(&coordinator_addr, &self_addr).is_ok() {
+                    return;
+                }
+                std::thread::sleep(Duration::from_millis(250));
+            }
+            eprintln!("wl-serve: could not register with {coordinator_addr}");
+        });
+    }
 
     if stdin_shutdown {
         let drainer = handle.drainer();
@@ -124,6 +166,8 @@ USAGE:
   wl-serve [--addr HOST:PORT] [--conn-model event|threaded] [--workers N]
            [--queue N] [--cache N] [--deadline-ms N] [--idle-timeout-ms N]
            [--batch-max N] [--stdin-shutdown]
+           [--coordinator] [--worker HOST:PORT]... [--probe-interval-ms N]
+           [--register HOST:PORT]
            [--threads N] [--trace text|json] [--metrics-out PATH]
 
   --addr HOST:PORT   bind address (default 127.0.0.1:1999; port 0 = ephemeral)
@@ -138,9 +182,16 @@ USAGE:
                      idlers get 408) after this long (default 10000)
   --batch-max N      event model: most requests coalesced per batch (default 8)
   --stdin-shutdown   drain gracefully when a byte arrives on stdin
+  --coordinator      run as a fleet coordinator: analyses are sharded across
+                     registered workers (results byte-identical to one node)
+  --worker H:P       (with --coordinator, repeatable) a worker address; more
+                     may register at runtime via POST /v2/workers
+  --probe-interval-ms N  coordinator health-probe period (default 1000)
+  --register H:P     announce this server to a coordinator after binding
   --threads N        engine threads per request (default WL_THREADS, then
                      the available parallelism)
   --trace/--metrics-out  wl-obs session flags (also scraped live at /metrics)
 
-Endpoints: POST /v1/coplot /v1/hurst /v1/subset /v1/shutdown;
-           GET /v1/datasets /metrics /healthz";
+Endpoints: POST /v1/coplot /v1/hurst /v1/subset /v1/stream /v1/shutdown
+           POST /v2/analyze /v2/shard /v2/workers;
+           GET /v1/datasets /v2/fleet /metrics /healthz";

@@ -2,6 +2,8 @@
 //!
 //! ```text
 //! wl-servectl METHOD http://HOST:PORT/PATH [BODY-FILE]
+//! wl-servectl fleet-status http://COORDINATOR
+//! wl-servectl fleet-register http://COORDINATOR WORKER_HOST:PORT
 //! ```
 //!
 //! Prints the response body to stdout and `HTTP <status>` to stderr; exits
@@ -10,12 +12,28 @@
 
 use std::process::ExitCode;
 
+const USAGE: &str = "usage: wl-servectl METHOD http://HOST:PORT/PATH [BODY-FILE]
+       wl-servectl fleet-status http://COORDINATOR
+       wl-servectl fleet-register http://COORDINATOR WORKER_HOST:PORT";
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let (method, url, body_file) = match args.as_slice() {
-        [m, u] => (m.as_str(), u.as_str(), None),
-        [m, u, f] => (m.as_str(), u.as_str(), Some(f.as_str())),
-        _ => return fail("usage: wl-servectl METHOD http://HOST:PORT/PATH [BODY-FILE]"),
+    let (method, url, body) = match args.as_slice() {
+        [sub, u] if sub == "fleet-status" => ("GET".to_string(), join(u, "/v2/fleet"), None),
+        [sub, u, worker] if sub == "fleet-register" => (
+            "POST".to_string(),
+            join(u, "/v2/workers"),
+            Some(format!("{{\"addr\":\"{}\"}}", wl_obs::escape_str(worker))),
+        ),
+        [m, u] => (m.clone(), u.clone(), None),
+        [m, u, f] => {
+            let body = match std::fs::read_to_string(f) {
+                Ok(s) => s,
+                Err(e) => return fail(&format!("cannot read {f}: {e}")),
+            };
+            (m.clone(), u.clone(), Some(body))
+        }
+        _ => return fail(USAGE),
     };
     let Some(rest) = url.strip_prefix("http://") else {
         return fail("only http:// URLs are supported");
@@ -24,14 +42,7 @@ fn main() -> ExitCode {
         Some(i) => (&rest[..i], &rest[i..]),
         None => (rest, "/"),
     };
-    let body = match body_file {
-        None => None,
-        Some(f) => match std::fs::read_to_string(f) {
-            Ok(s) => Some(s),
-            Err(e) => return fail(&format!("cannot read {f}: {e}")),
-        },
-    };
-    match wl_serve::http::http_call(addr, method, path, body.as_deref()) {
+    match wl_serve::http::http_call(addr, &method, path, body.as_deref()) {
         Ok((status, _headers, response_body)) => {
             print!("{response_body}");
             eprintln!("HTTP {status}");
@@ -43,6 +54,11 @@ fn main() -> ExitCode {
         }
         Err(e) => fail(&format!("request failed: {e}")),
     }
+}
+
+/// Append `path` to a base URL, tolerating a trailing slash.
+fn join(base: &str, path: &str) -> String {
+    format!("{}{}", base.trim_end_matches('/'), path)
 }
 
 fn fail(msg: &str) -> ExitCode {

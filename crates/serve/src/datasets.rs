@@ -246,8 +246,17 @@ pub fn datasets_json() -> String {
             d.observations()
         ));
     }
-    s.push_str("]}");
+    s.push_str("],\"api_versions\":");
+    s.push_str(&api_versions_json());
+    s.push('}');
     s
+}
+
+/// The supported `api_version` values as a JSON array — advertised in
+/// both `GET /v1/datasets` and `GET /healthz`.
+pub(crate) fn api_versions_json() -> String {
+    let versions: Vec<String> = coplot::API_VERSIONS.iter().map(u64::to_string).collect();
+    format!("[{}]", versions.join(","))
 }
 
 #[cfg(test)]

@@ -1,0 +1,91 @@
+//! The coordinator's client side of the v2 wire API: shard dispatch,
+//! health probes, worker registration, and metrics scraping, all over the
+//! same [`crate::http`] HTTP/1.1 subset the server speaks.
+
+use std::io;
+use std::time::Duration;
+
+use coplot::{Envelope, ShardRequest, ShardResponse};
+
+use crate::http::{http_call, HttpClient};
+
+/// Where workers accept shard POSTs.
+pub const SHARD_PATH: &str = "/v2/shard";
+/// Where coordinators accept worker registrations.
+pub const REGISTER_PATH: &str = "/v2/workers";
+
+/// What one shard POST produced.
+#[derive(Debug)]
+pub enum ShardReply {
+    /// The worker answered 200 with a parseable shard response.
+    Ok(ShardResponse),
+    /// The worker answered a typed error; status and body are forwarded
+    /// verbatim so the coordinator's reply matches single-node bytes.
+    Typed {
+        /// HTTP status the worker answered.
+        status: u16,
+        /// The typed JSON error body.
+        body: String,
+    },
+}
+
+/// POST one shard to a worker and parse the reply.
+///
+/// # Errors
+/// Transport failure (connect, socket, timeout) or a 200 body that does
+/// not parse as a shard response — both mean "treat this worker as lost
+/// and retry elsewhere".
+pub fn post_shard(
+    addr: &str,
+    shard: &ShardRequest,
+    timeout: Duration,
+) -> io::Result<ShardReply> {
+    let body = Envelope::shard(shard.clone()).to_json();
+    let mut client = HttpClient::connect(addr)?;
+    client.set_timeout(Some(timeout))?;
+    let (status, _, reply) = client.call("POST", SHARD_PATH, Some(&body))?;
+    if status != 200 {
+        return Ok(ShardReply::Typed {
+            status,
+            body: reply,
+        });
+    }
+    match ShardResponse::from_json(&reply) {
+        Ok(resp) => Ok(ShardReply::Ok(resp)),
+        Err(e) => Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("worker {addr} answered 200 with an unparseable shard body: {}", e.message),
+        )),
+    }
+}
+
+/// Liveness probe: `GET /healthz` answered 200.
+pub fn probe(addr: &str) -> bool {
+    matches!(http_call(addr, "GET", "/healthz", None), Ok((200, _, _)))
+}
+
+/// Scrape one worker's `GET /metrics` JSON-lines document.
+///
+/// # Errors
+/// Transport failure or a non-200 answer.
+pub fn fetch_metrics(addr: &str) -> io::Result<String> {
+    let (status, _, body) = http_call(addr, "GET", "/metrics", None)?;
+    if status != 200 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("worker {addr} answered {status} to GET /metrics"),
+        ));
+    }
+    Ok(body)
+}
+
+/// Register `self_addr` with a coordinator (what `wl-serve --register`
+/// does after binding).
+///
+/// # Errors
+/// Transport failure reaching the coordinator.
+pub fn register_with(coordinator: &str, self_addr: &str) -> io::Result<(u16, String)> {
+    let body = format!("{{\"addr\":\"{}\"}}", wl_obs::escape_str(self_addr));
+    let (status, _, reply) = http_call(coordinator, "POST", REGISTER_PATH, Some(&body))?;
+    Ok((status, reply))
+}

@@ -1,0 +1,99 @@
+//! The worker side of distribution: `/v2/shard` handling. A worker is an
+//! ordinary `wl-serve` — same executor, same cache, same typed errors —
+//! that also accepts shard POSTs wrapped in the v2 envelope.
+
+use std::time::{Duration, Instant};
+
+use coplot::{Envelope, EnvelopePayload, ShardRequest};
+
+use crate::cache::ResultCache;
+use crate::datasets;
+use crate::exec::{self, ExecConfig};
+use crate::http::{Request, Response};
+use crate::server::{error_body, exec_error_response, ServerConfig};
+
+/// A validated shard request ready to execute — the shard-side analog of
+/// [`crate::server::Prepared`], split out so the event reactor answers
+/// 400s inline and workers only see well-formed jobs.
+pub(crate) struct PreparedShard {
+    /// The canonical shard request.
+    pub canonical: ShardRequest,
+    /// FNV-1a digest of the canonical shard encoding (cache key half).
+    pub request_digest: u64,
+}
+
+/// Parse and validate one `/v2/shard` POST.
+///
+/// # Errors
+/// The ready-to-send typed 400 response.
+pub(crate) fn prepare_shard(request: &Request) -> Result<PreparedShard, Response> {
+    let Ok(body) = std::str::from_utf8(&request.body) else {
+        return Err(Response::json(400, error_body("bad-json", "body is not UTF-8")));
+    };
+    let envelope = match Envelope::from_json(body) {
+        Ok(e) => e,
+        Err(e) => return Err(Response::json(400, error_body(e.kind.label(), &e.message))),
+    };
+    let shard = match envelope.payload {
+        EnvelopePayload::Shard(s) => s,
+        EnvelopePayload::Analysis(_) => {
+            return Err(Response::json(
+                400,
+                error_body(
+                    "bad-schema",
+                    "analysis requests belong on /v2/analyze or the /v1 endpoints, not /v2/shard",
+                ),
+            ))
+        }
+    };
+    let canonical = match shard.canonicalize() {
+        Ok(s) => s,
+        Err(e) => return Err(Response::json(400, error_body(e.kind.label(), &e.message))),
+    };
+    let request_digest = match canonical.canonical_digest() {
+        Ok(d) => d,
+        Err(e) => return Err(Response::json(400, error_body(e.kind.label(), &e.message))),
+    };
+    Ok(PreparedShard {
+        canonical,
+        request_digest,
+    })
+}
+
+/// Execute a prepared shard: consult the content-addressed cache (keyed
+/// exactly like whole analyses: dataset digest x canonical shard digest),
+/// run, cache, respond. Never 500.
+pub(crate) fn execute_prepared_shard(
+    prepared: &PreparedShard,
+    config: &ServerConfig,
+    cache: &ResultCache,
+) -> Response {
+    let base = &prepared.canonical.base;
+    let dataset_digest = match datasets::dataset_digest(
+        &base.dataset,
+        base.jobs,
+        base.seed,
+        base.format.as_deref(),
+    ) {
+        Ok(d) => d,
+        Err(e) => return exec_error_response(&e),
+    };
+    let key = (dataset_digest, prepared.request_digest);
+    if let Some(body) = cache.get(key) {
+        return Response::json(200, body);
+    }
+    let deadline_ms = base.deadline_ms.or(config.default_deadline_ms);
+    let cfg = ExecConfig {
+        threads: config.threads,
+        deadline: deadline_ms.map(|ms| Instant::now() + Duration::from_millis(ms)),
+    };
+    match exec::execute_shard(&prepared.canonical, &cfg) {
+        Ok(resp) => {
+            wl_obs::counter!("serve.shard.executed", 1);
+            let body = resp.to_json();
+            cache.put(key, body.clone());
+            Response::json(200, body)
+        }
+        Err(e) => exec_error_response(&e),
+    }
+}

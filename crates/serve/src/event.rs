@@ -46,10 +46,13 @@ use wl_par::poll::{waker, PollSet, WakeReceiver, Waker};
 
 use crate::batch::{record_batch, take_batch, BatchKey, BatchMemo};
 use crate::cache::ResultCache;
+use crate::dist::coordinator::{aggregated_metrics, execute_via_fleet};
+use crate::dist::worker::{execute_prepared_shard, prepare_shard, PreparedShard};
+use crate::dist::Coordinator;
 use crate::http::{try_parse, HttpError, ParseStatus, Request, Response};
 use crate::server::{
-    classify, error_body, execute_prepared, prepare_analysis, record_status, stream_response,
-    Endpoint, Prepared, Routed, ServerConfig,
+    classify, error_body, execute_prepared, fleet_response, own_metrics_response,
+    prepare_analysis, record_status, stream_response, Endpoint, Prepared, Routed, ServerConfig,
 };
 
 /// One unit of work bound for the pool: a fully-parsed, validated request
@@ -66,6 +69,11 @@ struct Job {
 enum JobKind {
     Analysis(Prepared),
     Stream(Request),
+    /// A `/v2/shard` POST (workers in a fleet run these).
+    Shard(PreparedShard),
+    /// Coordinator `GET /metrics`: scraping workers is network I/O, so it
+    /// runs on the pool, never the reactor.
+    FleetMetrics,
 }
 
 /// A finished job: response bytes ready to splice into the connection's
@@ -86,6 +94,7 @@ pub(crate) struct EventShared {
     inflight: AtomicI64,
     cache: ResultCache,
     waker: Waker,
+    coordinator: Option<Arc<Coordinator>>,
 }
 
 /// A cloneable drain trigger for the event model.
@@ -128,7 +137,11 @@ impl EventHandle {
 
 /// Start the reactor and workers on an already-bound, non-blocking
 /// listener.
-pub(crate) fn start(listener: TcpListener, config: ServerConfig) -> io::Result<EventHandle> {
+pub(crate) fn start(
+    listener: TcpListener,
+    config: ServerConfig,
+    coordinator: Option<Arc<Coordinator>>,
+) -> io::Result<EventHandle> {
     let (wake_tx, wake_rx) = waker()?;
     let shared = Arc::new(EventShared {
         cache: ResultCache::new(config.cache_capacity),
@@ -139,6 +152,7 @@ pub(crate) fn start(listener: TcpListener, config: ServerConfig) -> io::Result<E
         draining: AtomicBool::new(false),
         inflight: AtomicI64::new(0),
         waker: wake_tx,
+        coordinator,
     });
 
     let workers = (0..shared.config.workers.max(1))
@@ -473,6 +487,56 @@ fn dispatch_buffered(
                 endpoint.record_latency(started.elapsed().as_micros() as u64);
                 conn.push_response(&response, keep_alive);
             }
+            Routed::Metrics => {
+                if shared.coordinator.is_some() {
+                    // Scraping the fleet blocks on sockets; pool it.
+                    enqueue(
+                        conn,
+                        shared,
+                        Job {
+                            conn: id,
+                            keep_alive,
+                            started,
+                            endpoint: Endpoint::Metrics,
+                            key: BatchKey::Solo,
+                            kind: JobKind::FleetMetrics,
+                        },
+                    );
+                } else {
+                    let response = own_metrics_response();
+                    record_status(response.status);
+                    Endpoint::Metrics.record_latency(started.elapsed().as_micros() as u64);
+                    conn.push_response(&response, keep_alive);
+                }
+            }
+            Routed::Fleet(fleet_route) => {
+                let response =
+                    fleet_response(&request, fleet_route, shared.coordinator.as_deref());
+                record_status(response.status);
+                Endpoint::Fleet.record_latency(started.elapsed().as_micros() as u64);
+                conn.push_response(&response, keep_alive);
+            }
+            Routed::Shard => match prepare_shard(&request) {
+                Err(response) => {
+                    record_status(response.status);
+                    Endpoint::Shard.record_latency(started.elapsed().as_micros() as u64);
+                    conn.push_response(&response, keep_alive);
+                }
+                Ok(prepared) => {
+                    enqueue(
+                        conn,
+                        shared,
+                        Job {
+                            conn: id,
+                            keep_alive,
+                            started,
+                            endpoint: Endpoint::Shard,
+                            key: BatchKey::Solo,
+                            kind: JobKind::Shard(prepared),
+                        },
+                    );
+                }
+            },
             Routed::Shutdown => {
                 shared.draining.store(true, Ordering::SeqCst);
                 shared.available.notify_all();
@@ -580,10 +644,18 @@ fn worker_loop(shared: &Arc<EventShared>) {
         let memo = BatchMemo::new();
         for job in batch {
             let response = match &job.kind {
-                JobKind::Analysis(prepared) => {
-                    execute_prepared(prepared, &shared.config, &shared.cache, Some(&memo))
-                }
+                JobKind::Analysis(prepared) => match shared.coordinator.as_deref() {
+                    Some(c) => execute_via_fleet(c, prepared, &shared.config, &shared.cache),
+                    None => execute_prepared(prepared, &shared.config, &shared.cache, Some(&memo)),
+                },
                 JobKind::Stream(request) => stream_response(request, shared.config.threads),
+                JobKind::Shard(prepared) => {
+                    execute_prepared_shard(prepared, &shared.config, &shared.cache)
+                }
+                JobKind::FleetMetrics => match shared.coordinator.as_deref() {
+                    Some(c) => aggregated_metrics(c),
+                    None => own_metrics_response(),
+                },
             };
             record_status(response.status);
             job.endpoint

@@ -27,11 +27,11 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use coplot::{AnalysisRequest, Operation};
-use wl_obs::escape_str;
+use coplot::{AnalysisRequest, Envelope, EnvelopePayload, ErrorBody, Operation};
 
 use crate::cache::ResultCache;
 use crate::datasets;
+use crate::dist::{self, Coordinator, CoordinatorConfig};
 use crate::exec::{self, ExecConfig, ExecError};
 use crate::http::{read_request, HttpError, Request, Response};
 
@@ -83,6 +83,11 @@ pub struct ServerConfig {
     pub idle_timeout_ms: u64,
     /// Event model: most requests coalesced into one batch.
     pub batch_max: usize,
+    /// Run as a fleet coordinator (`wl-serve --coordinator`): analyses are
+    /// sharded across the configured workers instead of executed locally,
+    /// `/v2/workers` accepts registrations and `/v2/fleet` reports status.
+    /// `None` (the default) is an ordinary single-node server / worker.
+    pub coordinator: Option<CoordinatorConfig>,
 }
 
 impl Default for ServerConfig {
@@ -97,6 +102,7 @@ impl Default for ServerConfig {
             conn_model: ConnModel::Event,
             idle_timeout_ms: 10_000,
             batch_max: 8,
+            coordinator: None,
         }
     }
 }
@@ -109,6 +115,7 @@ struct Shared {
     draining: AtomicBool,
     inflight: AtomicI64,
     cache: ResultCache,
+    coordinator: Option<Arc<Coordinator>>,
 }
 
 /// A running server; dropping the handle does *not* stop it — call
@@ -217,9 +224,10 @@ pub fn start(config: ServerConfig) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind(&config.addr)?;
     let addr = listener.local_addr()?;
     listener.set_nonblocking(true)?;
+    let coordinator = config.coordinator.as_ref().map(Coordinator::start);
 
     if config.conn_model == ConnModel::Event {
-        let handle = crate::event::start(listener, config)?;
+        let handle = crate::event::start(listener, config, coordinator)?;
         return Ok(ServerHandle {
             addr,
             inner: HandleInner::Event(handle),
@@ -233,6 +241,7 @@ pub fn start(config: ServerConfig) -> std::io::Result<ServerHandle> {
         available: Condvar::new(),
         draining: AtomicBool::new(false),
         inflight: AtomicI64::new(0),
+        coordinator,
     });
 
     let workers = (0..shared.config.workers.max(1))
@@ -363,6 +372,9 @@ pub(crate) enum Endpoint {
     Coplot,
     Hurst,
     Subset,
+    Analyze,
+    Shard,
+    Fleet,
     Stream,
     Shutdown,
     Other,
@@ -377,6 +389,9 @@ impl Endpoint {
             Endpoint::Coplot => wl_obs::hist_record!("serve.latency_us.coplot", us),
             Endpoint::Hurst => wl_obs::hist_record!("serve.latency_us.hurst", us),
             Endpoint::Subset => wl_obs::hist_record!("serve.latency_us.subset", us),
+            Endpoint::Analyze => wl_obs::hist_record!("serve.latency_us.analyze", us),
+            Endpoint::Shard => wl_obs::hist_record!("serve.latency_us.shard", us),
+            Endpoint::Fleet => wl_obs::hist_record!("serve.latency_us.fleet", us),
             Endpoint::Stream => wl_obs::hist_record!("serve.latency_us.stream", us),
             Endpoint::Shutdown => wl_obs::hist_record!("serve.latency_us.shutdown", us),
             Endpoint::Other => wl_obs::hist_record!("serve.latency_us.other", us),
@@ -403,46 +418,59 @@ pub(crate) fn record_status(status: u16) {
 /// work runs (inline on the handling thread vs. dispatched to the worker
 /// pool).
 pub(crate) enum Routed {
-    /// Answerable immediately (health, metrics, datasets, 404/405).
+    /// Answerable immediately (health, datasets, 404/405).
     Inline(Response, Endpoint),
+    /// `GET /metrics` — inline on a single node, but a coordinator scrapes
+    /// its workers, so the caller decides where that network work runs.
+    Metrics,
     /// Drain trigger: the caller initiates its model's drain and answers.
     Shutdown,
-    /// An analysis POST bound for the executor.
-    Analysis(Operation, Endpoint),
+    /// An analysis POST bound for the executor. `None` means
+    /// `POST /v2/analyze`, which carries its op in the envelope; `Some`
+    /// is a `/v1/*` endpoint that must match the body's op.
+    Analysis(Option<Operation>, Endpoint),
+    /// A `/v2/shard` POST bound for the shard executor.
+    Shard,
+    /// Fleet control plane (registration / status), answered inline.
+    Fleet(FleetRoute),
     /// A `/v1/stream` session bound for the executor.
     Stream,
 }
 
+/// Which fleet control-plane endpoint a request hit.
+#[derive(Clone, Copy)]
+pub(crate) enum FleetRoute {
+    /// `POST /v2/workers` — a worker announcing itself.
+    Register,
+    /// `GET /v2/fleet` — worker table with liveness and shard counts.
+    Status,
+}
+
 pub(crate) fn classify(request: &Request) -> Routed {
     match (request.method.as_str(), request.target.as_str()) {
-        ("GET", "/healthz") => Routed::Inline(Response::text(200, "ok\n"), Endpoint::Health),
-        ("GET", "/metrics") => {
-            let snapshot = wl_obs::registry().snapshot();
-            let body = wl_obs::export_json_lines(&snapshot, &[]);
-            Routed::Inline(
-                Response {
-                    status: 200,
-                    content_type: "application/x-ndjson",
-                    body,
-                    extra_headers: Vec::new(),
-                },
-                Endpoint::Metrics,
-            )
+        ("GET", "/healthz") => {
+            Routed::Inline(Response::json(200, health_body()), Endpoint::Health)
         }
+        ("GET", "/metrics") => Routed::Metrics,
         ("GET", "/v1/datasets") => Routed::Inline(
             Response::json(200, datasets::datasets_json()),
             Endpoint::Datasets,
         ),
-        ("POST", "/v1/coplot") => Routed::Analysis(Operation::Coplot, Endpoint::Coplot),
-        ("POST", "/v1/hurst") => Routed::Analysis(Operation::Hurst, Endpoint::Hurst),
-        ("POST", "/v1/subset") => Routed::Analysis(Operation::Subset, Endpoint::Subset),
+        ("POST", "/v1/coplot") => Routed::Analysis(Some(Operation::Coplot), Endpoint::Coplot),
+        ("POST", "/v1/hurst") => Routed::Analysis(Some(Operation::Hurst), Endpoint::Hurst),
+        ("POST", "/v1/subset") => Routed::Analysis(Some(Operation::Subset), Endpoint::Subset),
+        ("POST", "/v2/analyze") => Routed::Analysis(None, Endpoint::Analyze),
+        ("POST", "/v2/shard") => Routed::Shard,
+        ("POST", "/v2/workers") => Routed::Fleet(FleetRoute::Register),
+        ("GET", "/v2/fleet") => Routed::Fleet(FleetRoute::Status),
         ("POST", "/v1/stream") => Routed::Stream,
         ("POST", "/v1/shutdown") => Routed::Shutdown,
         (_, path)
             if matches!(
                 path,
                 "/healthz" | "/metrics" | "/v1/datasets" | "/v1/coplot" | "/v1/hurst"
-                    | "/v1/subset" | "/v1/stream" | "/v1/shutdown"
+                    | "/v1/subset" | "/v1/stream" | "/v1/shutdown" | "/v2/analyze"
+                    | "/v2/shard" | "/v2/workers" | "/v2/fleet"
             ) =>
         {
             Routed::Inline(
@@ -463,21 +491,116 @@ pub(crate) fn classify(request: &Request) -> Routed {
     }
 }
 
+/// The `GET /healthz` body: liveness plus the wire-API versions this
+/// server speaks, so clients (and fleet probes) can negotiate without a
+/// second round trip.
+pub(crate) fn health_body() -> String {
+    format!(
+        "{{\"status\":\"ok\",\"api_versions\":{}}}",
+        datasets::api_versions_json()
+    )
+}
+
+/// This process's own metrics document (what a single node serves at
+/// `GET /metrics`, and the base a coordinator merges worker metrics into).
+pub(crate) fn own_metrics_body() -> String {
+    let snapshot = wl_obs::registry().snapshot();
+    wl_obs::export_json_lines(&snapshot, &[])
+}
+
+pub(crate) fn own_metrics_response() -> Response {
+    Response {
+        status: 200,
+        content_type: "application/x-ndjson",
+        body: own_metrics_body(),
+        extra_headers: Vec::new(),
+    }
+}
+
+pub(crate) fn metrics_response(coordinator: Option<&Coordinator>) -> Response {
+    match coordinator {
+        Some(c) => dist::coordinator::aggregated_metrics(c),
+        None => own_metrics_response(),
+    }
+}
+
+/// Answer a fleet control-plane request. On a non-coordinator both
+/// endpoints are a typed 404: the route exists, but this process has no
+/// worker table to serve.
+pub(crate) fn fleet_response(
+    request: &Request,
+    route: FleetRoute,
+    coordinator: Option<&Coordinator>,
+) -> Response {
+    let Some(coordinator) = coordinator else {
+        return Response::json(
+            404,
+            error_body(
+                "not-coordinator",
+                "this wl-serve is not running in coordinator mode",
+            ),
+        );
+    };
+    match route {
+        FleetRoute::Register => {
+            let addr = std::str::from_utf8(&request.body)
+                .ok()
+                .and_then(|body| wl_obs::parse_json(body).ok())
+                .and_then(|v| v.get("addr").and_then(|a| a.as_str().map(String::from)));
+            let Some(addr) = addr else {
+                return Response::json(
+                    400,
+                    error_body("bad-schema", "registration body must be {\"addr\":\"host:port\"}"),
+                );
+            };
+            let new = coordinator.register(&addr);
+            Response::json(
+                200,
+                format!(
+                    "{{\"registered\":\"{}\",\"known\":{},\"new\":{}}}",
+                    wl_obs::escape_str(&addr),
+                    coordinator.worker_count(),
+                    new
+                ),
+            )
+        }
+        FleetRoute::Status => Response::json(200, coordinator.status_json()),
+    }
+}
+
 fn route(request: &Request, shared: &Arc<Shared>) -> (Response, Endpoint) {
+    let coordinator = shared.coordinator.as_deref();
     match classify(request) {
         Routed::Inline(response, endpoint) => (response, endpoint),
+        Routed::Metrics => (metrics_response(coordinator), Endpoint::Metrics),
         Routed::Shutdown => {
             initiate_drain(shared);
             (Response::text(200, "draining\n"), Endpoint::Shutdown)
         }
         Routed::Analysis(op, endpoint) => (
             match prepare_analysis(request, op) {
-                Ok(prepared) => {
-                    execute_prepared(&prepared, &shared.config, &shared.cache, None)
-                }
+                Ok(prepared) => match coordinator {
+                    Some(c) => {
+                        dist::coordinator::execute_via_fleet(c, &prepared, &shared.config, &shared.cache)
+                    }
+                    None => execute_prepared(&prepared, &shared.config, &shared.cache, None),
+                },
                 Err(response) => response,
             },
             endpoint,
+        ),
+        Routed::Shard => (
+            match dist::worker::prepare_shard(request) {
+                Ok(prepared) => {
+                    dist::worker::execute_prepared_shard(&prepared, &shared.config, &shared.cache)
+                }
+                Err(response) => response,
+            },
+            Endpoint::Shard,
+        ),
+        Routed::Fleet(fleet_route) => (
+            fleet_response(request, fleet_route, coordinator),
+            Endpoint::Fleet,
         ),
         Routed::Stream => (
             stream_response(request, shared.config.threads),
@@ -518,32 +641,50 @@ impl Prepared {
 }
 
 /// Parse and validate one analysis POST down to its canonical request.
+/// Every analysis endpoint — `/v1/*` and `/v2/analyze` — funnels through
+/// the versioned [`Envelope`]: a bare body is v1 by definition, so the v1
+/// wire format (and its digests) is untouched, while `/v2/analyze` passes
+/// `expected_op = None` and takes its op from the envelope.
 ///
 /// # Errors
 /// The ready-to-send 400 response.
 pub(crate) fn prepare_analysis(
     request: &Request,
-    expected_op: Operation,
+    expected_op: Option<Operation>,
 ) -> Result<Prepared, Response> {
     let Ok(body) = std::str::from_utf8(&request.body) else {
         return Err(Response::json(400, error_body("bad-json", "body is not UTF-8")));
     };
-    let parsed = match AnalysisRequest::from_json(body) {
-        Ok(r) => r,
+    let envelope = match Envelope::from_json(body) {
+        Ok(e) => e,
         Err(e) => return Err(Response::json(400, error_body(e.kind.label(), &e.message))),
     };
-    if parsed.op != expected_op {
-        return Err(Response::json(
-            400,
-            error_body(
-                "bad-value",
-                &format!(
-                    "request op {:?} does not match endpoint /v1/{}",
-                    parsed.op.label(),
-                    expected_op.label()
+    let parsed = match envelope.payload {
+        EnvelopePayload::Analysis(r) => r,
+        EnvelopePayload::Shard(_) => {
+            return Err(Response::json(
+                400,
+                error_body(
+                    "bad-schema",
+                    "shard requests belong on /v2/shard, not an analysis endpoint",
                 ),
-            ),
-        ));
+            ))
+        }
+    };
+    if let Some(expected_op) = expected_op {
+        if parsed.op != expected_op {
+            return Err(Response::json(
+                400,
+                error_body(
+                    "bad-value",
+                    &format!(
+                        "request op {:?} does not match endpoint /v1/{}",
+                        parsed.op.label(),
+                        expected_op.label()
+                    ),
+                ),
+            ));
+        }
     }
     let canonical = match parsed.canonicalize() {
         Ok(r) => r,
@@ -571,12 +712,7 @@ pub(crate) fn execute_prepared(
     memo: Option<&crate::batch::BatchMemo>,
 ) -> Response {
     let canonical = &prepared.canonical;
-    let dataset_digest = match datasets::dataset_digest(
-        &canonical.dataset,
-        canonical.jobs,
-        canonical.seed,
-        canonical.format.as_deref(),
-    ) {
+    let dataset_digest = match datasets_digest_of(canonical) {
         Ok(d) => d,
         Err(e) => return exec_error_response(&e),
     };
@@ -597,6 +733,18 @@ pub(crate) fn execute_prepared(
         }
         Err(e) => exec_error_response(&e),
     }
+}
+
+/// The dataset half of the result-cache key for a canonical request —
+/// shared by local execution and the coordinator (same key, same cached
+/// bytes, whichever path computed them).
+pub(crate) fn datasets_digest_of(canonical: &AnalysisRequest) -> Result<u64, ExecError> {
+    datasets::dataset_digest(
+        &canonical.dataset,
+        canonical.jobs,
+        canonical.seed,
+        canonical.format.as_deref(),
+    )
 }
 
 /// Handle one `/v1/stream` POST: split the body into the JSON header line
@@ -622,7 +770,7 @@ pub(crate) fn stream_response(request: &Request, threads: usize) -> Response {
     }
 }
 
-fn exec_error_response(e: &ExecError) -> Response {
+pub(crate) fn exec_error_response(e: &ExecError) -> Response {
     match e {
         ExecError::Api(a) => Response::json(400, error_body(a.kind.label(), &a.message)),
         ExecError::DatasetNotFound(m) => Response::json(404, error_body("not-found", m)),
@@ -633,13 +781,10 @@ fn exec_error_response(e: &ExecError) -> Response {
     }
 }
 
-/// The service's uniform error body.
+/// The service's uniform error body — one [`ErrorBody`] shape across
+/// every v1, v2 and shard endpoint.
 pub(crate) fn error_body(kind: &str, message: &str) -> String {
-    format!(
-        "{{\"error\":{{\"kind\":\"{}\",\"message\":\"{}\"}}}}",
-        escape_str(kind),
-        escape_str(message)
-    )
+    ErrorBody::new(kind, message).to_json()
 }
 
 #[cfg(test)]

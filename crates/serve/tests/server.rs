@@ -58,10 +58,17 @@ fn healthz_and_datasets() {
     let server = test_server(|_| {});
     let addr = server.addr();
     let (status, _, body) = get(addr, "/healthz");
-    assert_eq!((status, body.as_str()), (200, "ok\n"));
+    assert_eq!(
+        (status, body.as_str()),
+        (200, "{\"status\":\"ok\",\"api_versions\":[1,2]}")
+    );
 
     let (status, _, body) = get(addr, "/v1/datasets");
     assert_eq!(status, 200);
+    assert!(
+        body.contains("\"api_versions\":[1,2]"),
+        "datasets advertises the supported api versions: {body}"
+    );
     let v = wl_obs::parse_json(&body).expect("datasets JSON");
     let wl_obs::JsonValue::Array(entries) = v.get("datasets").expect("datasets field").clone()
     else {

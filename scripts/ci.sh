@@ -145,4 +145,61 @@ echo "$web_trace" | grep -q '"weblog.jobs_parsed"' \
 rm -rf "$fmt_dir"
 trap - EXIT
 
+echo "== fleet smoke (coordinator + 2 workers, byte-identical to one node) =="
+fleet_dir=$(mktemp -d)
+w1_pid=; w2_pid=; coord_pid=
+trap 'kill $w1_pid $w2_pid $coord_pid 2>/dev/null || true; rm -rf "$fleet_dir"' EXIT
+./target/release/wl-serve --addr 127.0.0.1:0 --workers 2 --threads 2 \
+  > "$fleet_dir/w1.log" &
+w1_pid=$!
+./target/release/wl-serve --addr 127.0.0.1:0 --workers 2 --threads 2 \
+  > "$fleet_dir/w2.log" &
+w2_pid=$!
+for log in w1 w2; do
+  for _ in $(seq 1 100); do
+    grep -q "listening on" "$fleet_dir/$log.log" 2>/dev/null && break
+    sleep 0.1
+  done
+done
+w1_addr=$(sed -n 's|.*listening on http://||p' "$fleet_dir/w1.log")
+w2_addr=$(sed -n 's|.*listening on http://||p' "$fleet_dir/w2.log")
+test -n "$w1_addr" && test -n "$w2_addr" \
+  || { echo "fleet workers did not start"; exit 1; }
+# One worker wired through the config, the other joining at runtime
+# through the control plane — both paths must serve.
+./target/release/wl-serve --addr 127.0.0.1:0 --threads 2 \
+  --coordinator --worker "$w1_addr" > "$fleet_dir/coord.log" &
+coord_pid=$!
+for _ in $(seq 1 100); do
+  grep -q "listening on" "$fleet_dir/coord.log" 2>/dev/null && break
+  sleep 0.1
+done
+coord_addr=$(sed -n 's|.*listening on http://||p' "$fleet_dir/coord.log")
+test -n "$coord_addr" || { echo "coordinator did not start"; exit 1; }
+./target/release/wl-servectl fleet-register "http://$coord_addr" "$w2_addr" \
+  > /dev/null
+./target/release/wl-servectl fleet-status "http://$coord_addr" \
+  | grep -q "\"$w2_addr\"" \
+  || { echo "runtime registration not visible in fleet status"; exit 1; }
+for op in coplot hurst subset; do
+  case $op in
+    subset) req='{"op":"subset","dataset":{"name":"models"},"jobs":150,"seed":7,"subset_size":2,"top":3}' ;;
+    *) req="{\"op\":\"$op\",\"dataset\":{\"name\":\"models\"},\"jobs\":150,\"seed\":7}" ;;
+  esac
+  echo -n "$req" > "$fleet_dir/req.json"
+  ./target/release/wl-servectl POST "http://$w1_addr/v1/$op" \
+    "$fleet_dir/req.json" > "$fleet_dir/single.json"
+  ./target/release/wl-servectl POST "http://$coord_addr/v1/$op" \
+    "$fleet_dir/req.json" > "$fleet_dir/fleet.json"
+  diff "$fleet_dir/single.json" "$fleet_dir/fleet.json"  # fleet == one node
+done
+# The aggregated fleet /metrics document still satisfies every trace
+# invariant.
+./target/release/wl-servectl GET "http://$coord_addr/metrics" \
+  | ./target/release/trace-check -
+kill $w1_pid $w2_pid $coord_pid 2>/dev/null || true
+wait $w1_pid $w2_pid $coord_pid 2>/dev/null || true
+rm -rf "$fleet_dir"
+trap - EXIT
+
 echo "CI green."
